@@ -1,0 +1,64 @@
+"""E7 — §5.2: kernel "loop size" batching sweep.
+
+The paper fixes blocks=64, threads=256 and varies the kernel loop size
+between 4,400 and 13,000 clocks per launch, "yielding a different
+performance throughput".  The software analogue is the number of
+keystream planes generated per engine call: small batches pay fixed
+per-call overhead every few rows, large batches amortise it.  Also
+sweeps the virtual datapath word width (design-choice ablation #1).
+"""
+
+import numpy as np
+import pytest
+from conftest import FULL_SCALE, emit_table, measure_gbps
+
+from repro.ciphers.grain_bitsliced import BitslicedGrain
+from repro.core.engine import BitslicedEngine
+
+LANES = 1 << 15 if FULL_SCALE else 1 << 13
+BATCHES = (8, 32, 128, 512) if not FULL_SCALE else (8, 32, 128, 512, 2048)
+
+
+def throughput_at(batch_rows: int, dtype=np.uint64) -> float:
+    bank = BitslicedGrain(BitslicedEngine(n_lanes=LANES, dtype=dtype)).seed(1)
+    return measure_gbps(lambda: bank.next_planes(batch_rows), batch_rows * LANES, repeat=2)
+
+
+def test_batch_size_sweep(benchmark):
+    rows = {b: throughput_at(b) for b in BATCHES}
+    lines = [f"{'batch rows':>12}{'Gbit/s':>10}", "-" * 22]
+    for b, gbps in rows.items():
+        lines.append(f"{b:>12}{gbps:>10.4f}")
+    emit_table("ablation_batch", lines)
+    benchmark.extra_info["gbps"] = {str(k): round(v, 4) for k, v in rows.items()}
+    benchmark.pedantic(lambda: throughput_at(BATCHES[1]), rounds=1, iterations=1)
+
+    # Reproduction finding (EXPERIMENTS.md E7): in the NumPy engine the
+    # curve is flat — per-plane gate work dominates, so there is no
+    # kernel-launch cost to amortise.  The paper's rising-then-plateau
+    # shape is a launch-overhead effect, which lives in the staging model
+    # (E9) here.  Assert flatness with headroom for single-core timing
+    # noise: no batch size wins or loses 3x.
+    vals = list(rows.values())
+    assert max(vals) < 3 * min(vals)
+
+
+def test_word_width_sweep(benchmark):
+    widths = {}
+    for dtype in (np.uint8, np.uint32, np.uint64):
+        widths[np.dtype(dtype).name] = throughput_at(64, dtype)
+    lines = [f"{'datapath dtype':>15}{'Gbit/s':>10}", "-" * 25]
+    for name, gbps in widths.items():
+        lines.append(f"{name:>15}{gbps:>10.4f}")
+    emit_table("ablation_word_width", lines)
+    benchmark.extra_info["gbps"] = {k: round(v, 4) for k, v in widths.items()}
+    benchmark.pedantic(lambda: throughput_at(64, np.uint64), rounds=1, iterations=1)
+
+    # Reproduction finding (EXPERIMENTS.md E7): NumPy's datapath is the
+    # plane's *byte* length, which is dtype-invariant at fixed lanes, so
+    # the word-width effect the paper gets from 32-bit GPU registers is
+    # absent here (the GPU model charges it via bits_per_instruction
+    # instead).  Assert dtype near-parity — a large gap would indicate a
+    # layout bug.
+    vals = list(widths.values())
+    assert max(vals) < 1.8 * min(vals)

@@ -1,0 +1,154 @@
+"""E8 — §4.3: the bitsliced-LFSR claim.
+
+The paper: generating M bits with 32 row-major parallel LFSRs costs
+``32 x k`` bit-level XOR/shift/mask operations per clock; the bitsliced
+layout needs only ``k`` full-width XORs and replaces the shift with
+register renaming.  Verified two ways:
+
+* **op counts** — read from the instrumented implementations, checking
+  the 32x (here: lane-count x) reduction exactly;
+* **wall clock** — row-major vs bitsliced at identical lane counts,
+  plus the shift-by-renaming vs physical-roll design ablation (#2).
+"""
+
+import numpy as np
+import pytest
+from conftest import FULL_SCALE, emit_table, measure_gbps
+
+from repro.core.engine import BitslicedEngine
+from repro.core.lfsr import BitslicedLFSR, NaiveParallelLFSR
+
+N = 32  # paper-style 32-bit LFSR
+LANES = 1 << 14 if FULL_SCALE else 1 << 12
+STEPS = 512 if FULL_SCALE else 256
+
+
+def test_op_count_claim(benchmark):
+    """The k vs 32*k instruction claim, from the live implementations."""
+    naive = NaiveParallelLFSR(N, n_lanes=LANES)
+    bs = BitslicedLFSR(N, engine=BitslicedEngine(n_lanes=LANES))
+    bs.seed_from_ints(np.arange(1, LANES + 1))
+    k = len(bs.taps)
+
+    bs.engine.reset_gate_counts()
+    benchmark.pedantic(lambda: bs.run(STEPS), rounds=1, iterations=1)
+    gates = bs.engine.counter.snapshot()
+
+    naive_ops_total = naive.ops_per_step_per_lane * LANES  # per clock
+    bitsliced_ops_total = gates["total"] / STEPS  # per clock
+
+    lines = [
+        f"LFSR n={N}, taps k={k}, lanes={LANES}",
+        "",
+        f"{'variant':<26}{'ops/clock (all lanes)':>24}",
+        "-" * 50,
+        f"{'row-major (naive)':<26}{naive_ops_total:>24}",
+        f"{'bitsliced':<26}{bitsliced_ops_total:>24.1f}",
+        "",
+        f"reduction: {naive_ops_total / bitsliced_ops_total:.0f}x "
+        f"(paper claims ~{LANES}*k -> k, i.e. O(lanes))",
+    ]
+    emit_table("ablation_lfsr_ops", lines)
+
+    # Bitsliced work per clock is K+1 full-width XORs (the +1 accounts the
+    # tap accumulator copy) regardless of lane count.
+    assert bitsliced_ops_total <= k + 1
+    # Naive work scales with lanes: the reduction is at least lanes/4.
+    assert naive_ops_total / bitsliced_ops_total > LANES / 4
+
+
+def test_wallclock_naive_vs_bitsliced(benchmark):
+    naive = NaiveParallelLFSR(N, n_lanes=LANES)
+    bs = BitslicedLFSR(N, engine=BitslicedEngine(n_lanes=LANES))
+    bs.seed_from_ints(np.arange(1, LANES + 1))
+
+    naive_gbps = measure_gbps(lambda: naive.run(STEPS), STEPS * LANES, repeat=2)
+    bs_gbps = measure_gbps(lambda: bs.run(STEPS), STEPS * LANES, repeat=2)
+
+    lines = [
+        f"{'variant':<26}{'Gbit/s':>10}",
+        "-" * 36,
+        f"{'row-major (naive)':<26}{naive_gbps:>10.4f}",
+        f"{'bitsliced':<26}{bs_gbps:>10.4f}",
+        "",
+        f"speedup: {bs_gbps / naive_gbps:.2f}x",
+    ]
+    emit_table("ablation_lfsr_wallclock", lines)
+    benchmark.extra_info["speedup"] = round(bs_gbps / naive_gbps, 2)
+    benchmark.pedantic(lambda: bs.run(STEPS), rounds=1, iterations=1)
+
+    assert bs_gbps > naive_gbps
+
+
+def test_renaming_vs_physical_roll(benchmark):
+    """Design ablation #2: O(1) head-pointer renaming vs np.roll of the
+    whole state block each clock."""
+    engine = BitslicedEngine(n_lanes=LANES)
+    bs = BitslicedLFSR(N, engine=engine)
+    bs.seed_from_ints(np.arange(1, LANES + 1))
+
+    def roll_variant(steps: int):
+        # same gate work, but the shift physically moves all N rows
+        state = bs.file.snapshot()
+        taps = bs.taps
+        for _ in range(steps):
+            fb = state[taps[0]].copy()
+            for t in taps[1:]:
+                fb ^= state[t]
+            state = np.roll(state, -1, axis=0)
+            state[-1] = fb
+        return state
+
+    rename_gbps = measure_gbps(lambda: bs.run(STEPS), STEPS * LANES, repeat=2)
+    roll_gbps = measure_gbps(lambda: roll_variant(STEPS), STEPS * LANES, repeat=2)
+
+    lines = [
+        f"{'shift strategy':<26}{'Gbit/s':>10}",
+        "-" * 36,
+        f"{'renaming (O(1))':<26}{rename_gbps:>10.4f}",
+        f"{'physical roll (O(n))':<26}{roll_gbps:>10.4f}",
+        "",
+        f"renaming advantage: {rename_gbps / roll_gbps:.2f}x",
+    ]
+    emit_table("ablation_lfsr_renaming", lines)
+    benchmark.extra_info["advantage"] = round(rename_gbps / roll_gbps, 2)
+    benchmark.pedantic(lambda: bs.run(64), rounds=1, iterations=1)
+
+    assert rename_gbps > roll_gbps
+
+
+def test_jump_ahead_vs_stepping(benchmark):
+    """Extension ablation: O(n^3 log k) matrix jump vs k sequential
+    clocks, and its lane-count independence."""
+    import time
+
+    k = 200_000
+    bs = BitslicedLFSR(N, engine=BitslicedEngine(n_lanes=LANES))
+    bs.seed_from_ints(np.arange(1, LANES + 1))
+
+    t0 = time.perf_counter()
+    bs.run(k)
+    step_s = time.perf_counter() - t0
+
+    bs2 = BitslicedLFSR(N, engine=BitslicedEngine(n_lanes=LANES))
+    bs2.seed_from_ints(np.arange(1, LANES + 1))
+    t0 = time.perf_counter()
+    bs2.jump(k)
+    jump_s = time.perf_counter() - t0
+    assert np.array_equal(bs.state_bits(), bs2.state_bits())
+
+    lines = [
+        f"advance {LANES} lanes by k={k:,} clocks (n={N}):",
+        "",
+        f"{'method':<26}{'seconds':>10}",
+        "-" * 36,
+        f"{'sequential clocking':<26}{step_s:>10.4f}",
+        f"{'matrix jump-ahead':<26}{jump_s:>10.6f}",
+        "",
+        f"speedup: {step_s / jump_s:.0f}x (and O(log k): doubling k adds one squaring)",
+    ]
+    emit_table("ablation_jump_ahead", lines)
+    benchmark.extra_info["speedup"] = round(step_s / jump_s, 1)
+    benchmark.pedantic(lambda: bs2.jump(k), rounds=2, iterations=1)
+
+    assert jump_s < step_s / 10

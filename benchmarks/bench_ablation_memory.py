@@ -1,0 +1,93 @@
+"""E9 — §4.5: shared-memory staging and coalesced writes.
+
+Model side: the staging-efficiency and coalescing curves the roofline
+charges the output path with (the paper tunes the staging size "by
+simple try and error" and reports gains from both techniques).
+
+Measured side: the software analogue — keystream planes pushed through
+the engine's staging buffer and flushed in bulk, vs written one row at a
+time to scattered (strided) destinations.
+"""
+
+import numpy as np
+import pytest
+from conftest import FULL_SCALE, emit_table, measure_gbps
+
+from repro.core.engine import BitslicedEngine
+from repro.gpu.memory import coalescing_efficiency, effective_write_bw, staging_efficiency
+
+LANES = 1 << 14 if FULL_SCALE else 1 << 13
+ROWS = 2048
+
+
+def test_staging_model_sweep(benchmark):
+    sizes = [256, 1024, 4096, 8192, 16384, 65536]
+    lines = [f"{'stage bytes':>12}{'staging eff':>13}{'write BW (V100, GB/s)':>23}", "-" * 48]
+    for s in sizes:
+        lines.append(
+            f"{s:>12}{staging_efficiency(s):>13.4f}{effective_write_bw(900.0, stage_bytes=s):>23.1f}"
+        )
+    emit_table("ablation_staging_model", lines)
+    benchmark.pedantic(lambda: [effective_write_bw(900.0, stage_bytes=s) for s in sizes], rounds=3, iterations=1)
+
+    # Monotone rising with diminishing returns — the paper's try-and-error
+    # plateau.
+    effs = [staging_efficiency(s) for s in sizes]
+    assert effs == sorted(effs)
+    assert effs[-1] - effs[-2] < effs[1] - effs[0]
+
+
+def test_coalescing_model_sweep(benchmark):
+    strides = [1, 2, 4, 8, 16, 32]
+    lines = [f"{'stride (words)':>15}{'coalescing eff':>16}", "-" * 31]
+    for s in strides:
+        lines.append(f"{s:>15}{coalescing_efficiency(s):>16.4f}")
+    emit_table("ablation_coalescing_model", lines)
+    benchmark.pedantic(lambda: [coalescing_efficiency(s) for s in strides], rounds=3, iterations=1)
+    effs = [coalescing_efficiency(s) for s in strides]
+    assert effs[0] == 1.0 and effs == sorted(effs, reverse=True)
+
+
+def test_staged_vs_scattered_writes(benchmark):
+    """Software analogue: bulk flushes vs per-row strided writes."""
+    engine = BitslicedEngine(n_lanes=LANES, stage_rows=256)
+    n_words = engine.n_words
+    src = np.random.default_rng(0).integers(0, 1 << 63, (ROWS, n_words), dtype=np.uint64)
+
+    def staged():
+        dest = np.empty((ROWS, n_words), dtype=np.uint64)
+        stage = engine.make_stage()
+        row = 0
+        for i in range(ROWS):
+            row = stage.push(src[i], dest, row)
+        stage.drain(dest, row)
+        return dest
+
+    def scattered():
+        # row i of lane block j lands at stride: the uncoalesced pattern —
+        # each row write hits a strided (non-contiguous) destination view.
+        dest = np.empty((n_words, ROWS), dtype=np.uint64)  # transposed layout
+        for i in range(ROWS):
+            dest[:, i] = src[i]
+        return dest.T
+
+    bits = ROWS * LANES
+    staged_gbps = measure_gbps(staged, bits, repeat=2)
+    scattered_gbps = measure_gbps(scattered, bits, repeat=2)
+
+    out_a, out_b = staged(), scattered()
+    assert np.array_equal(out_a, out_b)
+
+    lines = [
+        f"{'write path':<30}{'Gbit/s':>10}",
+        "-" * 40,
+        f"{'staged + bulk flush':<30}{staged_gbps:>10.2f}",
+        f"{'scattered (strided dest)':<30}{scattered_gbps:>10.2f}",
+        "",
+        f"staging advantage: {staged_gbps / scattered_gbps:.2f}x",
+    ]
+    emit_table("ablation_memory_measured", lines)
+    benchmark.extra_info["advantage"] = round(staged_gbps / scattered_gbps, 2)
+    benchmark.pedantic(staged, rounds=1, iterations=1)
+
+    assert staged_gbps > scattered_gbps

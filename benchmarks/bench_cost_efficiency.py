@@ -1,0 +1,62 @@
+"""E13 (abstract/§6) — performance per cost.
+
+The abstract claims efficiency "in terms of performance and performance
+per cost", and the conclusion positions GPUs as "a suitable replacement
+for expensive Tbps optical solutions".  This bench tabulates the modeled
+MICKEY throughput per launch-dollar and per watt on the Table-2 GPUs —
+quantifying the "affordable NVIDIA GTX 2080 Ti" framing: the consumer
+card beats the datacenter V100 ~8x on throughput per dollar.
+"""
+
+import pytest
+from conftest import emit_table
+
+from repro.gpu.model import ThroughputModel
+from repro.gpu.specs import TABLE2_GPUS
+from repro.report import bar_chart
+
+
+def test_cost_efficiency(benchmark):
+    model = ThroughputModel()
+    rows = []
+    for g in TABLE2_GPUS.values():
+        gbps = model.predict_gbps("mickey2", g.name)
+        rows.append(
+            (
+                g.name,
+                gbps,
+                gbps / g.launch_price_usd if g.launch_price_usd else float("nan"),
+                gbps / g.tdp_w if g.tdp_w else float("nan"),
+            )
+        )
+    benchmark.pedantic(lambda: model.predict_gbps("mickey2", "GTX 2080 Ti"), rounds=3, iterations=1)
+
+    lines = [
+        "bitsliced MICKEY 2.0, anchored model:",
+        "",
+        f"{'GPU':<14}{'Gb/s':>8}{'Gb/s per $':>12}{'Gb/s per W':>12}",
+        "-" * 46,
+    ]
+    for name, gbps, per_usd, per_w in rows:
+        lines.append(f"{name:<14}{gbps:>8.0f}{per_usd:>12.2f}{per_w:>12.2f}")
+    lines.append("")
+    lines.append(
+        bar_chart(
+            [(name, per_usd) for name, _, per_usd, _ in rows],
+            width=36,
+            unit="Gb/s/$",
+            fmt="{:.2f}",
+        )
+    )
+    emit_table("cost_efficiency", lines)
+
+    by_gpu = {name: (per_usd, per_w) for name, _, per_usd, per_w in rows}
+    # The abstract's "affordable 2080 Ti" framing: the consumer flagship
+    # dominates the datacenter part on throughput per dollar...
+    assert by_gpu["GTX 2080 Ti"][0] > 5 * by_gpu["Tesla V100"][0]
+    # ... and per-dollar the best value is a consumer card, not the V100.
+    best_value = max(by_gpu, key=lambda n: by_gpu[n][0])
+    assert best_value != "Tesla V100"
+    # Per watt, newer silicon wins monotonically enough that the 2080 Ti
+    # beats the 2010 GTX 480 by a wide margin.
+    assert by_gpu["GTX 2080 Ti"][1] > 5 * by_gpu["GTX 480"][1]

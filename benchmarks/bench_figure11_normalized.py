@@ -1,0 +1,47 @@
+"""E4 — Figure 11: normalized performance (Gbps per GFLOPS) of the
+proposed method vs prior work and cuRAND.
+
+Each prior-work row is normalized to its own device rating (recomputed
+from Table 1); our kernels are normalized to the device the anchored
+model predicts them on.
+"""
+
+from conftest import emit_table
+
+from repro.gpu.model import ThroughputModel
+from repro.gpu.priorwork import PRIOR_WORK
+from repro.gpu.specs import get_gpu
+
+
+def build_series():
+    model = ThroughputModel()
+    series = []
+    for row in PRIOR_WORK:
+        series.append((f"{row.method} ({row.year})", row.normalized))
+    for kernel in ("aes128ctr", "grain", "mickey2", "curand-mt"):
+        for gpu_name in ("GTX 980 Ti", "GTX 2080 Ti", "Tesla V100"):
+            gbps = model.predict_gbps(kernel, gpu_name)
+            series.append((f"{kernel} on {gpu_name}", gbps / get_gpu(gpu_name).sp_gflops))
+    return series
+
+
+def test_figure11_normalized(benchmark):
+    from repro.report import bar_chart
+
+    series = benchmark(build_series)
+    ranked = sorted(series, key=lambda t: -t[1])
+    lines = [
+        bar_chart(ranked, width=44, unit="Gbps/GFLOPS", fmt="{:.4f}"),
+    ]
+    emit_table("figure11_normalized", lines)
+
+    vals = dict(series)
+    mickey = vals["mickey2 on GTX 2080 Ti"]
+    # Figure 11's intended reading: BSRNG's normalized throughput clears
+    # every prior row except xorgensGP's outlier claim (see EXPERIMENTS.md).
+    beaten = [n for n, v in vals.items() if "(" in n and "on" not in n and mickey > v]
+    assert len(beaten) == 5
+    # And within our own kernels, MICKEY normalizes best.
+    assert mickey >= vals["grain on GTX 2080 Ti"]
+    assert mickey > vals["curand-mt on GTX 2080 Ti"]
+    assert mickey > vals["aes128ctr on GTX 2080 Ti"]

@@ -1,0 +1,30 @@
+"""E2 — Table 2: specification of the GPU evaluation platforms.
+
+Dumps the catalogue exactly in the paper's three columns, plus the SM
+resources the occupancy model uses on top of them.
+"""
+
+from conftest import emit_table
+
+from repro.gpu.launch import occupancy
+from repro.gpu.specs import TABLE2_GPUS
+
+
+def render_table2() -> list[str]:
+    lines = [
+        f"{'GPU':<14}{'SP GFlops':>12}{'DP GFlops':>12}{'Mem BW GB/s':>13}{'SMs':>5}{'occ@210regs':>13}",
+        "-" * 69,
+    ]
+    for g in TABLE2_GPUS.values():
+        occ = occupancy(g, registers_per_thread=210)
+        lines.append(
+            f"{g.name:<14}{g.sp_gflops:>12.0f}{g.dp_gflops:>12.0f}{g.mem_bw_gbs:>13.0f}"
+            f"{g.sm_count:>5}{occ:>13.3f}"
+        )
+    return lines
+
+
+def test_table2_gpu_specs(benchmark):
+    lines = benchmark(render_table2)
+    emit_table("table2_gpu_specs", lines)
+    assert len(lines) == 2 + 6  # header + the paper's six platforms

@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one paper artifact (table or figure), prints its
+rows, and also writes them under ``benchmarks/results/`` so the output
+survives pytest's capture regardless of ``-s``.  EXPERIMENTS.md records
+the paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Set REPRO_FULL=1 for paper-scale workloads (1000 x 1 Mbit NIST runs
+#: etc.); default sizes keep the whole bench suite under a few minutes.
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def emit_table(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it to benchmarks/results/."""
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    sys.stdout.write(f"\n{text}")
+    return text
+
+
+def measure_gbps(fn, bits_per_call: int, *, repeat: int = 3, warmup: int = 1) -> float:
+    """Best-of-N wall-clock throughput of ``fn`` in Gbit/s."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return bits_per_call / best / 1e9
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0xBE7C)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Multi-device generation (paper §5.4).
+
+Partitions an AES-CTR generation job across worker processes ("GPUs"),
+reconstructs the global stream, verifies it equals the single-device
+sequential output, and prints the paper-calibrated scaling curve.
+
+Run:  python examples/multi_device.py
+"""
+
+import os
+import time
+
+from repro.gpu.multigpu import MultiDeviceGenerator, partition_counter_space, scaling_model
+
+BLOCK_BYTES = 1 << 16
+TOTAL_BLOCKS = 12
+
+
+def main() -> None:
+    print(f"host CPUs: {os.cpu_count()}")
+    print()
+
+    print("counter-space partitioning of", TOTAL_BLOCKS, "blocks over 3 devices:")
+    for p in partition_counter_space(TOTAL_BLOCKS, 3):
+        print(f"  device {p.device_id}: blocks [{p.start_block}, {p.start_block + p.n_blocks})")
+    print()
+
+    gen = MultiDeviceGenerator(
+        "aes128ctr", seed=99, lanes=2048, n_devices=3, block_bytes=BLOCK_BYTES
+    )
+    t0 = time.perf_counter()
+    multi = gen.generate(TOTAL_BLOCKS, parallel=True)
+    t_multi = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    single = gen.sequential_reference(TOTAL_BLOCKS)
+    t_single = time.perf_counter() - t0
+
+    assert multi == single
+    print(f"reconstruction check: 3-device output == sequential stream  [OK]")
+    print(f"  ({len(multi):,} bytes; multi {t_multi:.2f}s, single {t_single:.2f}s)")
+    print()
+
+    print("paper-calibrated scaling model (1.92x measured at 2 GPUs):")
+    print(f"{'devices':>9}{'speedup':>9}{'efficiency':>12}")
+    for n in (1, 2, 4, 8):
+        s = scaling_model(n)
+        print(f"{n:>9}{s:>9.2f}{s / n:>12.1%}")
+    print()
+
+    # The paper's literal phrasing — "the input parameters (e.g., the
+    # seed, nonce, and counter) are shared and partitioned amongst all of
+    # the available GPUs" — maps to lane windows for the stream ciphers:
+    # every device derives its own slice of the per-lane key/IV material.
+    from repro.gpu.multigpu import LanePartitionedGenerator
+    import numpy as np
+
+    lane_gen = LanePartitionedGenerator("mickey2", seed=99, total_lanes=32, n_devices=4)
+    lanes = lane_gen.generate_lanes(256, parallel=True)
+    assert np.array_equal(lanes, lane_gen.sequential_reference(256))
+    print(
+        f"lane partitioning: 4 devices x 8 MICKEY lanes == one 32-lane bank  [OK]"
+        f"  ({lanes.shape[0]} lanes x {lanes.shape[1]} bits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Independent streams for parallel workers (SPRNG-style spawning).
+
+Monte Carlo across worker processes needs per-worker generators that are
+(a) independent — no shared or overlapping streams — and (b) reproducible
+from one master seed.  ``BSRNG.spawn`` derives both through SplitMix64
+stream separation; this example estimates an integral with 4 workers and
+shows the result is identical across runs and free of cross-worker
+correlation.
+
+Run:  python examples/parallel_workers.py
+"""
+
+import math
+import multiprocessing as mp
+
+import numpy as np
+
+from repro import BSRNG
+from repro.analysis import lane_correlation_matrix, max_abs_offdiag
+
+MASTER_SEED = 0x1234
+N_WORKERS = 4
+SAMPLES_PER_WORKER = 250_000
+
+
+def worker_estimate(args) -> float:
+    """One worker's contribution to E[exp(-x^2)] over [0, 1]."""
+    worker_id, seed = args
+    rng = BSRNG("trivium", seed=seed, lanes=2048)
+    x = rng.random(SAMPLES_PER_WORKER)
+    return float(np.exp(-(x**2)).mean())
+
+
+def main() -> None:
+    parent = BSRNG("trivium", seed=MASTER_SEED, lanes=2048)
+    children = parent.spawn(N_WORKERS)
+    jobs = [(i, c.seed) for i, c in enumerate(children)]
+
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    with ctx.Pool(N_WORKERS) as pool:
+        partials = pool.map(worker_estimate, jobs)
+
+    estimate = float(np.mean(partials))
+    # closed form: integral of exp(-x^2) over [0,1] = sqrt(pi)/2 * erf(1)
+    truth = math.sqrt(math.pi) / 2 * math.erf(1.0)
+    print(f"workers           : {N_WORKERS} x {SAMPLES_PER_WORKER:,} samples")
+    print(f"per-worker partial: {[round(p, 6) for p in partials]}")
+    print(f"estimate          : {estimate:.6f}")
+    print(f"closed form       : {truth:.6f}   (|err| = {abs(estimate - truth):.6f})")
+
+    # reproducibility: respawning from the master seed gives the same jobs
+    again = [(i, c.seed) for i, c in enumerate(BSRNG("trivium", seed=MASTER_SEED, lanes=2048).spawn(N_WORKERS))]
+    assert again == jobs
+    print("respawn from master seed reproduces the same worker streams  [OK]")
+
+    # independence: cross-worker bit streams are uncorrelated
+    streams = np.stack([c.random_bits(20_000) for c in children])
+    worst = max_abs_offdiag(lane_correlation_matrix(streams))
+    print(f"max cross-worker correlation: {worst:.4f}  (noise floor ~{3/np.sqrt(20_000):.4f})")
+    assert worst < 0.05
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Two-way communication with a reproducible keystream (paper §5.4).
+
+The paper notes that the multi-device output "could be generated
+identically in a single GPU sequentially ... handy in two-way
+communication where the sequence should be reconstructed at the
+receiver."  This example encrypts a message with the bitsliced MICKEY
+keystream on the "sender", reconstructs the identical keystream on the
+"receiver" from the shared seed, and decrypts — then shows that a wrong
+seed recovers nothing.
+
+Run:  python examples/stream_encryption.py
+"""
+
+import numpy as np
+
+from repro import BSRNG
+
+MESSAGE = (
+    b"BSRNG reproduction: bitsliced MICKEY 2.0 keystream, "
+    b"reconstructed at the receiver from the shared seed."
+)
+SHARED_SEED = 0x5EC2E7
+
+
+def xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    a = np.frombuffer(data, dtype=np.uint8)
+    b = np.frombuffer(keystream, dtype=np.uint8)
+    return (a ^ b).tobytes()
+
+
+def main() -> None:
+    # sender
+    sender = BSRNG("mickey2", seed=SHARED_SEED, lanes=1024)
+    ciphertext = xor_bytes(MESSAGE, sender.random_bytes(len(MESSAGE)))
+    print(f"plaintext : {MESSAGE.decode()}")
+    print(f"ciphertext: {ciphertext[:32].hex()}... ({len(ciphertext)} bytes)")
+
+    # receiver: same algorithm + seed -> same keystream
+    receiver = BSRNG("mickey2", seed=SHARED_SEED, lanes=1024)
+    recovered = xor_bytes(ciphertext, receiver.random_bytes(len(ciphertext)))
+    assert recovered == MESSAGE
+    print(f"recovered : {recovered.decode()}")
+    print()
+
+    # an eavesdropper with the wrong seed gets noise
+    wrong = BSRNG("mickey2", seed=SHARED_SEED + 1, lanes=1024)
+    garbage = xor_bytes(ciphertext, wrong.random_bytes(len(ciphertext)))
+    overlap = sum(a == b for a, b in zip(garbage, MESSAGE)) / len(MESSAGE)
+    print(f"wrong-seed decryption matches plaintext bytes: {overlap:.1%} "
+          f"(chance level ~0.4%)")
+    assert garbage != MESSAGE
+
+    # mid-stream access: the receiver can decrypt just a slice using the
+    # byte-exact seek (O(1) for counter-mode kernels, clock-through here)
+    slice_rng = BSRNG("mickey2", seed=SHARED_SEED, lanes=1024)
+    slice_rng.skip_bytes(10)
+    fragment = xor_bytes(ciphertext[10:26], slice_rng.random_bytes(16))
+    assert fragment == MESSAGE[10:26]
+    print(f"slice [10:26] decrypted independently: {fragment.decode()!r}")
+
+
+if __name__ == "__main__":
+    main()

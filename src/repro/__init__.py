@@ -1,0 +1,42 @@
+"""BSRNG — a high-throughput parallel bitsliced approach for random number generators.
+
+Reproduction of Khalaj Monfared et al., ICPP Workshops 2020
+(DOI 10.1145/3409390.3409402).
+
+The package is organised as:
+
+``repro.core``
+    The paper's primary contribution: column-major (bitsliced) data
+    representation, the virtual SIMD engine, bitsliced LFSRs and the
+    high-level :class:`~repro.core.generator.BSRNG` generator API.
+``repro.ciphers``
+    Reference and bitsliced implementations of MICKEY 2.0, Grain v1 and
+    AES-128-CTR.
+``repro.baselines``
+    The comparison PRNGs (cuRAND's MT19937 / XORWOW / Philox, plus the
+    generators of the paper's Table 1 lineage).
+``repro.nist``
+    A from-scratch NIST SP 800-22 statistical test suite.
+``repro.gpu``
+    GPU platform catalogue, roofline throughput model and multi-device
+    dispatch — the substitution for the paper's CUDA testbed.
+``repro.crc``, ``repro.codegen``, ``repro.analysis``, ``repro.gf2``,
+``repro.bitio``
+    Supporting substrates (bitsliced CRC application, bit-level circuit
+    code generation, randomness analysis, GF(2) algebra, bit packing).
+"""
+
+from repro.core.bitslice import bitslice, bitslice_bytes, unbitslice, unbitslice_bytes
+from repro.core.generator import BSRNG, available_algorithms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSRNG",
+    "available_algorithms",
+    "bitslice",
+    "unbitslice",
+    "bitslice_bytes",
+    "unbitslice_bytes",
+    "__version__",
+]

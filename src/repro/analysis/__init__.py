@@ -1,0 +1,38 @@
+"""Randomness analysis beyond SP 800-22.
+
+The paper claims its streams satisfy "bit-wise correlation criteria" and
+stresses that parallel LFSR lanes "should be carefully initialized to
+eliminate any statistical correlation"; this package provides the
+measurements backing those claims: inter-lane correlation, serial
+autocorrelation, key/IV avalanche, and entropy estimation.
+"""
+
+from repro.analysis.avalanche import avalanche_profile, key_avalanche
+from repro.analysis.correlation import (
+    autocorrelation,
+    bias,
+    lane_correlation_matrix,
+    max_abs_offdiag,
+    periodic_bias,
+)
+from repro.analysis.entropy import min_entropy_estimate, shannon_entropy_estimate
+from repro.analysis.period import (
+    effective_period_log2,
+    safe_stream_length,
+    stream_overlap_probability,
+)
+
+__all__ = [
+    "lane_correlation_matrix",
+    "max_abs_offdiag",
+    "autocorrelation",
+    "bias",
+    "periodic_bias",
+    "key_avalanche",
+    "avalanche_profile",
+    "shannon_entropy_estimate",
+    "stream_overlap_probability",
+    "effective_period_log2",
+    "safe_stream_length",
+    "min_entropy_estimate",
+]

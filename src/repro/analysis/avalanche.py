@@ -1,0 +1,68 @@
+"""Avalanche measurements: keystream sensitivity to key/IV bit flips.
+
+A healthy cipher flips ~50% of its keystream when any single key or IV
+bit changes.  This is the working substitute for per-cipher known-answer
+vectors (which eSTREAM's licence keeps out of this repository): a wrong
+tap constant or mis-wired feedback collapses avalanche immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+__all__ = ["key_avalanche", "avalanche_profile"]
+
+
+def key_avalanche(
+    make_keystream,
+    key_bits: int,
+    n_flips: int = 16,
+    stream_bits: int = 512,
+    seed: int = 0,
+) -> np.ndarray:
+    """Fraction of keystream bits flipped per single-bit key change.
+
+    Parameters
+    ----------
+    make_keystream:
+        ``f(key_bit_array) -> keystream bit array`` of length ≥
+        ``stream_bits``.
+    key_bits:
+        Key length in bits.
+    n_flips:
+        How many distinct key-bit positions to probe (evenly spread).
+
+    Returns an array of flip fractions, one per probed position.
+    """
+    if n_flips <= 0 or key_bits <= 0:
+        raise SpecificationError("n_flips and key_bits must be positive")
+    rng = np.random.default_rng(seed)
+    base_key = rng.integers(0, 2, size=key_bits, dtype=np.uint8)
+    base = np.asarray(make_keystream(base_key))[:stream_bits]
+    positions = np.linspace(0, key_bits - 1, num=min(n_flips, key_bits), dtype=np.int64)
+    out = np.empty(positions.size, dtype=np.float64)
+    for i, pos in enumerate(positions):
+        key = base_key.copy()
+        key[pos] ^= 1
+        stream = np.asarray(make_keystream(key))[:stream_bits]
+        out[i] = float(np.mean(stream != base))
+    return out
+
+
+def avalanche_profile(fractions: np.ndarray) -> dict:
+    """Summary statistics + a pass verdict for avalanche fractions.
+
+    Pass criterion: every probed flip lands in [0.4, 0.6] — loose enough
+    for 512-bit samples (σ ≈ 0.022), far tighter than any wiring bug.
+    """
+    arr = np.asarray(fractions, dtype=np.float64)
+    if arr.size == 0:
+        raise SpecificationError("no avalanche samples")
+    return {
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "passed": bool(np.all((arr >= 0.4) & (arr <= 0.6))),
+    }

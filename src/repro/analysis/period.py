@@ -1,0 +1,73 @@
+"""Parallel-stream period and overlap estimates (paper §4.3).
+
+The paper warns that when many LFSR lanes run the same recurrence, "the
+secure threshold for the repeat period (not 2^n − 1 in this case) of the
+employed parallel system should be estimated".  Lanes of a shared-cycle
+generator are windows of one periodic sequence at unknown offsets: if two
+windows overlap, their outputs are identical shifted copies.  These
+helpers quantify that risk.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SpecificationError
+
+__all__ = [
+    "stream_overlap_probability",
+    "effective_period_log2",
+    "safe_stream_length",
+]
+
+
+def stream_overlap_probability(
+    period_log2: float, n_streams: int, stream_len_log2: float
+) -> float:
+    """Probability that any two of *n_streams* random-offset windows of
+    length ``2^stream_len_log2`` on a cycle of length ``2^period_log2``
+    overlap (birthday bound, union form).
+
+    For ``n`` streams each consuming ``L`` values of a period-``P``
+    cycle, the standard bound is ``p <= n^2 L / P``; it is computed in
+    log space so astronomically small probabilities survive.
+    """
+    if n_streams < 1:
+        raise SpecificationError("need at least one stream")
+    if period_log2 <= 0 or stream_len_log2 < 0:
+        raise SpecificationError("period and stream length must be positive")
+    if stream_len_log2 >= period_log2:
+        return 1.0
+    log2_p = 2 * math.log2(n_streams) + stream_len_log2 - period_log2
+    if log2_p >= 0:
+        return 1.0
+    return 2.0**log2_p
+
+
+def effective_period_log2(n: int, n_streams: int) -> float:
+    """log2 of the per-stream budget when *n_streams* lanes share one
+    maximal cycle of a degree-*n* primitive LFSR.
+
+    The full cycle has ``2^n - 1`` states; carving it into *n_streams*
+    provably-disjoint jump-ahead segments gives each lane a budget of
+    ``(2^n - 1) / n_streams`` outputs — the "not 2^n − 1 in this case"
+    the paper flags.
+    """
+    if n < 2 or n_streams < 1:
+        raise SpecificationError("need n >= 2 and n_streams >= 1")
+    return n + math.log2(1 - 2.0**-n) - math.log2(n_streams)
+
+
+def safe_stream_length(
+    period_log2: float, n_streams: int, max_collision_prob: float = 2.0**-40
+) -> float:
+    """log2 of the longest per-stream draw keeping the overlap
+    probability below *max_collision_prob* for randomly-offset streams.
+
+    Inverting the birthday bound: ``L <= p * P / n^2``.
+    """
+    if not 0 < max_collision_prob <= 1:
+        raise SpecificationError("max_collision_prob must be in (0, 1]")
+    if n_streams < 1 or period_log2 <= 0:
+        raise SpecificationError("need streams >= 1 and a positive period")
+    return period_log2 + math.log2(max_collision_prob) - 2 * math.log2(n_streams)

@@ -1,0 +1,42 @@
+"""Baseline PRNGs the paper compares against (or descends from).
+
+The cuRAND library the paper benchmarks (§5.2, Mersenne-Twister default)
+is proprietary; we reimplement the algorithms it ships — MT19937, XORWOW,
+Philox4x32-10 and MRG32k3a — plus representatives of every generator family in the
+paper's Table 1 (xorgens → xorshift128+, Park-Miller, CA-PRNG) and the
+historical Middle-Square of §2.1.
+
+All banks share the same shape: ``n_streams`` independent generators
+advanced in lockstep by vectorized NumPy ops (the row-major analogue of
+"one generator per GPU thread"), emitting words via ``next_words``.
+"""
+
+from repro.baselines.ca_prng import CellularAutomatonBank
+from repro.baselines.chacha import ChaCha20Bank, chacha20_block
+from repro.baselines.lcg import LCG64Bank
+from repro.baselines.middle_square import MiddleSquareWeylBank
+from repro.baselines.mrg32k3a import MRG32k3aBank
+from repro.baselines.mt19937 import MT19937, MT19937Bank
+from repro.baselines.park_miller import ParkMillerBank
+from repro.baselines.rc4 import RC4Bank, rc4_keystream
+from repro.baselines.philox import PhiloxBank, philox4x32
+from repro.baselines.xorshift import Xorshift128PlusBank
+from repro.baselines.xorwow import XorwowBank
+
+__all__ = [
+    "MT19937",
+    "MT19937Bank",
+    "XorwowBank",
+    "MRG32k3aBank",
+    "ChaCha20Bank",
+    "chacha20_block",
+    "RC4Bank",
+    "rc4_keystream",
+    "PhiloxBank",
+    "philox4x32",
+    "Xorshift128PlusBank",
+    "ParkMillerBank",
+    "CellularAutomatonBank",
+    "LCG64Bank",
+    "MiddleSquareWeylBank",
+]

@@ -1,0 +1,54 @@
+"""Shared scaffolding for row-major baseline generator banks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import expand_seed_words
+from repro.errors import SpecificationError
+
+__all__ = ["StreamBank"]
+
+
+class StreamBank:
+    """Base class: ``n_streams`` generators advanced in lockstep.
+
+    Subclasses implement ``_step() -> ndarray`` returning one output word
+    per stream; ``next_words`` tiles steps into a flat word vector
+    (stream-major within each step, steps concatenated).
+    """
+
+    #: dtype of the words ``_step`` yields
+    word_dtype = np.uint32
+    #: approximate arithmetic/logic instructions per emitted word per
+    #: stream, for the GPU roofline model (None = unknown)
+    ops_per_word: float | None = None
+
+    def __init__(self, seed: int = 0, n_streams: int = 256) -> None:
+        if n_streams <= 0:
+            raise SpecificationError("n_streams must be positive")
+        self.seed = int(seed)
+        self.n_streams = int(n_streams)
+        self._init_state(expand_seed_words(seed, n_streams, stream=7))
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _step(self) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def next_words(self, n: int) -> np.ndarray:
+        """At least *n* output words (rounded up to whole bank steps)."""
+        if n <= 0:
+            raise SpecificationError("n must be positive")
+        steps = -(-n // self.n_streams)
+        out = np.empty((steps, self.n_streams), dtype=self.word_dtype)
+        for i in range(steps):
+            out[i] = self._step()
+        return out.ravel()
+
+    def ops_per_output_bit(self) -> float:
+        """Instructions per output bit (for throughput modelling)."""
+        if self.ops_per_word is None:
+            return float("nan")
+        return self.ops_per_word / (np.dtype(self.word_dtype).itemsize * 8)

@@ -1,0 +1,44 @@
+"""Rule-30 cellular-automaton PRNG (Wolfram 1986) — the CA-PRNG family
+of the paper's Table 1 (Pang et al. 2008, row [33]).
+
+Each stream is a 64-cell circular automaton; the classic construction
+emits the centre cell each generation, so one output word costs 32/64
+generations — which is why Table 1 shows CA-PRNG as the slowest family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._bank import StreamBank
+from repro.core.seeding import splitmix64
+
+__all__ = ["CellularAutomatonBank"]
+
+
+def _rule30(state: np.ndarray) -> np.ndarray:
+    """One rule-30 generation on packed 64-cell rings (vectorized)."""
+    left = (state << np.uint64(1)) | (state >> np.uint64(63))
+    right = (state >> np.uint64(1)) | (state << np.uint64(63))
+    return left ^ (state | right)
+
+
+class CellularAutomatonBank(StreamBank):
+    """``n_streams`` rule-30 rings emitting their centre cell."""
+
+    word_dtype = np.uint32
+    # 32 generations × 6 ops to produce one 32-bit word.
+    ops_per_word = 192.0
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:
+        self._cells = splitmix64(stream_seeds)
+        self._cells[self._cells == 0] = np.uint64(1)
+
+    def _step(self) -> np.ndarray:
+        out = np.zeros(self.n_streams, dtype=np.uint32)
+        centre = np.uint64(32)
+        for i in range(32):
+            self._cells = _rule30(self._cells)
+            bit = ((self._cells >> centre) & np.uint64(1)).astype(np.uint32)
+            out |= bit << np.uint32(i)
+        return out

@@ -1,0 +1,31 @@
+"""64-bit linear congruential generator (Knuth MMIX constants).
+
+A historical baseline: cheap, long-period, but with weak low bits —
+another negative-control fixture for the statistical test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._bank import StreamBank
+
+__all__ = ["LCG64Bank"]
+
+_A = np.uint64(6364136223846793005)
+_C = np.uint64(1442695040888963407)
+
+
+class LCG64Bank(StreamBank):
+    """``n_streams`` 64-bit LCGs in lockstep (emitting the high 32 bits,
+    which pass far more tests than the low ones)."""
+
+    word_dtype = np.uint32
+    ops_per_word = 3.0
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:
+        self._x = stream_seeds.copy()
+
+    def _step(self) -> np.ndarray:
+        self._x = _A * self._x + _C
+        return (self._x >> np.uint64(32)).astype(np.uint32)

@@ -1,0 +1,36 @@
+"""Park–Miller MINSTD — the multiplicative LCG behind Langdon's early
+GPU PRNGs (Table 1 rows [20]/[21]): ``x' = 16807 x mod (2^31 - 1)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._bank import StreamBank
+
+__all__ = ["ParkMillerBank"]
+
+_A = np.uint64(16807)
+_MOD = np.uint64(2147483647)  # 2^31 - 1
+
+
+class ParkMillerBank(StreamBank):
+    """``n_streams`` MINSTD generators in lockstep.
+
+    Outputs the 31-bit state directly (as the original does); the top bit
+    of each emitted uint32 is always 0, which is itself a useful fixture
+    for the statistical tests — MINSTD fails modern batteries, and the
+    NIST suite should show that.
+    """
+
+    word_dtype = np.uint32
+    # 64-bit mul + mod ≈ 6 instructions / 31 useful bits.
+    ops_per_word = 6.0
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:
+        s = stream_seeds % _MOD
+        s[s == 0] = np.uint64(1)
+        self._x = s
+
+    def _step(self) -> np.ndarray:
+        self._x = (_A * self._x) % _MOD
+        return self._x.astype(np.uint32)

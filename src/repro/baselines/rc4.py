@@ -1,0 +1,96 @@
+"""RC4 (Rivest 1987) — the historical software stream-cipher CSPRNG.
+
+Included as the classic table-based keystream generator: its
+byte-granular, data-dependent state walk is the *opposite* of
+bitslice-friendly (every step is a gather/swap, not a gate), which makes
+it a useful contrast baseline for the paper's argument.  The bank
+vectorizes across streams — each of the 256 KSA steps and each PRGA byte
+is one set of fancy-indexed NumPy ops over all streams at once.
+
+Validated against the canonical "Key"/"Wiki"/"Secret" keystream vectors.
+RC4 is cryptographically broken (biased early bytes, related-key
+weaknesses) and is shipped here as a baseline, not a recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._bank import StreamBank
+from repro.errors import KeyScheduleError
+
+__all__ = ["rc4_keystream", "RC4Bank"]
+
+
+def rc4_keystream(key: bytes, n_bytes: int, drop: int = 0) -> bytes:
+    """Single-instance RC4 keystream (the specification oracle).
+
+    ``drop`` discards the first N bytes (RC4-drop[N], the standard
+    mitigation for the biased early output).
+    """
+    if not 1 <= len(key) <= 256:
+        raise KeyScheduleError("RC4 key must be 1..256 bytes")
+    s = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + s[i] + key[i % len(key)]) % 256
+        s[i], s[j] = s[j], s[i]
+    out = bytearray()
+    i = j = 0
+    for _ in range(drop + n_bytes):
+        i = (i + 1) % 256
+        j = (j + s[i]) % 256
+        s[i], s[j] = s[j], s[i]
+        out.append(s[(s[i] + s[j]) % 256])
+    return bytes(out[drop:])
+
+
+class RC4Bank(StreamBank):
+    """``n_streams`` RC4-drop[768] generators in lockstep.
+
+    Per-stream 16-byte keys come from the seed expansion; the first 768
+    keystream bytes are dropped per stream (the usual bias mitigation).
+    """
+
+    word_dtype = np.uint32
+    # per output byte: 2 index updates, 3 gathers, 2 scatters, 1 add
+    # ≈ 8 table ops x 4 bytes/word = 32 — table traffic, not logic gates.
+    ops_per_word = 32.0
+    drop = 768
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:
+        k = stream_seeds.size
+        keys = np.empty((k, 16), dtype=np.uint8)
+        keys[:, :8] = stream_seeds.astype(np.uint64).view(np.uint8).reshape(k, 8)
+        from repro.core.seeding import splitmix64
+
+        keys[:, 8:] = splitmix64(stream_seeds).view(np.uint8).reshape(k, 8)
+        # vectorized KSA across all streams
+        s = np.tile(np.arange(256, dtype=np.int64), (k, 1))
+        j = np.zeros(k, dtype=np.int64)
+        rows = np.arange(k)
+        for i in range(256):
+            j = (j + s[:, i] + keys[:, i % 16]) & 0xFF
+            si = s[rows, i].copy()
+            s[rows, i] = s[rows, j]
+            s[rows, j] = si
+        self._s = s
+        self._i = np.zeros(k, dtype=np.int64)
+        self._j = np.zeros(k, dtype=np.int64)
+        for _ in range(self.drop):
+            self._next_byte()
+
+    def _next_byte(self) -> np.ndarray:
+        s, rows = self._s, np.arange(self._s.shape[0])
+        self._i = (self._i + 1) & 0xFF
+        self._j = (self._j + s[rows, self._i]) & 0xFF
+        si = s[rows, self._i].copy()
+        s[rows, self._i] = s[rows, self._j]
+        s[rows, self._j] = si
+        return s[rows, (s[rows, self._i] + s[rows, self._j]) & 0xFF]
+
+    def _step(self) -> np.ndarray:
+        word = self._next_byte().astype(np.uint32)
+        for shift in (8, 16, 24):
+            word |= self._next_byte().astype(np.uint32) << np.uint32(shift)
+        return word

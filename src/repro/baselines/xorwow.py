@@ -1,0 +1,43 @@
+"""XORWOW (Marsaglia 2003, "Xorshift RNGs") — cuRAND's default device
+generator: a 160-bit xorshift core plus a Weyl counter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._bank import StreamBank
+
+__all__ = ["XorwowBank"]
+
+_WEYL = np.uint32(362437)
+
+
+class XorwowBank(StreamBank):
+    """``n_streams`` XORWOW generators in lockstep."""
+
+    word_dtype = np.uint32
+    # 5 shifts + 4 xors + 2 adds + bookkeeping ≈ 12 instructions / word.
+    ops_per_word = 12.0
+
+    def _init_state(self, stream_seeds: np.ndarray) -> None:
+        lo = stream_seeds.astype(np.uint32)
+        hi = (stream_seeds >> np.uint64(32)).astype(np.uint32)
+        # Marsaglia's constants, perturbed per stream; any non-degenerate
+        # state works, and the 2^32 zero state is impossible by construction
+        # (x is seeded odd-or-nonzero via |1).
+        self._x = (np.uint32(123456789) ^ lo) | np.uint32(1)
+        self._y = np.uint32(362436069) ^ hi
+        self._z = np.full_like(lo, 521288629)
+        self._w = np.full_like(lo, 88675123) ^ (lo >> np.uint32(16))
+        self._v = np.full_like(lo, 5783321) ^ (hi >> np.uint32(16))
+        self._d = np.full_like(lo, 6615241) + lo
+
+    def _step(self) -> np.ndarray:
+        t = self._x ^ (self._x >> np.uint32(2))
+        self._x = self._y
+        self._y = self._z
+        self._z = self._w
+        self._w = self._v
+        self._v = (self._v ^ (self._v << np.uint32(4))) ^ (t ^ (t << np.uint32(1)))
+        self._d = self._d + _WEYL
+        return self._d + self._v

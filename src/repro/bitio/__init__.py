@@ -1,0 +1,44 @@
+"""Bit-level packing, unpacking and stream-formatting utilities.
+
+Everything in :mod:`repro` speaks three representations:
+
+* **bit arrays** — ``numpy`` arrays of dtype ``uint8`` holding one bit
+  (0 or 1) per element; the universal exchange format,
+* **packed words** — little-bit-order packed ``uint8``/``uint32``/``uint64``
+  vectors used for dense output streams, and
+* **bitsliced planes** — the column-major layout of :mod:`repro.core.bitslice`.
+
+This module owns the first two and the conversions between them.
+"""
+
+from repro.bitio.bits import (
+    bits_from_bytes,
+    bits_from_hex,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_hex,
+    bits_to_int,
+    bits_to_uint32,
+    bits_to_uint64,
+    parity,
+    uint32_to_bits,
+    uint64_to_bits,
+)
+from repro.bitio.streams import BitWriter, write_nist_ascii, write_nist_binary
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "bits_from_hex",
+    "bits_to_hex",
+    "bits_from_int",
+    "bits_to_int",
+    "bits_to_uint32",
+    "bits_to_uint64",
+    "uint32_to_bits",
+    "uint64_to_bits",
+    "parity",
+    "BitWriter",
+    "write_nist_ascii",
+    "write_nist_binary",
+]

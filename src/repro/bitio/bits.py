@@ -1,0 +1,172 @@
+"""Conversions between bit arrays, byte strings, integers and word streams.
+
+Bit-order convention
+--------------------
+All packed representations in :mod:`repro` use **little bit order**: bit
+``i`` of a byte/word is the bit with weight ``2**i``, and bit index ``k``
+of a stream lives in byte ``k // 8`` at position ``k % 8``.  A single
+convention everywhere keeps the bitsliced transpose, the PRNG output path
+and the statistical tests mutually consistent.
+
+Hex strings and Python integers, by contrast, follow the cryptographic
+convention used in the eSTREAM/FIPS specifications: the *first* hex
+character holds the *most significant* bits, and ``bits_from_hex`` yields
+bits **msb-first** so that test-vector keys read naturally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitsliceLayoutError
+
+__all__ = [
+    "as_bit_array",
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "bits_from_hex",
+    "bits_to_hex",
+    "bits_from_int",
+    "bits_to_int",
+    "bits_to_uint32",
+    "bits_to_uint64",
+    "uint32_to_bits",
+    "uint64_to_bits",
+    "parity",
+]
+
+
+def as_bit_array(bits, *, copy: bool = False) -> np.ndarray:
+    """Validate and coerce *bits* to a ``uint8`` array of 0/1 values.
+
+    Accepts any array-like of integers or booleans.  Raises
+    :class:`~repro.errors.BitsliceLayoutError` when values other than 0/1
+    are present.
+    """
+    arr = np.array(bits, dtype=np.uint8, copy=True) if copy else np.asarray(bits)
+    if arr.dtype == np.bool_:
+        arr = arr.astype(np.uint8)
+    elif arr.dtype != np.uint8:
+        arr = arr.astype(np.uint8)
+    if arr.size and arr.max(initial=0) > 1:
+        raise BitsliceLayoutError("bit arrays must contain only 0 and 1")
+    return arr
+
+
+def bits_from_bytes(data: bytes | bytearray | np.ndarray, n_bits: int | None = None) -> np.ndarray:
+    """Unpack *data* into a bit array (little bit order).
+
+    Parameters
+    ----------
+    data:
+        Byte string or ``uint8`` array.
+    n_bits:
+        Optional truncation length; defaults to ``8 * len(data)``.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data.astype(np.uint8, copy=False)
+    bits = np.unpackbits(buf, bitorder="little")
+    if n_bits is not None:
+        if n_bits > bits.size:
+            raise BitsliceLayoutError(f"requested {n_bits} bits from only {bits.size}")
+        bits = bits[:n_bits]
+    return bits
+
+
+def bits_to_bytes(bits) -> bytes:
+    """Pack a bit array into bytes (little bit order, zero padded)."""
+    return np.packbits(as_bit_array(bits), bitorder="little").tobytes()
+
+
+def bits_from_hex(hex_string: str, n_bits: int | None = None) -> np.ndarray:
+    """Parse a hex string into bits, msb-first (cryptographic convention).
+
+    ``bits_from_hex("80")`` is ``[1, 0, 0, 0, 0, 0, 0, 0]`` — the leading
+    nibble carries the most significant bits, matching how eSTREAM and
+    FIPS test vectors print keys and IVs.
+    """
+    hex_string = hex_string.replace(" ", "").replace("_", "")
+    if len(hex_string) % 2:
+        hex_string = hex_string + "0"
+    raw = bytes.fromhex(hex_string)
+    buf = np.frombuffer(raw, dtype=np.uint8)
+    bits = np.unpackbits(buf, bitorder="big")
+    if n_bits is not None:
+        if n_bits > bits.size:
+            raise BitsliceLayoutError(f"requested {n_bits} bits from only {bits.size}")
+        bits = bits[:n_bits]
+    return bits
+
+
+def bits_to_hex(bits) -> str:
+    """Inverse of :func:`bits_from_hex` (msb-first, zero padded)."""
+    arr = as_bit_array(bits)
+    return np.packbits(arr, bitorder="big").tobytes().hex()
+
+
+def bits_from_int(value: int, n_bits: int) -> np.ndarray:
+    """Expand a non-negative integer into *n_bits* bits, lsb-first."""
+    if value < 0:
+        raise BitsliceLayoutError("bits_from_int requires a non-negative integer")
+    if n_bits < 0:
+        raise BitsliceLayoutError("n_bits must be non-negative")
+    if value >> n_bits:
+        raise BitsliceLayoutError(f"{value} does not fit in {n_bits} bits")
+    out = np.empty(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def bits_to_int(bits) -> int:
+    """Collapse an lsb-first bit array into a Python integer."""
+    arr = as_bit_array(bits)
+    value = 0
+    for i in range(arr.size - 1, -1, -1):
+        value = (value << 1) | int(arr[i])
+    return value
+
+
+def _bits_to_words(bits, dtype) -> np.ndarray:
+    arr = as_bit_array(bits)
+    width = np.dtype(dtype).itemsize * 8
+    if arr.size % width:
+        pad = width - arr.size % width
+        arr = np.concatenate([arr, np.zeros(pad, dtype=np.uint8)])
+    packed = np.packbits(arr, bitorder="little")
+    return packed.view(np.dtype(dtype).newbyteorder("<")).astype(dtype, copy=False)
+
+
+def bits_to_uint32(bits) -> np.ndarray:
+    """Pack bits into a ``uint32`` stream (little bit order, zero padded)."""
+    return _bits_to_words(bits, np.uint32)
+
+
+def bits_to_uint64(bits) -> np.ndarray:
+    """Pack bits into a ``uint64`` stream (little bit order, zero padded)."""
+    return _bits_to_words(bits, np.uint64)
+
+
+def _words_to_bits(words, dtype, n_bits: int | None) -> np.ndarray:
+    arr = np.ascontiguousarray(words, dtype=dtype)
+    le = arr.astype(np.dtype(dtype).newbyteorder("<"), copy=False)
+    bits = np.unpackbits(le.view(np.uint8), bitorder="little")
+    if n_bits is not None:
+        if n_bits > bits.size:
+            raise BitsliceLayoutError(f"requested {n_bits} bits from only {bits.size}")
+        bits = bits[:n_bits]
+    return bits
+
+
+def uint32_to_bits(words, n_bits: int | None = None) -> np.ndarray:
+    """Unpack a ``uint32`` stream into bits (little bit order)."""
+    return _words_to_bits(words, np.uint32, n_bits)
+
+
+def uint64_to_bits(words, n_bits: int | None = None) -> np.ndarray:
+    """Unpack a ``uint64`` stream into bits (little bit order)."""
+    return _words_to_bits(words, np.uint64, n_bits)
+
+
+def parity(bits) -> int:
+    """GF(2) sum (XOR reduction) of a bit array."""
+    return int(np.bitwise_xor.reduce(as_bit_array(bits))) if np.asarray(bits).size else 0

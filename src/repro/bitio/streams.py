@@ -1,0 +1,87 @@
+"""Buffered bit-stream writers and NIST-format exporters.
+
+The NIST SP 800-22 reference suite (sts-2.1.2) reads either ASCII streams
+of ``'0'``/``'1'`` characters or raw binary files; both writers are
+provided so generated sequences can also be validated against the
+reference C suite when it is available.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array, bits_to_bytes
+
+__all__ = ["BitWriter", "write_nist_ascii", "write_nist_binary"]
+
+
+class BitWriter:
+    """Accumulate bit chunks and expose them as one contiguous array.
+
+    The writer mirrors the paper's shared-memory staging discipline: output
+    words are appended to an in-memory list (cheap, "shared memory") and
+    only concatenated to the final buffer ("global memory") when the stream
+    is finalised.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._n_bits = 0
+
+    def __len__(self) -> int:
+        return self._n_bits
+
+    def write(self, bits) -> None:
+        """Append a chunk of bits (any array-like of 0/1)."""
+        arr = as_bit_array(bits).ravel()
+        if arr.size:
+            self._chunks.append(arr)
+            self._n_bits += arr.size
+
+    def getvalue(self) -> np.ndarray:
+        """Return all written bits as one array (does not clear)."""
+        if not self._chunks:
+            return np.zeros(0, dtype=np.uint8)
+        if len(self._chunks) > 1:
+            merged = np.concatenate(self._chunks)
+            self._chunks = [merged]
+        return self._chunks[0]
+
+    def clear(self) -> None:
+        """Discard everything written so far."""
+        self._chunks.clear()
+        self._n_bits = 0
+
+
+def write_nist_ascii(bits, path: str | os.PathLike | io.TextIOBase) -> int:
+    """Write bits as ASCII ``0``/``1`` (the sts ``-F a`` input format).
+
+    Returns the number of bits written.
+    """
+    arr = as_bit_array(bits).ravel()
+    text = np.char.mod("%d", arr)
+    payload = "".join(text.tolist())
+    if isinstance(path, io.TextIOBase):
+        path.write(payload)
+    else:
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(payload)
+    return arr.size
+
+
+def write_nist_binary(bits, path: str | os.PathLike | BinaryIO) -> int:
+    """Write bits packed little-bit-order (the sts ``-F r`` input format).
+
+    Returns the number of bytes written.
+    """
+    payload = bits_to_bytes(bits)
+    if hasattr(path, "write") and not isinstance(path, (str, os.PathLike)):
+        path.write(payload)
+    else:
+        with open(path, "wb") as fh:
+            fh.write(payload)
+    return len(payload)

@@ -1,0 +1,37 @@
+"""Cipher implementations used as CSPRNG cores.
+
+Each algorithm ships in two forms:
+
+* a **reference** implementation — bit-serial, row-major, written straight
+  from the published specification; the correctness oracle, and
+* a **bitsliced** implementation — column-major over the virtual SIMD
+  engine, the paper's contribution; cross-validated lane-by-lane against
+  the reference.
+
+Algorithms: MICKEY 2.0 (eSTREAM profile 2), Grain v1 (eSTREAM profile 2),
+Trivium (eSTREAM profile 2; an extension beyond the paper's three) and
+AES-128 in CTR mode (FIPS-197 + SP 800-38A).
+"""
+
+from repro.ciphers.aes import AES128, aes128_ctr_keystream
+from repro.ciphers.aes_bitsliced import BitslicedAESCTR
+from repro.ciphers.grain import GrainV1
+from repro.ciphers.grain_bitsliced import BitslicedGrain
+from repro.ciphers.mickey import Mickey2
+from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+from repro.ciphers.mickey_generated import GeneratedMickey2
+from repro.ciphers.trivium import Trivium
+from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+
+__all__ = [
+    "Mickey2",
+    "BitslicedMickey2",
+    "GeneratedMickey2",
+    "GrainV1",
+    "BitslicedGrain",
+    "Trivium",
+    "BitslicedTrivium",
+    "AES128",
+    "aes128_ctr_keystream",
+    "BitslicedAESCTR",
+]

@@ -1,0 +1,43 @@
+"""MICKEY 2.0 register constants (Babbage & Dodd, eSTREAM 2006).
+
+The four 100-bit sequences below — the R feedback taps and the S
+register's COMP0/COMP1/FB0/FB1 sequences — are stored as they appear in
+the eSTREAM reference implementation: bit ``i`` of the sequence lives in
+32-bit word ``i // 32`` at position ``i % 32``.
+
+The R tap words are cross-checked (in ``tests/test_mickey.py``) against
+the spec's published tap list::
+
+    RTAPS = {0,1,3,4,5,6,9,12,13,16,19,20,21,22,25,28,37,38,41,42,45,46,
+             50,52,54,56,58,60,61,63,64,65,66,67,71,72,79,80,81,82,87,88,
+             89,90,91,92,94,95,96,97}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["R_TAPS_BITS", "COMP0_BITS", "COMP1_BITS", "FB0_BITS", "FB1_BITS", "RTAPS"]
+
+_R_MASK_WORDS = (0x1279327B, 0xB5546660, 0xDF87818F, 0x00000003)
+_COMP0_WORDS = (0x6AA97A30, 0x7942A809, 0x057EBFEA, 0x00000006)
+_COMP1_WORDS = (0xDD629E9A, 0xE3A21D63, 0x91C23DD7, 0x00000001)
+_FB0_WORDS = (0x9FFA7FAF, 0xAF4A9381, 0x9CEC5802, 0x00000001)
+_FB1_WORDS = (0x4C8CB877, 0x4911B063, 0x40FBC52B, 0x00000008)
+
+
+def _expand(words: tuple[int, ...], n_bits: int = 100) -> np.ndarray:
+    bits = np.zeros(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        bits[i] = (words[i // 32] >> (i % 32)) & 1
+    return bits
+
+
+R_TAPS_BITS = _expand(_R_MASK_WORDS)
+COMP0_BITS = _expand(_COMP0_WORDS)
+COMP1_BITS = _expand(_COMP1_WORDS)
+FB0_BITS = _expand(_FB0_WORDS)
+FB1_BITS = _expand(_FB1_WORDS)
+
+#: The spec's tap list, as a frozenset of register indices.
+RTAPS = frozenset(int(i) for i in np.flatnonzero(R_TAPS_BITS))

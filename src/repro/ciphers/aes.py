@@ -1,0 +1,194 @@
+"""AES-128 reference implementation (FIPS-197) and CTR-mode keystream.
+
+The S-box is *derived*, not transcribed: multiplicative inverse in
+GF(2^8) mod the Rijndael polynomial ``x^8+x^4+x^3+x+1`` followed by the
+affine map with constant ``0x63``.  That construction is shared with the
+bitsliced S-box circuit synthesis (:mod:`repro.ciphers.aes_bitsliced`),
+so both paths provably start from the same function, and the whole cipher
+is pinned by the FIPS-197 / SP 800-38A known-answer tests.
+
+For PRNG use the paper runs AES in CTR mode (§2.3.2, Fig. 3): encrypt
+``nonce || counter`` under a fixed key; every block is 128 fresh
+pseudo-random bits and blocks are independent, hence embarrassingly
+parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KeyScheduleError
+
+__all__ = ["SBOX", "INV_SBOX", "AES128", "aes128_ctr_keystream", "gf_mul"]
+
+_POLY = 0x11B
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Carry-less multiply in GF(2^8) mod the Rijndael polynomial."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _POLY
+        b >>= 1
+    return out
+
+
+def _build_sbox() -> tuple[np.ndarray, np.ndarray]:
+    # Multiplicative inverses by exhaustion (256 bytes; done once at import).
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gf_mul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = np.zeros(256, dtype=np.uint8)
+    for x in range(256):
+        b = inv[x]
+        v = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            v |= bit << i
+        sbox[x] = v
+    inv_sbox = np.zeros(256, dtype=np.uint8)
+    inv_sbox[sbox] = np.arange(256, dtype=np.uint8)
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = np.array([0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36], dtype=np.uint8)
+
+# xtime (multiply-by-2) table for MixColumns.
+_XTIME = np.array([gf_mul(x, 2) for x in range(256)], dtype=np.uint8)
+
+
+def _coerce_key(key) -> np.ndarray:
+    if isinstance(key, str):
+        key = bytes.fromhex(key.replace(" ", ""))
+    key = np.frombuffer(bytes(key), dtype=np.uint8) if isinstance(key, (bytes, bytearray)) else np.asarray(key, dtype=np.uint8)
+    if key.size != 16:
+        raise KeyScheduleError(f"AES-128 key must be 16 bytes, got {key.size}")
+    return key.copy()
+
+
+class AES128:
+    """AES-128 block cipher (encrypt direction only — CTR never decrypts).
+
+    Parameters
+    ----------
+    key:
+        16 bytes (hex string, bytes, or uint8 array).
+    """
+
+    n_rounds = 10
+
+    def __init__(self, key) -> None:
+        self.key = _coerce_key(key)
+        self.round_keys = self._expand_key(self.key)
+
+    @staticmethod
+    def _expand_key(key: np.ndarray) -> np.ndarray:
+        """FIPS-197 key schedule → ``(11, 16)`` round-key bytes."""
+        words = [key[4 * i : 4 * i + 4].copy() for i in range(4)]
+        for i in range(4, 44):
+            temp = words[i - 1].copy()
+            if i % 4 == 0:
+                temp = np.roll(temp, -1)
+                temp = SBOX[temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append(words[i - 4] ^ temp)
+        return np.concatenate(words).reshape(11, 16)
+
+    # -- round building blocks (operate on flat 16-byte states, column-major:
+    # state byte index = row + 4*col, as in FIPS-197) --------------------------
+    @staticmethod
+    def _sub_bytes(state: np.ndarray) -> np.ndarray:
+        return SBOX[state]
+
+    @staticmethod
+    def _shift_rows(state: np.ndarray) -> np.ndarray:
+        s = state.reshape(-1, 4, 4)  # (..., col, row) after this view? keep explicit:
+        # state[..., 4*c + r]; build (..., r, c) matrix then roll rows left by r.
+        m = state.reshape(-1, 4, 4).transpose(0, 2, 1)  # (..., row, col)
+        out = np.empty_like(m)
+        for r in range(4):
+            out[:, r] = np.roll(m[:, r], -r, axis=-1)
+        return out.transpose(0, 2, 1).reshape(state.shape)
+
+    @staticmethod
+    def _mix_columns(state: np.ndarray) -> np.ndarray:
+        cols = state.reshape(-1, 4, 4)  # (..., col, row-in-col)
+        a = cols
+        t = a[..., 0] ^ a[..., 1] ^ a[..., 2] ^ a[..., 3]
+        out = np.empty_like(cols)
+        for r in range(4):
+            out[..., r] = a[..., r] ^ t ^ _XTIME[a[..., r] ^ a[..., (r + 1) % 4]]
+        return out.reshape(state.shape)
+
+    def encrypt_block(self, block) -> np.ndarray:
+        """Encrypt one or many 16-byte blocks (``(..., 16)`` uint8)."""
+        state = np.atleast_2d(np.asarray(block, dtype=np.uint8)).copy()
+        if state.shape[-1] != 16:
+            raise KeyScheduleError("AES blocks are 16 bytes")
+        state ^= self.round_keys[0]
+        for rnd in range(1, self.n_rounds):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state ^= self.round_keys[rnd]
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state ^= self.round_keys[self.n_rounds]
+        return state if np.asarray(block).ndim > 1 else state[0]
+
+    def encrypt_hex(self, plaintext_hex: str) -> str:
+        """Encrypt a 32-hex-character block; returns hex ciphertext."""
+        pt = np.frombuffer(bytes.fromhex(plaintext_hex), dtype=np.uint8)
+        return self.encrypt_block(pt).tobytes().hex()
+
+
+def _counter_blocks(nonce: np.ndarray, start: int, n_blocks: int) -> np.ndarray:
+    """SP 800-38A style counter blocks: big-endian 128-bit increment."""
+    base = int.from_bytes(nonce.tobytes(), "big")
+    vals = (base + start + np.arange(n_blocks, dtype=object)) % (1 << 128)
+    out = np.empty((n_blocks, 16), dtype=np.uint8)
+    for i, v in enumerate(vals):
+        out[i] = np.frombuffer(int(v).to_bytes(16, "big"), dtype=np.uint8)
+    return out
+
+
+def aes128_ctr_keystream(key, nonce, n_blocks: int, start_block: int = 0) -> np.ndarray:
+    """CTR keystream: encryptions of successive counter blocks.
+
+    Parameters
+    ----------
+    key:
+        16-byte AES key.
+    nonce:
+        16-byte initial counter block (nonce-and-counter concatenated, as
+        in the paper's Fig. 3).
+    n_blocks / start_block:
+        How many 16-byte keystream blocks, and the counter offset — the
+        offset is what multi-device partitioning uses (§5.4).
+
+    Returns ``(n_blocks, 16)`` uint8 keystream bytes.
+    """
+    if isinstance(nonce, str):
+        nonce = bytes.fromhex(nonce.replace(" ", ""))
+    nonce = np.frombuffer(bytes(nonce), dtype=np.uint8) if isinstance(nonce, (bytes, bytearray)) else np.asarray(nonce, dtype=np.uint8)
+    if nonce.size != 16:
+        raise KeyScheduleError("CTR nonce/counter block must be 16 bytes")
+    cipher = AES128(key)
+    blocks = _counter_blocks(nonce, start_block, n_blocks)
+    return cipher.encrypt_block(blocks)

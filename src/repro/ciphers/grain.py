@@ -1,0 +1,137 @@
+"""Grain v1 reference implementation (bit-serial, row-major).
+
+Written from the eSTREAM specification (Hell, Johansson & Meier, "Grain —
+a stream cipher for constrained environments"): an 80-bit LFSR and an
+80-bit NFSR shifted together, a nonlinear filter ``h`` over five state
+bits, and an output mask of seven NFSR bits (paper §2.3.3, Fig. 4).
+
+Key is 80 bits, IV is 64 bits; initialisation clocks the cipher 160 times
+feeding the output back into both registers.  This class is the oracle
+for :class:`repro.ciphers.grain_bitsliced.BitslicedGrain`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ciphers.mickey import _coerce_bits
+from repro.errors import KeyScheduleError
+
+__all__ = ["GrainV1"]
+
+KEY_BITS = 80
+IV_BITS = 64
+STATE_BITS = 80
+INIT_CLOCKS = 160
+
+#: LFSR recurrence s_{i+80} = s_{i+62} + s_{i+51} + s_{i+38} + s_{i+23} + s_{i+13} + s_i
+LFSR_TAPS = (62, 51, 38, 23, 13, 0)
+
+#: Output mask A: z = sum b_{i+k}, k in A, plus h(...)
+OUTPUT_TAPS = (1, 2, 4, 10, 31, 43, 56)
+
+
+def _g(b: np.ndarray) -> int:
+    """NFSR feedback g(x) (degree-6 terms of the spec, minus the s_i term)."""
+    lin = b[62] ^ b[60] ^ b[52] ^ b[45] ^ b[37] ^ b[33] ^ b[28] ^ b[21] ^ b[14] ^ b[9] ^ b[0]
+    quad = (
+        (b[63] & b[60])
+        ^ (b[37] & b[33])
+        ^ (b[15] & b[9])
+        ^ (b[60] & b[52] & b[45])
+        ^ (b[33] & b[28] & b[21])
+        ^ (b[63] & b[45] & b[28] & b[9])
+        ^ (b[60] & b[52] & b[37] & b[33])
+        ^ (b[63] & b[60] & b[21] & b[15])
+        ^ (b[63] & b[60] & b[52] & b[45] & b[37])
+        ^ (b[33] & b[28] & b[21] & b[15] & b[9])
+        ^ (b[52] & b[45] & b[37] & b[33] & b[28] & b[21])
+    )
+    return int(lin ^ quad)
+
+
+def _h(x0: int, x1: int, x2: int, x3: int, x4: int) -> int:
+    """Filter h(x); inputs are (s_{i+3}, s_{i+25}, s_{i+46}, s_{i+64}, b_{i+63})."""
+    return (
+        x1
+        ^ x4
+        ^ (x0 & x3)
+        ^ (x2 & x3)
+        ^ (x3 & x4)
+        ^ (x0 & x1 & x2)
+        ^ (x0 & x2 & x3)
+        ^ (x0 & x2 & x4)
+        ^ (x1 & x2 & x4)
+        ^ (x2 & x3 & x4)
+    )
+
+
+class GrainV1:
+    """One Grain v1 keystream generator instance.
+
+    Parameters
+    ----------
+    key:
+        80-bit key (hex string, 10 bytes or 80-bit array; element 0 is
+        the spec's ``b_0`` loading position).
+    iv:
+        64-bit IV in the same formats.
+    """
+
+    def __init__(self, key, iv) -> None:
+        self.lfsr = np.zeros(STATE_BITS, dtype=np.uint8)
+        self.nfsr = np.zeros(STATE_BITS, dtype=np.uint8)
+        self.reseed(key, iv)
+
+    def reseed(self, key, iv) -> None:
+        """Load key/IV and run the 160 initialisation clocks."""
+        key_bits = _coerce_bits(key, KEY_BITS, "key")
+        iv_bits = _coerce_bits(iv, IV_BITS, "iv")
+        self.nfsr[:] = key_bits
+        self.lfsr[:IV_BITS] = iv_bits
+        self.lfsr[IV_BITS:] = 1
+        for _ in range(INIT_CLOCKS):
+            z = self._output_bit()
+            self._shift(extra_feedback=z)
+
+    def _output_bit(self) -> int:
+        s, b = self.lfsr, self.nfsr
+        z = _h(int(s[3]), int(s[25]), int(s[46]), int(s[64]), int(b[63]))
+        for k in OUTPUT_TAPS:
+            z ^= int(b[k])
+        return z
+
+    def _shift(self, extra_feedback: int = 0) -> None:
+        s, b = self.lfsr, self.nfsr
+        fs = 0
+        for t in LFSR_TAPS:
+            fs ^= int(s[t])
+        fb = int(s[0]) ^ _g(b)
+        fs ^= extra_feedback
+        fb ^= extra_feedback
+        s[:-1] = s[1:]
+        s[-1] = fs
+        b[:-1] = b[1:]
+        b[-1] = fb
+
+    def next_bit(self) -> int:
+        """Emit one keystream bit and clock the registers."""
+        z = self._output_bit()
+        self._shift()
+        return z
+
+    def keystream(self, n_bits: int) -> np.ndarray:
+        """The next *n_bits* keystream bits as a uint8 array."""
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            out[i] = self.next_bit()
+        return out
+
+    def keystream_bytes(self, n_bytes: int) -> bytes:
+        """The next *n_bytes* keystream bytes (msb-first packing)."""
+        bits = self.keystream(8 * n_bytes)
+        return np.packbits(bits, bitorder="big").tobytes()
+
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the (LFSR, NFSR) state bit arrays."""
+        return self.lfsr.copy(), self.nfsr.copy()

@@ -1,0 +1,131 @@
+"""MICKEY 2.0 reference implementation (bit-serial, row-major).
+
+Written directly from the eSTREAM specification (Babbage & Dodd, "The
+stream cipher MICKEY 2.0", 2006): two 100-bit registers R (linear,
+Galois-tapped) and S (non-linear), mutually irregularly clocked —
+*Mutual Irregular Clocking KEYstream generator* (paper §2.3.1, Fig. 2).
+
+This class is the correctness oracle for
+:class:`repro.ciphers.mickey_bitsliced.BitslicedMickey2`; it favours
+clarity over speed (one Python-level loop iteration per keystream bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array, bits_from_hex
+from repro.ciphers._mickey_tables import COMP0_BITS, COMP1_BITS, FB0_BITS, FB1_BITS, R_TAPS_BITS
+from repro.errors import KeyScheduleError
+
+__all__ = ["Mickey2"]
+
+KEY_BITS = 80
+STATE_BITS = 100
+MAX_IV_BITS = 80
+
+
+def _coerce_bits(value, n_bits: int | None, what: str) -> np.ndarray:
+    """Accept hex strings, byte strings or bit arrays; return a bit array."""
+    if isinstance(value, str):
+        bits = bits_from_hex(value)
+    elif isinstance(value, (bytes, bytearray)):
+        bits = bits_from_hex(bytes(value).hex())
+    else:
+        bits = as_bit_array(value)
+    if n_bits is not None and bits.size != n_bits:
+        raise KeyScheduleError(f"{what} must be exactly {n_bits} bits, got {bits.size}")
+    return bits
+
+
+class Mickey2:
+    """One MICKEY 2.0 keystream generator instance.
+
+    Parameters
+    ----------
+    key:
+        80-bit key — hex string, 10 bytes, or an array of 80 bits
+        (``key[0]`` is the spec's ``k_0``, i.e. the most significant bit
+        of the first key byte).
+    iv:
+        0–80 bit initialisation vector in the same formats (bit arrays
+        may have any length in range; hex strings use their full nibble
+        length).
+    """
+
+    def __init__(self, key, iv=()) -> None:
+        self.R = np.zeros(STATE_BITS, dtype=np.uint8)
+        self.S = np.zeros(STATE_BITS, dtype=np.uint8)
+        self.reseed(key, iv)
+
+    # -- state machine -----------------------------------------------------
+    def _clock_r(self, input_bit: int, control_bit: int) -> None:
+        R = self.R
+        feedback = R[99] ^ input_bit
+        shifted = np.empty_like(R)
+        shifted[0] = 0
+        shifted[1:] = R[:-1]
+        if feedback:
+            shifted ^= R_TAPS_BITS
+        if control_bit:
+            shifted ^= R
+        self.R = shifted
+
+    def _clock_s(self, input_bit: int, control_bit: int) -> None:
+        S = self.S
+        feedback = S[99] ^ input_bit
+        s_hat = np.empty_like(S)
+        s_hat[0] = 0
+        s_hat[1:99] = S[0:98] ^ ((S[1:99] ^ COMP0_BITS[1:99]) & (S[2:100] ^ COMP1_BITS[1:99]))
+        s_hat[99] = S[98]
+        if feedback:
+            s_hat = s_hat ^ (FB1_BITS if control_bit else FB0_BITS)
+        self.S = s_hat
+
+    def _clock_kg(self, mixing: bool, input_bit: int) -> None:
+        control_bit_r = self.S[34] ^ self.R[67]
+        control_bit_s = self.S[67] ^ self.R[33]
+        input_bit_r = input_bit ^ self.S[50] if mixing else input_bit
+        self._clock_r(int(input_bit_r), int(control_bit_r))
+        self._clock_s(int(input_bit), int(control_bit_s))
+
+    # -- public API ----------------------------------------------------------
+    def reseed(self, key, iv=()) -> None:
+        """Run the spec's key/IV loading: IV, then key, then 100 preclocks."""
+        key_bits = _coerce_bits(key, KEY_BITS, "key")
+        iv_bits = _coerce_bits(iv, None, "iv") if not isinstance(iv, tuple) or iv else np.zeros(0, dtype=np.uint8)
+        if iv_bits.size > MAX_IV_BITS:
+            raise KeyScheduleError(f"IV may be at most {MAX_IV_BITS} bits, got {iv_bits.size}")
+        self.key_bits = key_bits
+        self.iv_bits = iv_bits
+        self.R[:] = 0
+        self.S[:] = 0
+        for bit in iv_bits:
+            self._clock_kg(True, int(bit))
+        for bit in key_bits:
+            self._clock_kg(True, int(bit))
+        for _ in range(STATE_BITS):
+            self._clock_kg(True, 0)
+
+    def next_bit(self) -> int:
+        """Emit one keystream bit and clock the generator."""
+        z = int(self.R[0] ^ self.S[0])
+        self._clock_kg(False, 0)
+        return z
+
+    def keystream(self, n_bits: int) -> np.ndarray:
+        """Emit *n_bits* keystream bits as a uint8 array."""
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            out[i] = self.next_bit()
+        return out
+
+    def keystream_bytes(self, n_bytes: int) -> bytes:
+        """Emit keystream packed msb-first per byte (eSTREAM convention:
+        the first keystream bit is the high bit of the first byte)."""
+        bits = self.keystream(8 * n_bytes)
+        return np.packbits(bits, bitorder="big").tobytes()
+
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of (R, S) for inspection/tests."""
+        return self.R.copy(), self.S.copy()

@@ -1,0 +1,106 @@
+"""Trivium reference implementation (bit-serial, row-major).
+
+Written from the eSTREAM specification (De Cannière & Preneel,
+"Trivium — a stream cipher construction inspired by block cipher design
+principles"): a 288-bit state split into three shift registers of 93, 84
+and 111 bits, three AND gates and eleven XORs per clock — the lightest
+cipher in the eSTREAM profile-2 (hardware) portfolio and therefore a
+natural extension of the paper's cipher family (the paper evaluates its
+profile-2 siblings MICKEY 2.0 and Grain).
+
+Key and IV are 80 bits each; initialisation clocks the state 4 x 288 =
+1152 times without emitting output.  This class is the oracle for
+:class:`repro.ciphers.trivium_bitsliced.BitslicedTrivium`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ciphers.mickey import _coerce_bits
+
+__all__ = ["Trivium"]
+
+KEY_BITS = 80
+IV_BITS = 80
+STATE_BITS = 288
+INIT_CLOCKS = 4 * STATE_BITS
+
+# 0-based positions within the 288-bit state s[0..287]
+# (the spec's s_1..s_288 shifted down by one):
+#   register A = s[0..92], B = s[93..176], C = s[177..287].
+_T1_TAPS = (65, 92)  # s66, s93
+_T2_TAPS = (161, 176)  # s162, s177
+_T3_TAPS = (242, 287)  # s243, s288
+_T1_AND = (90, 91)  # s91 * s92
+_T2_AND = (174, 175)  # s175 * s176
+_T3_AND = (285, 286)  # s286 * s287
+_T1_FWD = 170  # s171
+_T2_FWD = 263  # s264
+_T3_FWD = 68  # s69
+_B_HEAD = 93
+_C_HEAD = 177
+
+
+class Trivium:
+    """One Trivium keystream generator instance.
+
+    Parameters
+    ----------
+    key / iv:
+        80 bits each (hex string, bytes or bit array); element 0 loads
+        the spec's ``K_1`` / ``IV_1`` position.
+    """
+
+    def __init__(self, key, iv) -> None:
+        self.s = np.zeros(STATE_BITS, dtype=np.uint8)
+        self.reseed(key, iv)
+
+    def reseed(self, key, iv) -> None:
+        """Load key/IV and run the 1152 initialisation clocks."""
+        key_bits = _coerce_bits(key, KEY_BITS, "key")
+        iv_bits = _coerce_bits(iv, IV_BITS, "iv")
+        self.s[:] = 0
+        self.s[:KEY_BITS] = key_bits
+        self.s[_B_HEAD : _B_HEAD + IV_BITS] = iv_bits
+        self.s[285:288] = 1
+        for _ in range(INIT_CLOCKS):
+            self._clock()
+
+    def _clock(self) -> int:
+        s = self.s
+        t1 = int(s[_T1_TAPS[0]] ^ s[_T1_TAPS[1]])
+        t2 = int(s[_T2_TAPS[0]] ^ s[_T2_TAPS[1]])
+        t3 = int(s[_T3_TAPS[0]] ^ s[_T3_TAPS[1]])
+        z = t1 ^ t2 ^ t3
+        t1 ^= int(s[_T1_AND[0]] & s[_T1_AND[1]]) ^ int(s[_T1_FWD])
+        t2 ^= int(s[_T2_AND[0]] & s[_T2_AND[1]]) ^ int(s[_T2_FWD])
+        t3 ^= int(s[_T3_AND[0]] & s[_T3_AND[1]]) ^ int(s[_T3_FWD])
+        # each register shifts toward higher indices; new bit at its head
+        s[1:_B_HEAD] = s[: _B_HEAD - 1]
+        s[_B_HEAD + 1 : _C_HEAD] = s[_B_HEAD : _C_HEAD - 1]
+        s[_C_HEAD + 1 :] = s[_C_HEAD:-1]
+        s[0] = t3
+        s[_B_HEAD] = t1
+        s[_C_HEAD] = t2
+        return z
+
+    def next_bit(self) -> int:
+        """Emit one keystream bit and clock the registers."""
+        return self._clock()
+
+    def keystream(self, n_bits: int) -> np.ndarray:
+        """The next *n_bits* keystream bits as a uint8 array."""
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            out[i] = self._clock()
+        return out
+
+    def keystream_bytes(self, n_bytes: int) -> bytes:
+        """The next *n_bytes* keystream bytes (msb-first packing)."""
+        bits = self.keystream(8 * n_bytes)
+        return np.packbits(bits, bitorder="big").tobytes()
+
+    def state(self) -> np.ndarray:
+        """A copy of the 288-bit state array."""
+        return self.s.copy()

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List generator algorithms and the GPU catalogue.
+``gen``
+    Generate random output (hex, raw binary, or NIST sts input formats).
+``nist``
+    Run the SP 800-22 battery on a generator or an input file.
+``fips``
+    Run the FIPS 140-2 power-up battery (fast accept/reject gate).
+``throughput``
+    Measure the software throughput of one or more algorithms.
+``model``
+    Query the anchored GPU throughput model (the paper's Figure 10).
+``cuda``
+    Emit the generated CUDA kernels (paper §4.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BSRNG: bitsliced high-throughput random number generation "
+        "(ICPP Workshops 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list algorithms and GPU platforms")
+
+    gen = sub.add_parser("gen", help="generate random output")
+    gen.add_argument("-a", "--algorithm", default="mickey2")
+    gen.add_argument("-s", "--seed", type=int, default=0)
+    gen.add_argument("-l", "--lanes", type=int, default=4096)
+    gen.add_argument("-n", "--bytes", type=int, default=32, dest="n_bytes")
+    gen.add_argument(
+        "-f",
+        "--format",
+        choices=("hex", "raw", "nist-ascii", "nist-binary"),
+        default="hex",
+    )
+    gen.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
+
+    nist = sub.add_parser("nist", help="run the NIST SP 800-22 battery")
+    nist.add_argument("-a", "--algorithm", default="mickey2")
+    nist.add_argument("-s", "--seed", type=int, default=0)
+    nist.add_argument("-l", "--lanes", type=int, default=4096)
+    nist.add_argument("--sequences", type=int, default=24)
+    nist.add_argument("--bits", type=int, default=100_000)
+    nist.add_argument("--input", help="read bits from a raw binary file instead")
+
+    fips = sub.add_parser("fips", help="FIPS 140-2 power-up battery (20,000 bits)")
+    fips.add_argument("-a", "--algorithm", default="mickey2")
+    fips.add_argument("-s", "--seed", type=int, default=0)
+    fips.add_argument("-l", "--lanes", type=int, default=4096)
+
+    tp = sub.add_parser("throughput", help="measure software throughput")
+    tp.add_argument("algorithms", nargs="*", default=[])
+    tp.add_argument("-l", "--lanes", type=int, default=16384)
+    tp.add_argument("--mbits", type=float, default=8.0, help="Mbit per measurement")
+
+    model = sub.add_parser("model", help="query the GPU throughput model")
+    model.add_argument("-k", "--kernel", default="mickey2")
+    model.add_argument("-g", "--gpu", default="GTX 2080 Ti")
+    model.add_argument("--figure10", action="store_true", help="print the full Figure-10 series")
+
+    cuda = sub.add_parser("cuda", help="emit generated CUDA kernels")
+    cuda.add_argument("kernel", choices=("mickey2", "aes-sbox"))
+    cuda.add_argument("-o", "--output", default="-")
+
+    return parser
+
+
+def _cmd_info(_args) -> int:
+    from repro.core.generator import available_algorithms
+    from repro.gpu.specs import GPU_CATALOGUE
+
+    print("algorithms:")
+    for name, desc in available_algorithms().items():
+        print(f"  {name:<18} {desc}")
+    print("\nGPU catalogue (paper Tables 1-2):")
+    for g in GPU_CATALOGUE.values():
+        print(
+            f"  {g.name:<12} {g.year}  {g.sp_gflops:>8.0f} SP GFLOPS  "
+            f"{g.mem_bw_gbs:>6.0f} GB/s"
+        )
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    from repro.bitio.bits import bits_from_bytes
+    from repro.bitio.streams import write_nist_ascii, write_nist_binary
+    from repro.core.generator import BSRNG
+
+    rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+    data = rng.random_bytes(args.n_bytes)
+    if args.format == "hex":
+        payload = data.hex().encode() + b"\n"
+    elif args.format == "raw":
+        payload = data
+    elif args.format == "nist-ascii":
+        import io
+
+        buf = io.StringIO()
+        write_nist_ascii(bits_from_bytes(data), buf)
+        payload = buf.getvalue().encode()
+    else:  # nist-binary
+        payload = data  # little-bit-order packed == our byte stream
+    if args.output == "-":
+        sys.stdout.buffer.write(payload)
+    else:
+        with open(args.output, "wb") as fh:
+            fh.write(payload)
+    return 0
+
+
+def _cmd_nist(args) -> int:
+    from repro.bitio.bits import bits_from_bytes
+    from repro.core.generator import BSRNG
+    from repro.nist import run_suite
+
+    if args.input:
+        raw = open(args.input, "rb").read()
+        bits = bits_from_bytes(raw)
+        per_seq = bits.size // args.sequences
+        if per_seq == 0:
+            print("input too short for the requested sequence count", file=sys.stderr)
+            return 2
+        source = lambda i: bits[i * per_seq : (i + 1) * per_seq]  # noqa: E731
+        n_bits = per_seq
+    else:
+        rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+        source = lambda i: rng.random_bits(args.bits)  # noqa: E731
+        n_bits = args.bits
+    print(
+        f"NIST SP 800-22: {args.sequences} sequences x {n_bits:,} bits "
+        f"({'file ' + args.input if args.input else args.algorithm})"
+    )
+    report = run_suite(source, args.sequences)
+    print(report.to_table())
+    print(f"\nall passed: {report.all_passed}")
+    return 0 if report.all_passed else 1
+
+
+def _cmd_fips(args) -> int:
+    from repro.core.generator import BSRNG
+    from repro.nist import fips140_battery
+    from repro.nist.fips140 import BLOCK_BITS
+
+    rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+    report = fips140_battery(rng.random_bits(BLOCK_BITS))
+    print(f"FIPS 140-2 on {args.algorithm} (seed={args.seed}):")
+    print(report.to_table())
+    return 0 if report.passed else 1
+
+
+def _cmd_throughput(args) -> int:
+    from repro.core.generator import BSRNG, available_algorithms
+
+    algorithms = args.algorithms or list(available_algorithms())
+    # Draw in chunks until enough wall time has elapsed: buffered refills
+    # then amortise out instead of letting one pre-filled buffer masquerade
+    # as generator throughput.
+    chunk = 1 << 20
+    min_seconds = max(args.mbits / 100.0, 0.25)
+    print(f"{'algorithm':<18}{'Mbit/s':>10}")
+    print("-" * 28)
+    for alg in algorithms:
+        rng = BSRNG(alg, seed=1, lanes=args.lanes)
+        total = 0
+        t0 = time.perf_counter()
+        while (elapsed := time.perf_counter() - t0) < min_seconds:
+            rng.random_bytes(chunk)
+            total += chunk
+        print(f"{alg:<18}{8 * total / elapsed / 1e6:>10.1f}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.gpu.model import ThroughputModel
+    from repro.gpu.specs import TABLE2_GPUS
+
+    model = ThroughputModel()
+    if args.figure10:
+        series = model.figure10_series()
+        print(f"{'kernel':<12}" + "".join(f"{g:>14}" for g in TABLE2_GPUS))
+        for k, row in series.items():
+            print(f"{k:<12}" + "".join(f"{row[g]:>14.0f}" for g in TABLE2_GPUS))
+        print("(modeled Gbit/s)")
+    else:
+        gbps = model.predict_gbps(args.kernel, args.gpu)
+        print(f"{args.kernel} on {args.gpu}: {gbps:.0f} Gbit/s (modeled)")
+    return 0
+
+
+def _cmd_cuda(args) -> int:
+    if args.kernel == "mickey2":
+        from repro.ciphers.mickey_circuit import mickey_cuda_source
+
+        src = mickey_cuda_source()
+    else:
+        from repro.ciphers.aes_bitsliced import sbox_circuit
+        from repro.codegen import emit_cuda
+
+        src = emit_cuda(sbox_circuit(), func_name="aes_sbox")
+    if args.output == "-":
+        sys.stdout.write(src)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(src)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "gen": _cmd_gen,
+    "nist": _cmd_nist,
+    "fips": _cmd_fips,
+    "throughput": _cmd_throughput,
+    "model": _cmd_model,
+    "cuda": _cmd_cuda,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Truth-table → circuit synthesis via algebraic normal form.
+
+Any n-input boolean function has a unique ANF (Zhegalkin polynomial)
+
+.. math:: f(x) = \\bigoplus_{m \\subseteq \\{0..n-1\\}} a_m \\prod_{i \\in m} x_i
+
+whose coefficients fall out of the binary Möbius transform of the truth
+table.  Synthesizing a *shared-monomial* circuit for several outputs at
+once (all eight AES S-box output bits, say) lets every product term be
+computed exactly once, with each monomial built from a smaller one by a
+single AND — a dynamic program over subset masks.
+
+This is the general-purpose engine behind the bitsliced AES S-box and a
+faithful stand-in for the paper's "automation technique to generate such
+a bit-level description".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.circuit import Circuit, CircuitBuilder, Node
+from repro.errors import SpecificationError
+
+__all__ = ["anf_from_truth_table", "circuit_from_truth_tables", "sbox_truth_tables"]
+
+
+def anf_from_truth_table(table) -> np.ndarray:
+    """Möbius transform: truth table (length ``2^n``) → ANF coefficients.
+
+    ``result[m] == 1`` iff monomial ``m`` (a bitmask of participating
+    inputs; ``m == 0`` is the constant term) appears in the ANF.  Input
+    index convention: table position ``p`` assigns ``x_i = (p >> i) & 1``.
+    """
+    coeffs = np.array(table, dtype=np.uint8).copy()
+    n_points = coeffs.size
+    if n_points == 0 or n_points & (n_points - 1):
+        raise SpecificationError("truth table length must be a power of two")
+    if coeffs.max(initial=0) > 1:
+        raise SpecificationError("truth table must contain only 0/1")
+    n = n_points.bit_length() - 1
+    # In-place butterfly: a[m] ^= a[m ^ bit] for every m with the bit set.
+    view = coeffs
+    for i in range(n):
+        step = 1 << i
+        shaped = view.reshape(-1, 2 * step)
+        shaped[:, step:] ^= shaped[:, :step]
+    return coeffs
+
+
+def _monomial_plan(masks: set[int]) -> list[tuple[int, int, int]]:
+    """Dependency-ordered AND plan for a set of monomial masks.
+
+    Returns ``[(mask, sub_mask, input_index), ...]`` where ``mask`` is
+    produced by ANDing the value of ``sub_mask`` with input
+    ``input_index``; single-variable and empty masks need no entry.
+    Intermediate masks are inserted as needed (this is where cross-output
+    sharing happens).
+    """
+    todo = sorted(m for m in masks if m and m & (m - 1))  # popcount >= 2
+    have = set(m for m in masks if not (m and m & (m - 1))) | {0}
+    plan: list[tuple[int, int, int]] = []
+
+    def ensure(mask: int) -> None:
+        if mask in have:
+            return
+        low = mask & -mask
+        rest = mask ^ low
+        ensure(rest)
+        plan.append((mask, rest, low.bit_length() - 1))
+        have.add(mask)
+
+    for m in todo:
+        ensure(m)
+    return plan
+
+
+def circuit_from_truth_tables(tables, input_names=None, output_names=None) -> Circuit:
+    """Synthesize one shared circuit computing several truth tables.
+
+    Parameters
+    ----------
+    tables:
+        Sequence of truth tables, each of length ``2^n`` for the same
+        ``n`` (e.g. the 8 output-bit tables of an 8-bit S-box).
+    input_names / output_names:
+        Optional naming; defaults to ``x0..`` and ``y0..``.
+    """
+    tables = [np.asarray(t, dtype=np.uint8) for t in tables]
+    if not tables:
+        raise SpecificationError("need at least one truth table")
+    n_points = tables[0].size
+    if any(t.size != n_points for t in tables):
+        raise SpecificationError("all truth tables must have the same length")
+    n = n_points.bit_length() - 1
+    input_names = list(input_names) if input_names is not None else [f"x{i}" for i in range(n)]
+    output_names = list(output_names) if output_names is not None else [f"y{j}" for j in range(len(tables))]
+    if len(input_names) != n or len(output_names) != len(tables):
+        raise SpecificationError("name counts do not match table dimensions")
+
+    anfs = [anf_from_truth_table(t) for t in tables]
+    per_output_masks = [set(int(m) for m in np.flatnonzero(a)) for a in anfs]
+    all_masks = set().union(*per_output_masks) if per_output_masks else set()
+
+    b = CircuitBuilder()
+    xs = b.inputs(input_names)
+    value: dict[int, Node] = {0: b.one}
+    for i in range(n):
+        value[1 << i] = xs[i]
+    for mask, rest, idx in _monomial_plan(all_masks):
+        value[mask] = b.and_(value[rest], xs[idx])
+    for name, masks in zip(output_names, per_output_masks):
+        b.output(name, b.xor_many(value[m] for m in sorted(masks)))
+    return b.build()
+
+
+def sbox_truth_tables(sbox) -> list[np.ndarray]:
+    """Split a byte-substitution table into 8 per-output-bit truth tables.
+
+    Bit convention matches :func:`anf_from_truth_table`: table position
+    ``p`` is the input byte with bit ``i`` at weight ``2^i``.
+    """
+    sbox = np.asarray(sbox, dtype=np.uint8)
+    if sbox.size != 256:
+        raise SpecificationError("expected a 256-entry byte table")
+    return [((sbox >> i) & 1).astype(np.uint8) for i in range(8)]

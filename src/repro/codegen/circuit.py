@@ -1,0 +1,246 @@
+"""A minimal gate-level circuit IR with hash-consing and NumPy evaluation.
+
+Circuits are DAGs of XOR/AND/OR/NOT nodes over named inputs and the
+constants 0/1.  The builder hash-conses structurally identical nodes and
+folds constants, so naively-written generators still produce reasonably
+tight gate lists.  Evaluation is vectorized: feed each input a NumPy word
+array (a bitsliced plane) and every gate becomes one full-width vector op
+— exactly the execution model of the paper's generated CUDA kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+__all__ = ["Node", "Circuit", "CircuitBuilder"]
+
+_COMMUTATIVE = {"xor", "and", "or"}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One gate (or input/constant) in the DAG."""
+
+    id: int
+    op: str  # 'in' | 'const' | 'xor' | 'and' | 'or' | 'not'
+    args: tuple = ()
+    name: str | None = None  # input name, or constant value via args[0]
+
+
+class CircuitBuilder:
+    """Construct a :class:`Circuit` gate by gate.
+
+    All gate methods take and return :class:`Node`; use :meth:`input` to
+    declare inputs and :meth:`output` to name result nodes.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[Node] = []
+        self._cse: dict[tuple, Node] = {}
+        self._inputs: list[str] = []
+        self._outputs: dict[str, Node] = {}
+        self.zero = self._mk("const", (0,))
+        self.one = self._mk("const", (1,))
+
+    def _mk(self, op: str, args: tuple, name: str | None = None) -> Node:
+        if op in _COMMUTATIVE:
+            args = tuple(sorted(args))
+        key = (op, args, name)
+        hit = self._cse.get(key)
+        if hit is not None:
+            return hit
+        node = Node(len(self._nodes), op, args, name)
+        self._nodes.append(node)
+        self._cse[key] = node
+        return node
+
+    # -- declarations ----------------------------------------------------------
+    def input(self, name: str) -> Node:
+        """Declare (or fetch) the input node called *name*."""
+        node = self._mk("in", (), name)
+        if name not in self._inputs:
+            self._inputs.append(name)
+        return node
+
+    def inputs(self, names) -> list[Node]:
+        """Declare several inputs at once."""
+        return [self.input(n) for n in names]
+
+    def const(self, bit: int) -> Node:
+        """The constant-0 or constant-1 node."""
+        return self.one if bit else self.zero
+
+    def output(self, name: str, node: Node) -> None:
+        """Name *node* as a circuit output."""
+        if name in self._outputs:
+            raise SpecificationError(f"duplicate output name {name!r}")
+        self._outputs[name] = node
+
+    # -- gates (with constant folding) -------------------------------------------
+    def xor(self, a: Node, b: Node) -> Node:
+        """XOR gate (constant-folded, hash-consed)."""
+        if a is b:
+            return self.zero
+        if a is self.zero:
+            return b
+        if b is self.zero:
+            return a
+        if a is self.one:
+            return self.not_(b)
+        if b is self.one:
+            return self.not_(a)
+        return self._mk("xor", (a.id, b.id))
+
+    def and_(self, a: Node, b: Node) -> Node:
+        """AND gate (constant-folded, hash-consed)."""
+        if a is b:
+            return a
+        if a is self.zero or b is self.zero:
+            return self.zero
+        if a is self.one:
+            return b
+        if b is self.one:
+            return a
+        return self._mk("and", (a.id, b.id))
+
+    def or_(self, a: Node, b: Node) -> Node:
+        """OR gate (constant-folded, hash-consed)."""
+        if a is b:
+            return a
+        if a is self.one or b is self.one:
+            return self.one
+        if a is self.zero:
+            return b
+        if b is self.zero:
+            return a
+        return self._mk("or", (a.id, b.id))
+
+    def not_(self, a: Node) -> Node:
+        """NOT gate (double negations cancel)."""
+        if a is self.zero:
+            return self.one
+        if a is self.one:
+            return self.zero
+        if a.op == "not":
+            return self._nodes[a.args[0]]
+        return self._mk("not", (a.id,))
+
+    def xor_many(self, nodes) -> Node:
+        """XOR-reduce an iterable of nodes."""
+        acc = self.zero
+        for n in nodes:
+            acc = self.xor(acc, n)
+        return acc
+
+    def and_many(self, nodes) -> Node:
+        """AND-reduce an iterable of nodes."""
+        acc = self.one
+        for n in nodes:
+            acc = self.and_(acc, n)
+        return acc
+
+    def mux(self, sel: Node, a: Node, b: Node) -> Node:
+        """``a`` if sel else ``b`` — the branch-free bitsliced conditional."""
+        return self.xor(b, self.and_(sel, self.xor(a, b)))
+
+    def build(self) -> "Circuit":
+        """Freeze the builder into an immutable :class:`Circuit`."""
+        if not self._outputs:
+            raise SpecificationError("circuit has no outputs")
+        return Circuit(self._nodes, list(self._inputs), dict(self._outputs))
+
+
+@dataclass
+class Circuit:
+    """An immutable gate DAG with named inputs/outputs."""
+
+    nodes: list[Node]
+    input_names: list[str]
+    outputs: dict[str, Node]
+    _live_order: list[Node] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        # Dead-code eliminate: keep only nodes reachable from outputs.
+        live = set()
+        stack = [n.id for n in self.outputs.values()]
+        while stack:
+            nid = stack.pop()
+            if nid in live:
+                continue
+            live.add(nid)
+            stack.extend(self.nodes[nid].args)
+        self._live_order = [n for n in self.nodes if n.id in live or n.op == "in"]
+
+    # -- introspection ----------------------------------------------------------
+    def gate_counts(self) -> dict[str, int]:
+        """Live gate counts by kind (inputs/constants excluded)."""
+        counts = {"xor": 0, "and": 0, "or": 0, "not": 0}
+        for n in self._live_order:
+            if n.op in counts:
+                counts[n.op] += 1
+        counts["total"] = sum(counts.values())
+        return counts
+
+    def depth(self) -> int:
+        """Longest input→output gate path (the circuit's critical path)."""
+        depth = {}
+        for n in self._live_order:
+            if n.op in ("in", "const"):
+                depth[n.id] = 0
+            else:
+                depth[n.id] = 1 + max(depth[self.nodes[a].id] for a in n.args)
+        return max((depth[n.id] for n in self.outputs.values()), default=0)
+
+    # -- evaluation -----------------------------------------------------------------
+    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Vectorized evaluation; each input is a word array (any shape).
+
+        Constants broadcast to the first input's shape and dtype.
+        """
+        missing = [n for n in self.input_names if n not in inputs]
+        if missing:
+            raise SpecificationError(f"missing circuit inputs: {missing}")
+        sample = np.asarray(next(iter(inputs.values()))) if inputs else np.zeros(1, dtype=np.uint64)
+        dtype = sample.dtype if sample.dtype.kind == "u" else np.dtype(np.uint64)
+        ones = np.full(sample.shape, np.iinfo(dtype).max, dtype=dtype)
+        zeros = np.zeros(sample.shape, dtype=dtype)
+        vals: dict[int, np.ndarray] = {}
+        for n in self._live_order:
+            if n.op == "in":
+                vals[n.id] = np.asarray(inputs[n.name], dtype=dtype)
+            elif n.op == "const":
+                vals[n.id] = ones if n.args[0] else zeros
+            elif n.op == "xor":
+                vals[n.id] = vals[n.args[0]] ^ vals[n.args[1]]
+            elif n.op == "and":
+                vals[n.id] = vals[n.args[0]] & vals[n.args[1]]
+            elif n.op == "or":
+                vals[n.id] = vals[n.args[0]] | vals[n.args[1]]
+            elif n.op == "not":
+                vals[n.id] = ~vals[n.args[0]]
+            else:  # pragma: no cover - defensive
+                raise SpecificationError(f"unknown op {n.op}")
+        return {name: vals[node.id] for name, node in self.outputs.items()}
+
+    def evaluate_bits(self, input_bits: dict[str, int]) -> dict[str, int]:
+        """Scalar 0/1 evaluation (specification checks, tiny tests)."""
+        arrays = {k: np.array([np.uint64(0xFFFFFFFFFFFFFFFF if v else 0)]) for k, v in input_bits.items()}
+        out = self.evaluate(arrays)
+        return {k: int(v[0] & np.uint64(1)) for k, v in out.items()}
+
+    def compile(self):
+        """Compile to a Python callable via the NumPy emitter.
+
+        Returns ``f(**inputs) -> dict[str, ndarray]`` with no per-call IR
+        walking — the form bitsliced kernels use in hot loops.
+        """
+        from repro.codegen.emit import emit_numpy
+
+        src = emit_numpy(self, func_name="_generated")
+        ns: dict = {"np": np}
+        exec(src, ns)  # noqa: S102 - our own generated source
+        return ns["_generated"]

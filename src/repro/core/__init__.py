@@ -1,0 +1,51 @@
+"""Core bitslicing machinery — the paper's primary contribution.
+
+Modules
+-------
+``bitslice``
+    Row-major ↔ column-major bit-matrix transposes and the
+    :class:`BitslicedState` container.
+``gates``
+    The gate layer: XOR/AND/OR/NOT/MUX over word vectors with
+    instruction accounting (the software stand-in for one CUDA logic
+    instruction applied across a warp's registers).
+``registers``
+    :class:`RotatingRegisterFile` — shift-by-renaming, the trick that
+    removes per-clock shift/mask work from LFSR-style kernels.
+``lfsr``
+    Reference (row-major) and bitsliced LFSRs, Fibonacci and Galois.
+``engine``
+    :class:`BitslicedEngine` — lane bookkeeping, dtype policy, staged
+    output buffers and gate accounting shared by all bitsliced kernels.
+``generator``
+    :class:`BSRNG` — the user-facing generator API over any bitsliced
+    keystream kernel.
+"""
+
+from repro.core.bitslice import (
+    BitslicedState,
+    bitslice,
+    bitslice_bytes,
+    unbitslice,
+    unbitslice_bytes,
+)
+from repro.core.engine import BitslicedEngine, GateCounter
+from repro.core.generator import BSRNG, available_algorithms
+from repro.core.lfsr import BitslicedLFSR, GaloisLFSR, ReferenceLFSR
+from repro.core.registers import RotatingRegisterFile
+
+__all__ = [
+    "BitslicedState",
+    "bitslice",
+    "unbitslice",
+    "bitslice_bytes",
+    "unbitslice_bytes",
+    "BitslicedEngine",
+    "GateCounter",
+    "RotatingRegisterFile",
+    "ReferenceLFSR",
+    "GaloisLFSR",
+    "BitslicedLFSR",
+    "BSRNG",
+    "available_algorithms",
+]

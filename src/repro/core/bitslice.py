@@ -1,0 +1,208 @@
+"""Row-major ↔ column-major (bitsliced) transposes.
+
+The paper's §4.1: instead of storing each cipher instance's state in its
+own registers (row-major), store *bit i of every instance* together in one
+machine word (column-major).  A word of width ``W`` then behaves as ``W``
+one-bit processors, and every logic instruction advances ``W`` independent
+cipher instances at once.
+
+Layout
+------
+A bitsliced plane set is a 2-D array of shape ``(n_bits, n_words)`` and an
+unsigned dtype of width ``W``; lane ``k`` lives in word ``k // W`` at bit
+position ``k % W`` (little bit order).  Conversions are implemented with
+vectorized ``packbits``/``unpackbits`` so the transpose itself never runs
+a Python-level loop over lanes or bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.errors import BitsliceLayoutError
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "word_width",
+    "n_words_for_lanes",
+    "bitslice",
+    "unbitslice",
+    "bitslice_bytes",
+    "unbitslice_bytes",
+    "broadcast_bit",
+    "lane_mask",
+    "BitslicedState",
+]
+
+#: Word dtypes the virtual datapath may use.  ``uint64`` is the default; the
+#: narrower types exist for the width-ablation experiment (DESIGN.md E7/E8).
+SUPPORTED_DTYPES = (np.uint8, np.uint16, np.uint32, np.uint64)
+
+
+def word_width(dtype) -> int:
+    """Datapath width in bits for *dtype* (8, 16, 32 or 64)."""
+    dt = np.dtype(dtype)
+    if dt.type not in SUPPORTED_DTYPES:
+        raise BitsliceLayoutError(f"unsupported bitslice word dtype {dt}")
+    return dt.itemsize * 8
+
+
+def n_words_for_lanes(n_lanes: int, dtype=np.uint64) -> int:
+    """Number of words needed to hold *n_lanes* lanes."""
+    if n_lanes <= 0:
+        raise BitsliceLayoutError("lane count must be positive")
+    width = word_width(dtype)
+    return -(-n_lanes // width)
+
+
+def bitslice(bits, dtype=np.uint64) -> np.ndarray:
+    """Transpose a ``(n_lanes, n_bits)`` 0/1 matrix into bitsliced planes.
+
+    Returns an array of shape ``(n_bits, n_words)`` and the requested word
+    dtype.  Lanes beyond ``n_lanes`` within the last word are zero.
+
+    >>> planes = bitslice([[1, 0], [1, 1], [0, 1]], dtype=np.uint8)
+    >>> planes[:, 0]   # bit 0 of lanes (1,1,0) -> 0b011 ; bit 1 -> 0b110
+    array([3, 6], dtype=uint8)
+    """
+    arr = as_bit_array(bits)
+    if arr.ndim != 2:
+        raise BitsliceLayoutError("bitslice expects a 2-D (n_lanes, n_bits) matrix")
+    n_lanes, n_bits = arr.shape
+    width = word_width(dtype)
+    n_words = n_words_for_lanes(max(n_lanes, 1), dtype)
+    # Column k of `arr` is the k-th state bit across lanes; pack each column
+    # into lane words.  packbits over axis 1 of the (n_bits, n_lanes)
+    # transpose packs 8 lanes/byte; viewing groups bytes into words
+    # little-endian, which matches little bit order (lane k = bit k of word).
+    cols = np.ascontiguousarray(arr.T)
+    packed = np.packbits(cols, axis=1, bitorder="little")
+    want_bytes = n_words * np.dtype(dtype).itemsize
+    if packed.shape[1] < want_bytes:
+        pad = np.zeros((n_bits, want_bytes - packed.shape[1]), dtype=np.uint8)
+        packed = np.concatenate([packed, pad], axis=1)
+    planes = packed.view(np.dtype(dtype).newbyteorder("<")).astype(dtype, copy=False)
+    return np.ascontiguousarray(planes)
+
+
+def unbitslice(planes: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Inverse of :func:`bitslice`: planes ``(n_bits, n_words)`` → bits ``(n_lanes, n_bits)``."""
+    planes = np.asarray(planes)
+    if planes.ndim != 2:
+        raise BitsliceLayoutError("unbitslice expects a 2-D (n_bits, n_words) array")
+    width = word_width(planes.dtype)
+    if n_lanes <= 0 or n_lanes > planes.shape[1] * width:
+        raise BitsliceLayoutError(
+            f"lane count {n_lanes} out of range for {planes.shape[1]} words of width {width}"
+        )
+    le = planes.astype(planes.dtype.newbyteorder("<"), copy=False)
+    as_bytes = np.ascontiguousarray(le).view(np.uint8).reshape(planes.shape[0], -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :n_lanes]
+    return np.ascontiguousarray(bits.T)
+
+
+def bitslice_bytes(rows: np.ndarray, dtype=np.uint64) -> np.ndarray:
+    """Bitslice a ``(n_lanes, n_bytes)`` byte matrix.
+
+    Byte ``b`` bit ``i`` of each lane becomes plane ``8 * b + i`` (little
+    bit order inside each byte), giving ``8 * n_bytes`` planes.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    if rows.ndim != 2:
+        raise BitsliceLayoutError("bitslice_bytes expects a 2-D (n_lanes, n_bytes) matrix")
+    bits = np.unpackbits(rows, axis=1, bitorder="little")
+    return bitslice(bits, dtype=dtype)
+
+
+def unbitslice_bytes(planes: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Inverse of :func:`bitslice_bytes` → ``(n_lanes, n_bytes)`` uint8."""
+    bits = unbitslice(planes, n_lanes)
+    if bits.shape[1] % 8:
+        raise BitsliceLayoutError("plane count is not a multiple of 8")
+    return np.packbits(bits, axis=1, bitorder="little")
+
+
+def broadcast_bit(bit: int, n_words: int, dtype=np.uint64) -> np.ndarray:
+    """A plane with the constant *bit* in every lane (all-zeros or all-ones)."""
+    if bit not in (0, 1):
+        raise BitsliceLayoutError("broadcast_bit takes 0 or 1")
+    fill = np.iinfo(dtype).max if bit else 0
+    return np.full(n_words, fill, dtype=dtype)
+
+
+def lane_mask(n_lanes: int, n_words: int, dtype=np.uint64) -> np.ndarray:
+    """A plane with ones in the first *n_lanes* lanes and zeros beyond.
+
+    Used to keep padding lanes silent when ``n_lanes`` is not a multiple of
+    the word width.
+    """
+    width = word_width(dtype)
+    if n_lanes < 0 or n_lanes > n_words * width:
+        raise BitsliceLayoutError("n_lanes out of range")
+    full, rem = divmod(n_lanes, width)
+    mask = np.zeros(n_words, dtype=dtype)
+    mask[:full] = np.iinfo(dtype).max
+    if rem:
+        mask[full] = (np.uint64(1 << rem) - np.uint64(1)).astype(dtype)
+    return mask
+
+
+@dataclass
+class BitslicedState:
+    """A named bundle of bitsliced planes plus its lane geometry.
+
+    Thin but convenient: ciphers keep their registers as raw arrays for
+    speed and wrap them in a ``BitslicedState`` at API boundaries so shape
+    and lane-count errors surface early.
+    """
+
+    planes: np.ndarray
+    n_lanes: int
+
+    def __post_init__(self) -> None:
+        self.planes = np.asarray(self.planes)
+        if self.planes.ndim != 2:
+            raise BitsliceLayoutError("planes must be 2-D (n_bits, n_words)")
+        width = word_width(self.planes.dtype)
+        if not 0 < self.n_lanes <= self.planes.shape[1] * width:
+            raise BitsliceLayoutError(
+                f"n_lanes {self.n_lanes} does not fit {self.planes.shape[1]} words of width {width}"
+            )
+
+    @classmethod
+    def from_bits(cls, bits, dtype=np.uint64) -> "BitslicedState":
+        """Bitslice a row-major ``(n_lanes, n_bits)`` matrix into a state."""
+        arr = as_bit_array(bits)
+        if arr.ndim != 2:
+            raise BitsliceLayoutError("from_bits expects (n_lanes, n_bits)")
+        return cls(bitslice(arr, dtype=dtype), arr.shape[0])
+
+    @property
+    def n_bits(self) -> int:
+        """Number of state bits (plane rows)."""
+        return self.planes.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        """Words per plane row."""
+        return self.planes.shape[1]
+
+    @property
+    def dtype(self):
+        """Word dtype of the planes."""
+        return self.planes.dtype
+
+    def to_bits(self) -> np.ndarray:
+        """Return the row-major ``(n_lanes, n_bits)`` view."""
+        return unbitslice(self.planes, self.n_lanes)
+
+    def lane(self, k: int) -> np.ndarray:
+        """Extract lane *k* as an ``(n_bits,)`` bit array."""
+        if not 0 <= k < self.n_lanes:
+            raise BitsliceLayoutError(f"lane {k} out of range")
+        width = word_width(self.planes.dtype)
+        word = self.planes[:, k // width]
+        return ((word >> np.asarray(k % width, dtype=self.planes.dtype)) & np.asarray(1, dtype=self.planes.dtype)).astype(np.uint8)

@@ -1,0 +1,163 @@
+"""The virtual SIMD engine shared by all bitsliced kernels.
+
+This is the software stand-in for the paper's CUDA execution environment.
+A :class:`BitslicedEngine` fixes the lane geometry (how many parallel
+cipher instances run at once and in how many words they are packed),
+hosts the gate layer with its instruction accounting, and implements the
+staged-output discipline of §4.5: keystream planes are accumulated in a
+small in-core staging buffer ("shared memory") and flushed to the output
+array ("global memory") in large contiguous chunks ("coalesced writes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitslice import (
+    SUPPORTED_DTYPES,
+    broadcast_bit,
+    lane_mask,
+    n_words_for_lanes,
+    word_width,
+)
+from repro.core.gates import GateCounter, GateOps
+from repro.errors import BitsliceLayoutError
+
+__all__ = ["BitslicedEngine", "GateCounter"]
+
+
+class BitslicedEngine:
+    """Lane geometry + gate layer + staged output buffers.
+
+    Parameters
+    ----------
+    n_lanes:
+        Number of parallel cipher instances.  Analogous to
+        ``threads × 32`` in the CUDA implementation.
+    dtype:
+        Word type of the virtual datapath (default ``uint64``).  The
+        paper's GPU datapath is 32-bit; 64-bit words simply mean each
+        NumPy "instruction" carries twice as many lanes.
+    stage_words:
+        Capacity of the staging buffer in plane rows before a flush to
+        the destination array — the "suitable size to occupy shared
+        memory" the paper tunes experimentally (§4.5).
+    count_gates:
+        When False the gate counter is still present but kernels are free
+        to skip labelling; counting is cheap either way.
+    """
+
+    def __init__(
+        self,
+        n_lanes: int = 4096,
+        dtype=np.uint64,
+        *,
+        stage_rows: int = 256,
+        seed_counter: GateCounter | None = None,
+    ) -> None:
+        if np.dtype(dtype).type not in SUPPORTED_DTYPES:
+            raise BitsliceLayoutError(f"unsupported engine dtype {np.dtype(dtype)}")
+        if n_lanes <= 0:
+            raise BitsliceLayoutError("n_lanes must be positive")
+        if stage_rows <= 0:
+            raise BitsliceLayoutError("stage_rows must be positive")
+        self.dtype = np.dtype(dtype)
+        self.width = word_width(dtype)
+        self.n_lanes = int(n_lanes)
+        self.n_words = n_words_for_lanes(self.n_lanes, dtype)
+        self.stage_rows = int(stage_rows)
+        self.counter = seed_counter if seed_counter is not None else GateCounter()
+        self.gates = GateOps(self.counter)
+
+    # -- plane constructors -------------------------------------------------
+    def zeros(self, n_rows: int | None = None) -> np.ndarray:
+        """Fresh all-zero plane(s)."""
+        if n_rows is None:
+            return np.zeros(self.n_words, dtype=self.dtype)
+        return np.zeros((n_rows, self.n_words), dtype=self.dtype)
+
+    def ones(self, n_rows: int | None = None) -> np.ndarray:
+        """Fresh all-one plane(s)."""
+        fill = np.iinfo(self.dtype).max
+        if n_rows is None:
+            return np.full(self.n_words, fill, dtype=self.dtype)
+        return np.full((n_rows, self.n_words), fill, dtype=self.dtype)
+
+    def const(self, bit: int) -> np.ndarray:
+        """Broadcast a constant bit to every lane."""
+        return broadcast_bit(bit, self.n_words, self.dtype)
+
+    def active_mask(self) -> np.ndarray:
+        """Ones in real lanes, zeros in the padding tail of the last word."""
+        return lane_mask(self.n_lanes, self.n_words, self.dtype)
+
+    # -- staged output --------------------------------------------------------
+    def make_stage(self) -> "_StageBuffer":
+        """Create a staging buffer bound to this engine's geometry."""
+        return _StageBuffer(self.stage_rows, self.n_words, self.dtype)
+
+    # -- bookkeeping ----------------------------------------------------------
+    def reset_gate_counts(self) -> None:
+        """Zero the engine's instruction counters."""
+        self.counter.reset()
+
+    def gate_report(self) -> dict:
+        """Gate totals plus per-lane-bit normalisation helpers."""
+        snap = self.counter.snapshot()
+        snap["n_lanes"] = self.n_lanes
+        snap["word_width"] = self.width
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BitslicedEngine(n_lanes={self.n_lanes}, dtype={self.dtype.name}, "
+            f"n_words={self.n_words}, stage_rows={self.stage_rows})"
+        )
+
+
+class _StageBuffer:
+    """Fixed-capacity row buffer with bulk flush (shared-memory analogue).
+
+    Rows are keystream planes; ``push`` copies one row in (register →
+    shared memory in the paper), and when the buffer fills it is flushed
+    wholesale into the destination (shared → global, one coalesced burst).
+    """
+
+    def __init__(self, capacity_rows: int, n_words: int, dtype) -> None:
+        self._buf = np.empty((capacity_rows, n_words), dtype=dtype)
+        self._fill = 0
+        self.flushes = 0
+
+    @property
+    def capacity(self) -> int:
+        """Row capacity of the staging buffer."""
+        return self._buf.shape[0]
+
+    @property
+    def fill(self) -> int:
+        """Rows currently staged (not yet flushed)."""
+        return self._fill
+
+    def push(self, row: np.ndarray, dest: np.ndarray, dest_row: int) -> int:
+        """Stage *row*; flush to ``dest`` when full.
+
+        ``dest_row`` is the row index in ``dest`` where the *next* flush
+        would land.  Returns the new ``dest_row`` after any flush.
+        """
+        self._buf[self._fill] = row
+        self._fill += 1
+        if self._fill == self._buf.shape[0]:
+            dest[dest_row : dest_row + self._fill] = self._buf
+            dest_row += self._fill
+            self._fill = 0
+            self.flushes += 1
+        return dest_row
+
+    def drain(self, dest: np.ndarray, dest_row: int) -> int:
+        """Flush any residual rows (end of kernel)."""
+        if self._fill:
+            dest[dest_row : dest_row + self._fill] = self._buf[: self._fill]
+            dest_row += self._fill
+            self._fill = 0
+            self.flushes += 1
+        return dest_row

@@ -1,0 +1,150 @@
+"""The gate layer: word-wide logic operations with instruction accounting.
+
+In the paper's CUDA kernels every bitsliced building block compiles down
+to 32-bit logic instructions (``XOR``/``AND``/``OR``/``NOT``); one
+instruction advances 32 cipher lanes.  Here a "gate" is one vectorized
+NumPy logic op over a plane (shape ``(n_words,)`` or a stack of planes),
+which advances ``64 * n_words`` lanes — the software analogue of issuing
+the same instruction across the whole device at once.
+
+:class:`GateCounter` records how many *scalar gate evaluations per lane*
+each kernel performs.  Those counts feed the GPU roofline model
+(:mod:`repro.gpu.model`) — the model's ops-per-output-bit numbers are
+measured from the very circuits we execute, not estimated by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GateCounter", "GateOps"]
+
+
+@dataclass
+class GateCounter:
+    """Tally of gate evaluations, by kind.
+
+    Counts are per-lane: one call to :meth:`GateOps.xor` on a stack of
+    ``r`` plane rows adds ``r`` to ``xor`` (each row is one instruction in
+    the unrolled kernel, regardless of how many lanes a word carries).
+    """
+
+    xor: int = 0
+    and_: int = 0
+    or_: int = 0
+    not_: int = 0
+    shift: int = 0
+    counts_by_label: dict = field(default_factory=dict)
+    _label: str | None = None
+
+    @property
+    def total(self) -> int:
+        """All counted operations, including shifts."""
+        return self.xor + self.and_ + self.or_ + self.not_ + self.shift
+
+    @property
+    def logic(self) -> int:
+        """Gates excluding shifts (bitsliced kernels should have shift == 0)."""
+        return self.xor + self.and_ + self.or_ + self.not_
+
+    def add(self, kind: str, n: int = 1) -> None:
+        """Count *n* operations of *kind*."""
+        setattr(self, kind, getattr(self, kind) + n)
+        if self._label is not None:
+            bucket = self.counts_by_label.setdefault(self._label, {})
+            bucket[kind] = bucket.get(kind, 0) + n
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.xor = self.and_ = self.or_ = self.not_ = self.shift = 0
+        self.counts_by_label.clear()
+
+    def label(self, name: str | None) -> "GateCounter":
+        """Set the attribution label for subsequent gates (None to clear)."""
+        self._label = name
+        return self
+
+    def snapshot(self) -> dict:
+        """Copy of the per-kind counts plus totals."""
+        return {
+            "xor": self.xor,
+            "and": self.and_,
+            "or": self.or_,
+            "not": self.not_,
+            "shift": self.shift,
+            "total": self.total,
+        }
+
+
+def _rows(x) -> int:
+    """Number of plane rows an operand represents (1 for a single plane)."""
+    arr = np.asarray(x)
+    if arr.ndim <= 1:
+        return 1
+    n = 1
+    for d in arr.shape[:-1]:
+        n *= d
+    return n
+
+
+class GateOps:
+    """Word-wide gates bound to a :class:`GateCounter`.
+
+    All operations are pure (no in-place aliasing surprises); kernels that
+    need in-place updates use the ``i*`` variants which write into ``out``.
+    """
+
+    __slots__ = ("counter",)
+
+    def __init__(self, counter: GateCounter | None = None) -> None:
+        self.counter = counter if counter is not None else GateCounter()
+
+    # -- pure ops ---------------------------------------------------------
+    def xor(self, a, b):
+        """Full-width XOR, counted."""
+        self.counter.add("xor", max(_rows(a), _rows(b)))
+        return np.bitwise_xor(a, b)
+
+    def and_(self, a, b):
+        """Full-width AND, counted."""
+        self.counter.add("and_", max(_rows(a), _rows(b)))
+        return np.bitwise_and(a, b)
+
+    def or_(self, a, b):
+        """Full-width OR, counted."""
+        self.counter.add("or_", max(_rows(a), _rows(b)))
+        return np.bitwise_or(a, b)
+
+    def not_(self, a):
+        """Full-width NOT, counted."""
+        self.counter.add("not_", _rows(a))
+        return np.bitwise_not(a)
+
+    def mux(self, sel, a, b):
+        """Per-lane select: ``a`` where ``sel`` lane bit is 1 else ``b``.
+
+        Implemented as ``b ^ (sel & (a ^ b))`` — 3 gates, the standard
+        branch-free bitsliced conditional.
+        """
+        return self.xor(b, self.and_(sel, self.xor(a, b)))
+
+    # -- in-place ops ------------------------------------------------------
+    def ixor(self, out, b):
+        """In-place XOR into *out*, counted."""
+        self.counter.add("xor", max(_rows(out), _rows(b)))
+        np.bitwise_xor(out, b, out=out)
+        return out
+
+    def iand(self, out, b):
+        """In-place AND into *out*, counted."""
+        self.counter.add("and_", max(_rows(out), _rows(b)))
+        np.bitwise_and(out, b, out=out)
+        return out
+
+    def ior(self, out, b):
+        """In-place OR into *out*, counted."""
+        self.counter.add("or_", max(_rows(out), _rows(b)))
+        np.bitwise_or(out, b, out=out)
+        return out

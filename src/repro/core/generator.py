@@ -1,0 +1,363 @@
+"""BSRNG — the user-facing pseudo-random number generator API.
+
+One class fronts every generator in the package: the three bitsliced
+cipher banks (the paper's contribution) and the row-major baselines
+(cuRAND's algorithms and the Table-1 lineage).  All of them feed a common
+word buffer, so downstream code — the examples, the NIST harness, the
+benchmarks — is generator-agnostic:
+
+>>> rng = BSRNG("mickey2", seed=42, lanes=512)
+>>> rng.random_uint64(4).shape
+(4,)
+>>> 0.0 <= float(rng.random(1)[0]) < 1.0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.engine import BitslicedEngine
+from repro.errors import SpecificationError
+
+__all__ = ["BSRNG", "available_algorithms"]
+
+
+def _make_bitsliced(cls_path: str) -> Callable:
+    def factory(seed: int, lanes: int, dtype) -> "_PlaneSource":
+        module_name, cls_name = cls_path.rsplit(".", 1)
+        module = __import__(module_name, fromlist=[cls_name])
+        cls = getattr(module, cls_name)
+        engine = BitslicedEngine(n_lanes=lanes, dtype=dtype)
+        return _PlaneSource(cls(engine).seed(seed))
+
+    return factory
+
+
+def _make_baseline(cls_path: str) -> Callable:
+    def factory(seed: int, lanes: int, dtype) -> "_WordSource":
+        module_name, cls_name = cls_path.rsplit(".", 1)
+        module = __import__(module_name, fromlist=[cls_name])
+        cls = getattr(module, cls_name)
+        return _WordSource(cls(seed=seed, n_streams=lanes))
+
+    return factory
+
+
+#: Registry: algorithm name → (factory, kind, description).
+_REGISTRY: dict[str, tuple[Callable, str, str]] = {
+    "mickey2": (
+        _make_bitsliced("repro.ciphers.mickey_bitsliced.BitslicedMickey2"),
+        "bitsliced",
+        "MICKEY 2.0 stream cipher, bitsliced (the paper's best performer)",
+    ),
+    "grain": (
+        _make_bitsliced("repro.ciphers.grain_bitsliced.BitslicedGrain"),
+        "bitsliced",
+        "Grain v1 stream cipher, bitsliced",
+    ),
+    "trivium": (
+        _make_bitsliced("repro.ciphers.trivium_bitsliced.BitslicedTrivium"),
+        "bitsliced",
+        "Trivium stream cipher, bitsliced (extension: lightest eSTREAM profile-2 core)",
+    ),
+    "aes128ctr": (
+        _make_bitsliced("repro.ciphers.aes_bitsliced.BitslicedAESCTR"),
+        "bitsliced",
+        "AES-128 in CTR mode, bitsliced (synthesized S-box circuit)",
+    ),
+    "mt19937": (
+        _make_baseline("repro.baselines.mt19937.MT19937Bank"),
+        "baseline",
+        "Mersenne Twister — cuRAND's default host algorithm (the paper's baseline)",
+    ),
+    "xorwow": (
+        _make_baseline("repro.baselines.xorwow.XorwowBank"),
+        "baseline",
+        "XORWOW — cuRAND's default device generator",
+    ),
+    "philox": (
+        _make_baseline("repro.baselines.philox.PhiloxBank"),
+        "baseline",
+        "Philox4x32-10 counter-based generator (cuRAND option)",
+    ),
+    "chacha20": (
+        _make_baseline("repro.baselines.chacha.ChaCha20Bank"),
+        "baseline",
+        "ChaCha20 ARX stream cipher (extension: the design bitslicing does NOT suit)",
+    ),
+    "rc4": (
+        _make_baseline("repro.baselines.rc4.RC4Bank"),
+        "baseline",
+        "RC4-drop768 (extension: historical table-based CSPRNG; broken, baseline only)",
+    ),
+    "mrg32k3a": (
+        _make_baseline("repro.baselines.mrg32k3a.MRG32k3aBank"),
+        "baseline",
+        "MRG32k3a combined multiple recursive generator (cuRAND option)",
+    ),
+    "xorshift128plus": (
+        _make_baseline("repro.baselines.xorshift.Xorshift128PlusBank"),
+        "baseline",
+        "xorshift128+ (xorgensGP lineage, Table 1)",
+    ),
+    "parkmiller": (
+        _make_baseline("repro.baselines.park_miller.ParkMillerBank"),
+        "baseline",
+        "Park-Miller MINSTD (Langdon 2009 GPU PRNG lineage, Table 1)",
+    ),
+    "ca": (
+        _make_baseline("repro.baselines.ca_prng.CellularAutomatonBank"),
+        "baseline",
+        "Rule-30 cellular-automaton PRNG (CA-PRNG lineage, Table 1)",
+    ),
+    "lcg": (
+        _make_baseline("repro.baselines.lcg.LCG64Bank"),
+        "baseline",
+        "64-bit LCG (historical baseline)",
+    ),
+    "middlesquare": (
+        _make_baseline("repro.baselines.middle_square.MiddleSquareWeylBank"),
+        "baseline",
+        "Middle-square with Weyl sequence (von Neumann lineage, §2.1)",
+    ),
+}
+
+
+def available_algorithms() -> dict[str, str]:
+    """Map of algorithm name → one-line description."""
+    return {name: desc for name, (_, _, desc) in _REGISTRY.items()}
+
+
+class _PlaneSource:
+    """Adapter: bitsliced cipher bank → uint64 word stream."""
+
+    def __init__(self, bank) -> None:
+        self.bank = bank
+        self._rows_per_refill = max(64, bank.engine.stage_rows)
+        # keep refills 8-byte aligned so the uint64 view below is exact
+        itemsize = bank.engine.dtype.itemsize
+        while (self._rows_per_refill * bank.engine.n_words * itemsize) % 8:
+            self._rows_per_refill += 1
+
+    def next_words(self) -> np.ndarray:
+        """The next refill of the word stream."""
+        planes = self.bank.next_planes(self._rows_per_refill)
+        flat = np.ascontiguousarray(planes).view(np.uint8).ravel()
+        return flat.view(np.uint64)
+
+    @property
+    def refill_bytes(self) -> int:
+        """Bytes one refill produces (the seek granularity)."""
+        return self._rows_per_refill * self.bank.engine.n_words * self.bank.engine.dtype.itemsize
+
+    def skip_refills(self, k: int) -> bool:
+        """Native seek past *k* refills when the bank supports it (CTR)."""
+        skip_rows = getattr(self.bank, "skip_rows", None)
+        if skip_rows is None:
+            return False
+        try:
+            skip_rows(k * self._rows_per_refill)
+        except SpecificationError:  # e.g. misaligned with the CTR batch
+            return False
+        return True
+
+    def gates_per_output_bit(self) -> float:
+        """Logic cost per emitted bit (NaN when not modelled)."""
+        return self.bank.gates_per_output_bit()
+
+
+class _WordSource:
+    """Adapter: row-major baseline bank → uint64 word stream."""
+
+    def __init__(self, bank) -> None:
+        self.bank = bank
+        self._words_per_refill = 4096
+        # counter-based banks (Philox, ChaCha20) expose block-granular
+        # skipahead; refills round up to whole blocks, so the effective
+        # refill size is block-aligned and skippable in O(1)
+        wpb = getattr(bank, "words_per_block", None)
+        if wpb and getattr(bank, "skip_blocks", None):
+            self._blocks_per_refill = -(-self._words_per_refill // wpb)
+            self._refill_words = self._blocks_per_refill * wpb
+            self.refill_bytes = self._refill_words * np.dtype(bank.word_dtype).itemsize
+
+    def skip_refills(self, k: int) -> bool:
+        """O(1) counter skipahead when the bank supports it."""
+        if not hasattr(self, "_blocks_per_refill"):
+            return False
+        self.bank.skip_blocks(k * self._blocks_per_refill)
+        return True
+
+    def next_words(self) -> np.ndarray:
+        """The next refill of the word stream."""
+        raw = self.bank.next_words(self._words_per_refill)
+        raw = np.ascontiguousarray(raw)
+        if raw.dtype == np.uint64:
+            return raw.ravel()
+        flat = raw.view(np.uint8).ravel()
+        usable = flat.size - flat.size % 8
+        return flat[:usable].view(np.uint64)
+
+    def gates_per_output_bit(self) -> float:
+        """Logic cost per emitted bit (NaN when not modelled)."""
+        return float(getattr(self.bank, "ops_per_output_bit", lambda: float("nan"))())
+
+
+class BSRNG:
+    """High-throughput pseudo-random number generator.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :func:`available_algorithms` (default ``"mickey2"``, the
+        paper's best performer).
+    seed:
+        Integer seed; expands deterministically into per-lane key/IV or
+        per-stream state material.
+    lanes:
+        Number of parallel generator instances (bitsliced lanes or
+        baseline streams).  More lanes = more work per vector op.
+    dtype:
+        Virtual datapath word type for bitsliced algorithms.
+    """
+
+    def __init__(self, algorithm: str = "mickey2", seed: int = 0, lanes: int = 4096, dtype=np.uint64) -> None:
+        try:
+            factory, kind, _ = _REGISTRY[algorithm]
+        except KeyError:
+            raise SpecificationError(
+                f"unknown algorithm {algorithm!r}; available: {sorted(_REGISTRY)}"
+            ) from None
+        self.algorithm = algorithm
+        self.kind = kind
+        self.seed = int(seed)
+        self.lanes = int(lanes)
+        self._source = factory(self.seed, self.lanes, dtype)
+        self._buf = np.zeros(0, dtype=np.uint8)
+        self._pos = 0
+
+    # -- stream plumbing ---------------------------------------------------------
+    # The internal buffer is byte-granular so partial draws never discard
+    # generated output: random_bytes(1) twice equals random_bytes(2).
+    def _take_bytes(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.uint8)
+        filled = 0
+        while filled < n:
+            avail = self._buf.size - self._pos
+            if avail == 0:
+                self._buf = self._source.next_words().view(np.uint8)
+                self._pos = 0
+                avail = self._buf.size
+            take = min(avail, n - filled)
+            out[filled : filled + take] = self._buf[self._pos : self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
+    def _take_words(self, n: int) -> np.ndarray:
+        return self._take_bytes(8 * n).view(np.uint64)
+
+    def skip_bytes(self, n: int) -> None:
+        """Advance the stream by *n* bytes without materialising them.
+
+        Counter-based kernels (AES-CTR) seek whole refills in O(1) — the
+        mechanism behind §5.4's counter-space partitioning; everything
+        else (LFSR-based kernels must be clocked) generates and discards.
+        """
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        # drain whatever is already buffered
+        take = min(n, self._buf.size - self._pos)
+        self._pos += take
+        n -= take
+        refill = getattr(self._source, "refill_bytes", 0)
+        skip = getattr(self._source, "skip_refills", None)
+        if n and refill and skip is not None:
+            k = n // refill
+            if k and skip(k):
+                n -= k * refill
+        while n:
+            self._buf = self._source.next_words().view(np.uint8)
+            self._pos = min(n, self._buf.size)
+            n -= self._pos
+
+    # -- public draws -----------------------------------------------------------
+    def random_uint64(self, n: int) -> np.ndarray:
+        """*n* uniform 64-bit words."""
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        return self._take_words(n)
+
+    def random_uint32(self, n: int) -> np.ndarray:
+        """*n* uniform 32-bit words."""
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        return self._take_words(-(-n // 2)).view(np.uint32)[:n].copy()
+
+    def random_bytes(self, n: int) -> bytes:
+        """*n* uniform bytes."""
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        return self._take_bytes(n).tobytes()
+
+    def random_bits(self, n: int) -> np.ndarray:
+        """*n* bits as a uint8 0/1 array (little bit order of the stream)."""
+        raw = self._take_bytes(-(-n // 8))
+        return np.unpackbits(raw, bitorder="little")[:n]
+
+    def random(self, size: int | tuple = 1) -> np.ndarray:
+        """Uniform float64 in [0, 1) with full 53-bit mantissas."""
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        n = int(np.prod(shape)) if shape else 1
+        words = self._take_words(n)
+        return ((words >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))).reshape(shape)
+
+    def integers(self, low: int, high: int, size: int = 1) -> np.ndarray:
+        """Uniform integers in ``[low, high)`` (Lemire-style rejection-free
+        scaling is not used; modulo bias is below 2^-32 for ranges < 2^32)."""
+        if high <= low:
+            raise SpecificationError("need high > low")
+        span = high - low
+        if span > (1 << 63):
+            raise SpecificationError("range too wide")
+        words = self._take_words(size)
+        return (low + (words % np.uint64(span)).astype(np.int64)).astype(np.int64)
+
+    def normal(self, size: int = 1) -> np.ndarray:
+        """Standard normal deviates via Box–Muller."""
+        n = -(-size // 2) * 2
+        u = self.random(n).reshape(2, -1)
+        u1 = np.clip(u[0], np.finfo(np.float64).tiny, None)
+        r = np.sqrt(-2.0 * np.log(u1))
+        theta = 2.0 * np.pi * u[1]
+        out = np.concatenate([r * np.cos(theta), r * np.sin(theta)])
+        return out[:size]
+
+    # -- stream spawning ---------------------------------------------------------
+    def spawn(self, n_children: int) -> list["BSRNG"]:
+        """*n_children* independent child generators (SPRNG-style).
+
+        Child seeds are derived through SplitMix64 stream separation, so
+        children never share key/IV material with each other or with this
+        generator — the safe way to hand generators to worker processes
+        without coordinating offsets.
+        """
+        from repro.core.seeding import expand_seed_words
+
+        if n_children <= 0:
+            raise SpecificationError("n_children must be positive")
+        child_seeds = expand_seed_words(self.seed, n_children, stream=23)
+        return [
+            BSRNG(self.algorithm, seed=int(s), lanes=self.lanes) for s in child_seeds
+        ]
+
+    # -- introspection ---------------------------------------------------------------
+    def gates_per_output_bit(self) -> float:
+        """Logic-gate cost per emitted bit (NaN for table-based baselines)."""
+        return self._source.gates_per_output_bit()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BSRNG(algorithm={self.algorithm!r}, seed={self.seed}, lanes={self.lanes})"

@@ -1,0 +1,392 @@
+"""Linear feedback shift registers: reference, naive-parallel and bitsliced.
+
+Three implementations of the same recurrence
+
+.. math:: s_{t+n} = \\bigoplus_{i \\in T} s_{t+i}
+
+(the Fibonacci form of an LFSR whose characteristic polynomial is
+``x^n + sum(x^i for i in T)``):
+
+:class:`ReferenceLFSR`
+    One instance, row-major, Python integers — the specification oracle.
+:class:`NaiveParallelLFSR`
+    Many instances, row-major, one word-sized register per lane with
+    per-clock shift+mask work.  This is the paper's §4.3 strawman ("32
+    parallel LFSRs in 32 threads"): every output bit per lane costs about
+    ``k`` tap extractions *and* a shift, and a lane's register uses only
+    ``n`` of its word's bits.
+:class:`BitslicedLFSR`
+    Many instances, column-major: ``k`` full-width XORs produce one output
+    bit in *every* lane, and the shift is O(1) register renaming
+    (:class:`~repro.core.registers.RotatingRegisterFile`).
+
+The op-count asymmetry between the last two is exactly the paper's claimed
+``32·k`` → ``k`` reduction; the ablation benchmark E8 measures it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.core.bitslice import bitslice
+from repro.core.engine import BitslicedEngine
+from repro.core.registers import RotatingRegisterFile
+from repro.errors import SpecificationError
+
+__all__ = [
+    "PRIMITIVE_TAPS",
+    "ReferenceLFSR",
+    "GaloisLFSR",
+    "NaiveParallelLFSR",
+    "BitslicedLFSR",
+]
+
+#: Known primitive characteristic polynomials ``x^n + sum(x^i, i in taps)``,
+#: indexed by degree.  Degrees ≤ 16 are verified exhaustively in the test
+#: suite (full period ``2^n - 1``); the larger entries are classical
+#: primitive trinomials/pentanomials from the LFSR literature (Zierler's
+#: trinomial tables and the Xilinx XAPP052 tap list).
+PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    2: (0, 1),
+    3: (0, 1),
+    4: (0, 1),
+    5: (0, 2),
+    6: (0, 1),
+    7: (0, 1),
+    8: (0, 2, 3, 4),
+    9: (0, 4),
+    10: (0, 3),
+    11: (0, 2),
+    12: (0, 1, 4, 6),
+    13: (0, 1, 3, 4),
+    14: (0, 1, 6, 10),
+    15: (0, 1),
+    16: (0, 4, 13, 15),
+    17: (0, 3),
+    18: (0, 7),
+    19: (0, 1, 2, 6),
+    20: (0, 3),
+    21: (0, 2),
+    22: (0, 1),
+    23: (0, 5),
+    24: (0, 17, 22, 23),
+    25: (0, 3),
+    31: (0, 3),
+    32: (0, 1, 2, 22),
+    89: (0, 38),
+    100: (0, 37),
+    127: (0, 1),
+}
+
+
+def fibonacci_transition_matrix(n: int, taps) -> np.ndarray:
+    """One-step state map of the Fibonacci LFSR as an ``(n, n)`` GF(2)
+    matrix (``new = M @ old``): rows 0..n-2 shift, row n-1 gathers taps.
+
+    ``gf2_matpow`` of this matrix is the jump-ahead operator shared by
+    :meth:`ReferenceLFSR.jump` and :meth:`BitslicedLFSR.jump`.
+    """
+    m = np.zeros((n, n), dtype=np.uint8)
+    for i in range(n - 1):
+        m[i, i + 1] = 1
+    for t in taps:
+        m[n - 1, t] = 1
+    return m
+
+
+def _check_taps(n: int, taps) -> tuple[int, ...]:
+    taps = tuple(sorted(set(int(t) for t in taps)))
+    if n < 2:
+        raise SpecificationError("LFSR degree must be at least 2")
+    if not taps:
+        raise SpecificationError("LFSR needs at least one feedback tap")
+    if taps[0] != 0:
+        raise SpecificationError(
+            "tap exponent 0 must be present (non-zero constant term keeps the map invertible)"
+        )
+    if taps[-1] >= n:
+        raise SpecificationError(f"tap exponent {taps[-1]} not below degree {n}")
+    return taps
+
+
+class ReferenceLFSR:
+    """Single-instance, bit-serial oracle implementation.
+
+    State bit 0 (``s_t``) is both the register's output and the LSB of the
+    integer register; a clock emits ``s_t`` and inserts the feedback bit at
+    the top — the costly shift/mask pattern the paper sets out to remove.
+    """
+
+    def __init__(self, n: int, taps=None, state: int = 1) -> None:
+        self.n = int(n)
+        self.taps = _check_taps(self.n, taps if taps is not None else PRIMITIVE_TAPS[self.n])
+        self.tap_mask = 0
+        for t in self.taps:
+            self.tap_mask |= 1 << t
+        self.seed(state)
+
+    def seed(self, state: int) -> None:
+        """Load a non-zero *n*-bit state."""
+        state = int(state) & ((1 << self.n) - 1)
+        if state == 0:
+            raise SpecificationError("the all-zero LFSR state is a fixed point")
+        self.state = state
+
+    def step(self) -> int:
+        """Clock once; return the emitted bit ``s_t``."""
+        out = self.state & 1
+        fb = (self.state & self.tap_mask).bit_count() & 1
+        self.state = (self.state >> 1) | (fb << (self.n - 1))
+        return out
+
+    def run(self, n_steps: int) -> np.ndarray:
+        """Emit *n_steps* bits as a uint8 array."""
+        out = np.empty(n_steps, dtype=np.uint8)
+        for i in range(n_steps):
+            out[i] = self.step()
+        return out
+
+    def jump(self, k: int) -> None:
+        """Advance the register by *k* clocks in ``O(n^3 log k)``.
+
+        Equivalent to calling :meth:`step` *k* times (without emitting the
+        bits) — the seek primitive multi-stream deployments use to place
+        lanes at provably disjoint stream offsets.
+        """
+        if k < 0:
+            raise SpecificationError("cannot jump backwards")
+        from repro.gf2.linalg import gf2_matpow
+
+        mk = gf2_matpow(fibonacci_transition_matrix(self.n, self.taps), k)
+        state_bits = np.array([(self.state >> i) & 1 for i in range(self.n)], dtype=np.uint8)
+        new_bits = (mk.astype(np.int64) @ state_bits.astype(np.int64)) & 1
+        self.state = int(sum(int(b) << i for i, b in enumerate(new_bits)))
+
+    def period(self, limit: int | None = None) -> int:
+        """Cycle length of the current state (exhaustive walk).
+
+        Only sensible for small ``n``; *limit* guards runaway walks.
+        """
+        limit = limit if limit is not None else (1 << self.n)
+        start = self.state
+        steps = 0
+        while True:
+            self.step()
+            steps += 1
+            if self.state == start:
+                return steps
+            if steps > limit:
+                raise SpecificationError(f"period exceeds limit {limit}")
+
+
+class GaloisLFSR:
+    """Galois-form twin of :class:`ReferenceLFSR` (same output sequence
+    family, feedback XORed into the taps instead of gathered from them).
+
+    Included because MICKEY's R register is Galois-structured (paper Fig. 2)
+    and because the two forms' equivalence is a useful property test.
+    """
+
+    def __init__(self, n: int, taps=None, state: int = 1) -> None:
+        self.n = int(n)
+        taps = _check_taps(self.n, taps if taps is not None else PRIMITIVE_TAPS[self.n])
+        # The Galois mask for the *same* characteristic polynomial places a
+        # feedback XOR wherever the polynomial has a term: bit j of the mask
+        # corresponds to exponent j+1 (the shift consumes one power of x),
+        # plus reinsertion at the top for the x^n term.
+        self.taps = taps
+        self.mask = 0
+        for t in taps:
+            if t == 0:
+                continue
+            self.mask |= 1 << (t - 1)
+        self.mask |= 1 << (self.n - 1)
+        self.seed(state)
+
+    def seed(self, state: int) -> None:
+        """Load a non-zero *n*-bit state."""
+        state = int(state) & ((1 << self.n) - 1)
+        if state == 0:
+            raise SpecificationError("the all-zero LFSR state is a fixed point")
+        self.state = state
+
+    def step(self) -> int:
+        """Clock all lanes once; returns the emitted bits."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self.mask
+        return out
+
+    def run(self, n_steps: int) -> np.ndarray:
+        """Emit *n_steps* output bits."""
+        out = np.empty(n_steps, dtype=np.uint8)
+        for i in range(n_steps):
+            out[i] = self.step()
+        return out
+
+    def transition_matrix(self) -> np.ndarray:
+        """One-step state map: shift right + conditional mask on bit 0."""
+        m = np.zeros((self.n, self.n), dtype=np.uint8)
+        for i in range(self.n - 1):
+            m[i, i + 1] = 1
+        for i in range(self.n):
+            if (self.mask >> i) & 1:
+                m[i, 0] ^= 1
+        return m
+
+    def jump(self, k: int) -> None:
+        """Advance by *k* clocks in ``O(n^3 log k)`` (see
+        :meth:`ReferenceLFSR.jump`)."""
+        if k < 0:
+            raise SpecificationError("cannot jump backwards")
+        from repro.gf2.linalg import gf2_matpow
+
+        mk = gf2_matpow(self.transition_matrix(), k)
+        state_bits = np.array([(self.state >> i) & 1 for i in range(self.n)], dtype=np.uint8)
+        new_bits = (mk.astype(np.int64) @ state_bits.astype(np.int64)) & 1
+        self.state = int(sum(int(b) << i for i, b in enumerate(new_bits)))
+
+
+class NaiveParallelLFSR:
+    """Row-major lanes: one word-register per lane, shift/mask per clock.
+
+    ``states`` is a uint64 vector, lane ``j``'s LFSR register in element
+    ``j``.  Each clock performs ``k`` single-bit tap extractions (shift +
+    AND each) plus the register shift — the instruction pattern the
+    bitsliced layout eliminates.  ``ops_per_step_per_lane`` reports the
+    cost the roofline model charges this variant.
+    """
+
+    def __init__(self, n: int, taps=None, states=None, n_lanes: int = 64) -> None:
+        self.n = int(n)
+        if self.n > 64:
+            raise SpecificationError("NaiveParallelLFSR packs each lane in a uint64")
+        self.taps = _check_taps(self.n, taps if taps is not None else PRIMITIVE_TAPS[self.n])
+        if states is None:
+            states = (np.arange(1, n_lanes + 1, dtype=np.uint64) * np.uint64(2654435761)) % np.uint64(1 << self.n)
+            states[states == 0] = 1
+        self.states = np.asarray(states, dtype=np.uint64).copy()
+        if np.any(self.states == 0) or np.any(self.states >> np.uint64(self.n)):
+            raise SpecificationError("lane states must be non-zero n-bit values")
+        self.n_lanes = self.states.size
+
+    @property
+    def ops_per_step_per_lane(self) -> int:
+        # per tap: shift + and + xor-accumulate; plus output extract, shift,
+        # feedback placement (shift + or).
+        """Instructions one lane pays per clock (roofline input)."""
+        return 3 * len(self.taps) + 4
+
+    def step(self) -> np.ndarray:
+        """Clock all lanes once; return their emitted bits (uint8 vector)."""
+        s = self.states
+        one = np.uint64(1)
+        out = (s & one).astype(np.uint8)
+        fb = np.zeros_like(s)
+        for t in self.taps:
+            fb ^= (s >> np.uint64(t)) & one
+        self.states = (s >> one) | (fb << np.uint64(self.n - 1))
+        return out
+
+    def run(self, n_steps: int) -> np.ndarray:
+        """Emit ``(n_steps, n_lanes)`` bits."""
+        out = np.empty((n_steps, self.n_lanes), dtype=np.uint8)
+        for i in range(n_steps):
+            out[i] = self.step()
+        return out
+
+
+class BitslicedLFSR:
+    """Column-major lanes on a rotating register file (paper Fig. 8).
+
+    One clock = ``k`` full-width XOR gates + one O(1) renaming shift, and
+    emits one output bit in *every* lane.
+    """
+
+    def __init__(self, n: int, taps=None, *, engine: BitslicedEngine | None = None) -> None:
+        self.n = int(n)
+        self.taps = _check_taps(self.n, taps if taps is not None else PRIMITIVE_TAPS[self.n])
+        self.engine = engine if engine is not None else BitslicedEngine()
+        self.file = RotatingRegisterFile(self.n, self.engine.n_words, self.engine.dtype)
+        self._seeded = False
+
+    @property
+    def ops_per_step(self) -> int:
+        """Full-width gate ops per clock (for *all* lanes together)."""
+        return len(self.taps)  # k XORs; the shift is renaming, zero gates
+
+    def seed_from_bits(self, states) -> None:
+        """Load per-lane initial states from an ``(n_lanes, n)`` bit matrix."""
+        arr = as_bit_array(states)
+        if arr.ndim != 2 or arr.shape != (self.engine.n_lanes, self.n):
+            raise SpecificationError(
+                f"expected ({self.engine.n_lanes}, {self.n}) state bits, got {arr.shape}"
+            )
+        if np.any(~arr.any(axis=1)):
+            raise SpecificationError("the all-zero LFSR state is a fixed point")
+        self.file.load(bitslice(arr, dtype=self.engine.dtype))
+        self._seeded = True
+
+    def seed_from_ints(self, states) -> None:
+        """Load per-lane initial states from integers (lsb = ``s_t``)."""
+        vals = np.asarray(states, dtype=np.uint64)
+        if vals.size != self.engine.n_lanes:
+            raise SpecificationError(f"need {self.engine.n_lanes} lane states")
+        bits = ((vals[:, None] >> np.arange(self.n, dtype=np.uint64)) & np.uint64(1)).astype(np.uint8)
+        self.seed_from_bits(bits)
+
+    def _require_seed(self) -> None:
+        if not self._seeded:
+            raise SpecificationError("BitslicedLFSR must be seeded before stepping")
+
+    def step(self) -> np.ndarray:
+        """Clock once; return the output plane (one bit per lane)."""
+        self._require_seed()
+        g = self.engine.gates
+        fb = self.file[self.taps[0]].copy()
+        for t in self.taps[1:]:
+            g.ixor(fb, self.file[t])
+        self.engine.counter.add("xor", 1)  # account the copy-as-first-operand
+        return self.file.shift_in(fb)
+
+    def run(self, n_steps: int) -> np.ndarray:
+        """Emit ``(n_steps, n_words)`` output planes via the staging buffer."""
+        self._require_seed()
+        out = np.empty((n_steps, self.engine.n_words), dtype=self.engine.dtype)
+        stage = self.engine.make_stage()
+        row = 0
+        for _ in range(n_steps):
+            row = stage.push(self.step(), out, row)
+        stage.drain(out, row)
+        return out
+
+    def jump(self, k: int) -> None:
+        """Advance every lane by *k* clocks in ``O(n^2)`` plane XORs.
+
+        The jump operator ``M^k`` is one ``(n, n)`` GF(2) matrix shared by
+        all lanes (they run the same polynomial), so in the bitsliced
+        layout it applies as at most ``n^2`` full-width plane XORs —
+        independent of the lane count, like everything else here.
+        """
+        self._require_seed()
+        if k < 0:
+            raise SpecificationError("cannot jump backwards")
+        from repro.gf2.linalg import gf2_matpow
+
+        mk = gf2_matpow(fibonacci_transition_matrix(self.n, self.taps), k)
+        old = self.file.snapshot()  # (n, n_words), logical order
+        new = np.zeros_like(old)
+        for i in range(self.n):
+            cols = np.flatnonzero(mk[i])
+            if cols.size:
+                new[i] = np.bitwise_xor.reduce(old[cols], axis=0)
+                self.engine.counter.add("xor", max(0, cols.size - 1))
+        self.file.load(new)
+
+    def state_bits(self) -> np.ndarray:
+        """Current per-lane states as an ``(n_lanes, n)`` bit matrix."""
+        from repro.core.bitslice import unbitslice
+
+        return unbitslice(self.file.snapshot(), self.engine.n_lanes)

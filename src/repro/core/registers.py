@@ -1,0 +1,88 @@
+"""Shift-by-renaming register file (paper §4.3).
+
+A row-major LFSR spends most of its cycle on shift-and-mask work.  In the
+bitsliced representation the whole shift collapses to *renaming*: the
+register file keeps its plane rows in a circular buffer and a shift merely
+moves the head index.  No data moves; reads are re-pointed.
+
+Two access paths are provided:
+
+* ``file[i]`` — logical random access (a view of one plane row),
+* :meth:`RotatingRegisterFile.gather` — materialise several logical
+  positions at once for vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitsliceLayoutError
+
+__all__ = ["RotatingRegisterFile"]
+
+
+class RotatingRegisterFile:
+    """A circular file of bitsliced plane rows with O(1) shift.
+
+    Logical index 0 is the *oldest* stage (the LFSR's output end); logical
+    index ``size - 1`` is the newest.  :meth:`shift_in` retires logical 0
+    and makes *plane* the new highest stage — by bumping the head pointer
+    and writing a single row.
+    """
+
+    def __init__(self, size: int, n_words: int, dtype=np.uint64) -> None:
+        if size <= 0 or n_words <= 0:
+            raise BitsliceLayoutError("size and n_words must be positive")
+        self._buf = np.zeros((size, n_words), dtype=dtype)
+        self._head = 0  # physical row of logical index 0
+        self.size = size
+        self.n_words = n_words
+        self.dtype = np.dtype(dtype)
+        #: number of logical shifts performed (for period bookkeeping)
+        self.shifts = 0
+
+    def _phys(self, i: int) -> int:
+        if not -self.size <= i < self.size:
+            raise BitsliceLayoutError(f"register index {i} out of range [0, {self.size})")
+        if i < 0:
+            i += self.size
+        return (self._head + i) % self.size
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self._buf[self._phys(i)]
+
+    def __setitem__(self, i: int, value) -> None:
+        self._buf[self._phys(i)] = value
+
+    def __len__(self) -> int:
+        return self.size
+
+    def shift_in(self, plane) -> np.ndarray:
+        """Retire logical 0, append *plane* as the newest stage.
+
+        Returns the retired plane (a copy — the storage row is reused).
+        """
+        out = self._buf[self._head].copy()
+        self._buf[self._head] = plane
+        self._head = (self._head + 1) % self.size
+        self.shifts += 1
+        return out
+
+    def gather(self, indices) -> np.ndarray:
+        """Materialise logical *indices* as a ``(len(indices), n_words)`` array."""
+        phys = [(self._head + (i if i >= 0 else i + self.size)) % self.size for i in indices]
+        return self._buf[phys]
+
+    def load(self, planes: np.ndarray) -> None:
+        """Replace the whole file contents; logical order == row order."""
+        planes = np.asarray(planes, dtype=self.dtype)
+        if planes.shape != (self.size, self.n_words):
+            raise BitsliceLayoutError(
+                f"expected shape {(self.size, self.n_words)}, got {planes.shape}"
+            )
+        self._buf[:] = planes
+        self._head = 0
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the file in logical order (row i == logical i)."""
+        return np.roll(self._buf, -self._head, axis=0).copy()

@@ -1,0 +1,86 @@
+"""Bitsliced CRC (the paper's Fig. 6).
+
+The CRC register becomes ``width`` planes; one clock consumes one message
+bit from *every* stream: the shift is plane renaming on the rotating
+file, and the conditional polynomial XOR becomes an AND-mask XOR on the
+tap planes — "fully paralleled CRC calculation for 32 different data
+streams simultaneously without any computational overhead".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.core.bitslice import bitslice, unbitslice
+from repro.core.engine import BitslicedEngine
+from repro.crc.serial import CRC8_ATM, CRCSpec
+from repro.errors import SpecificationError
+
+__all__ = ["BitslicedCRC"]
+
+
+class BitslicedCRC:
+    """CRC over ``engine.n_lanes`` independent bit streams.
+
+    State plane ``i`` holds register bit ``i`` (LSB = 0) of every lane.
+    """
+
+    def __init__(self, spec: CRCSpec = CRC8_ATM, engine: BitslicedEngine | None = None) -> None:
+        self.spec = spec
+        self.engine = engine if engine is not None else BitslicedEngine()
+        self._tap_idx = np.array([i for i in range(spec.width) if (spec.poly >> i) & 1])
+        self.state = np.zeros((spec.width, self.engine.n_words), dtype=self.engine.dtype)
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the init value in every lane's register planes."""
+        init_bits = [(self.spec.init >> i) & 1 for i in range(self.spec.width)]
+        full = np.iinfo(self.engine.dtype).max
+        for i, b in enumerate(init_bits):
+            self.state[i] = full if b else 0
+
+    def feed_planes(self, bit_planes: np.ndarray) -> None:
+        """Clock in message bits, one plane per clock (msb-first order).
+
+        ``bit_planes`` is ``(n_clocks, n_words)``: row t carries message
+        bit t of every lane.
+        """
+        planes = np.asarray(bit_planes, dtype=self.engine.dtype)
+        if planes.ndim != 2 or planes.shape[1] != self.engine.n_words:
+            raise SpecificationError(
+                f"expected (n_clocks, {self.engine.n_words}) planes, got {planes.shape}"
+            )
+        w = self.spec.width
+        st = self.state
+        counter = self.engine.counter
+        for t in range(planes.shape[0]):
+            fb = st[w - 1] ^ planes[t]  # top bit ⊕ input, per lane
+            # shift: plane i <- plane i-1 (renaming realised as a row move
+            # on the contiguous buffer; see RotatingRegisterFile for the
+            # pure-renaming variant used by the LFSR ablation)
+            st[1:] = st[:-1]
+            st[0] = 0
+            st[self._tap_idx] ^= fb
+            counter.add("xor", 1 + self._tap_idx.size)
+
+    def feed_bits(self, messages) -> None:
+        """Clock in an ``(n_lanes, n_bits)`` message matrix."""
+        arr = as_bit_array(messages)
+        if arr.shape[0] != self.engine.n_lanes:
+            raise SpecificationError(
+                f"expected {self.engine.n_lanes} message rows, got {arr.shape[0]}"
+            )
+        self.feed_planes(bitslice(arr, dtype=self.engine.dtype))
+
+    def checksums(self) -> np.ndarray:
+        """Per-lane CRC values as integers (``(n_lanes,)`` uint64)."""
+        bits = unbitslice(self.state, self.engine.n_lanes)  # (n_lanes, width)
+        weights = (np.uint64(1) << np.arange(self.spec.width, dtype=np.uint64))
+        return (bits.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+
+    def checksum_messages(self, messages) -> np.ndarray:
+        """Reset, feed all messages, return per-lane checksums."""
+        self.reset()
+        self.feed_bits(messages)
+        return self.checksums()

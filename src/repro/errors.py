@@ -1,0 +1,25 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class BitsliceLayoutError(ReproError, ValueError):
+    """A bitsliced array has an unexpected shape, dtype or lane count."""
+
+
+class KeyScheduleError(ReproError, ValueError):
+    """A cipher key or IV has an invalid length or type."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """Parameters violate an algorithm's published specification."""
+
+
+class ModelError(ReproError, ValueError):
+    """The GPU performance model was queried with inconsistent inputs."""
+
+
+class InsufficientDataError(ReproError, ValueError):
+    """A statistical test was given fewer bits than it requires."""

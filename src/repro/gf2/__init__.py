@@ -1,0 +1,42 @@
+"""GF(2) algebra: polynomials, LFSR period theory, linear algebra.
+
+The theory substrate behind the LFSR machinery (§2.2): primitive
+polynomials guarantee the maximal ``2^n - 1`` period, Berlekamp–Massey
+recovers linear complexity (also the core of NIST test #10), and
+bit-packed Gaussian elimination provides the matrix rank used by NIST
+test #5.
+"""
+
+from repro.gf2.linalg import gf2_matrix_rank, pack_rows, rank_distribution
+from repro.gf2.lfsr_theory import berlekamp_massey, lfsr_period, linear_complexity_profile
+from repro.gf2.poly import (
+    poly_degree,
+    poly_divmod,
+    poly_from_taps,
+    poly_gcd,
+    poly_is_irreducible,
+    poly_is_primitive,
+    poly_mod,
+    poly_mul,
+    poly_powmod,
+    taps_from_poly,
+)
+
+__all__ = [
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_powmod",
+    "poly_degree",
+    "poly_is_irreducible",
+    "poly_is_primitive",
+    "poly_from_taps",
+    "taps_from_poly",
+    "berlekamp_massey",
+    "linear_complexity_profile",
+    "lfsr_period",
+    "gf2_matrix_rank",
+    "pack_rows",
+    "rank_distribution",
+]

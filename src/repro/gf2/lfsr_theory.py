@@ -1,0 +1,99 @@
+"""LFSR sequence theory: linear complexity and period.
+
+Berlekamp–Massey is doubly load-bearing here: it verifies that our LFSRs
+produce sequences of exactly the expected linear complexity, and it is
+the statistic of NIST SP 800-22 test #10 (Linear Complexity), so it must
+be fast — the inner update is vectorized over the connection polynomial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.errors import SpecificationError
+from repro.gf2.poly import poly_from_taps, poly_is_primitive, poly_powmod
+
+__all__ = ["berlekamp_massey", "linear_complexity_profile", "lfsr_period"]
+
+
+def berlekamp_massey(bits) -> int:
+    """Linear complexity L of a bit sequence (length of the shortest LFSR
+    that generates it)."""
+    s = as_bit_array(bits)
+    n = s.size
+    if n == 0:
+        return 0
+    # Connection polynomials as fixed-size bit arrays (index = coefficient).
+    c = np.zeros(n + 1, dtype=np.uint8)
+    b = np.zeros(n + 1, dtype=np.uint8)
+    c[0] = b[0] = 1
+    L, m = 0, -1
+    for i in range(n):
+        # discrepancy d = s_i + sum_{j=1..L} c_j s_{i-j}; L <= i always
+        # holds here, so the reversed window has exactly L elements.
+        d = int(s[i])
+        if L:
+            d ^= int((c[1 : L + 1] & s[i - L : i][::-1]).sum() & 1)
+        if d:
+            t = c.copy()
+            shift = i - m
+            c[shift : n + 1] ^= b[: n + 1 - shift]
+            if 2 * L <= i:
+                L = i + 1 - L
+                m = i
+                b = t
+    return L
+
+
+def linear_complexity_profile(bits) -> np.ndarray:
+    """L_i after each prefix of the sequence (the LC profile).
+
+    A good PRNG's profile hugs the ``i/2`` line; used by the analysis
+    module and as a property-test oracle.
+    """
+    s = as_bit_array(bits)
+    n = s.size
+    c = np.zeros(n + 1, dtype=np.uint8)
+    b = np.zeros(n + 1, dtype=np.uint8)
+    c[0] = b[0] = 1
+    L, m = 0, -1
+    profile = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        d = int(s[i])
+        if L:
+            d ^= int((c[1 : L + 1] & s[i - L : i][::-1]).sum() & 1)
+        if d:
+            t = c.copy()
+            shift = i - m
+            c[shift : n + 1] ^= b[: n + 1 - shift]
+            if 2 * L <= i:
+                L = i + 1 - L
+                m = i
+                b = t
+        profile[i] = L
+    return profile
+
+
+def lfsr_period(n: int, taps) -> int:
+    """Exact period of the LFSR ``x^n + sum(x^i, i in taps)`` from any
+    non-zero state, computed algebraically (order of x mod p).
+
+    For a primitive polynomial this is ``2^n - 1`` without walking the
+    state space; otherwise the multiplicative order is found by dividing
+    out prime factors.
+    """
+    from repro.gf2.poly import factorize
+
+    p = poly_from_taps(n, taps)
+    if poly_is_primitive(p):
+        return (1 << n) - 1
+    order = (1 << n) - 1
+    if poly_powmod(2, order, p) != 1:
+        raise SpecificationError(
+            "polynomial is not irreducible; the LFSR has state-dependent periods"
+        )
+    for q in factorize(order):
+        while order % q == 0 and poly_powmod(2, order // q, p) == 1:
+            order //= q
+    return order

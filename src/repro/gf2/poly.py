@@ -1,0 +1,209 @@
+"""Polynomials over GF(2), encoded as Python integers (bit i = coeff of x^i).
+
+Integers give exact arithmetic at any degree with carry-less operations,
+which is all GF(2)[x] needs; everything here is deterministic (Rabin's
+irreducibility test and the multiplicative-order primitivity test are
+exact, not probabilistic, over GF(2)).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import SpecificationError
+
+__all__ = [
+    "poly_degree",
+    "poly_mul",
+    "poly_divmod",
+    "poly_mod",
+    "poly_gcd",
+    "poly_powmod",
+    "poly_is_irreducible",
+    "poly_is_primitive",
+    "poly_from_taps",
+    "taps_from_poly",
+    "factorize",
+]
+
+
+def poly_degree(p: int) -> int:
+    """Degree of *p* (−1 for the zero polynomial)."""
+    return p.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less product in GF(2)[x]."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a <<= 1
+        b >>= 1
+    return out
+
+
+def poly_divmod(a: int, b: int) -> tuple[int, int]:
+    """Quotient and remainder of ``a / b`` in GF(2)[x]."""
+    if b == 0:
+        raise SpecificationError("polynomial division by zero")
+    db = poly_degree(b)
+    q = 0
+    while poly_degree(a) >= db:
+        shift = poly_degree(a) - db
+        q ^= 1 << shift
+        a ^= b << shift
+    return q, a
+
+
+def poly_mod(a: int, b: int) -> int:
+    """Remainder of ``a mod b``."""
+    return poly_divmod(a, b)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x]."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_powmod(base: int, exp: int, mod: int) -> int:
+    """``base^exp mod mod`` by square-and-multiply."""
+    result = 1
+    base = poly_mod(base, mod)
+    while exp:
+        if exp & 1:
+            result = poly_mod(poly_mul(result, base), mod)
+        base = poly_mod(poly_mul(base, base), mod)
+        exp >>= 1
+    return result
+
+
+def poly_from_taps(n: int, taps) -> int:
+    """Characteristic polynomial ``x^n + sum(x^i for i in taps)``."""
+    p = 1 << n
+    for t in taps:
+        if not 0 <= t < n:
+            raise SpecificationError(f"tap {t} out of range for degree {n}")
+        p |= 1 << t
+    return p
+
+
+def taps_from_poly(p: int) -> tuple[int, tuple[int, ...]]:
+    """Inverse of :func:`poly_from_taps`: returns ``(n, taps)``."""
+    n = poly_degree(p)
+    if n < 1:
+        raise SpecificationError("polynomial must have positive degree")
+    taps = tuple(i for i in range(n) if (p >> i) & 1)
+    return n, taps
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Distinct prime factors by trial division + Pollard rho."""
+    factors: set[int] = set()
+
+    def pollard(m: int) -> int:
+        import math
+
+        if m % 2 == 0:
+            return 2
+        x, c = 2, 1
+        while True:
+            y, d = x, 1
+            while d == 1:
+                x = (x * x + c) % m
+                y = (y * y + c) % m
+                y = (y * y + c) % m
+                d = math.gcd(abs(x - y), m)
+            if d != m:
+                return d
+            c += 1
+            x = c + 1
+
+    def is_prime(m: int) -> bool:
+        if m < 2:
+            return False
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+            if m % p == 0:
+                return m == p
+        d, s = m - 1, 0
+        while d % 2 == 0:
+            d //= 2
+            s += 1
+        for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+            x = pow(a, d, m)
+            if x in (1, m - 1):
+                continue
+            for _ in range(s - 1):
+                x = x * x % m
+                if x == m - 1:
+                    break
+            else:
+                return False
+        return True
+
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors.add(m)
+            continue
+        for p in (2, 3, 5, 7, 11, 13):
+            if m % p == 0:
+                factors.add(p)
+                while m % p == 0:
+                    m //= p
+                if m > 1:
+                    stack.append(m)
+                break
+        else:
+            d = pollard(m)
+            stack.extend([d, m // d])
+    return sorted(factors)
+
+
+@lru_cache(maxsize=None)
+def factorize(n: int) -> tuple[int, ...]:
+    """Distinct prime factors of *n* (cached; exact)."""
+    return tuple(_prime_factors(n))
+
+
+def poly_is_irreducible(p: int) -> bool:
+    """Rabin's test: *p* (degree n) is irreducible iff
+    ``x^(2^n) ≡ x (mod p)`` and ``gcd(x^(2^(n/q)) - x, p) = 1`` for every
+    prime ``q | n``."""
+    n = poly_degree(p)
+    if n < 1:
+        return False
+    if not p & 1:  # divisible by x
+        return n == 1
+    # x^(2^k) mod p by repeated squaring of x
+    def x_pow_2k(k: int) -> int:
+        r = 2  # the polynomial x
+        for _ in range(k):
+            r = poly_mod(poly_mul(r, r), p)
+        return r
+
+    if x_pow_2k(n) != 2:
+        return False
+    for q in factorize(n):
+        h = x_pow_2k(n // q) ^ 2
+        if poly_gcd(h, p) != 1:
+            return False
+    return True
+
+
+def poly_is_primitive(p: int) -> bool:
+    """Primitivity: irreducible and the root's multiplicative order is
+    exactly ``2^n - 1`` (checked against every maximal proper divisor)."""
+    n = poly_degree(p)
+    if n < 1 or not poly_is_irreducible(p):
+        return False
+    order = (1 << n) - 1
+    for q in factorize(order):
+        if poly_powmod(2, order // q, p) == 1:
+            return False
+    return poly_powmod(2, order, p) == 1

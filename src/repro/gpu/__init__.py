@@ -1,0 +1,65 @@
+"""GPU platform catalogue, throughput models and multi-device dispatch.
+
+This package substitutes for the paper's CUDA testbed (six NVIDIA GPUs,
+Table 2).  It provides:
+
+``specs``
+    The GPU catalogue — Table 2's evaluation platforms and Table 1's
+    legacy GPUs — plus the paper's prior-work rows.
+``kernels``
+    Kernel cost profiles *measured from the live bitsliced circuits*
+    (gates per output bit, register pressure, output bytes per bit).
+``launch``
+    CUDA-style launch configuration and an SM occupancy calculator.
+``model``
+    Two throughput models: a first-principles roofline over the measured
+    gate counts, and an anchored model calibrated to the paper's stated
+    numbers (2.72 Tb/s on the 2080 Ti, 2.90 Tb/s on the V100, 1.9× over
+    cuRAND on the 980 Ti).  The gap between the two is itself a
+    reproduction finding, reported in EXPERIMENTS.md.
+``memory``
+    Shared-memory staging and coalescing efficiency models (§4.5).
+``multigpu``
+    Counter-space partitioning across devices, process-backed parallel
+    generation, reconstruction equivalence and the scaling model (§5.4).
+``latency``
+    Time-to-first-byte model for the §6 "delay" drawback discussion.
+"""
+
+from repro.gpu.kernels import KernelProfile, kernel_profiles
+from repro.gpu.latency import LatencyModel, first_byte_latency_us
+from repro.gpu.launch import LaunchConfig, occupancy
+from repro.gpu.memory import coalescing_efficiency, staging_efficiency
+from repro.gpu.model import ThroughputModel, anchored_throughput_gbps, roofline_gbps
+from repro.gpu.multigpu import (
+    LanePartitionedGenerator,
+    MultiDeviceGenerator,
+    partition_counter_space,
+    scaling_model,
+)
+from repro.gpu.priorwork import PRIOR_WORK, PriorWork
+from repro.gpu.specs import GPU_CATALOGUE, LEGACY_GPUS, TABLE2_GPUS, GPUSpec
+
+__all__ = [
+    "GPUSpec",
+    "TABLE2_GPUS",
+    "LEGACY_GPUS",
+    "GPU_CATALOGUE",
+    "PriorWork",
+    "PRIOR_WORK",
+    "KernelProfile",
+    "kernel_profiles",
+    "LaunchConfig",
+    "occupancy",
+    "roofline_gbps",
+    "anchored_throughput_gbps",
+    "ThroughputModel",
+    "staging_efficiency",
+    "coalescing_efficiency",
+    "MultiDeviceGenerator",
+    "LanePartitionedGenerator",
+    "LatencyModel",
+    "first_byte_latency_us",
+    "partition_counter_space",
+    "scaling_model",
+]

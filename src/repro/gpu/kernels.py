@@ -1,0 +1,109 @@
+"""Kernel cost profiles, measured from the live implementations.
+
+The roofline model charges each kernel a gate count per output bit; to
+keep the model honest those counts come from the *instrumented circuits
+that actually run* — ``gates_per_output_bit()`` on the cipher banks, and
+``ops_per_output_bit()`` on the baseline banks — not from hand estimates.
+Register-pressure figures are derived from the state-plane counts plus
+the live temporaries of each kernel's inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["KernelProfile", "kernel_profiles"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Cost model inputs for one generator kernel.
+
+    Attributes
+    ----------
+    gates_per_bit:
+        Logic instructions per emitted bit *per lane* (bitsliced) or per
+        stream (row-major).
+    datapath_lanes:
+        How many independent output bits one instruction advances: 32 for
+        bitsliced kernels on a 32-bit GPU datapath, 1 for row-major.
+    registers_per_thread:
+        32-bit registers a thread needs (state planes + live temps);
+        drives the occupancy penalty.
+    bitsliced:
+        Whether the kernel uses the column-major layout.
+    """
+
+    name: str
+    gates_per_bit: float
+    datapath_lanes: int
+    registers_per_thread: int
+    bitsliced: bool
+
+    @property
+    def bits_per_instruction(self) -> float:
+        """Output bits one instruction advances (datapath / gates-per-bit)."""
+        return self.datapath_lanes / self.gates_per_bit
+
+
+@lru_cache(maxsize=1)
+def kernel_profiles() -> dict[str, KernelProfile]:
+    """Measure gate counts from tiny live instances of every kernel."""
+    from repro.baselines.mt19937 import MT19937Bank
+    from repro.baselines.philox import PhiloxBank
+    from repro.baselines.xorwow import XorwowBank
+    from repro.ciphers.aes_bitsliced import BitslicedAESCTR
+    from repro.ciphers.grain_bitsliced import BitslicedGrain
+    from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+    from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+    from repro.core.engine import BitslicedEngine
+
+    from repro.ciphers.mickey_circuit import mickey_clock_circuit
+
+    grain = BitslicedGrain(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+    trivium = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+    aes = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+
+    # MICKEY's cost comes from the *generated* one-clock circuit — the
+    # same netlist the emitted CUDA kernel would execute — after constant
+    # folding and CSE (≈ 600 gates/clock vs ≈ 1150 in the unfolded
+    # hand-vectorized tally).
+    mickey_gates = float(mickey_clock_circuit(mixing=False).gate_counts()["total"])
+
+    profiles = {
+        # MICKEY: 200 state planes live in registers (the paper: "200
+        # registers, each containing 32 bits") + ~10 temporaries.  The CUDA
+        # implementation splits the bank across threads so the per-thread
+        # register count stays at the architectural 255 cap's working set.
+        "mickey2": KernelProfile("mickey2", mickey_gates, 32, 210, True),
+        "grain": KernelProfile("grain", grain.gates_per_output_bit(), 32, 168, True),
+        # Trivium (extension beyond the paper): 288 state planes but only
+        # 14 gates/clock; register pressure like MICKEY's bank split.
+        "trivium": KernelProfile("trivium", trivium.gates_per_output_bit(), 32, 255, True),
+        "aes128ctr": KernelProfile("aes128ctr", aes.gates_per_output_bit(), 32, 160, True),
+        "curand-mt": KernelProfile(
+            "curand-mt",
+            MT19937Bank(seed=0, n_streams=4).ops_per_output_bit(),
+            1,
+            48,
+            False,
+        ),
+        "curand-xorwow": KernelProfile(
+            "curand-xorwow",
+            XorwowBank(seed=0, n_streams=4).ops_per_output_bit(),
+            1,
+            16,
+            False,
+        ),
+        "curand-philox": KernelProfile(
+            "curand-philox",
+            PhiloxBank(seed=0, n_streams=4).ops_per_output_bit(),
+            1,
+            24,
+            False,
+        ),
+    }
+    return profiles

@@ -1,0 +1,104 @@
+"""Time-to-first-byte model (the paper's §6 "delay" concern).
+
+The conclusion singles out latency as the GPU approach's "major
+drawback" versus ASIC/FPGA/optical generators.  This module makes that
+trade-off quantitative: before the first random byte arrives the host
+must launch a kernel, every lane must run the cipher's initialisation
+clocks, and the first staged buffer must travel back over PCIe.  The
+model composes those terms so the latency/throughput frontier of
+Figure 10's configurations can be tabulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.gpu.kernels import KernelProfile, kernel_profiles
+from repro.gpu.launch import LaunchConfig, occupancy
+from repro.gpu.specs import GPUSpec, get_gpu
+
+__all__ = ["LatencyModel", "INIT_CLOCKS", "first_byte_latency_us"]
+
+#: Initialisation clocks before the first keystream bit, per kernel
+#: (from the cipher specs: MICKEY loads IV+key then preclocks 100,
+#: Grain preclocks 160 after loading, Trivium 1152, AES-CTR none).
+INIT_CLOCKS: dict[str, int] = {
+    "mickey2": 80 + 80 + 100,  # IV load + key load + preclock
+    "grain": 160,
+    "trivium": 1152,
+    "aes128ctr": 0,
+    "curand-mt": 624,  # state twist on first use
+    "curand-xorwow": 0,
+    "curand-philox": 0,
+}
+
+#: Fixed host-side kernel-launch cost (microseconds) — the well-known
+#: ~5-10 us CUDA launch overhead; we take the middle of that range.
+_LAUNCH_US = 7.0
+#: PCIe 3.0 x16 effective bandwidth for the copy-back (GB/s).
+_PCIE_GBS = 12.0
+#: PCIe transaction setup latency (microseconds).
+_PCIE_SETUP_US = 10.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency estimates for one (kernel, GPU, launch) configuration."""
+
+    kernel: KernelProfile
+    gpu: GPUSpec
+    launch: LaunchConfig = LaunchConfig()
+
+    @classmethod
+    def of(cls, kernel_name: str, gpu_name: str, launch: LaunchConfig | None = None) -> "LatencyModel":
+        """Build a model from kernel/GPU names."""
+        try:
+            kernel = kernel_profiles()[kernel_name]
+        except KeyError:
+            raise ModelError(f"unknown kernel {kernel_name!r}") from None
+        return cls(kernel, get_gpu(gpu_name), launch or LaunchConfig())
+
+    @property
+    def init_clocks(self) -> int:
+        """Cipher initialisation clocks before the first output bit."""
+        return INIT_CLOCKS.get(self.kernel.name, 0)
+
+    def clock_time_us(self) -> float:
+        """Wall time of one bank clock (all resident lanes) in us.
+
+        One clock issues ``gates_per_bit`` logic ops per lane-bit; the
+        SM array retires them at the logic issue rate times occupancy.
+        """
+        occ = occupancy(self.gpu, self.kernel.registers_per_thread, self.launch.threads_per_block)
+        lanes = self.launch.lanes(self.kernel.datapath_lanes)
+        ops = self.kernel.gates_per_bit * lanes / max(self.kernel.datapath_lanes, 1)
+        rate = self.gpu.logic_ops_per_s * occ
+        return ops / rate * 1e6
+
+    def init_time_us(self) -> float:
+        """Cipher initialisation before the first output bit."""
+        return self.init_clocks * self.clock_time_us()
+
+    def transfer_time_us(self, n_bytes: int) -> float:
+        """Copy-back of the first *n_bytes* over PCIe."""
+        if n_bytes < 0:
+            raise ModelError("n_bytes must be non-negative")
+        return _PCIE_SETUP_US + n_bytes / (_PCIE_GBS * 1e3)
+
+    def first_byte_us(self, stage_bytes: int = 8192) -> float:
+        """Launch + init + first staged buffer + copy-back."""
+        # bits to fill the first stage buffer, emitted one plane per clock
+        lanes = self.launch.lanes(self.kernel.datapath_lanes)
+        fill_clocks = max(1, (8 * stage_bytes) // max(lanes, 1))
+        return (
+            _LAUNCH_US
+            + self.init_time_us()
+            + fill_clocks * self.clock_time_us()
+            + self.transfer_time_us(stage_bytes)
+        )
+
+
+def first_byte_latency_us(kernel_name: str, gpu_name: str, stage_bytes: int = 8192) -> float:
+    """Convenience wrapper: modeled time-to-first-byte in microseconds."""
+    return LatencyModel.of(kernel_name, gpu_name).first_byte_us(stage_bytes)

@@ -1,0 +1,69 @@
+"""CUDA-style launch configuration and SM occupancy.
+
+The paper fixes *thread blocks = 64* and *threads per block = 256*
+(§5.2) and tunes the kernel "loop size" between 4,400 and 13,000; the
+occupancy calculator reproduces the register-pressure trade-off those
+choices navigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["LaunchConfig", "occupancy"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry of one kernel launch (paper defaults)."""
+
+    blocks: int = 64
+    threads_per_block: int = 256
+    loop_size: int = 8192  # keystream clocks per kernel invocation
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0 or self.threads_per_block <= 0 or self.loop_size <= 0:
+            raise ModelError("launch dimensions must be positive")
+        if self.threads_per_block > 1024:
+            raise ModelError("CUDA caps threads per block at 1024")
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across the whole grid."""
+        return self.blocks * self.threads_per_block
+
+    def lanes(self, datapath: int = 32) -> int:
+        """Total parallel generator instances the launch runs."""
+        return self.total_threads * datapath
+
+    def bits_per_launch(self, datapath: int = 32) -> int:
+        """Output bits one launch produces."""
+        return self.lanes(datapath) * self.loop_size
+
+
+def occupancy(gpu: GPUSpec, registers_per_thread: int, threads_per_block: int = 256) -> float:
+    """Fraction of an SM's maximum resident threads a kernel sustains.
+
+    Registers are the binding resource for bitsliced kernels (no shared
+    memory beyond the staging buffer, no texture use): resident threads =
+    ``regs_per_sm // registers_per_thread`` rounded down to whole blocks.
+    """
+    if registers_per_thread <= 0:
+        raise ModelError("registers_per_thread must be positive")
+    if gpu.regs_per_sm == 0 or gpu.max_threads_per_sm == 0:
+        return 1.0  # pre-CUDA parts: treat as unconstrained
+    regs_per_thread = min(registers_per_thread, 255)
+    threads_by_regs = gpu.regs_per_sm // regs_per_thread
+    blocks = threads_by_regs // threads_per_block
+    if blocks >= 1:
+        resident = min(blocks * threads_per_block, gpu.max_threads_per_sm)
+    else:
+        # A whole block does not fit at this register count: the compiler
+        # spills to local memory so one block still runs.  Model the spill
+        # as residency capped at what the register file supports (never
+        # zero), i.e. partial-block occupancy.
+        resident = max(threads_by_regs, 32)
+    return resident / gpu.max_threads_per_sm

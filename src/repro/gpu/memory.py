@@ -1,0 +1,65 @@
+"""Shared-memory staging and coalescing efficiency models (paper §4.5).
+
+The paper stages each thread's per-clock 32-bit output word in shared
+memory and flushes the full buffer to global memory in one coalesced
+burst, tuning the buffer size "experimentally by simple try and error".
+These two small models capture the mechanics so the ablation benchmark
+(E9) can sweep them, and so the roofline knows what fraction of peak DRAM
+bandwidth the write path sustains.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+__all__ = ["staging_efficiency", "coalescing_efficiency", "effective_write_bw"]
+
+#: DRAM burst granularity (bytes) — one coalesced transaction segment.
+_SEGMENT_BYTES = 128
+#: Fixed cost of one global-memory transaction, expressed in equivalent
+#: bytes of transfer time (latency ≈ 400 cycles ≈ this many bytes at peak).
+_TRANSACTION_OVERHEAD_BYTES = 96.0
+
+
+def staging_efficiency(stage_bytes: int, flush_overhead_bytes: float = 512.0) -> float:
+    """Fraction of peak bandwidth achieved with a staging buffer.
+
+    Each flush pays a fixed synchronisation/launch cost; larger buffers
+    amortise it: ``eff = stage / (stage + overhead)``.  The curve has the
+    experimentally-observed shape — steep gains up to a few KiB, then a
+    plateau (the paper's "suitable size to occupy shared memory").
+    """
+    if stage_bytes <= 0:
+        raise ModelError("stage_bytes must be positive")
+    return stage_bytes / (stage_bytes + flush_overhead_bytes)
+
+
+def coalescing_efficiency(access_stride_words: int = 1, word_bytes: int = 4) -> float:
+    """Fraction of transferred bytes that are useful for a given stride.
+
+    Stride 1 (fully coalesced) moves only useful bytes; stride ``s``
+    touches ``s×`` the segments for the same useful data, up to the point
+    where every word lives in its own 128-byte segment.
+    """
+    if access_stride_words <= 0:
+        raise ModelError("stride must be positive")
+    useful_per_segment = max(1, _SEGMENT_BYTES // (access_stride_words * word_bytes))
+    return min(1.0, useful_per_segment * word_bytes / _SEGMENT_BYTES)
+
+
+def effective_write_bw(
+    peak_gbs: float,
+    stage_bytes: int = 8192,
+    stride_words: int = 1,
+    word_bytes: int = 4,
+) -> float:
+    """Modelled sustainable write bandwidth (GB/s) for the output path."""
+    if peak_gbs <= 0:
+        raise ModelError("peak bandwidth must be positive")
+    stage = staging_efficiency(stage_bytes)
+    coal = coalescing_efficiency(stride_words, word_bytes)
+    # per-transaction overhead on top of the staging amortisation
+    seg_eff = _SEGMENT_BYTES / (_SEGMENT_BYTES + _TRANSACTION_OVERHEAD_BYTES / math.sqrt(stage_bytes / 1024.0 + 1.0))
+    return peak_gbs * stage * coal * seg_eff

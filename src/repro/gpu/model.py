@@ -1,0 +1,172 @@
+"""Throughput models: first-principles roofline and paper-anchored.
+
+Two models, deliberately kept separate:
+
+:func:`roofline_gbps`
+    Pure first principles — measured gate counts, the GPU's logic issue
+    rate, register-pressure occupancy, and the modelled write bandwidth.
+    No knowledge of the paper's results.
+
+:func:`anchored_throughput_gbps` / :class:`ThroughputModel`
+    The roofline *shape* rescaled through one calibration constant per
+    kernel family, solved from the paper's stated anchor points
+    (MICKEY = 2.72 Tb/s on the GTX 2080 Ti; cuRAND 1.4× below it there).
+    This regenerates Figure 10/11 as the paper reports them, while the
+    size of the calibration constant quantifies how far the paper's
+    absolute claims sit above a plain roofline — a reproduction finding
+    recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.gpu.kernels import KernelProfile, kernel_profiles
+from repro.gpu.launch import LaunchConfig, occupancy
+from repro.gpu.memory import effective_write_bw
+from repro.gpu.specs import GPUSpec, get_gpu
+
+__all__ = ["roofline_gbps", "anchored_throughput_gbps", "ThroughputModel", "PAPER_ANCHORS"]
+
+#: Quantitative claims in the paper's text used as calibration anchors.
+PAPER_ANCHORS = {
+    # (kernel, gpu) -> Gbps
+    ("mickey2", "GTX 2080 Ti"): 2720.0,  # "2.72 Tb/s ... on the affordable GTX 2080 Ti"
+    ("mickey2", "Tesla V100"): 2900.0,  # "2.90 Tb/s on Nvidia V100"
+    ("curand-mt", "GTX 2080 Ti"): 2720.0 / 1.4,  # "40% improvement over ... cuRAND"
+}
+
+#: Anchors *derived from the paper's prose*, not its text numbers: Figure
+#: 10's per-bar values are not printed, but the text fixes the ordering —
+#: MICKEY is "our highest performance among all of the implemented
+#: CPRNGs" and "the peak AES performance is limited compared to the
+#: stream ciphers".  The ratios below encode that reading and are flagged
+#: as assumptions in EXPERIMENTS.md.
+DERIVED_ANCHORS = {
+    ("grain", "GTX 2080 Ti"): 2720.0 * 0.85,
+    ("aes128ctr", "GTX 2080 Ti"): 2720.0 * 0.45,
+}
+
+
+def roofline_gbps(
+    kernel: KernelProfile | str,
+    gpu: GPUSpec | str,
+    launch: LaunchConfig | None = None,
+    stage_bytes: int = 8192,
+) -> float:
+    """First-principles throughput estimate in Gbit/s.
+
+    ``min(compute, memory)`` where compute = logic issue rate × datapath
+    lanes per instruction / gates per bit × occupancy, and memory is the
+    staged, coalesced write bandwidth.
+    """
+    if isinstance(kernel, str):
+        try:
+            kernel = kernel_profiles()[kernel]
+        except KeyError:
+            raise ModelError(
+                f"unknown kernel {kernel!r}; known: {sorted(kernel_profiles())}"
+            ) from None
+    if isinstance(gpu, str):
+        gpu = get_gpu(gpu)
+    compute, memory = roofline_terms(kernel, gpu, launch, stage_bytes)
+    return min(compute, memory)
+
+
+def roofline_terms(
+    kernel: KernelProfile,
+    gpu: GPUSpec,
+    launch: LaunchConfig | None = None,
+    stage_bytes: int = 8192,
+) -> tuple[float, float]:
+    """The two roofline terms (Gbit/s): compute-bound and memory-bound."""
+    launch = launch or LaunchConfig()
+    occ = occupancy(gpu, kernel.registers_per_thread, launch.threads_per_block)
+    compute_bps = gpu.logic_ops_per_s * kernel.bits_per_instruction * occ
+    mem_bps = effective_write_bw(gpu.mem_bw_gbs, stage_bytes=stage_bytes) * 8e9
+    return compute_bps / 1e9, mem_bps / 1e9
+
+
+@dataclass
+class ThroughputModel:
+    """Anchored model: roofline shape × per-family calibration.
+
+    ``family_scale`` maps kernel name → multiplier; families without an
+    anchor inherit the bitsliced or row-major family default.
+    """
+
+    launch: LaunchConfig = field(default_factory=LaunchConfig)
+    stage_bytes: int = 8192
+    family_scale: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.family_scale:
+            self.family_scale = self._calibrate()
+
+    def _calibrate(self) -> dict:
+        profiles_all = kernel_profiles()
+        scales: dict[str, float] = {}
+        for (kname, gname), gbps in {**PAPER_ANCHORS, **DERIVED_ANCHORS}.items():
+            compute, memory = roofline_terms(
+                profiles_all[kname], get_gpu(gname), self.launch, self.stage_bytes
+            )
+            if compute <= 0:
+                raise ModelError(f"degenerate roofline for {kname} on {gname}")
+            if gbps > memory:
+                raise ModelError(
+                    f"anchor {gbps} Gbps for {kname} on {gname} exceeds the "
+                    f"physical memory roof {memory:.0f} Gbps"
+                )
+            # solve min(compute * scale, memory) == anchor for the scale;
+            # keep the first (primary) anchor per kernel
+            scales.setdefault(kname, gbps / compute)
+        profiles = kernel_profiles()
+        rowmajor_default = scales.get("curand-mt", 1.0)
+        for name, prof in profiles.items():
+            if name not in scales:
+                scales[name] = scales.get("mickey2", 1.0) if prof.bitsliced else rowmajor_default
+        return scales
+
+    def predict_gbps(self, kernel_name: str, gpu_name: str) -> float:
+        """Anchored throughput prediction in Gbit/s.
+
+        The calibration multiplier rescales the *compute* term only: it
+        absorbs everything the plain instruction-count roofline misses
+        (dual-issue, ILP, loop fusion) but cannot create DRAM bandwidth,
+        so predictions stay capped by the physical memory roof.  Kernels
+        so light they hit that roof (e.g. the Trivium extension) saturate
+        it rather than scaling without bound.
+        """
+        try:
+            kernel = kernel_profiles()[kernel_name]
+        except KeyError:
+            raise ModelError(
+                f"unknown kernel {kernel_name!r}; known: {sorted(kernel_profiles())}"
+            ) from None
+        try:
+            scale = self.family_scale[kernel_name]
+        except KeyError:
+            raise ModelError(f"no calibration for kernel {kernel_name!r}") from None
+        compute, memory = roofline_terms(
+            kernel, get_gpu(gpu_name), self.launch, self.stage_bytes
+        )
+        return min(compute * scale, memory)
+
+    def calibration_report(self) -> dict:
+        """How far each anchored family sits above the plain roofline."""
+        return dict(self.family_scale)
+
+    def figure10_series(self, gpus=None, kernels=("aes128ctr", "mickey2", "grain", "curand-mt")) -> dict:
+        """kernel → [Gbps per GPU], the series of the paper's Figure 10."""
+        from repro.gpu.specs import TABLE2_GPUS
+
+        gpu_names = list(gpus) if gpus is not None else list(TABLE2_GPUS)
+        return {
+            k: {g: self.predict_gbps(k, g) for g in gpu_names} for k in kernels
+        }
+
+
+def anchored_throughput_gbps(kernel_name: str, gpu_name: str) -> float:
+    """Convenience wrapper over a default :class:`ThroughputModel`."""
+    return ThroughputModel().predict_gbps(kernel_name, gpu_name)

@@ -1,0 +1,39 @@
+"""Prior GPU PRNG results — the paper's Table 1, as data.
+
+Each row records the claimed peak throughput and the GPU it ran on; the
+normalized Gbps/GFLOPS column is recomputed (not transcribed), which is
+how the benchmark regenerating Table 1 verifies the paper's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PriorWork", "PRIOR_WORK"]
+
+
+@dataclass(frozen=True)
+class PriorWork:
+    """One Table-1 row: a prior work's claimed result and its device."""
+    reference: str
+    year: int
+    gpu_name: str
+    gpu_gflops: float
+    method: str
+    gbps: float
+
+    @property
+    def normalized(self) -> float:
+        """Gbps per GFLOPS — the paper's fairness normalisation."""
+        return self.gbps / self.gpu_gflops
+
+
+#: Table 1 rows, verbatim from the paper.
+PRIOR_WORK: tuple[PriorWork, ...] = (
+    PriorWork("[20] Langdon", 2008, "8800 GTX", 345.6, "RapidMind", 26.0),
+    PriorWork("[33] Pang et al.", 2008, "7800 GTX", 20.6, "CA-PRNG", 0.41),
+    PriorWork("[21] Langdon", 2009, "T10P", 622.1, "ParkMiller", 35.0),
+    PriorWork("[12] Gong et al.", 2010, "S1070", 2488.3, "N/A", 4.98),
+    PriorWork("[31] Nandapalan et al.", 2011, "GTX 480", 1344.96, "xorgensGP", 527.5),
+    PriorWork("[10] Gao & Peterson", 2013, "GTX 480", 1344.96, "GASPRNG", 37.4),
+)

@@ -1,0 +1,79 @@
+"""GPU platform catalogue (the paper's Table 2, plus Table 1's legacy GPUs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["GPUSpec", "TABLE2_GPUS", "LEGACY_GPUS", "GPU_CATALOGUE", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Structural characteristics of one GPU platform.
+
+    The three headline numbers are exactly the columns of the paper's
+    Table 2; SM resources (used by the occupancy calculator) follow the
+    public architecture whitepapers.
+    """
+
+    name: str
+    year: int
+    sp_gflops: float
+    dp_gflops: float
+    mem_bw_gbs: float
+    sm_count: int = 0
+    regs_per_sm: int = 65536
+    max_threads_per_sm: int = 2048
+    shared_kb_per_sm: int = 48
+    #: launch MSRP in USD (0 = unknown) — backs the paper's
+    #: "performance per cost" framing and the "affordable ... GTX 2080
+    #: Ti" claim in the abstract.
+    launch_price_usd: float = 0.0
+    #: board power in watts (0 = unknown).
+    tdp_w: float = 0.0
+
+    @property
+    def logic_ops_per_s(self) -> float:
+        """Peak 32-bit integer-logic issue rate (ops/s).
+
+        FP32 "GFLOPS" ratings count FMA as two flops; the integer/logic
+        pipes issue one op per lane per cycle, i.e. half the FMA rating.
+        """
+        return self.sp_gflops * 1e9 / 2.0
+
+
+#: The paper's Table 2 evaluation platforms.
+TABLE2_GPUS: dict[str, GPUSpec] = {
+    g.name: g
+    for g in (
+        GPUSpec("GTX 480", 2010, 1344.0, 168.0, 177.0, sm_count=15, regs_per_sm=32768, max_threads_per_sm=1536, launch_price_usd=499.0, tdp_w=250.0),
+        GPUSpec("GTX 980 Ti", 2015, 5632.0, 176.0, 337.0, sm_count=22, launch_price_usd=649.0, tdp_w=250.0),
+        GPUSpec("GTX 1050 Ti", 2016, 1981.0, 62.0, 112.0, sm_count=6, launch_price_usd=139.0, tdp_w=75.0),
+        GPUSpec("GTX 1080 Ti", 2017, 10609.0, 332.0, 484.0, sm_count=28, launch_price_usd=699.0, tdp_w=250.0),
+        GPUSpec("Tesla V100", 2017, 14028.0, 7014.0, 900.0, sm_count=80, launch_price_usd=8999.0, tdp_w=300.0),
+        GPUSpec("GTX 2080 Ti", 2018, 11750.0, 367.0, 616.0, sm_count=68, shared_kb_per_sm=64, launch_price_usd=999.0, tdp_w=250.0),
+    )
+}
+
+#: GPUs appearing only in Table 1 (prior work).
+LEGACY_GPUS: dict[str, GPUSpec] = {
+    g.name: g
+    for g in (
+        GPUSpec("8800 GTX", 2006, 345.6, 0.0, 86.4, sm_count=16, regs_per_sm=8192, max_threads_per_sm=768),
+        GPUSpec("7800 GTX", 2005, 20.6, 0.0, 54.4, sm_count=0, regs_per_sm=0, max_threads_per_sm=0),
+        GPUSpec("T10P", 2008, 622.1, 77.8, 102.0, sm_count=30, regs_per_sm=16384, max_threads_per_sm=1024),
+        GPUSpec("S1070", 2008, 2488.3, 311.0, 408.0, sm_count=120, regs_per_sm=16384, max_threads_per_sm=1024),
+    )
+}
+
+GPU_CATALOGUE: dict[str, GPUSpec] = {**LEGACY_GPUS, **TABLE2_GPUS}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU by name (raises :class:`~repro.errors.ModelError`)."""
+    try:
+        return GPU_CATALOGUE[name]
+    except KeyError:
+        raise ModelError(f"unknown GPU {name!r}; known: {sorted(GPU_CATALOGUE)}") from None

@@ -1,0 +1,58 @@
+"""NIST SP 800-22 statistical test suite (rev. 1a), from scratch.
+
+The paper validates its generators with sts-2.1.2 (Table 3).  This
+package reimplements all fifteen tests on NumPy bit arrays plus the
+suite-level aggregation NIST prescribes (pass proportion with its
+confidence band, and the uniformity-of-p-values chi-square whose P-value
+is what Table 3 actually prints per test).
+
+Every test accepts a 0/1 ``uint8`` array and returns a
+:class:`~repro.nist.result.TestResult`; tests that need more data than
+supplied raise :class:`~repro.errors.InsufficientDataError` rather than
+fabricating a p-value.
+"""
+
+from repro.nist.complexity import linear_complexity_test
+from repro.nist.cusum import cumulative_sums_test
+from repro.nist.entropy import approximate_entropy_test
+from repro.nist.fips140 import Fips140Report, fips140_battery
+from repro.nist.excursions import random_excursions_test, random_excursions_variant_test
+from repro.nist.frequency import block_frequency_test, frequency_test
+from repro.nist.rank import binary_matrix_rank_test
+from repro.nist.result import TestResult
+from repro.nist.runs import longest_run_test, runs_test
+from repro.nist.serial import serial_test
+from repro.nist.spectral import dft_test
+from repro.nist.suite import ALL_TESTS, SuiteReport, run_suite, summarize_pvalues
+from repro.nist.template import (
+    aperiodic_templates,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from repro.nist.universal import universal_test
+
+__all__ = [
+    "TestResult",
+    "fips140_battery",
+    "Fips140Report",
+    "frequency_test",
+    "block_frequency_test",
+    "runs_test",
+    "longest_run_test",
+    "binary_matrix_rank_test",
+    "dft_test",
+    "non_overlapping_template_test",
+    "overlapping_template_test",
+    "aperiodic_templates",
+    "universal_test",
+    "linear_complexity_test",
+    "serial_test",
+    "approximate_entropy_test",
+    "cumulative_sums_test",
+    "random_excursions_test",
+    "random_excursions_variant_test",
+    "ALL_TESTS",
+    "run_suite",
+    "summarize_pvalues",
+    "SuiteReport",
+]

@@ -1,0 +1,54 @@
+"""Shared helpers for the SP 800-22 implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.bitio.bits import as_bit_array
+from repro.errors import InsufficientDataError
+
+__all__ = ["igamc", "erfc", "check_bits", "plus_minus_one", "overlapping_pattern_counts"]
+
+
+def igamc(a: float, x: float) -> float:
+    """Upper incomplete gamma ratio Q(a, x) — NIST's ``igamc``."""
+    return float(gammaincc(a, x))
+
+
+def check_bits(bits, min_length: int, test_name: str) -> np.ndarray:
+    """Validate a bit sequence and the test's minimum-length requirement."""
+    arr = as_bit_array(bits).ravel()
+    if arr.size < min_length:
+        raise InsufficientDataError(
+            f"{test_name} requires at least {min_length} bits, got {arr.size}"
+        )
+    return arr
+
+
+def plus_minus_one(bits: np.ndarray) -> np.ndarray:
+    """Map 0/1 bits to ∓1 as float64 (NIST's ``X_i = 2ε_i − 1``)."""
+    return 2.0 * bits.astype(np.float64) - 1.0
+
+
+def overlapping_pattern_counts(bits: np.ndarray, m: int, wrap: bool = True) -> np.ndarray:
+    """Counts of all ``2^m`` overlapping m-bit patterns.
+
+    With ``wrap=True`` (serial / approximate-entropy convention) the
+    sequence is extended circularly so there are exactly ``n`` windows.
+    Pattern value convention: first bit of the window is the most
+    significant (matches the NIST reference code).
+    """
+    n = bits.size
+    if m <= 0:
+        raise InsufficientDataError("pattern length m must be positive")
+    if m > 24:
+        raise InsufficientDataError("pattern length m > 24 is not supported")
+    ext = np.concatenate([bits, bits[: m - 1]]) if wrap else bits
+    n_windows = n if wrap else n - m + 1
+    if n_windows <= 0:
+        raise InsufficientDataError("sequence shorter than pattern length")
+    vals = np.zeros(n_windows, dtype=np.int64)
+    for j in range(m):
+        vals = (vals << 1) | ext[j : j + n_windows]
+    return np.bincount(vals, minlength=1 << m)

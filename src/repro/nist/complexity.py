@@ -1,0 +1,47 @@
+"""SP 800-22 test 10: Linear Complexity (Berlekamp–Massey per block)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.gf2 import berlekamp_massey
+from repro.nist._utils import check_bits, igamc
+from repro.nist.result import TestResult
+
+__all__ = ["linear_complexity_test"]
+
+# Category probabilities for T in {<=-2.5, ..., >2.5} (SP 800-22 §3.10).
+_PI = (0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833)
+
+
+def linear_complexity_test(bits, block_size: int = 500) -> TestResult:
+    """Distribution of per-block linear complexity around its mean.
+
+    NIST recommends ``500 ≤ M ≤ 5000`` and at least 200 blocks; we
+    enforce the block-size range and require ≥ 20 blocks (research scale)
+    — fewer blocks raise :class:`~repro.errors.InsufficientDataError`.
+    """
+    if not 500 <= block_size <= 5000:
+        raise SpecificationError("block_size must be in [500, 5000]")
+    arr = check_bits(bits, 20 * block_size, "linear_complexity")
+    m = block_size
+    n_blocks = arr.size // m
+    ls = np.empty(n_blocks, dtype=np.float64)
+    blocks = arr[: n_blocks * m].reshape(n_blocks, m)
+    for i in range(n_blocks):
+        ls[i] = berlekamp_massey(blocks[i])
+    sign = -1.0 if m % 2 else 1.0
+    mu = m / 2.0 + (9.0 + (-1.0) ** (m + 1)) / 36.0 - (m / 3.0 + 2.0 / 9.0) / 2.0**m
+    t = sign * (ls - mu) + 2.0 / 9.0
+    edges = np.array([-2.5, -1.5, -0.5, 0.5, 1.5, 2.5])
+    cats = np.searchsorted(edges, t, side="right")
+    counts = np.bincount(cats, minlength=7)
+    expected = n_blocks * np.asarray(_PI)
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    p = igamc(6 / 2.0, chi2 / 2.0)
+    return TestResult(
+        "LinearComplexity",
+        [p],
+        {"chi2": chi2, "counts": counts.tolist(), "mu": mu, "n_blocks": n_blocks},
+    )

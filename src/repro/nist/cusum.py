@@ -1,0 +1,50 @@
+"""SP 800-22 test 13: Cumulative Sums (Cusum), forward and backward."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.nist._utils import check_bits, plus_minus_one
+from repro.nist.result import TestResult
+
+__all__ = ["cumulative_sums_test"]
+
+
+def _cusum_p_value(z: int, n: int) -> float:
+    """SP 800-22 §2.13.4 closed form over the normal CDF Φ."""
+    if z == 0:
+        return 0.0
+    sqrt_n = math.sqrt(n)
+    total = 1.0
+    k_lo = int(math.floor((-n / z + 1) / 4.0))
+    k_hi = int(math.floor((n / z - 1) / 4.0))
+    ks = np.arange(k_lo, k_hi + 1, dtype=np.float64)
+    total -= float(np.sum(norm.cdf((4 * ks + 1) * z / sqrt_n) - norm.cdf((4 * ks - 1) * z / sqrt_n)))
+    k_lo = int(math.floor((-n / z - 3) / 4.0))
+    ks = np.arange(k_lo, k_hi + 1, dtype=np.float64)
+    total += float(np.sum(norm.cdf((4 * ks + 3) * z / sqrt_n) - norm.cdf((4 * ks + 1) * z / sqrt_n)))
+    return total
+
+
+def cumulative_sums_test(bits) -> TestResult:
+    """Maximal excursion of the ±1 random walk, both directions.
+
+    Emits two p-values (forward and reverse scans).
+    """
+    arr = check_bits(bits, 100, "cumulative_sums")
+    n = arr.size
+    x = plus_minus_one(arr)
+    fwd = np.cumsum(x)
+    z_fwd = int(np.max(np.abs(fwd)))
+    rev = np.cumsum(x[::-1])
+    z_rev = int(np.max(np.abs(rev)))
+    p_fwd = _cusum_p_value(z_fwd, n)
+    p_rev = _cusum_p_value(z_rev, n)
+    return TestResult(
+        "CumulativeSums",
+        [p_fwd, p_rev],
+        {"z_forward": z_fwd, "z_reverse": z_rev},
+    )

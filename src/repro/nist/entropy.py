@@ -1,0 +1,44 @@
+"""SP 800-22 test 12: Approximate Entropy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.nist._utils import check_bits, igamc, overlapping_pattern_counts
+from repro.nist.result import TestResult
+
+__all__ = ["approximate_entropy_test"]
+
+
+def _phi(bits: np.ndarray, m: int) -> float:
+    counts = overlapping_pattern_counts(bits, m, wrap=True)
+    n = bits.size
+    nz = counts[counts > 0].astype(np.float64)
+    freqs = nz / n
+    return float(np.sum(freqs * np.log(freqs)))
+
+
+def approximate_entropy_test(bits, m: int | None = None) -> TestResult:
+    """Compares frequencies of m- and (m+1)-bit patterns.
+
+    ``χ² = 2n(ln 2 − ApEn(m))``, ``p = igamc(2^{m−1}, χ²/2)``; the
+    default ``m`` follows NIST's ``m < ⌊log₂ n⌋ − 5`` guidance (capped at
+    10, the sts default for megabit streams).
+    """
+    arr = check_bits(bits, 128, "approximate_entropy")
+    n = arr.size
+    if m is None:
+        m = min(10, max(2, int(math.floor(math.log2(n))) - 6))
+    if m < 1:
+        raise SpecificationError("approximate_entropy needs m >= 1")
+    ap_en = _phi(arr, m) - _phi(arr, m + 1)
+    chi2 = 2.0 * n * (math.log(2.0) - ap_en)
+    p = igamc(2.0 ** (m - 1), chi2 / 2.0)
+    return TestResult(
+        "ApproximateEntropy",
+        [p],
+        {"m": m, "ApEn": ap_en, "chi2": chi2},
+    )

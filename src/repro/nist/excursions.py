@@ -1,0 +1,86 @@
+"""SP 800-22 tests 14 & 15: Random Excursions and the Variant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.nist._utils import check_bits, erfc, igamc, plus_minus_one
+from repro.nist.result import TestResult
+
+__all__ = ["random_excursions_test", "random_excursions_variant_test"]
+
+_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+
+def _walk_and_cycles(bits: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """The padded random walk S', the cycle id of each step, and J."""
+    x = plus_minus_one(bits)
+    s = np.concatenate([[0.0], np.cumsum(x), [0.0]]).astype(np.int64)
+    zero_pos = np.flatnonzero(s == 0)
+    j = zero_pos.size - 1  # number of cycles
+    # cycle id for every position: number of zeros strictly before it
+    cycle_id = np.cumsum(s == 0) - 1
+    return s, cycle_id, j
+
+
+def _state_pi(x: int, k: int) -> float:
+    """π_k(x): probability of exactly k visits to state x in one cycle."""
+    ax = abs(x)
+    if k == 0:
+        return 1.0 - 1.0 / (2.0 * ax)
+    if k == 5:
+        return (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** 4
+    return (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** (k - 1)
+
+
+def random_excursions_test(bits, min_cycles: int = 500) -> TestResult:
+    """Visits to states ±1..±4 per zero-crossing cycle (8 p-values).
+
+    NIST requires ``J ≥ max(0.005 √n, 500)``; sequences with too few
+    cycles raise :class:`~repro.errors.InsufficientDataError` (the sts
+    suite likewise reports the test as not applicable).
+    """
+    arr = check_bits(bits, 1000, "random_excursions")
+    s, cycle_id, j = _walk_and_cycles(arr)
+    required = max(min_cycles, int(0.005 * math.sqrt(arr.size)))
+    if j < required:
+        raise InsufficientDataError(
+            f"random_excursions needs >= {required} cycles, observed {j}"
+        )
+    p_values = []
+    stats = {"J": j}
+    for x in _STATES:
+        mask = s == x
+        visits_per_cycle = np.bincount(cycle_id[mask], minlength=j)[:j]
+        cats = np.clip(visits_per_cycle, 0, 5)
+        counts = np.bincount(cats, minlength=6)
+        pis = np.array([_state_pi(x, k) for k in range(6)])
+        expected = j * pis
+        chi2 = float(np.sum((counts - expected) ** 2 / expected))
+        p = igamc(5 / 2.0, chi2 / 2.0)
+        p_values.append(p)
+        stats[f"chi2[{x}]"] = chi2
+    return TestResult("RandomExcursions", p_values, stats)
+
+
+def random_excursions_variant_test(bits, min_cycles: int = 500) -> TestResult:
+    """Total visits to states ±1..±9 over the whole walk (18 p-values)."""
+    arr = check_bits(bits, 1000, "random_excursions_variant")
+    s, _, j = _walk_and_cycles(arr)
+    required = max(min_cycles, int(0.005 * math.sqrt(arr.size)))
+    if j < required:
+        raise InsufficientDataError(
+            f"random_excursions_variant needs >= {required} cycles, observed {j}"
+        )
+    p_values = []
+    stats = {"J": j}
+    for x in _VARIANT_STATES:
+        xi = int(np.count_nonzero(s == x))
+        p = float(erfc(abs(xi - j) / math.sqrt(2.0 * j * (4.0 * abs(x) - 2.0))))
+        p_values.append(p)
+        stats[f"xi[{x}]"] = xi
+    return TestResult("RandomExcursionsVariant", p_values, stats)

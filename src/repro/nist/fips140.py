@@ -1,0 +1,154 @@
+"""FIPS 140-2 statistical battery (the classic hardware-RNG power-up gate).
+
+Four fixed-bound tests over exactly one 20,000-bit block — no p-values,
+just accept/reject windows.  Included alongside SP 800-22 because this is
+the battery the hardware TRNGs the paper compares against (FPGA/optical,
+§3) are certified with, and it makes a cheap always-on sanity gate for
+generator banks: microseconds instead of the full NIST run.
+
+Bounds are the FIPS 140-2 (change notice 1) values:
+
+* monobit: ones count in (9,725, 10,275)
+* poker (m=4): statistic X in (2.16, 46.17)
+* runs: per-length windows (see ``RUNS_INTERVALS``)
+* long run: no run of 26 or more equal bits
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.errors import InsufficientDataError
+
+__all__ = [
+    "BLOCK_BITS",
+    "RUNS_INTERVALS",
+    "monobit_check",
+    "poker_check",
+    "runs_check",
+    "long_run_check",
+    "fips140_battery",
+    "Fips140Report",
+]
+
+BLOCK_BITS = 20_000
+
+#: Acceptance intervals for run lengths 1..5 and 6+ (each direction).
+RUNS_INTERVALS: dict[int, tuple[int, int]] = {
+    1: (2315, 2685),
+    2: (1114, 1386),
+    3: (527, 723),
+    4: (240, 384),
+    5: (103, 209),
+    6: (103, 209),  # 6 and longer, aggregated
+}
+
+
+def _block(bits) -> np.ndarray:
+    arr = as_bit_array(bits).ravel()
+    if arr.size < BLOCK_BITS:
+        raise InsufficientDataError(f"FIPS 140-2 needs {BLOCK_BITS} bits, got {arr.size}")
+    return arr[:BLOCK_BITS]
+
+
+def monobit_check(bits) -> tuple[bool, int]:
+    """Ones count must fall in (9725, 10275).  Returns (ok, count)."""
+    count = int(_block(bits).sum())
+    return 9725 < count < 10275, count
+
+
+def poker_check(bits) -> tuple[bool, float]:
+    """4-bit poker statistic must fall in (2.16, 46.17).
+
+    X = (16/5000) * sum(f_i^2) - 5000 over the 5000 non-overlapping
+    nibbles.  Returns (ok, X).
+    """
+    arr = _block(bits).reshape(5000, 4)
+    weights = np.array([8, 4, 2, 1], dtype=np.int64)
+    vals = arr @ weights
+    counts = np.bincount(vals, minlength=16).astype(np.float64)
+    x = (16.0 / 5000.0) * float((counts**2).sum()) - 5000.0
+    return 2.16 < x < 46.17, x
+
+
+def _run_lengths(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lengths and values of the maximal runs in *arr*."""
+    change = np.flatnonzero(np.diff(arr)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [arr.size]])
+    return ends - starts, arr[starts]
+
+
+def runs_check(bits) -> tuple[bool, dict]:
+    """Counts of runs of each length (per bit value) must fall in the
+    FIPS windows.  Returns (ok, {(value, length): count})."""
+    arr = _block(bits)
+    lengths, values = _run_lengths(arr)
+    capped = np.minimum(lengths, 6)
+    detail: dict[tuple[int, int], int] = {}
+    ok = True
+    for value in (0, 1):
+        for length, (lo, hi) in RUNS_INTERVALS.items():
+            count = int(np.count_nonzero((capped == length) & (values == value)))
+            detail[(value, length)] = count
+            ok &= lo <= count <= hi
+    return ok, detail
+
+
+def long_run_check(bits) -> tuple[bool, int]:
+    """No run of length >= 26 may occur.  Returns (ok, longest)."""
+    lengths, _ = _run_lengths(_block(bits))
+    longest = int(lengths.max())
+    return longest < 26, longest
+
+
+@dataclass
+class Fips140Report:
+    """Outcome of the four checks on one 20,000-bit block."""
+
+    monobit_ok: bool
+    poker_ok: bool
+    runs_ok: bool
+    long_run_ok: bool
+    statistics: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when all four checks pass."""
+        return self.monobit_ok and self.poker_ok and self.runs_ok and self.long_run_ok
+
+    def to_table(self) -> str:
+        """Render the four verdicts as a small text table."""
+        rows = [
+            ("Monobit", self.monobit_ok, f"ones={self.statistics['ones']}"),
+            ("Poker", self.poker_ok, f"X={self.statistics['poker_x']:.2f}"),
+            ("Runs", self.runs_ok, "per-length windows"),
+            ("LongRun", self.long_run_ok, f"longest={self.statistics['longest_run']}"),
+        ]
+        lines = [f"{'Test':<10}{'Result':>8}  Detail", "-" * 40]
+        for name, ok, detail in rows:
+            lines.append(f"{name:<10}{'pass' if ok else 'FAIL':>8}  {detail}")
+        return "\n".join(lines)
+
+
+def fips140_battery(bits) -> Fips140Report:
+    """Run all four FIPS 140-2 checks on the first 20,000 bits."""
+    m_ok, ones = monobit_check(bits)
+    p_ok, x = poker_check(bits)
+    r_ok, run_detail = runs_check(bits)
+    l_ok, longest = long_run_check(bits)
+    return Fips140Report(
+        m_ok,
+        p_ok,
+        r_ok,
+        l_ok,
+        statistics={
+            "ones": ones,
+            "poker_x": x,
+            "runs": run_detail,
+            "longest_run": longest,
+        },
+    )

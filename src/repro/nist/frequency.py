@@ -1,0 +1,47 @@
+"""SP 800-22 tests 1 & 2: Frequency (monobit) and Block Frequency."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.nist._utils import check_bits, erfc, igamc
+from repro.nist.result import TestResult
+
+__all__ = ["frequency_test", "block_frequency_test"]
+
+
+def frequency_test(bits) -> TestResult:
+    """Monobit test: are ones and zeros balanced overall?
+
+    ``S_n = Σ(2ε_i − 1)``; ``p = erfc(|S_n| / √n / √2)``.
+    """
+    arr = check_bits(bits, 100, "frequency")
+    n = arr.size
+    s = 2 * int(arr.sum()) - n
+    s_obs = abs(s) / math.sqrt(n)
+    p = float(erfc(s_obs / math.sqrt(2.0)))
+    return TestResult("Frequency", [p], {"S_n": s, "s_obs": s_obs, "n": n})
+
+
+def block_frequency_test(bits, block_size: int = 128) -> TestResult:
+    """Block frequency: proportion of ones within M-bit blocks.
+
+    ``χ² = 4M Σ(π_i − 1/2)²``; ``p = igamc(N/2, χ²/2)``.
+    """
+    if block_size < 2:
+        raise SpecificationError("block_size must be >= 2")
+    arr = check_bits(bits, block_size, "block_frequency")
+    n = arr.size
+    n_blocks = n // block_size
+    trimmed = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
+    pi = trimmed.mean(axis=1)
+    chi2 = 4.0 * block_size * float(np.sum((pi - 0.5) ** 2))
+    p = igamc(n_blocks / 2.0, chi2 / 2.0)
+    return TestResult(
+        "BlockFrequency",
+        [p],
+        {"chi2": chi2, "n_blocks": n_blocks, "block_size": block_size},
+    )

@@ -1,0 +1,44 @@
+"""Result container shared by every SP 800-22 test."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TestResult", "ALPHA"]
+
+#: NIST's significance level (the paper uses the same, §5.5).
+ALPHA = 0.01
+
+
+@dataclass
+class TestResult:
+    """Outcome of one statistical test on one bit sequence.
+
+    ``p_values`` holds every p-value the test produced (some tests emit
+    several — serial emits 2, random excursions 8, its variant 18);
+    ``p_value`` is their minimum, the conservative scalar NIST uses for
+    the pass decision.
+    """
+
+    name: str
+    p_values: list[float]
+    statistics: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.p_values = [float(np.clip(p, 0.0, 1.0)) for p in self.p_values]
+
+    @property
+    def p_value(self) -> float:
+        """The minimum p-value (NIST's conservative scalar)."""
+        return min(self.p_values)
+
+    @property
+    def passed(self) -> bool:
+        """True when the scalar p-value clears alpha = 0.01."""
+        return self.p_value >= ALPHA
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return f"TestResult({self.name}: p={self.p_value:.6f} {status})"

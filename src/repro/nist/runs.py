@@ -1,0 +1,80 @@
+"""SP 800-22 tests 3 & 4: Runs and Longest Run of Ones in a Block."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist._utils import check_bits, erfc, igamc
+from repro.nist.result import TestResult
+
+__all__ = ["runs_test", "longest_run_test"]
+
+# Longest-run reference distributions (SP 800-22 §2.4.4 / sts tables):
+# n-threshold → (M, category lower edges, category probabilities).
+_LONGEST_RUN_PARAMS = (
+    (128, 8, (1, 2, 3, 4), (0.2148, 0.3672, 0.2305, 0.1875)),
+    (6272, 128, (4, 5, 6, 7, 8, 9), (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124)),
+    (
+        750000,
+        10000,
+        (10, 11, 12, 13, 14, 15, 16),
+        (0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727),
+    ),
+)
+
+
+def runs_test(bits) -> TestResult:
+    """Total number of runs vs. its expectation under randomness."""
+    arr = check_bits(bits, 100, "runs")
+    n = arr.size
+    pi = float(arr.mean())
+    tau = 2.0 / math.sqrt(n)
+    if abs(pi - 0.5) >= tau:
+        # Monobit precondition failed; NIST assigns p = 0.
+        return TestResult("Runs", [0.0], {"pi": pi, "precondition": "failed"})
+    v_obs = 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+    num = abs(v_obs - 2.0 * n * pi * (1 - pi))
+    den = 2.0 * math.sqrt(2.0 * n) * pi * (1 - pi)
+    p = float(erfc(num / den))
+    return TestResult("Runs", [p], {"V_obs": v_obs, "pi": pi})
+
+
+def _longest_run_per_block(blocks: np.ndarray) -> np.ndarray:
+    """Longest run of ones in each row, vectorized.
+
+    Uses the cumulative-sum-with-reset trick: positions of zeros reset a
+    running count; the row maximum of the running count is the longest run.
+    """
+    ones = blocks.astype(np.int64)
+    csum = np.cumsum(ones, axis=1)
+    # at each zero, record csum; running max of that gives 'sum consumed by resets'
+    reset = np.where(ones == 0, csum, 0)
+    reset_max = np.maximum.accumulate(reset, axis=1)
+    return (csum - reset_max).max(axis=1)
+
+
+def longest_run_test(bits) -> TestResult:
+    """Longest run of ones within fixed-size blocks vs. reference χ²."""
+    arr = check_bits(bits, 128, "longest_run")
+    n = arr.size
+    m_block, edges, probs = None, None, None
+    for threshold, m, e, p in _LONGEST_RUN_PARAMS:
+        if n >= threshold:
+            m_block, edges, probs = m, e, p
+    n_blocks = n // m_block
+    blocks = arr[: n_blocks * m_block].reshape(n_blocks, m_block)
+    longest = _longest_run_per_block(blocks)
+    # category index: clip to [edges[0], edges[-1]]
+    cats = np.clip(longest, edges[0], edges[-1]) - edges[0]
+    counts = np.bincount(cats, minlength=len(edges))
+    k = len(edges) - 1
+    expected = n_blocks * np.asarray(probs)
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    p = igamc(k / 2.0, chi2 / 2.0)
+    return TestResult(
+        "LongestRun",
+        [p],
+        {"chi2": chi2, "M": m_block, "counts": counts.tolist(), "n_blocks": n_blocks},
+    )

@@ -1,0 +1,46 @@
+"""SP 800-22 test 11: Serial Test (overlapping m-bit pattern uniformity)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.nist._utils import check_bits, igamc, overlapping_pattern_counts
+from repro.nist.result import TestResult
+
+__all__ = ["serial_test"]
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    if m == 0:
+        return 0.0
+    counts = overlapping_pattern_counts(bits, m, wrap=True)
+    n = bits.size
+    return float((1 << m) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+
+def serial_test(bits, m: int | None = None) -> TestResult:
+    """Frequencies of overlapping m-, (m−1)- and (m−2)-bit patterns.
+
+    Emits two p-values (∇ψ² and ∇²ψ²); ``m`` defaults to the largest
+    value satisfying NIST's guidance ``m < ⌊log₂ n⌋ − 2`` (capped at 16,
+    the sts default for megabit streams).
+    """
+    arr = check_bits(bits, 128, "serial")
+    n = arr.size
+    if m is None:
+        m = min(16, max(2, int(np.floor(np.log2(n))) - 3))
+    if m < 2:
+        raise SpecificationError("serial test needs m >= 2")
+    psi_m = _psi_squared(arr, m)
+    psi_m1 = _psi_squared(arr, m - 1)
+    psi_m2 = _psi_squared(arr, m - 2)
+    d1 = psi_m - psi_m1
+    d2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = igamc(2.0 ** (m - 2), d1 / 2.0)
+    p2 = igamc(2.0 ** (m - 3), d2 / 2.0)
+    return TestResult(
+        "Serial",
+        [p1, p2],
+        {"m": m, "psi2_m": psi_m, "del1": d1, "del2": d2},
+    )

@@ -1,0 +1,30 @@
+"""SP 800-22 test 6: Discrete Fourier Transform (Spectral)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist._utils import check_bits, erfc, plus_minus_one
+from repro.nist.result import TestResult
+
+__all__ = ["dft_test"]
+
+
+def dft_test(bits) -> TestResult:
+    """Detects periodic features: too many peaks above the 95% threshold.
+
+    ``T = √(n ln(1/0.05))``; under randomness 95% of the first ``n/2``
+    DFT magnitudes fall below T.
+    """
+    arr = check_bits(bits, 1000, "dft")
+    n = arr.size
+    x = plus_minus_one(arr)
+    mags = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = int(np.count_nonzero(mags < threshold))
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    p = float(erfc(abs(d) / math.sqrt(2.0)))
+    return TestResult("FFT", [p], {"N1": n1, "N0": n0, "d": d, "threshold": threshold})

@@ -1,0 +1,171 @@
+"""Suite driver and NIST-style aggregation (the paper's Table 3).
+
+Running a battery on *many* sequences produces, per test:
+
+* the **proportion** of sequences whose p-value ≥ α, checked against the
+  NIST confidence band ``(1−α) ± 3·√(α(1−α)/s)``, and
+* the **uniformity P-value**: a χ² over 10 equal p-value bins — this is
+  the single "P-value" column the paper's Table 3 prints.
+
+``run_suite`` takes a callable producing the *i*-th sequence so the
+battery can stream gigabit workloads without holding them all in memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.nist._utils import igamc
+from repro.nist.complexity import linear_complexity_test
+from repro.nist.cusum import cumulative_sums_test
+from repro.nist.entropy import approximate_entropy_test
+from repro.nist.excursions import random_excursions_test, random_excursions_variant_test
+from repro.nist.frequency import block_frequency_test, frequency_test
+from repro.nist.rank import binary_matrix_rank_test
+from repro.nist.result import ALPHA, TestResult
+from repro.nist.runs import longest_run_test, runs_test
+from repro.nist.serial import serial_test
+from repro.nist.spectral import dft_test
+from repro.nist.template import non_overlapping_template_test, overlapping_template_test
+from repro.nist.universal import universal_test
+
+__all__ = ["ALL_TESTS", "run_suite", "summarize_pvalues", "SuiteReport"]
+
+#: name → callable(bits) -> TestResult, in Table-3 order.
+ALL_TESTS: dict[str, Callable] = {
+    "Frequency": frequency_test,
+    "BlockFrequency": block_frequency_test,
+    "CumulativeSums": cumulative_sums_test,
+    "Runs": runs_test,
+    "LongestRun": longest_run_test,
+    "Rank": binary_matrix_rank_test,
+    "FFT": dft_test,
+    "NonOverlappingTemplate": non_overlapping_template_test,
+    "OverlappingTemplate": overlapping_template_test,
+    "Universal": universal_test,
+    "ApproximateEntropy": approximate_entropy_test,
+    "RandomExcursions": random_excursions_test,
+    "RandomExcursionsVariant": random_excursions_variant_test,
+    "Serial": serial_test,
+    "LinearComplexity": linear_complexity_test,
+}
+
+
+def summarize_pvalues(p_values, alpha: float = ALPHA) -> dict:
+    """NIST aggregation of one test's p-values across sequences.
+
+    Returns proportion, the proportion confidence band, and the
+    uniformity P-value (χ² over 10 bins; requires ≥ 2 samples).
+    """
+    ps = np.asarray(list(p_values), dtype=np.float64)
+    s = ps.size
+    if s == 0:
+        raise InsufficientDataError("no p-values to summarize")
+    proportion = float(np.mean(ps >= alpha))
+    band = 3.0 * math.sqrt(alpha * (1 - alpha) / s)
+    counts, _ = np.histogram(ps, bins=10, range=(0.0, 1.0))
+    expected = s / 10.0
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    uniformity_p = igamc(9 / 2.0, chi2 / 2.0)
+    return {
+        "n_sequences": s,
+        "proportion": proportion,
+        "proportion_low": (1 - alpha) - band,
+        "proportion_high": min(1.0, (1 - alpha) + band),
+        "proportion_ok": proportion >= (1 - alpha) - band,
+        "uniformity_p": uniformity_p,
+        "uniformity_ok": uniformity_p >= 0.0001,  # NIST's uniformity threshold
+    }
+
+
+@dataclass
+class SuiteReport:
+    """Aggregated battery results across all sequences."""
+
+    n_sequences: int
+    n_bits: int
+    per_test: dict[str, dict] = field(default_factory=dict)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every test passes both NIST criteria."""
+        return all(
+            row["proportion_ok"] and row["uniformity_ok"] for row in self.per_test.values()
+        )
+
+    def to_table(self) -> str:
+        """Render in the layout of the paper's Table 3."""
+        lines = [
+            f"{'Test':<26}{'P-value':>12}{'Proportion':>12}  Result",
+            "-" * 60,
+        ]
+        for name, row in self.per_test.items():
+            ok = row["proportion_ok"] and row["uniformity_ok"]
+            lines.append(
+                f"{name:<26}{row['uniformity_p']:>12.6f}{row['proportion']:>12.4f}"
+                f"  {'Success' if ok else 'FAILURE'}"
+            )
+        for name, reason in self.skipped.items():
+            lines.append(f"{name:<26}{'—':>12}{'—':>12}  skipped ({reason})")
+        return "\n".join(lines)
+
+
+def run_suite(
+    sequence_source: Callable[[int], np.ndarray] | Iterable[np.ndarray],
+    n_sequences: int,
+    tests: dict[str, Callable] | None = None,
+) -> SuiteReport:
+    """Run a battery over *n_sequences* sequences and aggregate.
+
+    Parameters
+    ----------
+    sequence_source:
+        Either ``f(i) -> bits`` or an iterable of bit arrays.
+    n_sequences:
+        How many sequences to draw.
+    tests:
+        Subset of :data:`ALL_TESTS` (default: all).
+
+    Tests that raise :class:`~repro.errors.InsufficientDataError` on every
+    sequence are reported as skipped rather than failing the battery
+    (matching sts behaviour for e.g. Universal on short inputs).
+    """
+    tests = dict(tests) if tests is not None else dict(ALL_TESTS)
+    if callable(sequence_source):
+        getter = sequence_source
+    else:
+        seqs = list(sequence_source)
+        getter = lambda i: seqs[i]  # noqa: E731
+
+    collected: dict[str, list[float]] = {name: [] for name in tests}
+    errors: dict[str, str] = {}
+    n_bits = 0
+    for i in range(n_sequences):
+        bits = np.asarray(getter(i))
+        n_bits = bits.size
+        for name, fn in tests.items():
+            try:
+                result: TestResult = fn(bits)
+            except InsufficientDataError as exc:
+                errors.setdefault(name, str(exc))
+                continue
+            # sts semantics: every sub-test p-value (each excursion state,
+            # each serial psi, forward and backward cusum) enters the
+            # aggregation as its own sample; aggregating the per-sequence
+            # minimum would inflate the effective significance level of
+            # multi-valued tests (~18x for the excursions variant).
+            collected[name].extend(result.p_values)
+
+    report = SuiteReport(n_sequences=n_sequences, n_bits=n_bits)
+    for name in tests:
+        if collected[name]:
+            report.per_test[name] = summarize_pvalues(collected[name])
+        else:
+            report.skipped[name] = errors.get(name, "no data")
+    return report

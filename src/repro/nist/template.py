@@ -1,0 +1,129 @@
+"""SP 800-22 tests 7 & 8: Non-overlapping and Overlapping Template Matching."""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bitio.bits import as_bit_array
+from repro.errors import SpecificationError
+from repro.nist._utils import check_bits, igamc
+from repro.nist.result import TestResult
+
+__all__ = ["aperiodic_templates", "non_overlapping_template_test", "overlapping_template_test"]
+
+
+@lru_cache(maxsize=None)
+def aperiodic_templates(m: int) -> tuple[tuple[int, ...], ...]:
+    """All aperiodic (non-self-overlapping) m-bit templates.
+
+    A template B is aperiodic iff no proper prefix of B equals the
+    matching suffix — the condition under which non-overlapping matches
+    are independent.  For m = 9 this yields the 148 templates the sts
+    suite ships.
+    """
+    if not 2 <= m <= 16:
+        raise SpecificationError("template length must be in [2, 16]")
+    out = []
+    for v in range(1 << m):
+        bits = tuple((v >> (m - 1 - i)) & 1 for i in range(m))
+        ok = True
+        for k in range(1, m):
+            if bits[:k] == bits[m - k :]:
+                ok = False
+                break
+        if ok:
+            out.append(bits)
+    return tuple(out)
+
+
+def _match_positions(arr: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Boolean vector: does the template match starting at each position?"""
+    m = template.size
+    n = arr.size
+    if n < m:
+        return np.zeros(0, dtype=bool)
+    hits = np.ones(n - m + 1, dtype=bool)
+    for j in range(m):
+        hits &= arr[j : n - m + 1 + j] == template[j]
+    return hits
+
+
+def _count_nonoverlapping(hits: np.ndarray, m: int) -> int:
+    """Greedy left-to-right count of non-overlapping matches."""
+    count = 0
+    i = 0
+    idx = np.flatnonzero(hits)
+    for pos in idx:
+        if pos >= i:
+            count += 1
+            i = pos + m
+    return count
+
+
+def non_overlapping_template_test(bits, template=(0, 0, 0, 0, 0, 0, 0, 0, 1), n_blocks: int = 8) -> TestResult:
+    """Occurrences of an aperiodic template in disjoint blocks vs. χ².
+
+    Default template is the sts report's canonical ``000000001``.
+    """
+    tmpl = as_bit_array(template)
+    m = tmpl.size
+    arr = check_bits(bits, n_blocks * 8 * m, "non_overlapping_template")
+    n = arr.size
+    block_len = n // n_blocks
+    mu = (block_len - m + 1) / 2.0**m
+    sigma2 = block_len * (1.0 / 2.0**m - (2 * m - 1) / 2.0 ** (2 * m))
+    if sigma2 <= 0:
+        raise SpecificationError("block too short for this template length")
+    w = np.empty(n_blocks, dtype=np.int64)
+    for j in range(n_blocks):
+        block = arr[j * block_len : (j + 1) * block_len]
+        w[j] = _count_nonoverlapping(_match_positions(block, tmpl), m)
+    chi2 = float(np.sum((w - mu) ** 2 / sigma2))
+    p = igamc(n_blocks / 2.0, chi2 / 2.0)
+    return TestResult(
+        "NonOverlappingTemplate",
+        [p],
+        {"chi2": chi2, "W": w.tolist(), "mu": mu, "sigma2": sigma2, "template": tmpl.tolist()},
+    )
+
+
+# Overlapping-template reference probabilities for m=9, M=1032, K=5
+# (SP 800-22 §3.8, as used by sts-2.1.2).
+_OVERLAP_PI = (0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865)
+
+
+def overlapping_template_test(bits, m: int = 9, block_size: int = 1032) -> TestResult:
+    """Occurrences of the all-ones template, overlaps allowed.
+
+    Categories {0, 1, 2, 3, 4, ≥5} per block against the compound-Poisson
+    reference distribution.
+    """
+    if (m, block_size) != (9, 1032):
+        raise SpecificationError(
+            "reference probabilities are tabulated for m=9, M=1032 (the sts defaults)"
+        )
+    arr = check_bits(bits, block_size, "overlapping_template")
+    n = arr.size
+    n_blocks = n // block_size
+    tmpl = np.ones(m, dtype=np.uint8)
+    counts = np.zeros(6, dtype=np.int64)
+    blocks = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
+    # vectorized across blocks: a window matches iff its min is 1
+    hits = np.ones((n_blocks, block_size - m + 1), dtype=bool)
+    for j in range(m):
+        hits &= blocks[:, j : block_size - m + 1 + j] == tmpl[j]
+    per_block = hits.sum(axis=1)
+    cats = np.clip(per_block, 0, 5)
+    counts = np.bincount(cats, minlength=6)
+    expected = n_blocks * np.asarray(_OVERLAP_PI)
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    p = igamc(5 / 2.0, chi2 / 2.0)
+    lam = (block_size - m + 1) / 2.0**m
+    return TestResult(
+        "OverlappingTemplate",
+        [p],
+        {"chi2": chi2, "counts": counts.tolist(), "lambda": lam, "n_blocks": n_blocks},
+    )

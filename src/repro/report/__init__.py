@@ -1,0 +1,11 @@
+"""Terminal rendering of the paper's figures.
+
+The benchmarks regenerate Figure 10/11 as *data*; this package renders
+that data the way the paper presents it — grouped bar charts — in plain
+text, so ``pytest benchmarks/`` and the CLI can show the figure shape
+without a plotting stack.
+"""
+
+from repro.report.charts import bar_chart, grouped_bar_chart, series_table
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_table"]

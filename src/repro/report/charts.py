@@ -1,0 +1,105 @@
+"""ASCII bar charts and series tables.
+
+Pure string construction, no terminal magic: output is stable across
+environments so the benchmark result files are diffable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_table"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A left-aligned bar of ``value/vmax`` scaled to *width* cells."""
+    if vmax <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = _FULL * whole
+    part_idx = int(frac * (len(_PART) - 1))
+    if part_idx and whole < width:
+        bar += _PART[part_idx]
+    return bar
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """One bar per (label, value) pair, scaled to the maximum value.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))  # doctest: +SKIP
+    a  ████ 2.0
+    b  ██   1.0
+    """
+    if not items:
+        raise SpecificationError("nothing to chart")
+    if width <= 0:
+        raise SpecificationError("width must be positive")
+    vmax = max(v for _, v in items)
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        if value < 0:
+            raise SpecificationError("bar values must be non-negative")
+        num = fmt.format(value) + (f" {unit}" if unit else "")
+        lines.append(f"{label:<{label_w}}  {_bar(value, vmax, width):<{width}} {num}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: dict[str, dict[str, float]],
+    width: int = 40,
+    unit: str = "",
+    fmt: str = "{:.0f}",
+) -> str:
+    """The paper's Figure-10 shape: groups (GPUs) of bars (kernels).
+
+    *series* maps series name → {group → value}; groups are taken from
+    the first series and must agree across all of them.
+    """
+    if not series:
+        raise SpecificationError("nothing to chart")
+    groups = list(next(iter(series.values())))
+    for name, row in series.items():
+        if list(row) != groups:
+            raise SpecificationError(f"series {name!r} has mismatched groups")
+    vmax = max(v for row in series.values() for v in row.values())
+    name_w = max(len(n) for n in series)
+    lines = []
+    for g in groups:
+        lines.append(f"{g}:")
+        for name, row in series.items():
+            num = fmt.format(row[g]) + (f" {unit}" if unit else "")
+            lines.append(
+                f"  {name:<{name_w}}  {_bar(row[g], vmax, width):<{width}} {num}"
+            )
+        lines.append("")
+    return "\n".join(lines[:-1])
+
+
+def series_table(
+    series: dict[str, dict[str, float]],
+    fmt: str = "{:.1f}",
+    col_width: int = 14,
+) -> str:
+    """The same data as a plain table (rows = series, columns = groups)."""
+    if not series:
+        raise SpecificationError("nothing to tabulate")
+    groups = list(next(iter(series.values())))
+    name_w = max(max(len(n) for n in series), 6)
+    header = f"{'':<{name_w}}" + "".join(f"{g:>{col_width}}" for g in groups)
+    lines = [header, "-" * len(header)]
+    for name, row in series.items():
+        lines.append(
+            f"{name:<{name_w}}" + "".join(f"{fmt.format(row[g]):>{col_width}}" for g in groups)
+        )
+    return "\n".join(lines)

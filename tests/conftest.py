@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BitslicedEngine
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy RNG for test inputs (not under test itself)."""
+    return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture(params=[np.uint8, np.uint32, np.uint64], ids=["u8", "u32", "u64"])
+def dtype(request):
+    """Virtual datapath widths exercised by layout-sensitive tests."""
+    return request.param
+
+
+@pytest.fixture
+def small_engine(dtype):
+    """A tiny engine (one word of lanes) for cross-validation tests."""
+    width = np.dtype(dtype).itemsize * 8
+    return BitslicedEngine(n_lanes=width, dtype=dtype)

@@ -1,0 +1,114 @@
+"""AES-128: FIPS-197 / SP 800-38A known-answer tests and structure checks."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.aes import AES128, INV_SBOX, SBOX, aes128_ctr_keystream, gf_mul
+from repro.errors import KeyScheduleError
+
+FIPS_KEY = "000102030405060708090a0b0c0d0e0f"
+FIPS_PT = "00112233445566778899aabbccddeeff"
+FIPS_CT = "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+NIST_CTR_KEY = "2b7e151628aed2a6abf7158809cf4f3c"
+NIST_CTR_ICB = "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"
+# SP 800-38A F.5.1: CTR-AES128 plaintext/ciphertext block pairs.
+NIST_CTR_PAIRS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "874d6191b620e3261bef6864990db6ce"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "9806f66b7970fdff8617187bb9fffdff"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "5ae4df3edbd5d35e5b4f09020db03eab"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "1e031dda2fbe03d1792170a0f3009cee"),
+]
+
+
+class TestGF:
+    def test_mul_identity(self):
+        for x in (0, 1, 0x53, 0xFF):
+            assert gf_mul(x, 1) == x
+
+    def test_mul_known(self):
+        # FIPS-197 worked example: {57} • {83} = {c1}
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_mul_commutative(self):
+        assert gf_mul(0x12, 0x34) == gf_mul(0x34, 0x12)
+
+
+class TestSBox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert len(set(SBOX.tolist())) == 256
+
+    def test_inverse(self):
+        x = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(INV_SBOX[SBOX[x]], x)
+
+    def test_no_fixed_points(self):
+        x = np.arange(256, dtype=np.uint8)
+        assert not np.any(SBOX[x] == x)
+        assert not np.any(SBOX[x] == x ^ 0xFF)  # no 'anti-fixed' points either
+
+
+class TestBlockCipher:
+    def test_fips197_kat(self):
+        assert AES128(FIPS_KEY).encrypt_hex(FIPS_PT) == FIPS_CT
+
+    def test_key_schedule_first_round_key_is_key(self):
+        a = AES128(FIPS_KEY)
+        assert a.round_keys[0].tobytes().hex() == FIPS_KEY
+
+    def test_key_schedule_shape(self):
+        assert AES128(FIPS_KEY).round_keys.shape == (11, 16)
+
+    def test_batched_equals_single(self, rng):
+        a = AES128(FIPS_KEY)
+        blocks = rng.integers(0, 256, size=(5, 16), dtype=np.uint8)
+        batch = a.encrypt_block(blocks)
+        for i in range(5):
+            assert np.array_equal(batch[i], a.encrypt_block(blocks[i]))
+
+    def test_key_length_enforced(self):
+        with pytest.raises(KeyScheduleError):
+            AES128(b"\x00" * 15)
+
+    def test_block_length_enforced(self):
+        with pytest.raises(KeyScheduleError):
+            AES128(FIPS_KEY).encrypt_block(np.zeros(15, dtype=np.uint8))
+
+    def test_avalanche(self):
+        a = AES128(FIPS_KEY)
+        pt = np.zeros(16, dtype=np.uint8)
+        base = a.encrypt_block(pt)
+        pt2 = pt.copy()
+        pt2[0] = 1
+        flipped = a.encrypt_block(pt2)
+        diff = np.unpackbits(base ^ flipped).sum()
+        assert 40 <= diff <= 88  # ~64 of 128 bits
+
+
+class TestCTR:
+    def test_sp80038a_keystream(self):
+        ks = aes128_ctr_keystream(NIST_CTR_KEY, NIST_CTR_ICB, 4)
+        for i, (pt_hex, ct_hex) in enumerate(NIST_CTR_PAIRS):
+            pt = np.frombuffer(bytes.fromhex(pt_hex), dtype=np.uint8)
+            ct = np.frombuffer(bytes.fromhex(ct_hex), dtype=np.uint8)
+            assert np.array_equal(ks[i] ^ pt, ct), f"block {i}"
+
+    def test_start_block_offsets(self):
+        full = aes128_ctr_keystream(NIST_CTR_KEY, NIST_CTR_ICB, 4)
+        tail = aes128_ctr_keystream(NIST_CTR_KEY, NIST_CTR_ICB, 2, start_block=2)
+        assert np.array_equal(full[2:], tail)
+
+    def test_counter_wraps_128_bits(self):
+        ks = aes128_ctr_keystream(NIST_CTR_KEY, "ff" * 16, 2)
+        # second block encrypts counter 0 (wraparound), which must differ
+        assert not np.array_equal(ks[0], ks[1])
+
+    def test_nonce_length_enforced(self):
+        with pytest.raises(KeyScheduleError):
+            aes128_ctr_keystream(NIST_CTR_KEY, "00" * 15, 1)

@@ -1,0 +1,100 @@
+"""Bitsliced AES-CTR: S-box circuit synthesis and lane cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.aes import AES128, SBOX, aes128_ctr_keystream
+from repro.ciphers.aes_bitsliced import BitslicedAESCTR, sbox_circuit
+from repro.core.bitslice import bitslice_bytes, unbitslice_bytes
+from repro.core.engine import BitslicedEngine
+from repro.errors import KeyScheduleError
+
+KEY = "2b7e151628aed2a6abf7158809cf4f3c"
+
+
+class TestSBoxCircuit:
+    def test_circuit_computes_sbox_for_all_bytes(self):
+        circ = sbox_circuit()
+        xs = np.arange(256, dtype=np.uint8)
+        planes = {f"x{i}": ((xs >> i) & 1).astype(np.uint64) for i in range(8)}
+        # promote each lane bit to a full word so the circuit's constants work
+        planes = {k: np.where(v == 1, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0)) for k, v in planes.items()}
+        out = circ.evaluate(planes)
+        got = np.zeros(256, dtype=np.uint8)
+        for i in range(8):
+            got |= ((out[f"y{i}"] & np.uint64(1)).astype(np.uint8)) << i
+        assert np.array_equal(got, SBOX)
+
+    def test_gate_budget(self):
+        counts = sbox_circuit().gate_counts()
+        # ANF synthesis with monomial sharing: hundreds of gates, far more
+        # than Boyar-Peralta's 113 but structurally correct — this is the
+        # measured cost behind the paper's "complex bitsliced S-box" remark.
+        assert 300 < counts["total"] < 3000
+        assert counts["and"] >= 200  # most monomials need an AND each
+
+    def test_compiled_matches_ir_eval(self, rng):
+        circ = sbox_circuit()
+        fn = circ.compile()
+        ins = {f"x{i}": rng.integers(0, 2**63, size=4, dtype=np.uint64) for i in range(8)}
+        a = circ.evaluate(ins)
+        b = fn(**ins)
+        for k in a:
+            assert np.array_equal(a[k], b[k])
+
+
+class TestEncryptPlanes:
+    def test_blocks_match_reference(self, small_engine, rng):
+        n = small_engine.n_lanes
+        bank = BitslicedAESCTR(small_engine)
+        bank.load(KEY)
+        blocks = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+        planes = bitslice_bytes(blocks, dtype=small_engine.dtype).reshape(16, 8, -1)
+        out = unbitslice_bytes(bank._encrypt_planes(planes).reshape(128, -1), n)
+        ref = AES128(KEY).encrypt_block(blocks)
+        assert np.array_equal(out, ref)
+
+
+class TestCTRBank:
+    def test_lane0_matches_sp80038a(self):
+        eng = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bank = BitslicedAESCTR(eng)
+        bank.load(KEY, nonce=0xF0F1F2F3F4F5F6F7, counter_start=0xF8F9FAFBFCFDFEFF)
+        ks = bank.keystream_bytes_per_lane(1)
+        ref = aes128_ctr_keystream(KEY, "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff", 8)
+        for lane in range(8):
+            assert np.array_equal(ks[lane], ref[lane]), f"lane {lane}"
+
+    def test_batches_advance_counters(self):
+        eng = BitslicedEngine(n_lanes=4, dtype=np.uint8)
+        bank = BitslicedAESCTR(eng)
+        bank.load(KEY, nonce=1)
+        two = bank.keystream_bytes_per_lane(2)
+        ref = aes128_ctr_keystream(KEY, (1 << 64).to_bytes(16, "big"), 8)
+        # batch 0 = counters 0..3, batch 1 = counters 4..7
+        assert np.array_equal(two[0, :16], ref[0])
+        assert np.array_equal(two[0, 16:], ref[4])
+        assert np.array_equal(two[3, 16:], ref[7])
+
+    def test_generation_before_load_rejected(self):
+        bank = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.next_planes(1)
+
+    def test_seed_reproducible(self):
+        mk = lambda: BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(11)
+        assert np.array_equal(mk().next_planes(16), mk().next_planes(16))
+
+    def test_next_planes_truncates(self):
+        bank = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(1)
+        assert bank.next_planes(100).shape == (100, 1)
+
+    def test_keystream_bits_shape(self):
+        bank = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(1)
+        assert bank.keystream_bits(200).shape == (8, 200)
+
+    def test_gates_dominated_by_sbox(self):
+        bank = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        g = bank.gates_per_output_bit()
+        sbox_total = sbox_circuit().gate_counts()["total"]
+        assert g > 10 * sbox_total * 16 / 128 * 0.8  # S-box work dominates

@@ -1,0 +1,214 @@
+"""Analysis tests: correlation, avalanche and entropy measurements
+(the paper's "bit-wise correlation criteria" and lane-initialisation
+warnings in §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    autocorrelation,
+    avalanche_profile,
+    bias,
+    key_avalanche,
+    lane_correlation_matrix,
+    max_abs_offdiag,
+    min_entropy_estimate,
+    shannon_entropy_estimate,
+)
+from repro.errors import SpecificationError
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(77).integers(0, 2, 200_000, dtype=np.uint8)
+
+
+class TestBias:
+    def test_balanced(self):
+        assert bias(np.tile([0, 1], 500)) == pytest.approx(0.0)
+
+    def test_all_ones(self):
+        assert bias(np.ones(100, np.uint8)) == pytest.approx(0.5)
+
+    def test_good_source_small(self, good_bits):
+        assert abs(bias(good_bits)) < 0.005
+
+    def test_empty_raises(self):
+        with pytest.raises(SpecificationError):
+            bias(np.array([], dtype=np.uint8))
+
+
+class TestLaneCorrelation:
+    def test_identity_diagonal(self):
+        lanes = np.random.default_rng(0).integers(0, 2, (6, 4000), dtype=np.uint8)
+        m = lane_correlation_matrix(lanes)
+        assert np.allclose(np.diag(m), 1.0)
+        assert m.shape == (6, 6)
+
+    def test_independent_lanes_small_offdiag(self):
+        lanes = np.random.default_rng(1).integers(0, 2, (8, 20_000), dtype=np.uint8)
+        assert max_abs_offdiag(lane_correlation_matrix(lanes)) < 0.05
+
+    def test_detects_duplicated_lane(self):
+        # The §4.3 failure mode: identically-seeded parallel LFSRs.
+        rng = np.random.default_rng(2)
+        lanes = rng.integers(0, 2, (4, 5000), dtype=np.uint8)
+        lanes[3] = lanes[0]
+        m = lane_correlation_matrix(lanes)
+        assert m[0, 3] == pytest.approx(1.0)
+
+    def test_detects_negated_lane(self):
+        rng = np.random.default_rng(3)
+        lanes = rng.integers(0, 2, (3, 5000), dtype=np.uint8)
+        lanes[2] = 1 - lanes[0]
+        assert lane_correlation_matrix(lanes)[0, 2] == pytest.approx(-1.0)
+
+    def test_constant_lane_correlates_with_nothing(self):
+        lanes = np.zeros((3, 1000), np.uint8)
+        lanes[1] = np.random.default_rng(4).integers(0, 2, 1000, dtype=np.uint8)
+        m = lane_correlation_matrix(lanes)
+        assert max_abs_offdiag(m) == pytest.approx(0.0)
+
+    def test_needs_two_lanes(self):
+        with pytest.raises(SpecificationError):
+            lane_correlation_matrix(np.zeros((1, 100), np.uint8))
+
+    def test_max_abs_offdiag_validation(self):
+        with pytest.raises(SpecificationError):
+            max_abs_offdiag(np.zeros((2, 3)))
+
+    def test_bsrng_lanes_uncorrelated(self):
+        # The paper's actual claim: bitsliced MICKEY lanes are independent.
+        from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+        from repro.core.bitslice import unbitslice
+        from repro.core.engine import BitslicedEngine
+
+        bank = BitslicedMickey2(BitslicedEngine(n_lanes=16, dtype=np.uint16)).seed(42)
+        planes = bank.next_planes(4096)
+        lanes = unbitslice(planes, 16)  # (n_lanes, n_bits)
+        assert max_abs_offdiag(lane_correlation_matrix(lanes)) < 0.08
+
+
+class TestAutocorrelation:
+    def test_good_source_flat(self, good_bits):
+        ac = autocorrelation(good_bits[:50_000], max_lag=32)
+        assert ac.shape == (32,)
+        assert np.all(np.abs(ac) < 5 / np.sqrt(50_000))
+
+    def test_period_two_sequence(self):
+        ac = autocorrelation(np.tile([0, 1], 2000), max_lag=4)
+        assert ac[0] == pytest.approx(-1.0, abs=1e-2)  # lag 1 anti-correlated
+        assert ac[1] == pytest.approx(1.0, abs=1e-2)  # lag 2 correlated
+
+    def test_too_short_raises(self):
+        with pytest.raises(SpecificationError):
+            autocorrelation(np.ones(10, np.uint8), max_lag=10)
+
+    def test_constant_raises(self):
+        with pytest.raises(SpecificationError):
+            autocorrelation(np.ones(100, np.uint8), max_lag=4)
+
+
+class TestAvalanche:
+    def _mickey_keystream(self, key_bits):
+        from repro.ciphers.mickey import Mickey2
+
+        return Mickey2(key_bits, iv=np.zeros(40, np.uint8)).keystream(512)
+
+    def test_mickey_avalanche(self):
+        fr = key_avalanche(self._mickey_keystream, key_bits=80, n_flips=8)
+        prof = avalanche_profile(fr)
+        assert prof["passed"], prof
+
+    def test_grain_avalanche(self):
+        from repro.ciphers.grain import GrainV1
+
+        def ks(key_bits):
+            return GrainV1(key_bits, iv=np.zeros(64, np.uint8)).keystream(512)
+
+        assert avalanche_profile(key_avalanche(ks, key_bits=80, n_flips=8))["passed"]
+
+    def test_broken_cipher_fails(self):
+        # A "cipher" that ignores its key has zero avalanche.
+        def ks(key_bits):
+            return np.tile([0, 1], 256).astype(np.uint8)
+
+        prof = avalanche_profile(key_avalanche(ks, key_bits=80, n_flips=4))
+        assert not prof["passed"]
+        assert prof["mean"] == pytest.approx(0.0)
+
+    def test_weak_diffusion_fails(self):
+        # XORing the key into the stream flips exactly one bit per probe.
+        def ks(key_bits):
+            out = np.zeros(512, np.uint8)
+            out[: key_bits.size] = key_bits
+            return out
+
+        assert not avalanche_profile(key_avalanche(ks, key_bits=80, n_flips=4))["passed"]
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            key_avalanche(lambda k: k, key_bits=0)
+        with pytest.raises(SpecificationError):
+            avalanche_profile(np.array([]))
+
+
+class TestEntropy:
+    def test_uniform_bits_near_one(self, good_bits):
+        assert shannon_entropy_estimate(good_bits) > 0.995
+        assert min_entropy_estimate(good_bits) > 0.9
+
+    def test_constant_bits_zero(self):
+        assert shannon_entropy_estimate(np.zeros(10_000, np.uint8)) == pytest.approx(0.0)
+        assert min_entropy_estimate(np.zeros(10_000, np.uint8)) == pytest.approx(0.0)
+
+    def test_min_entropy_below_shannon(self, good_bits):
+        assert min_entropy_estimate(good_bits) <= shannon_entropy_estimate(good_bits) + 1e-12
+
+    def test_biased_bits_reduced(self):
+        biased = (np.random.default_rng(5).random(100_000) < 0.75).astype(np.uint8)
+        h = shannon_entropy_estimate(biased)
+        assert 0.7 < h < 0.9  # theoretical H(0.75) ≈ 0.811
+
+    def test_block_size_validation(self):
+        with pytest.raises(SpecificationError):
+            shannon_entropy_estimate(np.ones(100, np.uint8), block_size=0)
+        with pytest.raises(SpecificationError):
+            min_entropy_estimate(np.ones(100, np.uint8), block_size=21)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SpecificationError):
+            shannon_entropy_estimate(np.ones(4, np.uint8), block_size=8)
+
+
+class TestPeriodicBias:
+    def test_clean_stream_not_suspicious(self):
+        from repro.analysis import periodic_bias
+
+        bits = np.random.default_rng(9).integers(0, 2, 64 * 4000, dtype=np.uint8)
+        out = periodic_bias(bits, period=64)
+        assert not out["suspicious"]
+        assert out["phases"].shape == (64,)
+
+    def test_detects_planted_lane_defect(self):
+        from repro.analysis import periodic_bias
+
+        bits = np.random.default_rng(10).integers(0, 2, 64 * 4000, dtype=np.uint8)
+        view = bits.reshape(-1, 64)
+        view[:, 17] = (np.random.default_rng(11).random(4000) < 0.70).astype(np.uint8)
+        out = periodic_bias(bits, period=64)
+        assert out["suspicious"]
+        assert out["worst_phase"] == 17
+        # the aggregate frequency test barely notices (defect is 1/64 of
+        # the stream): deviation is ~0.2/64 ≈ 0.3% of ones overall
+        from repro.analysis import bias
+
+        assert abs(bias(bits)) < 0.01
+
+    def test_validation(self):
+        from repro.analysis import periodic_bias
+
+        with pytest.raises(SpecificationError):
+            periodic_bias(np.ones(100, np.uint8), period=1)
+        with pytest.raises(SpecificationError):
+            periodic_bias(np.ones(3, np.uint8), period=8)

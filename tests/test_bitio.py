@@ -1,0 +1,153 @@
+"""Unit tests for repro.bitio: packing, hex, integers, streams."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bitio import (
+    BitWriter,
+    bits_from_bytes,
+    bits_from_hex,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_hex,
+    bits_to_int,
+    bits_to_uint32,
+    bits_to_uint64,
+    parity,
+    uint32_to_bits,
+    uint64_to_bits,
+    write_nist_ascii,
+    write_nist_binary,
+)
+from repro.bitio.bits import as_bit_array
+from repro.errors import BitsliceLayoutError
+
+
+class TestBitByteConversions:
+    def test_roundtrip_bytes(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bits_from_bytes(data)) == data
+
+    def test_little_bit_order(self):
+        bits = bits_from_bytes(b"\x01")
+        assert bits[0] == 1 and bits[1:].sum() == 0
+
+    def test_msb_of_byte_is_bit_seven(self):
+        bits = bits_from_bytes(b"\x80")
+        assert bits[7] == 1 and bits[:7].sum() == 0
+
+    def test_truncation(self):
+        assert bits_from_bytes(b"\xff\xff", n_bits=3).tolist() == [1, 1, 1]
+
+    def test_truncation_beyond_length_raises(self):
+        with pytest.raises(BitsliceLayoutError):
+            bits_from_bytes(b"\x00", n_bits=9)
+
+    def test_empty(self):
+        assert bits_from_bytes(b"").size == 0
+        assert bits_to_bytes([]) == b""
+
+
+class TestHex:
+    def test_msb_first(self):
+        assert bits_from_hex("80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_roundtrip(self):
+        h = "deadbeef0123"
+        assert bits_to_hex(bits_from_hex(h)) == h
+
+    def test_spaces_ignored(self):
+        assert np.array_equal(bits_from_hex("de ad"), bits_from_hex("dead"))
+
+    def test_n_bits(self):
+        assert bits_from_hex("f0", n_bits=4).tolist() == [1, 1, 1, 1]
+
+
+class TestIntConversions:
+    @pytest.mark.parametrize("value,n", [(0, 1), (1, 1), (5, 3), (255, 8), (2**40 - 1, 40)])
+    def test_roundtrip(self, value, n):
+        assert bits_to_int(bits_from_int(value, n)) == value
+
+    def test_lsb_first(self):
+        assert bits_from_int(1, 4).tolist() == [1, 0, 0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            bits_from_int(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            bits_from_int(-1, 4)
+
+
+class TestWordConversions:
+    def test_uint32_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=96, dtype=np.uint8)
+        assert np.array_equal(uint32_to_bits(bits_to_uint32(bits), 96), bits)
+
+    def test_uint64_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=192, dtype=np.uint8)
+        assert np.array_equal(uint64_to_bits(bits_to_uint64(bits), 192), bits)
+
+    def test_padding(self):
+        words = bits_to_uint32([1])
+        assert words.size == 1 and words[0] == 1
+
+    def test_word_zero_is_lowest_bits(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[33] = 1
+        w = bits_to_uint32(bits)
+        assert w[0] == 0 and w[1] == 2
+
+
+class TestParity:
+    def test_empty(self):
+        assert parity([]) == 0
+
+    @pytest.mark.parametrize("bits,expected", [([1], 1), ([1, 1], 0), ([1, 0, 1, 1], 1)])
+    def test_values(self, bits, expected):
+        assert parity(bits) == expected
+
+
+class TestValidation:
+    def test_non_binary_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            as_bit_array([0, 1, 2])
+
+    def test_bool_accepted(self):
+        out = as_bit_array(np.array([True, False]))
+        assert out.dtype == np.uint8 and out.tolist() == [1, 0]
+
+
+class TestStreams:
+    def test_bitwriter_accumulates(self):
+        w = BitWriter()
+        w.write([1, 0, 1])
+        w.write([1, 1])
+        assert len(w) == 5
+        assert w.getvalue().tolist() == [1, 0, 1, 1, 1]
+
+    def test_bitwriter_clear(self):
+        w = BitWriter()
+        w.write([1])
+        w.clear()
+        assert len(w) == 0 and w.getvalue().size == 0
+
+    def test_nist_ascii(self, tmp_path):
+        path = tmp_path / "bits.txt"
+        n = write_nist_ascii([1, 0, 1, 1], path)
+        assert n == 4
+        assert path.read_text() == "1011"
+
+    def test_nist_ascii_to_buffer(self):
+        buf = io.StringIO()
+        write_nist_ascii([0, 1], buf)
+        assert buf.getvalue() == "01"
+
+    def test_nist_binary(self, tmp_path):
+        path = tmp_path / "bits.bin"
+        n = write_nist_binary([1] + [0] * 7, path)
+        assert n == 1
+        assert path.read_bytes() == b"\x01"

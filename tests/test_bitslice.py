@@ -1,0 +1,128 @@
+"""Unit tests for the core bitsliced transpose and state container."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitslice import (
+    BitslicedState,
+    bitslice,
+    bitslice_bytes,
+    broadcast_bit,
+    lane_mask,
+    n_words_for_lanes,
+    unbitslice,
+    unbitslice_bytes,
+    word_width,
+)
+from repro.errors import BitsliceLayoutError
+
+
+class TestWordGeometry:
+    @pytest.mark.parametrize("dt,w", [(np.uint8, 8), (np.uint16, 16), (np.uint32, 32), (np.uint64, 64)])
+    def test_word_width(self, dt, w):
+        assert word_width(dt) == w
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(BitsliceLayoutError):
+            word_width(np.int32)
+
+    @pytest.mark.parametrize("lanes,dt,words", [(1, np.uint64, 1), (64, np.uint64, 1), (65, np.uint64, 2), (8, np.uint8, 1), (9, np.uint8, 2)])
+    def test_n_words(self, lanes, dt, words):
+        assert n_words_for_lanes(lanes, dt) == words
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            n_words_for_lanes(0)
+
+
+class TestTranspose:
+    def test_documented_example(self):
+        planes = bitslice([[1, 0], [1, 1], [0, 1]], dtype=np.uint8)
+        assert planes[:, 0].tolist() == [3, 6]
+
+    @pytest.mark.parametrize("n_lanes", [1, 7, 8, 63, 64, 65, 200])
+    def test_roundtrip_lane_counts(self, rng, dtype, n_lanes):
+        bits = rng.integers(0, 2, size=(n_lanes, 33), dtype=np.uint8)
+        assert np.array_equal(unbitslice(bitslice(bits, dtype=dtype), n_lanes), bits)
+
+    def test_lane_k_is_bit_k(self, dtype):
+        width = word_width(dtype)
+        bits = np.zeros((width, 4), dtype=np.uint8)
+        bits[3, 2] = 1  # lane 3, state bit 2
+        planes = bitslice(bits, dtype=dtype)
+        assert planes[2, 0] == np.asarray(1 << 3, dtype=dtype)
+        assert planes[0, 0] == 0 and planes[1, 0] == 0 and planes[3, 0] == 0
+
+    def test_padding_lanes_zero(self):
+        bits = np.ones((3, 5), dtype=np.uint8)
+        planes = bitslice(bits, dtype=np.uint8)
+        assert np.all(planes == 0b111)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            bitslice([1, 0, 1])
+
+    def test_unbitslice_lane_overflow_rejected(self):
+        planes = bitslice(np.ones((4, 2), dtype=np.uint8), dtype=np.uint8)
+        with pytest.raises(BitsliceLayoutError):
+            unbitslice(planes, 9)
+
+
+class TestByteTranspose:
+    def test_roundtrip(self, rng, dtype):
+        rows = rng.integers(0, 256, size=(13, 7), dtype=np.uint8)
+        planes = bitslice_bytes(rows, dtype=dtype)
+        assert planes.shape[0] == 56
+        assert np.array_equal(unbitslice_bytes(planes, 13), rows)
+
+    def test_plane_layout(self):
+        # byte 1 bit 0 of lane 0 -> plane 8
+        rows = np.zeros((1, 2), dtype=np.uint8)
+        rows[0, 1] = 1
+        planes = bitslice_bytes(rows, dtype=np.uint8)
+        assert planes[8, 0] == 1 and planes.sum() == 1
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(BitsliceLayoutError):
+            unbitslice_bytes(np.zeros((7, 1), dtype=np.uint8), 1)
+
+
+class TestConstants:
+    def test_broadcast(self, dtype):
+        assert np.all(broadcast_bit(1, 3, dtype) == np.iinfo(dtype).max)
+        assert np.all(broadcast_bit(0, 3, dtype) == 0)
+
+    def test_broadcast_invalid(self):
+        with pytest.raises(BitsliceLayoutError):
+            broadcast_bit(2, 1)
+
+    def test_lane_mask_partial(self):
+        m = lane_mask(10, 2, np.uint8)
+        assert m[0] == 0xFF and m[1] == 0b11
+
+    def test_lane_mask_full(self):
+        m = lane_mask(16, 2, np.uint8)
+        assert np.all(m == 0xFF)
+
+
+class TestBitslicedState:
+    def test_from_bits_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=(10, 20), dtype=np.uint8)
+        st = BitslicedState.from_bits(bits)
+        assert st.n_bits == 20 and st.n_lanes == 10
+        assert np.array_equal(st.to_bits(), bits)
+
+    def test_lane_extraction(self, rng):
+        bits = rng.integers(0, 2, size=(10, 20), dtype=np.uint8)
+        st = BitslicedState.from_bits(bits)
+        for k in (0, 5, 9):
+            assert np.array_equal(st.lane(k), bits[k])
+
+    def test_lane_out_of_range(self, rng):
+        st = BitslicedState.from_bits(rng.integers(0, 2, size=(4, 4), dtype=np.uint8))
+        with pytest.raises(BitsliceLayoutError):
+            st.lane(4)
+
+    def test_bad_lane_count(self):
+        with pytest.raises(BitsliceLayoutError):
+            BitslicedState(np.zeros((4, 1), dtype=np.uint8), 9)

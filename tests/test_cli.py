@@ -1,0 +1,114 @@
+"""CLI tests: every subcommand drives the same public API end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_gen_defaults(self):
+        args = build_parser().parse_args(["gen"])
+        assert args.algorithm == "mickey2" and args.format == "hex"
+
+
+class TestInfo:
+    def test_lists_algorithms_and_gpus(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mickey2" in out and "trivium" in out
+        assert "GTX 2080 Ti" in out and "Tesla V100" in out
+
+
+class TestGen:
+    def test_hex_stdout(self, capsys):
+        assert main(["gen", "-a", "xorwow", "-n", "16", "-s", "3"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 32
+        bytes.fromhex(out)  # must parse
+
+    def test_deterministic(self, capsys):
+        main(["gen", "-a", "mickey2", "-n", "8", "-s", "5", "-l", "128"])
+        first = capsys.readouterr().out
+        main(["gen", "-a", "mickey2", "-n", "8", "-s", "5", "-l", "128"])
+        assert capsys.readouterr().out == first
+
+    def test_raw_to_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        assert main(["gen", "-a", "philox", "-n", "64", "-f", "raw", "-o", str(path)]) == 0
+        assert path.stat().st_size == 64
+
+    def test_nist_ascii_format(self, tmp_path):
+        path = tmp_path / "bits.txt"
+        main(["gen", "-a", "xorwow", "-n", "4", "-f", "nist-ascii", "-o", str(path)])
+        text = path.read_text()
+        assert len(text) == 32 and set(text) <= {"0", "1"}
+
+
+class TestNist:
+    def test_generator_battery(self, capsys):
+        rc = main(
+            ["nist", "-a", "xorwow", "--sequences", "4", "--bits", "20000", "-s", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "Frequency" in out
+        assert rc in (0, 1)  # 0 unless a small-N proportion flake
+
+    def test_file_battery(self, tmp_path, capsys):
+        path = tmp_path / "bits.bin"
+        path.write_bytes(np.random.default_rng(0).bytes(40_000))
+        rc = main(["nist", "--input", str(path), "--sequences", "2"])
+        out = capsys.readouterr().out
+        assert "file" in out and "Frequency" in out
+        assert rc in (0, 1)
+
+    def test_file_too_short(self, tmp_path, capsys):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"\x00")
+        assert main(["nist", "--input", str(path), "--sequences", "64"]) == 2
+
+
+class TestModel:
+    def test_single_query(self, capsys):
+        assert main(["model", "-k", "mickey2", "-g", "GTX 2080 Ti"]) == 0
+        assert "2720" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["model", "--figure10"]) == 0
+        out = capsys.readouterr().out
+        assert "mickey2" in out and "Tesla V100" in out
+
+
+class TestCuda:
+    def test_mickey_kernel(self, capsys):
+        assert main(["cuda", "mickey2"]) == 0
+        out = capsys.readouterr().out
+        assert "__device__" in out and "mickey2_clock" in out
+
+    def test_sbox_to_file(self, tmp_path):
+        path = tmp_path / "sbox.cu"
+        assert main(["cuda", "aes-sbox", "-o", str(path)]) == 0
+        assert "aes_sbox" in path.read_text()
+
+
+class TestThroughput:
+    def test_named_algorithms(self, capsys, monkeypatch):
+        # keep the timed loop short for CI
+        assert main(["throughput", "xorwow", "--mbits", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "xorwow" in out and "Mbit/s" in out
+
+
+class TestFips:
+    def test_strong_generator_passes(self, capsys):
+        assert main(["fips", "-a", "grain", "-s", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Monobit" in out and "pass" in out

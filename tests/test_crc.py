@@ -1,0 +1,170 @@
+"""CRC tests: serial vs table vs bitsliced cross-validation (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BitslicedEngine
+from repro.crc import (
+    CRC8_ATM,
+    CRC16_CCITT,
+    CRC32_IEEE,
+    BitslicedCRC,
+    SerialCRC,
+    crc_table_lookup,
+)
+from repro.crc.serial import CRCSpec
+from repro.errors import SpecificationError
+
+SPECS = [CRC8_ATM, CRC16_CCITT, CRC32_IEEE]
+
+
+def serial_checksum_bytes(spec, message: bytes) -> int:
+    """Oracle: bit-serial CRC of a byte message (msb-first per byte)."""
+    crc = SerialCRC(spec)
+    bits = np.unpackbits(np.frombuffer(message, dtype=np.uint8), bitorder="big")
+    return crc.checksum(bits)
+
+
+class TestCRCSpec:
+    def test_rejects_bad_width(self):
+        with pytest.raises(SpecificationError):
+            CRCSpec("bad", 0, 0x7)
+        with pytest.raises(SpecificationError):
+            CRCSpec("bad", 65, 0x7)
+
+    def test_rejects_oversized_poly(self):
+        with pytest.raises(SpecificationError):
+            CRCSpec("bad", 8, 0x1FF)
+
+
+class TestSerialCRC:
+    def test_crc8_atm_known_value(self):
+        # CRC-8-ATM of byte 0x00 from init 0: register stays 0.
+        assert serial_checksum_bytes(CRC8_ATM, b"\x00") == 0
+
+    def test_crc8_single_one_bit(self):
+        # Feeding a single 1 bit from state 0: top=0, shift, XOR poly.
+        crc = SerialCRC(CRC8_ATM)
+        crc.reset()
+        crc.feed_bit(1)
+        assert crc.state == CRC8_ATM.poly
+
+    def test_linearity_without_init(self):
+        # CRC with zero init is GF(2)-linear in the message.
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 64, dtype=np.uint8)
+        b = rng.integers(0, 2, 64, dtype=np.uint8)
+        crc = SerialCRC(CRC8_ATM)
+        assert crc.checksum(a ^ b) == crc.checksum(a) ^ crc.checksum(b)
+
+    def test_affine_with_init(self):
+        # Nonzero init makes the map affine: c(a^b) = c(a)^c(b)^c(0).
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, 80, dtype=np.uint8)
+        b = rng.integers(0, 2, 80, dtype=np.uint8)
+        crc = SerialCRC(CRC16_CCITT)
+        zero = crc.checksum(np.zeros(80, np.uint8))
+        assert crc.checksum(a ^ b) == crc.checksum(a) ^ crc.checksum(b) ^ zero
+
+    def test_reset_restores_init(self):
+        crc = SerialCRC(CRC32_IEEE)
+        crc.feed_bits(np.ones(17, np.uint8))
+        crc.reset()
+        assert crc.state == CRC32_IEEE.init
+
+    def test_error_detection(self):
+        # A single flipped bit always changes the CRC (poly has x^0 term).
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, 120, dtype=np.uint8)
+        crc = SerialCRC(CRC8_ATM)
+        ref = crc.checksum(msg)
+        for pos in (0, 37, 119):
+            bad = msg.copy()
+            bad[pos] ^= 1
+            assert crc.checksum(bad) != ref
+
+
+class TestTableLookup:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_matches_serial(self, spec):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+        table_out = crc_table_lookup(spec, data)
+        for i in range(data.shape[0]):
+            assert int(table_out[i]) == serial_checksum_bytes(spec, data[i].tobytes())
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(SpecificationError):
+            crc_table_lookup(CRCSpec("CRC-4", 4, 0x3), np.zeros((1, 1), np.uint8))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SpecificationError):
+            crc_table_lookup(CRC8_ATM, np.zeros(16, np.uint8))
+
+
+class TestBitslicedCRC:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_matches_serial_all_lanes(self, spec, dtype):
+        engine = BitslicedEngine(n_lanes=37, dtype=dtype)  # deliberately odd
+        bs = BitslicedCRC(spec, engine)
+        rng = np.random.default_rng(4)
+        msgs = rng.integers(0, 2, size=(37, 64), dtype=np.uint8)
+        got = bs.checksum_messages(msgs)
+        ser = SerialCRC(spec)
+        for lane in range(37):
+            assert int(got[lane]) == ser.checksum(msgs[lane])
+
+    def test_reset_state_planes(self):
+        engine = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bs = BitslicedCRC(CRC16_CCITT, engine)
+        rng = np.random.default_rng(5)
+        bs.feed_bits(rng.integers(0, 2, (8, 24), dtype=np.uint8))
+        bs.reset()
+        assert np.all(bs.checksums() == CRC16_CCITT.init)
+
+    def test_incremental_equals_oneshot(self):
+        engine = BitslicedEngine(n_lanes=16, dtype=np.uint32)
+        bs = BitslicedCRC(CRC8_ATM, engine)
+        rng = np.random.default_rng(6)
+        msgs = rng.integers(0, 2, (16, 48), dtype=np.uint8)
+        bs.reset()
+        bs.feed_bits(msgs[:, :20])
+        bs.feed_bits(msgs[:, 20:])
+        incremental = bs.checksums()
+        oneshot = bs.checksum_messages(msgs)
+        assert np.array_equal(incremental, oneshot)
+
+    def test_rejects_wrong_lane_count(self):
+        engine = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bs = BitslicedCRC(CRC8_ATM, engine)
+        with pytest.raises(SpecificationError):
+            bs.feed_bits(np.zeros((9, 8), np.uint8))
+
+    def test_rejects_wrong_plane_shape(self):
+        engine = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bs = BitslicedCRC(CRC8_ATM, engine)
+        with pytest.raises(SpecificationError):
+            bs.feed_planes(np.zeros((4, engine.n_words + 1), np.uint8))
+
+    def test_gate_accounting(self):
+        # One clock costs 1 + popcount(poly) XOR planes.
+        engine = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bs = BitslicedCRC(CRC8_ATM, engine)
+        engine.reset_gate_counts()
+        bs.feed_planes(np.zeros((10, engine.n_words), np.uint8))
+        taps = bin(CRC8_ATM.poly).count("1")
+        assert engine.counter.snapshot()["xor"] == 10 * (1 + taps)
+
+    def test_lane_independence(self):
+        # Changing one lane's message must not affect other lanes' CRCs.
+        engine = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bs = BitslicedCRC(CRC8_ATM, engine)
+        rng = np.random.default_rng(7)
+        msgs = rng.integers(0, 2, (8, 32), dtype=np.uint8)
+        base = bs.checksum_messages(msgs).copy()
+        msgs2 = msgs.copy()
+        msgs2[3] ^= 1  # flip every bit of lane 3
+        out = bs.checksum_messages(msgs2)
+        changed = out != base
+        assert changed[3]
+        assert not changed[np.arange(8) != 3].any()

@@ -1,0 +1,131 @@
+"""FIPS 140-2 battery: bound checks, pathological rejections and
+acceptance across the strong generator family."""
+
+import numpy as np
+import pytest
+
+from repro import BSRNG
+from repro.errors import InsufficientDataError
+from repro.nist import Fips140Report, fips140_battery
+from repro.nist.fips140 import (
+    BLOCK_BITS,
+    RUNS_INTERVALS,
+    long_run_check,
+    monobit_check,
+    poker_check,
+    runs_check,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(0xF1B5).integers(0, 2, BLOCK_BITS, dtype=np.uint8)
+
+
+class TestMonobit:
+    def test_accepts_good(self, good_bits):
+        ok, count = monobit_check(good_bits)
+        assert ok and 9725 < count < 10275
+
+    def test_boundary_exclusive(self):
+        bits = np.zeros(BLOCK_BITS, np.uint8)
+        bits[:9725] = 1
+        assert not monobit_check(bits)[0]  # exactly 9725 fails
+        bits[9725] = 1
+        assert monobit_check(bits)[0]  # 9726 passes
+
+    def test_rejects_all_ones(self):
+        assert not monobit_check(np.ones(BLOCK_BITS, np.uint8))[0]
+
+    def test_too_short_raises(self):
+        with pytest.raises(InsufficientDataError):
+            monobit_check(np.ones(BLOCK_BITS - 1, np.uint8))
+
+    def test_only_first_block_used(self, good_bits):
+        padded = np.concatenate([good_bits, np.ones(5000, np.uint8)])
+        assert monobit_check(padded)[1] == monobit_check(good_bits)[1]
+
+
+class TestPoker:
+    def test_accepts_good(self, good_bits):
+        ok, x = poker_check(good_bits)
+        assert ok and 2.16 < x < 46.17
+
+    def test_uniform_nibbles_too_perfect(self):
+        # every nibble exactly equally frequent: X = 0, below 2.16.
+        nibbles = np.tile(np.arange(16, dtype=np.uint8), 5000 // 16 + 1)[:5000]
+        bits = ((nibbles[:, None] >> np.array([3, 2, 1, 0])) & 1).astype(np.uint8).ravel()
+        ok, x = poker_check(bits)
+        assert not ok and x < 2.16  # ≈0.013: 5000 % 16 != 0 leaves a remainder
+
+    def test_constant_rejected(self):
+        ok, x = poker_check(np.zeros(BLOCK_BITS, np.uint8))
+        assert not ok and x == pytest.approx(75000.0)
+
+
+class TestRuns:
+    def test_accepts_good(self, good_bits):
+        ok, detail = runs_check(good_bits)
+        assert ok
+        # every (value, length) key reported
+        assert set(detail) == {(v, l) for v in (0, 1) for l in RUNS_INTERVALS}
+
+    def test_alternating_rejected(self):
+        # All runs have length 1: 10,000 of them, far above 2,685.
+        ok, detail = runs_check(np.tile([0, 1], BLOCK_BITS // 2).astype(np.uint8))
+        assert not ok
+        assert detail[(0, 1)] == BLOCK_BITS // 2
+
+    def test_run_counting_exact(self):
+        # A hand-built prefix: 1 0 0 1 1 1 0 ... — spot-check the counter.
+        bits = np.array([1, 0, 0, 1, 1, 1] + [0, 1] * ((BLOCK_BITS - 6) // 2), np.uint8)
+        _, detail = runs_check(bits)
+        assert detail[(0, 2)] >= 1
+        assert detail[(1, 3)] >= 1
+
+
+class TestLongRun:
+    def test_accepts_good(self, good_bits):
+        ok, longest = long_run_check(good_bits)
+        assert ok and longest < 26
+
+    def test_26_run_rejected(self):
+        bits = np.random.default_rng(1).integers(0, 2, BLOCK_BITS, dtype=np.uint8)
+        bits[1000:1026] = 1
+        bits[999] = 0
+        bits[1026] = 0
+        ok, longest = long_run_check(bits)
+        assert not ok and longest >= 26
+
+    def test_25_run_allowed(self):
+        bits = np.tile([0, 1], BLOCK_BITS // 2).astype(np.uint8)
+        bits[1000:1025] = 1
+        bits[999] = 0
+        bits[1025] = 0
+        ok, longest = long_run_check(bits)
+        assert ok and longest == 25
+
+
+class TestBattery:
+    @pytest.mark.parametrize(
+        "alg", ["mickey2", "grain", "trivium", "aes128ctr", "chacha20", "philox"]
+    )
+    def test_strong_generators_pass(self, alg):
+        bits = BSRNG(alg, seed=0xF1F5, lanes=256).random_bits(BLOCK_BITS)
+        report = fips140_battery(bits)
+        assert report.passed, report.to_table()
+
+    def test_all_zeros_fails_everything(self):
+        report = fips140_battery(np.zeros(BLOCK_BITS, np.uint8))
+        assert not report.passed
+        assert not (report.monobit_ok or report.poker_ok or report.runs_ok or report.long_run_ok)
+
+    def test_report_table(self, good_bits):
+        table = fips140_battery(good_bits).to_table()
+        assert "Monobit" in table and "LongRun" in table and "pass" in table
+
+    def test_report_statistics_exposed(self, good_bits):
+        report = fips140_battery(good_bits)
+        assert isinstance(report, Fips140Report)
+        assert report.statistics["ones"] == int(good_bits.sum())
+        assert report.statistics["longest_run"] >= 1

@@ -1,0 +1,96 @@
+"""Paper-scale soak tests — opt in with ``REPRO_FULL=1``.
+
+These mirror the CI-scale assertions elsewhere at the paper's actual
+workload sizes (1 Mbit sequences, the full 15-test battery, million-bit
+cipher cross-validation).  They take minutes, not seconds, which is why
+they are gated; the default suite stays fast.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+pytestmark = pytest.mark.skipif(not FULL, reason="set REPRO_FULL=1 for paper-scale runs")
+
+
+class TestFullScaleNIST:
+    @pytest.mark.parametrize("alg", ["mickey2", "grain", "trivium", "aes128ctr"])
+    def test_one_megabit_all_fifteen(self, alg):
+        """One 1 Mbit sequence per cipher through all 15 tests — every
+        test must run (nothing skipped) and pass at alpha=0.001."""
+        from repro import BSRNG
+        from repro.errors import InsufficientDataError
+        from repro.nist import ALL_TESTS
+
+        bits = BSRNG(alg, seed=0xF0, lanes=4096).random_bits(1_000_000)
+        for name, fn in ALL_TESTS.items():
+            try:
+                r = fn(bits)
+            except InsufficientDataError:
+                # excursions tests are "not applicable" on sequences whose
+                # random walk has < 500 zero crossings — sts behaviour
+                assert name.startswith("RandomExcursions"), (alg, name)
+                continue
+            assert r.p_value >= 0.001, (alg, name, r.p_value)
+
+    def test_mickey_battery_paper_shape(self):
+        """A 100 x 1 Mbit battery (a tenth of the paper's 1000) with the
+        full NIST aggregation criteria."""
+        from repro import BSRNG
+        from repro.nist import run_suite
+
+        rng = BSRNG("mickey2", seed=0xB5B5, lanes=8192)
+        report = run_suite(lambda i: rng.random_bits(1_000_000), 100)
+        assert not report.skipped
+        assert report.all_passed, report.to_table()
+
+
+class TestFullScaleCrossValidation:
+    def test_mickey_reference_one_megabit(self):
+        """Bitsliced vs bit-serial MICKEY over a million keystream bits."""
+        from repro.ciphers.mickey import Mickey2
+        from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+        from repro.core.engine import BitslicedEngine
+
+        rng = np.random.default_rng(1)
+        key = rng.integers(0, 2, (1, 80), dtype=np.uint8)
+        iv = rng.integers(0, 2, (1, 40), dtype=np.uint8)
+        bank = BitslicedMickey2(BitslicedEngine(n_lanes=1, dtype=np.uint8))
+        bank.load(key, iv)
+        got = bank.keystream_bits(1_000_000)[0]
+        ref = Mickey2(key[0], iv=iv[0]).keystream(1_000_000)
+        assert np.array_equal(got, ref)
+
+    def test_trivium_reference_one_megabit(self):
+        from repro.ciphers.trivium import Trivium
+        from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+        from repro.core.engine import BitslicedEngine
+
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2, (1, 80), dtype=np.uint8)
+        ivs = rng.integers(0, 2, (1, 80), dtype=np.uint8)
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=1, dtype=np.uint8))
+        bank.load(keys, ivs)
+        got = bank.keystream_bits(1_000_000)[0]
+        ref = Trivium(keys[0], ivs[0]).keystream(1_000_000)
+        assert np.array_equal(got, ref)
+
+
+class TestFullScaleStream:
+    def test_gigabit_stream_consistency(self):
+        """125 MB drawn two ways must agree byte for byte."""
+        from repro import BSRNG
+
+        total = 125_000_000
+        a = BSRNG("trivium", seed=3, lanes=1 << 15)
+        chunks = []
+        remaining = total
+        while remaining:
+            take = min(remaining, 7_654_321)
+            chunks.append(a.random_bytes(take))
+            remaining -= take
+        b = BSRNG("trivium", seed=3, lanes=1 << 15).random_bytes(total)
+        assert b"".join(chunks) == b

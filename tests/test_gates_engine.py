@@ -1,0 +1,174 @@
+"""Unit tests for the gate layer, counters, register file and engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BitslicedEngine
+from repro.core.gates import GateCounter, GateOps
+from repro.core.registers import RotatingRegisterFile
+from repro.errors import BitsliceLayoutError
+
+
+class TestGateOps:
+    def setup_method(self):
+        self.g = GateOps()
+        self.a = np.array([0b1100], dtype=np.uint64)
+        self.b = np.array([0b1010], dtype=np.uint64)
+
+    def test_xor(self):
+        assert self.g.xor(self.a, self.b)[0] == 0b0110
+        assert self.g.counter.xor == 1
+
+    def test_and(self):
+        assert self.g.and_(self.a, self.b)[0] == 0b1000
+
+    def test_or(self):
+        assert self.g.or_(self.a, self.b)[0] == 0b1110
+
+    def test_not(self):
+        assert self.g.not_(np.array([0], dtype=np.uint8))[0] == 0xFF
+
+    def test_mux_selects_per_lane(self):
+        sel = np.array([0b0101], dtype=np.uint64)
+        out = self.g.mux(sel, self.a, self.b)
+        # lanes with sel=1 take a, others take b
+        assert out[0] == ((self.a[0] & sel[0]) | (self.b[0] & ~sel[0])) & 0xF
+
+    def test_mux_costs_three_gates(self):
+        c = GateCounter()
+        g = GateOps(c)
+        g.mux(self.a, self.a, self.b)
+        assert c.total == 3
+
+    def test_stacked_rows_counted(self):
+        c = GateCounter()
+        g = GateOps(c)
+        g.xor(np.zeros((5, 3), dtype=np.uint64), np.zeros((5, 3), dtype=np.uint64))
+        assert c.xor == 5
+
+    def test_inplace_ops(self):
+        out = self.a.copy()
+        self.g.ixor(out, self.b)
+        assert out[0] == 0b0110
+
+
+class TestGateCounter:
+    def test_totals(self):
+        c = GateCounter()
+        c.add("xor", 3)
+        c.add("and_", 2)
+        c.add("shift", 1)
+        assert c.total == 6 and c.logic == 5
+
+    def test_reset(self):
+        c = GateCounter()
+        c.add("xor")
+        c.reset()
+        assert c.total == 0
+
+    def test_labels(self):
+        c = GateCounter()
+        c.label("phase1").add("xor", 2)
+        c.label(None).add("xor", 1)
+        assert c.counts_by_label == {"phase1": {"xor": 2}}
+
+    def test_snapshot_keys(self):
+        snap = GateCounter().snapshot()
+        assert set(snap) == {"xor", "and", "or", "not", "shift", "total"}
+
+
+class TestRotatingRegisterFile:
+    def test_shift_is_renaming(self):
+        f = RotatingRegisterFile(4, 2, np.uint8)
+        for i in range(4):
+            f[i] = np.full(2, i, dtype=np.uint8)
+        retired = f.shift_in(np.full(2, 99, dtype=np.uint8))
+        assert retired.tolist() == [0, 0]
+        assert f[0].tolist() == [1, 1]
+        assert f[3].tolist() == [99, 99]
+
+    def test_negative_index(self):
+        f = RotatingRegisterFile(3, 1, np.uint8)
+        f[2] = np.array([7], dtype=np.uint8)
+        assert f[-1][0] == 7
+
+    def test_out_of_range(self):
+        f = RotatingRegisterFile(3, 1)
+        with pytest.raises(BitsliceLayoutError):
+            f[3]
+
+    def test_gather_matches_getitem(self):
+        f = RotatingRegisterFile(5, 1, np.uint8)
+        for i in range(5):
+            f[i] = np.array([i * 10], dtype=np.uint8)
+        f.shift_in(np.array([50], dtype=np.uint8))
+        g = f.gather([0, 2, 4])
+        assert g[:, 0].tolist() == [f[0][0], f[2][0], f[4][0]]
+
+    def test_snapshot_logical_order(self):
+        f = RotatingRegisterFile(3, 1, np.uint8)
+        f.load(np.array([[1], [2], [3]], dtype=np.uint8))
+        f.shift_in(np.array([4], dtype=np.uint8))
+        assert f.snapshot()[:, 0].tolist() == [2, 3, 4]
+
+    def test_shift_count(self):
+        f = RotatingRegisterFile(3, 1)
+        f.shift_in(np.zeros(1, dtype=np.uint64))
+        f.shift_in(np.zeros(1, dtype=np.uint64))
+        assert f.shifts == 2
+
+    def test_load_shape_check(self):
+        f = RotatingRegisterFile(3, 2)
+        with pytest.raises(BitsliceLayoutError):
+            f.load(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestEngine:
+    def test_geometry(self):
+        e = BitslicedEngine(n_lanes=100, dtype=np.uint32)
+        assert e.n_words == 4 and e.width == 32
+
+    def test_constructors(self):
+        e = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        assert e.zeros().tolist() == [0]
+        assert e.ones()[0] == 0xFF
+        assert e.zeros(3).shape == (3, 1)
+        assert e.const(1)[0] == 0xFF
+
+    def test_active_mask_partial(self):
+        e = BitslicedEngine(n_lanes=10, dtype=np.uint8)
+        assert e.active_mask().tolist() == [0xFF, 0b11]
+
+    def test_invalid_params(self):
+        with pytest.raises(BitsliceLayoutError):
+            BitslicedEngine(n_lanes=0)
+        with pytest.raises(BitsliceLayoutError):
+            BitslicedEngine(stage_rows=0)
+        with pytest.raises(BitsliceLayoutError):
+            BitslicedEngine(dtype=np.float64)
+
+    def test_gate_report(self):
+        e = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        e.gates.xor(e.zeros(), e.ones())
+        rep = e.gate_report()
+        assert rep["xor"] == 1 and rep["n_lanes"] == 8
+
+
+class TestStageBuffer:
+    def test_flush_on_capacity(self):
+        e = BitslicedEngine(n_lanes=8, dtype=np.uint8, stage_rows=4)
+        stage = e.make_stage()
+        dest = np.zeros((10, 1), dtype=np.uint8)
+        row = 0
+        for i in range(6):
+            row = stage.push(np.full(1, i, dtype=np.uint8), dest, row)
+        assert row == 4 and stage.fill == 2 and stage.flushes == 1
+        row = stage.drain(dest, row)
+        assert row == 6
+        assert dest[:6, 0].tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_drain_empty_is_noop(self):
+        e = BitslicedEngine(n_lanes=8, dtype=np.uint8, stage_rows=4)
+        stage = e.make_stage()
+        dest = np.zeros((2, 1), dtype=np.uint8)
+        assert stage.drain(dest, 0) == 0

@@ -1,0 +1,152 @@
+"""Cross-cutting quality gates: every registered generator must emit
+statistically sound output, and injected implementation faults must be
+caught by the quality instruments (the reason they exist)."""
+
+import numpy as np
+import pytest
+
+from repro import BSRNG, available_algorithms
+from repro.analysis import (
+    autocorrelation,
+    avalanche_profile,
+    bias,
+    key_avalanche,
+    shannon_entropy_estimate,
+)
+from repro.nist import block_frequency_test, frequency_test, runs_test, serial_test
+
+#: middlesquare/lcg/parkmiller/ca are historical baselines with known
+#: statistical defects — they exist to lose benchmarks, not to pass NIST.
+STRONG = [
+    "mickey2",
+    "grain",
+    "trivium",
+    "aes128ctr",
+    "mt19937",
+    "xorwow",
+    "philox",
+    "mrg32k3a",
+    "chacha20",
+    "rc4",
+    "xorshift128plus",
+]
+
+
+class TestAllStrongGenerators:
+    @pytest.mark.parametrize("alg", STRONG)
+    def test_nist_spot_battery(self, alg):
+        bits = BSRNG(alg, seed=0xD1CE, lanes=256).random_bits(100_000)
+        for test in (frequency_test, block_frequency_test, runs_test, serial_test):
+            r = test(bits)
+            assert r.p_value >= 0.001, (alg, test.__name__, r.p_value)
+
+    @pytest.mark.parametrize("alg", STRONG)
+    def test_bias_and_entropy(self, alg):
+        bits = BSRNG(alg, seed=7, lanes=256).random_bits(100_000)
+        assert abs(bias(bits)) < 0.01, alg
+        assert shannon_entropy_estimate(bits) > 0.99, alg
+
+    @pytest.mark.parametrize("alg", STRONG)
+    def test_autocorrelation_flat(self, alg):
+        bits = BSRNG(alg, seed=5, lanes=256).random_bits(50_000)
+        ac = autocorrelation(bits, max_lag=16)
+        assert np.all(np.abs(ac) < 6 / np.sqrt(bits.size)), alg
+
+    @pytest.mark.parametrize("alg", sorted(available_algorithms()))
+    def test_seed_separation(self, alg):
+        a = BSRNG(alg, seed=1, lanes=64).random_bytes(64)
+        b = BSRNG(alg, seed=2, lanes=64).random_bytes(64)
+        assert a != b, alg
+
+    @pytest.mark.parametrize("alg", sorted(available_algorithms()))
+    def test_reproducible(self, alg):
+        a = BSRNG(alg, seed=9, lanes=64).random_bytes(64)
+        b = BSRNG(alg, seed=9, lanes=64).random_bytes(64)
+        assert a == b, alg
+
+
+class TestFaultInjection:
+    """Break a cipher on purpose; the instruments must notice.  These
+    are the tripwires that stand in for the eSTREAM KAT files."""
+
+    def test_wrong_grain_tap_breaks_avalanche_or_reference_match(self):
+        from repro.ciphers.grain import GrainV1
+
+        class BrokenGrain(GrainV1):
+            def _shift(self, extra_feedback: int = 0) -> None:
+                # drop the s[13] LFSR tap: the keystream still "looks"
+                # random, but no longer matches the healthy cipher
+                s, b = self.lfsr, self.nfsr
+                fs = int(s[62]) ^ int(s[51]) ^ int(s[38]) ^ int(s[23]) ^ int(s[0])
+                from repro.ciphers.grain import _g
+
+                fb = int(s[0]) ^ _g(b)
+                fs ^= extra_feedback
+                fb ^= extra_feedback
+                s[:-1] = s[1:]
+                s[-1] = fs
+                b[:-1] = b[1:]
+                b[-1] = fb
+
+        rng = np.random.default_rng(1)
+        key = rng.integers(0, 2, 80, dtype=np.uint8)
+        iv = rng.integers(0, 2, 64, dtype=np.uint8)
+        healthy = GrainV1(key, iv).keystream(512)
+        broken = BrokenGrain(key, iv).keystream(512)
+        assert not np.array_equal(healthy, broken)
+
+    def test_stuck_feedback_collapses_avalanche(self):
+        # A cipher whose feedback ignores the key has zero diffusion.
+        def stuck(key_bits):
+            out = np.zeros(512, np.uint8)
+            out[::7] = 1
+            return out
+
+        prof = avalanche_profile(key_avalanche(stuck, key_bits=80, n_flips=4))
+        assert not prof["passed"]
+
+    def test_duplicated_lane_seeding_detected(self):
+        # §4.3's warned failure: lanes seeded identically.  The lane
+        # correlation gate must fire.
+        from repro.analysis import lane_correlation_matrix, max_abs_offdiag
+        from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+        from repro.core.engine import BitslicedEngine
+
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        keys = np.tile(np.random.default_rng(2).integers(0, 2, 80, dtype=np.uint8), (8, 1))
+        ivs = np.tile(np.random.default_rng(3).integers(0, 2, 80, dtype=np.uint8), (8, 1))
+        bank.load(keys, ivs)  # identical key AND IV in every lane
+        lanes = bank.keystream_bits(2048)
+        assert max_abs_offdiag(lane_correlation_matrix(lanes)) == pytest.approx(1.0)
+
+    def test_counter_reuse_detected(self):
+        # CTR-mode catastrophic misuse: same key+nonce+counter block twice.
+        from repro.ciphers.aes_bitsliced import BitslicedAESCTR
+        from repro.core.engine import BitslicedEngine
+
+        a = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        b = BitslicedAESCTR(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        a.load(np.arange(16, dtype=np.uint8), nonce=1, counter_start=0)
+        b.load(np.arange(16, dtype=np.uint8), nonce=1, counter_start=0)
+        assert np.array_equal(a.next_block_planes(), b.next_block_planes())
+
+    def test_biased_stream_fails_battery(self):
+        biased = (np.random.default_rng(4).random(100_000) < 0.51).astype(np.uint8)
+        assert not frequency_test(biased).passed
+
+    def test_short_period_fails_serial(self):
+        stream = np.tile([1, 0, 1, 1, 0, 0], 20_000).astype(np.uint8)
+        assert not serial_test(stream).passed
+
+
+class TestWeakBaselinesAreWeak:
+    """The historical baselines are in the registry to be bad — make sure
+    they stay bad (a middle-square that passes NIST is a bug)."""
+
+    def test_middlesquare_or_lcg_fail_something(self):
+        failures = 0
+        for alg in ("middlesquare", "lcg", "parkmiller", "ca"):
+            bits = BSRNG(alg, seed=1, lanes=64).random_bits(100_000)
+            results = [frequency_test(bits), runs_test(bits), serial_test(bits)]
+            failures += any(not r.passed for r in results)
+        assert failures >= 1

@@ -1,0 +1,182 @@
+"""GF(2) algebra: polynomials, Berlekamp–Massey, rank, period theory."""
+
+import numpy as np
+import pytest
+
+from repro.core.lfsr import ReferenceLFSR
+from repro.errors import SpecificationError
+from repro.gf2 import (
+    berlekamp_massey,
+    gf2_matrix_rank,
+    lfsr_period,
+    linear_complexity_profile,
+    pack_rows,
+    poly_degree,
+    poly_divmod,
+    poly_from_taps,
+    poly_gcd,
+    poly_is_irreducible,
+    poly_is_primitive,
+    poly_mod,
+    poly_mul,
+    poly_powmod,
+    rank_distribution,
+    taps_from_poly,
+)
+from repro.gf2.linalg import gf2_matrix_rank_batch
+from repro.gf2.poly import factorize
+
+
+class TestPolyArithmetic:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x+1)(x+1) = x^2+1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_mul_distributes(self):
+        a, b, c = 0b1101, 0b101, 0b11
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    def test_divmod_identity(self):
+        a, b = 0b110101, 0b111
+        q, r = poly_divmod(a, b)
+        assert poly_mul(q, b) ^ r == a
+        assert poly_degree(r) < poly_degree(b)
+
+    def test_div_by_zero(self):
+        with pytest.raises(SpecificationError):
+            poly_divmod(1, 0)
+
+    def test_gcd(self):
+        # gcd((x+1)^2, (x+1)x) = x+1
+        assert poly_gcd(poly_mul(0b11, 0b11), poly_mul(0b11, 0b10)) == 0b11
+
+    def test_powmod(self):
+        mod = 0b10011  # x^4+x+1, primitive
+        # x^15 ≡ 1 mod primitive degree-4 poly
+        assert poly_powmod(2, 15, mod) == 1
+        assert poly_powmod(2, 5, mod) != 1
+
+
+class TestIrreducibilityPrimitivity:
+    def test_known_irreducible(self):
+        assert poly_is_irreducible(0b111)  # x^2+x+1
+        assert poly_is_irreducible(0b10011)  # x^4+x+1
+        assert poly_is_irreducible(0x11B)  # the AES polynomial
+
+    def test_known_reducible(self):
+        assert not poly_is_irreducible(poly_mul(0b111, 0b11))
+        assert not poly_is_irreducible(0b101)  # (x+1)^2
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4+x^3+x^2+x+1 divides x^5-1: order 5, not 15
+        p = 0b11111
+        assert poly_is_irreducible(p)
+        assert not poly_is_primitive(p)
+
+    def test_primitive_examples(self):
+        assert poly_is_primitive(0b10011)
+        assert not poly_is_primitive(0b11111)
+
+    def test_taps_roundtrip(self):
+        p = poly_from_taps(8, (0, 2, 3, 4))
+        assert taps_from_poly(p) == (8, (0, 2, 3, 4))
+
+    def test_bad_tap(self):
+        with pytest.raises(SpecificationError):
+            poly_from_taps(4, (4,))
+
+
+class TestFactorize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(12, (2, 3)), (97, (97,)), (2**16 - 1, (3, 5, 17, 257)), (2**23 - 1, (47, 178481))],
+    )
+    def test_known(self, n, expected):
+        assert factorize(n) == expected
+
+
+class TestBerlekampMassey:
+    def test_constant_zero(self):
+        assert berlekamp_massey(np.zeros(32, dtype=np.uint8)) == 0
+
+    def test_single_one(self):
+        # sequence 0001 has complexity 4 (needs a length-4 register)
+        assert berlekamp_massey([0, 0, 0, 1]) == 4
+
+    def test_alternating(self):
+        assert berlekamp_massey([1, 0, 1, 0, 1, 0, 1, 0]) == 2
+
+    @pytest.mark.parametrize("n", [5, 9, 14])
+    def test_lfsr_complexity_is_degree(self, n):
+        seq = ReferenceLFSR(n, state=3).run(4 * n)
+        assert berlekamp_massey(seq) == n
+
+    def test_random_sequence_near_half(self, rng):
+        seq = rng.integers(0, 2, size=200, dtype=np.uint8)
+        l = berlekamp_massey(seq)
+        assert 90 <= l <= 110
+
+    def test_profile_monotone(self, rng):
+        seq = rng.integers(0, 2, size=64, dtype=np.uint8)
+        prof = linear_complexity_profile(seq)
+        assert np.all(np.diff(prof) >= 0)
+        assert prof[-1] == berlekamp_massey(seq)
+
+
+class TestPeriodTheory:
+    @pytest.mark.parametrize("n,taps", [(4, (0, 1)), (10, (0, 3)), (16, (0, 4, 13, 15))])
+    def test_primitive_period(self, n, taps):
+        assert lfsr_period(n, taps) == (1 << n) - 1
+
+    def test_non_primitive_period(self):
+        # x^4+x^3+x^2+x+1: irreducible of order 5
+        assert lfsr_period(4, (0, 1, 2, 3)) == 5
+
+    def test_reducible_rejected(self):
+        with pytest.raises(SpecificationError):
+            lfsr_period(4, (0, 2))  # x^4+x^2+1 = (x^2+x+1)^2
+
+    def test_period_matches_walk(self):
+        n, taps = 11, (0, 2)
+        assert lfsr_period(n, taps) == ReferenceLFSR(n, taps, state=1).period(1 << n)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert gf2_matrix_rank(np.eye(16, dtype=np.uint8)) == 16
+
+    def test_duplicate_rows(self):
+        m = np.ones((4, 4), dtype=np.uint8)
+        assert gf2_matrix_rank(m) == 1
+
+    def test_zero(self):
+        assert gf2_matrix_rank(np.zeros((8, 8), dtype=np.uint8)) == 0
+
+    def test_rectangular(self):
+        m = np.array([[1, 0, 0, 0, 0], [0, 1, 0, 0, 0]], dtype=np.uint8)
+        assert gf2_matrix_rank(m) == 2
+
+    def test_batch_matches_single(self, rng):
+        mats = rng.integers(0, 2, size=(30, 16, 16), dtype=np.uint8)
+        batch = gf2_matrix_rank_batch(mats)
+        singles = np.array([gf2_matrix_rank(m) for m in mats])
+        assert np.array_equal(batch, singles)
+
+    def test_batch_width_cap(self):
+        with pytest.raises(SpecificationError):
+            gf2_matrix_rank_batch(np.zeros((1, 4, 65), dtype=np.uint8))
+
+    def test_pack_rows_width(self):
+        packed = pack_rows(np.ones((3, 70), dtype=np.uint8))
+        assert packed.shape == (3, 2)
+
+    def test_rank_distribution_sums_to_one(self):
+        probs = rank_distribution(32, 32)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(0.2888, abs=1e-4)
+        assert probs[1] == pytest.approx(0.5776, abs=1e-4)

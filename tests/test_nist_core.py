@@ -1,0 +1,216 @@
+"""Core SP 800-22 tests: frequency family, runs family, cusum.
+
+Validation strategy (the sts KAT files are not redistributable):
+
+* analytic cross-checks — recompute the expected p-value from the
+  published formula with scipy, independently of the implementation;
+* rejection — pathological inputs every correct implementation must fail;
+* acceptance — high-quality reference bits must pass;
+* edge behaviour — minimum lengths raise ``InsufficientDataError``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import erfc, gammaincc
+from scipy.stats import norm
+
+from repro.errors import InsufficientDataError
+from repro.nist import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    """1 Mbit of reference-quality bits (NumPy PCG64, seed fixed)."""
+    return np.random.default_rng(0xA5A5).integers(0, 2, size=1_000_000, dtype=np.uint8)
+
+
+def make_biased(n, p_one, seed=7):
+    return (np.random.default_rng(seed).random(n) < p_one).astype(np.uint8)
+
+
+# ---------------------------------------------------------------- frequency
+
+
+class TestFrequency:
+    def test_analytic_p_value(self):
+        # 40 ones in 100 bits: S = -20, s_obs = 2.0, p = erfc(2/sqrt(2)).
+        bits = np.zeros(100, dtype=np.uint8)
+        bits[:40] = 1
+        r = frequency_test(bits)
+        assert r.p_value == pytest.approx(float(erfc(2.0 / math.sqrt(2.0))), rel=1e-12)
+
+    def test_balanced_sequence_has_p_one(self):
+        bits = np.concatenate([np.ones(50, np.uint8), np.zeros(50, np.uint8)])
+        assert frequency_test(bits).p_value == pytest.approx(1.0)
+
+    def test_order_invariance(self, good_bits):
+        # The statistic depends only on the ones count.
+        sample = good_bits[:10_000]
+        shuffled = np.random.default_rng(1).permutation(sample)
+        assert frequency_test(sample).p_value == pytest.approx(
+            frequency_test(shuffled).p_value
+        )
+
+    def test_rejects_all_zeros(self):
+        assert not frequency_test(np.zeros(1000, np.uint8)).passed
+
+    def test_rejects_bias(self):
+        assert not frequency_test(make_biased(100_000, 0.51)).passed
+
+    def test_accepts_good(self, good_bits):
+        assert frequency_test(good_bits).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            frequency_test(np.ones(99, np.uint8))
+
+
+# ---------------------------------------------------------- block frequency
+
+
+class TestBlockFrequency:
+    def test_analytic_p_value(self):
+        # Two blocks of 100: one all-ones, one balanced.
+        # chi2 = 4 * sum((pi_i - 1/2)^2) * M = 4*100*(0.25 + 0) = 100.
+        bits = np.concatenate(
+            [np.ones(100, np.uint8), np.tile([0, 1], 50).astype(np.uint8)]
+        )
+        r = block_frequency_test(bits, block_size=100)
+        assert r.p_value == pytest.approx(float(gammaincc(1.0, 50.0)), rel=1e-10)
+
+    def test_perfect_blocks_pass(self):
+        bits = np.tile([0, 1], 5000).astype(np.uint8)
+        assert block_frequency_test(bits, block_size=100).p_value == pytest.approx(1.0)
+
+    def test_rejects_blocky_bias(self):
+        # Alternating all-ones / all-zeros blocks: globally balanced but
+        # every block is maximally lopsided.
+        blocks = [np.full(128, i % 2, dtype=np.uint8) for i in range(64)]
+        assert not block_frequency_test(np.concatenate(blocks), block_size=128).passed
+
+    def test_accepts_good(self, good_bits):
+        assert block_frequency_test(good_bits).passed
+
+    def test_discards_tail(self):
+        # 250 bits with M=100 uses exactly 2 blocks; the tail must not count.
+        bits = np.zeros(250, np.uint8)
+        bits[:100] = np.tile([0, 1], 50)
+        bits[100:200] = np.tile([0, 1], 50)
+        bits[200:] = 1  # pathological tail, should be ignored
+        assert block_frequency_test(bits, block_size=100).p_value == pytest.approx(1.0)
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            block_frequency_test(np.ones(99, np.uint8), block_size=100)
+
+
+# ------------------------------------------------------------------- runs
+
+
+class TestRuns:
+    def test_analytic_p_value(self):
+        # From the SP 800-22 formula: p = erfc(|V - 2n pi (1-pi)| /
+        # (2 sqrt(2n) pi (1-pi))) with V the observed run count.
+        bits = np.random.default_rng(3).integers(0, 2, 1000, dtype=np.uint8)
+        pi = bits.mean()
+        v_obs = 1 + int(np.count_nonzero(np.diff(bits)))
+        n = bits.size
+        expected = float(
+            erfc(abs(v_obs - 2 * n * pi * (1 - pi)) / (2 * math.sqrt(2 * n) * pi * (1 - pi)))
+        )
+        assert runs_test(bits).p_value == pytest.approx(expected, rel=1e-10)
+
+    def test_rejects_alternating(self):
+        # 0101... has the maximum possible run count.
+        assert not runs_test(np.tile([0, 1], 500).astype(np.uint8)).passed
+
+    def test_rejects_long_runs(self):
+        # 64-bit runs: far too few transitions.
+        bits = np.repeat(np.arange(32) % 2, 64).astype(np.uint8)
+        assert not runs_test(bits).passed
+
+    def test_accepts_good(self, good_bits):
+        assert runs_test(good_bits).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            runs_test(np.ones(99, np.uint8))
+
+
+# ------------------------------------------------------------- longest run
+
+
+class TestLongestRun:
+    def test_accepts_good(self, good_bits):
+        assert longest_run_test(good_bits).passed
+
+    def test_rejects_alternating(self):
+        # Longest run of ones == 1 in every block: wildly atypical.
+        assert not longest_run_test(np.tile([0, 1], 5000).astype(np.uint8)).passed
+
+    def test_rejects_solid_ones(self):
+        assert not longest_run_test(np.ones(10_000, np.uint8)).passed
+
+    def test_all_three_regimes_run(self, good_bits):
+        # The test switches (M, K) at n=6272 and n=750000.
+        for n in (128, 10_000, 800_000):
+            assert longest_run_test(good_bits[:n]).p_value >= 0.0
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            longest_run_test(np.ones(127, np.uint8))
+
+
+# ------------------------------------------------------------------ cusum
+
+
+class TestCumulativeSums:
+    def test_two_p_values(self, good_bits):
+        r = cumulative_sums_test(good_bits[:100_000])
+        assert len(r.p_values) == 2  # forward and backward
+
+    def test_analytic_p_value(self):
+        # For z = max|S_k|, the p-value is the NIST theta-like series; we
+        # recompute it here from the published formula with scipy's norm.
+        bits = np.random.default_rng(9).integers(0, 2, 1000, dtype=np.uint8)
+        n = bits.size
+        x = 2.0 * bits - 1.0
+        z = int(np.max(np.abs(np.cumsum(x))))
+        total = 0.0
+        for k in range((-n // z + 1) // 4, (n // z - 1) // 4 + 1):
+            total += norm.cdf((4 * k + 1) * z / math.sqrt(n)) - norm.cdf(
+                (4 * k - 1) * z / math.sqrt(n)
+            )
+        part = 0.0
+        for k in range((-n // z - 3) // 4, (n // z - 1) // 4 + 1):
+            part += norm.cdf((4 * k + 3) * z / math.sqrt(n)) - norm.cdf(
+                (4 * k + 1) * z / math.sqrt(n)
+            )
+        expected = 1.0 - total + part
+        assert cumulative_sums_test(bits).p_values[0] == pytest.approx(expected, rel=1e-8)
+
+    def test_reverse_symmetry(self, good_bits):
+        # Forward p of the reversed sequence == backward p of the original.
+        bits = good_bits[:10_000]
+        fwd, bwd = cumulative_sums_test(bits).p_values
+        rfwd, rbwd = cumulative_sums_test(bits[::-1]).p_values
+        assert fwd == pytest.approx(rbwd)
+        assert bwd == pytest.approx(rfwd)
+
+    def test_rejects_drift(self):
+        assert not cumulative_sums_test(make_biased(50_000, 0.52)).passed
+
+    def test_accepts_good(self, good_bits):
+        assert cumulative_sums_test(good_bits).passed
+
+    def test_min_length(self):
+        with pytest.raises(InsufficientDataError):
+            cumulative_sums_test(np.ones(99, np.uint8))

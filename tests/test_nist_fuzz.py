@@ -1,0 +1,129 @@
+"""Robustness fuzz for the statistical tests: on *any* input of
+sufficient length, every test must return finite p-values in [0, 1] or
+raise InsufficientDataError — never NaN, never crash, never escape the
+unit interval.  Pathological structure is exactly what these tests
+exist to judge, so they must stay numerically sound on it."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.nist import ALL_TESTS
+from repro.nist.fips140 import fips140_battery
+
+# Generators of adversarially-structured bit sequences.
+
+
+def _from_bytes(raw: bytes, n: int) -> np.ndarray:
+    return np.unpackbits(np.frombuffer(raw, np.uint8), bitorder="little")[:n]
+
+
+structured = st.one_of(
+    # random block repeated (tiny period)
+    st.tuples(st.binary(min_size=1, max_size=8), st.just("tile")),
+    # heavy bias, both directions
+    st.tuples(st.floats(0.01, 0.99), st.just("bias")),
+    # long constant runs with random interludes
+    st.tuples(st.integers(1, 500), st.just("runs")),
+    # pure noise
+    st.tuples(st.integers(0, 2**32 - 1), st.just("noise")),
+)
+
+
+def make_bits(spec, n: int = 4096) -> np.ndarray:
+    value, kind = spec
+    if kind == "tile":
+        unit = _from_bytes(value, 8 * len(value))
+        if not unit.size:
+            unit = np.array([0], np.uint8)
+        return np.tile(unit, n // unit.size + 1)[:n]
+    if kind == "bias":
+        return (np.random.default_rng(0).random(n) < value).astype(np.uint8)
+    if kind == "runs":
+        rng = np.random.default_rng(value)
+        out = []
+        total = 0
+        while total < n:
+            length = int(rng.integers(1, value + 1))
+            out.append(np.full(length, rng.integers(0, 2), np.uint8))
+            total += length
+        return np.concatenate(out)[:n]
+    return np.random.default_rng(value).integers(0, 2, n, dtype=np.uint8)
+
+
+FAST_TESTS = {
+    k: v
+    for k, v in ALL_TESTS.items()
+    if k
+    in (
+        "Frequency",
+        "BlockFrequency",
+        "CumulativeSums",
+        "Runs",
+        "LongestRun",
+        "FFT",
+        "NonOverlappingTemplate",
+        "Serial",
+        "ApproximateEntropy",
+    )
+}
+
+
+class TestPValueSoundness:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(spec=structured)
+    def test_all_fast_tests_sound(self, spec):
+        bits = make_bits(spec)
+        for name, fn in FAST_TESTS.items():
+            try:
+                r = fn(bits)
+            except InsufficientDataError:
+                continue
+            for p in r.p_values:
+                assert np.isfinite(p), (name, spec)
+                assert 0.0 <= p <= 1.0, (name, spec, p)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(spec=structured)
+    def test_heavy_tests_sound(self, spec):
+        bits = make_bits(spec, n=45_000)  # enough for Rank (38 matrices)
+        for name in ("Rank", "OverlappingTemplate", "RandomExcursions", "RandomExcursionsVariant"):
+            try:
+                r = ALL_TESTS[name](bits)
+            except InsufficientDataError:
+                continue
+            for p in r.p_values:
+                assert np.isfinite(p) and 0.0 <= p <= 1.0, (name, spec, p)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(spec=structured)
+    def test_fips_never_crashes(self, spec):
+        bits = make_bits(spec, n=20_000)
+        report = fips140_battery(bits)
+        assert isinstance(report.passed, bool)
+        assert np.isfinite(report.statistics["poker_x"])
+
+    def test_extreme_inputs_every_test(self):
+        """The four most degenerate inputs through the whole battery."""
+        n = 1_100_000
+        extremes = {
+            "zeros": np.zeros(n, np.uint8),
+            "ones": np.ones(n, np.uint8),
+            "alternating": np.tile([0, 1], n // 2).astype(np.uint8),
+            "half_half": np.concatenate([np.zeros(n // 2, np.uint8), np.ones(n // 2, np.uint8)]),
+        }
+        for label, bits in extremes.items():
+            for name, fn in ALL_TESTS.items():
+                if name == "LinearComplexity":
+                    continue  # several seconds each; structure covered by Serial/ApEn
+                try:
+                    r = fn(bits)
+                except InsufficientDataError:
+                    continue
+                for p in r.p_values:
+                    assert np.isfinite(p) and 0.0 <= p <= 1.0, (label, name, p)
+                # degenerate inputs must never *pass* the frequency family
+                if name in ("Frequency", "Runs") and label in ("zeros", "ones"):
+                    assert not r.passed, (label, name)

@@ -1,0 +1,145 @@
+"""Suite-level aggregation: proportion band, uniformity chi-square,
+skip handling and the Table-3-style report."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import gammaincc
+
+from repro.errors import InsufficientDataError
+from repro.nist import ALL_TESTS, SuiteReport, run_suite, summarize_pvalues
+from repro.nist.result import ALPHA
+from repro.nist.result import TestResult as NistResult
+
+
+class TestResultSemantics:
+    def test_p_value_is_minimum(self):
+        r = NistResult("t", [0.9, 0.3, 0.5])
+        assert r.p_value == 0.3
+
+    def test_clipping(self):
+        r = NistResult("t", [1.5, -0.1])
+        assert r.p_values == [1.0, 0.0]
+
+    def test_pass_threshold(self):
+        assert NistResult("t", [ALPHA]).passed
+        assert not NistResult("t", [ALPHA / 2]).passed
+
+
+class TestSummarize:
+    def test_proportion_and_band(self):
+        ps = [0.5] * 95 + [0.001] * 5
+        out = summarize_pvalues(ps)
+        assert out["proportion"] == pytest.approx(0.95)
+        band = 3.0 * math.sqrt(ALPHA * (1 - ALPHA) / 100)
+        assert out["proportion_low"] == pytest.approx(0.99 - band)
+        # 95% passing with a band around 0.96 lower limit: fails.
+        assert not out["proportion_ok"]
+
+    def test_uniformity_chi2(self):
+        # Exactly 10 p-values per decile: chi2 = 0, uniformity p = 1.
+        ps = np.concatenate([np.full(10, (i + 0.5) / 10) for i in range(10)])
+        out = summarize_pvalues(ps)
+        assert out["uniformity_p"] == pytest.approx(1.0)
+        assert out["uniformity_ok"]
+
+    def test_uniformity_detects_clumping(self):
+        out = summarize_pvalues([0.55] * 1000)
+        assert out["uniformity_p"] < 1e-4
+        assert not out["uniformity_ok"]
+
+    def test_uniformity_matches_igamc(self):
+        rng = np.random.default_rng(3)
+        ps = rng.random(200)
+        out = summarize_pvalues(ps)
+        counts, _ = np.histogram(ps, bins=10, range=(0, 1))
+        chi2 = float(np.sum((counts - 20.0) ** 2 / 20.0))
+        assert out["uniformity_p"] == pytest.approx(float(gammaincc(4.5, chi2 / 2.0)))
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            summarize_pvalues([])
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rng = np.random.default_rng(0xC0FFEE)
+        seqs = [rng.integers(0, 2, 20_000, dtype=np.uint8) for _ in range(8)]
+        fast = {
+            k: v
+            for k, v in ALL_TESTS.items()
+            if k in ("Frequency", "BlockFrequency", "Runs", "CumulativeSums", "Serial")
+        }
+        return run_suite(seqs, n_sequences=len(seqs), tests=fast)
+
+    def test_all_tests_reported(self, report):
+        assert set(report.per_test) == {
+            "Frequency",
+            "BlockFrequency",
+            "Runs",
+            "CumulativeSums",
+            "Serial",
+        }
+        assert report.n_sequences == 8
+        assert report.n_bits == 20_000
+
+    def test_good_source_passes_proportion(self, report):
+        for row in report.per_test.values():
+            assert row["proportion_ok"]
+
+    def test_callable_source(self):
+        rng = np.random.default_rng(1)
+        seqs = [rng.integers(0, 2, 1000, dtype=np.uint8) for _ in range(4)]
+        rep = run_suite(lambda i: seqs[i], 4, tests={"Frequency": ALL_TESTS["Frequency"]})
+        assert rep.per_test["Frequency"]["n_sequences"] == 4
+
+    def test_short_sequences_are_skipped_not_failed(self):
+        seqs = [np.random.default_rng(i).integers(0, 2, 200, dtype=np.uint8) for i in range(3)]
+        rep = run_suite(
+            seqs, 3, tests={"Frequency": ALL_TESTS["Frequency"], "FFT": ALL_TESTS["FFT"]}
+        )
+        assert "FFT" in rep.skipped  # needs 1000 bits
+        assert "Frequency" in rep.per_test
+
+    def test_to_table_format(self, report):
+        table = report.to_table()
+        assert "Frequency" in table
+        assert "Success" in table or "FAILURE" in table
+        assert table.count("\n") >= len(report.per_test) + 1
+
+    def test_all_passed_flag(self):
+        good = SuiteReport(1, 100)
+        good.per_test["X"] = {"proportion_ok": True, "uniformity_ok": True, "proportion": 1.0, "uniformity_p": 0.5}
+        assert good.all_passed
+        good.per_test["Y"] = {"proportion_ok": False, "uniformity_ok": True, "proportion": 0.5, "uniformity_p": 0.5}
+        assert not good.all_passed
+
+    def test_biased_source_fails(self):
+        rng = np.random.default_rng(5)
+        seqs = [(rng.random(5000) < 0.55).astype(np.uint8) for _ in range(6)]
+        rep = run_suite(seqs, 6, tests={"Frequency": ALL_TESTS["Frequency"]})
+        assert not rep.all_passed
+
+
+class TestTable3Workflow:
+    """The paper's Table 3 pipeline on CI-scaled inputs."""
+
+    def test_mickey_battery_small(self):
+        from repro.core.generator import BSRNG
+
+        rng = BSRNG("mickey2", seed=2020, lanes=256)
+        seqs = [rng.random_bits(20_000) for _ in range(10)]
+        fast = {
+            k: ALL_TESTS[k]
+            for k in ("Frequency", "BlockFrequency", "Runs", "CumulativeSums", "Serial", "ApproximateEntropy")
+        }
+        rep = run_suite(seqs, len(seqs), tests=fast)
+        # At 10 sequences the NIST band is all-or-nothing per test, which
+        # flakes at the ~2% level (Serial's scalar is a min of two
+        # p-values); assert the battery-wide behaviour instead: no test may
+        # lose more than one sequence, and uniformity must hold everywhere.
+        for name, row in rep.per_test.items():
+            assert row["proportion"] >= 0.9, f"{name} failed: {row}"
+            assert row["uniformity_ok"], f"{name} clumped: {row}"

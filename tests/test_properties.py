@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) on the core data structures:
+bitslice transposes, bit packing, GF(2) algebra, CRC linearity, seed
+expansion and the generator's stream semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bitio.bits import (
+    bits_from_bytes,
+    bits_from_hex,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_hex,
+    bits_to_int,
+    bits_to_uint64,
+    uint64_to_bits,
+)
+from repro.core.bitslice import bitslice, unbitslice
+from repro.core.seeding import expand_seed_words
+from repro.crc import CRC8_ATM, SerialCRC
+from repro.gf2.lfsr_theory import berlekamp_massey
+from repro.gf2.poly import (
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_powmod,
+)
+
+# Shared strategies -----------------------------------------------------------
+
+bit_arrays = st.integers(1, 200).flatmap(
+    lambda n: st.binary(min_size=(n + 7) // 8, max_size=(n + 7) // 8).map(
+        lambda raw: np.unpackbits(np.frombuffer(raw, np.uint8), bitorder="little")[:n]
+    )
+)
+
+dtypes = st.sampled_from([np.uint8, np.uint32, np.uint64])
+
+polys = st.integers(1, (1 << 24) - 1)
+
+common = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# Bitslice transpose ----------------------------------------------------------
+
+
+class TestBitsliceRoundtrip:
+    @common
+    @given(
+        n_lanes=st.integers(1, 70),
+        n_bits=st.integers(1, 40),
+        dtype=dtypes,
+        data=st.data(),
+    )
+    def test_roundtrip(self, n_lanes, n_bits, dtype, data):
+        raw = data.draw(
+            st.binary(
+                min_size=(n_lanes * n_bits + 7) // 8, max_size=(n_lanes * n_bits + 7) // 8
+            )
+        )
+        bits = np.unpackbits(np.frombuffer(raw, np.uint8), bitorder="little")[
+            : n_lanes * n_bits
+        ].reshape(n_lanes, n_bits)
+        planes = bitslice(bits, dtype=dtype)
+        assert planes.dtype == np.dtype(dtype)
+        back = unbitslice(planes, n_lanes)
+        assert np.array_equal(back, bits)
+
+    @common
+    @given(n_lanes=st.integers(1, 64), dtype=dtypes)
+    def test_column_major_semantics(self, n_lanes, dtype):
+        # Plane b, lane k bit == row-major bit (k, b) by construction.
+        rng = np.random.default_rng(n_lanes)
+        bits = rng.integers(0, 2, (n_lanes, 8), dtype=np.uint8)
+        planes = bitslice(bits, dtype=dtype)
+        width = np.dtype(dtype).itemsize * 8
+        for k in (0, n_lanes - 1):
+            for b in (0, 7):
+                lane_bit = (int(planes[b, k // width]) >> (k % width)) & 1
+                assert lane_bit == bits[k, b]
+
+
+# Bit packing -----------------------------------------------------------------
+
+
+class TestBitioRoundtrips:
+    @common
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_bytes_roundtrip(self, data):
+        assert bits_to_bytes(bits_from_bytes(data)) == data
+
+    @common
+    @given(bits=bit_arrays)
+    def test_hex_roundtrip(self, bits):
+        hx = bits_to_hex(bits)
+        back = bits_from_hex(hx, n_bits=bits.size)
+        assert np.array_equal(back, bits)
+
+    @common
+    @given(value=st.integers(0, (1 << 128) - 1), extra=st.integers(0, 8))
+    def test_int_roundtrip(self, value, extra):
+        n_bits = max(value.bit_length(), 1) + extra
+        assert bits_to_int(bits_from_int(value, n_bits)) == value
+
+    @common
+    @given(bits=bit_arrays)
+    def test_uint64_roundtrip(self, bits):
+        words = bits_to_uint64(bits)
+        assert np.array_equal(uint64_to_bits(words, n_bits=bits.size), bits)
+
+
+# GF(2) polynomial algebra ----------------------------------------------------
+
+
+class TestGF2Algebra:
+    @common
+    @given(a=polys, b=polys)
+    def test_mul_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @common
+    @given(a=polys, b=polys, c=polys)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @common
+    @given(a=st.integers(0, (1 << 24) - 1), b=polys)
+    def test_divmod_invariant(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert poly_mul(q, b) ^ r == a
+        assert r == 0 or poly_degree(r) < poly_degree(b)
+
+    @common
+    @given(a=polys, b=polys)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        assert poly_mod(a, g) == 0
+        assert poly_mod(b, g) == 0
+
+    @common
+    @given(base=polys, e1=st.integers(0, 64), e2=st.integers(0, 64), mod=st.integers(2, (1 << 16) - 1))
+    def test_powmod_exponent_addition(self, base, e1, e2, mod):
+        lhs = poly_mod(poly_mul(poly_powmod(base, e1, mod), poly_powmod(base, e2, mod)), mod)
+        assert lhs == poly_powmod(base, e1 + e2, mod)
+
+
+# Berlekamp-Massey ------------------------------------------------------------
+
+
+class TestBerlekampMassey:
+    @common
+    @given(n=st.integers(2, 10), seed=st.integers(1, 1000))
+    def test_lfsr_stream_complexity_bounded(self, n, seed):
+        from repro.core.lfsr import ReferenceLFSR
+
+        lfsr = ReferenceLFSR(n)
+        lfsr.seed(1 + seed % ((1 << n) - 1))
+        stream = lfsr.run(4 * n)
+        assert berlekamp_massey(stream) <= n
+
+    @common
+    @given(bits=bit_arrays)
+    def test_complexity_bounds(self, bits):
+        c = berlekamp_massey(bits)
+        assert 0 <= c <= bits.size
+
+
+# CRC algebra -----------------------------------------------------------------
+
+
+class TestCRCProperties:
+    @common
+    @given(n=st.integers(8, 96), data=st.data())
+    def test_linearity(self, n, data):
+        a = np.array(data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), np.uint8)
+        b = np.array(data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), np.uint8)
+        crc = SerialCRC(CRC8_ATM)  # init == 0: CRC is linear
+        assert crc.checksum(a ^ b) == crc.checksum(a) ^ crc.checksum(b)
+
+    @common
+    @given(n=st.integers(8, 64), data=st.data())
+    def test_bitsliced_matches_serial(self, n, data):
+        from repro.core.engine import BitslicedEngine
+        from repro.crc import BitslicedCRC
+
+        lanes = data.draw(st.integers(1, 20))
+        msgs = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 1), min_size=n, max_size=n),
+                    min_size=lanes,
+                    max_size=lanes,
+                )
+            ),
+            np.uint8,
+        )
+        bs = BitslicedCRC(CRC8_ATM, BitslicedEngine(n_lanes=lanes, dtype=np.uint8))
+        got = bs.checksum_messages(msgs)
+        ser = SerialCRC(CRC8_ATM)
+        for k in range(lanes):
+            assert int(got[k]) == ser.checksum(msgs[k])
+
+
+# Seed expansion --------------------------------------------------------------
+
+
+class TestSeedExpansionProperties:
+    @common
+    @given(seed=st.integers(0, (1 << 64) - 1), n=st.integers(1, 64))
+    def test_prefix_stability(self, seed, n):
+        small = expand_seed_words(seed, n)
+        large = expand_seed_words(seed, n + 16)
+        assert np.array_equal(large[:n], small)
+
+    @common
+    @given(seed=st.integers(0, (1 << 32) - 1))
+    def test_streams_never_collide(self, seed):
+        a = expand_seed_words(seed, 32, stream=0)
+        b = expand_seed_words(seed, 32, stream=3)
+        assert not np.intersect1d(a, b).size
+
+
+# Generator stream semantics --------------------------------------------------
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        algorithm=st.sampled_from(["mickey2", "xorwow", "philox"]),
+        splits=st.lists(st.integers(1, 300), min_size=2, max_size=5),
+    )
+    def test_stream_prefix_property(self, algorithm, splits):
+        """Drawing in chunks must reproduce the one-shot stream."""
+        from repro.core.generator import BSRNG
+
+        total = sum(splits)
+        chunked = BSRNG(algorithm, seed=1, lanes=64)
+        parts = b"".join(chunked.random_bytes(k) for k in splits)
+        oneshot = BSRNG(algorithm, seed=1, lanes=64).random_bytes(total)
+        assert parts == oneshot
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 500))
+    def test_uint32_view_consistency(self, n):
+        from repro.core.generator import BSRNG
+
+        words32 = BSRNG("xorwow", seed=2, lanes=64).random_uint32(n)
+        raw = BSRNG("xorwow", seed=2, lanes=64).random_bytes(4 * n)
+        assert words32.tobytes() == raw
+
+
+class TestSkipBytesProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        algorithm=st.sampled_from(["mickey2", "aes128ctr", "philox", "chacha20", "xorwow"]),
+        skip=st.integers(0, 200_000),
+        take=st.integers(1, 512),
+    )
+    def test_skip_equals_discard(self, algorithm, skip, take):
+        """skip_bytes(k) then read == read past the first k bytes, for
+        counter kernels (O(1) fast path) and clocked kernels alike."""
+        from repro.core.generator import BSRNG
+
+        ref = BSRNG(algorithm, seed=3, lanes=64).random_bytes(skip + take)
+        rng = BSRNG(algorithm, seed=3, lanes=64)
+        rng.skip_bytes(skip)
+        assert rng.random_bytes(take) == ref[skip:]
+
+    def test_skip_negative_rejected(self):
+        from repro.core.generator import BSRNG
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            BSRNG("xorwow", seed=1, lanes=64).skip_bytes(-1)

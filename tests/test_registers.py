@@ -1,0 +1,114 @@
+"""RotatingRegisterFile tests — shift-by-renaming semantics (paper §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.registers import RotatingRegisterFile
+from repro.errors import BitsliceLayoutError
+
+
+def make_file(size=5, n_words=3, dtype=np.uint64):
+    f = RotatingRegisterFile(size, n_words, dtype)
+    planes = np.arange(size * n_words, dtype=dtype).reshape(size, n_words)
+    f.load(planes)
+    return f, planes
+
+
+class TestBasics:
+    def test_logical_indexing_after_load(self):
+        f, planes = make_file()
+        for i in range(5):
+            assert np.array_equal(f[i], planes[i])
+
+    def test_negative_indexing(self):
+        f, planes = make_file()
+        assert np.array_equal(f[-1], planes[-1])
+        assert np.array_equal(f[-5], planes[0])
+
+    def test_out_of_range(self):
+        f, _ = make_file()
+        with pytest.raises(BitsliceLayoutError):
+            f[5]
+        with pytest.raises(BitsliceLayoutError):
+            f[-6]
+
+    def test_len(self):
+        f, _ = make_file()
+        assert len(f) == 5
+
+    def test_setitem(self):
+        f, _ = make_file()
+        f[2] = np.full(3, 99, dtype=np.uint64)
+        assert np.all(f[2] == 99)
+
+    def test_constructor_validation(self):
+        with pytest.raises(BitsliceLayoutError):
+            RotatingRegisterFile(0, 3)
+        with pytest.raises(BitsliceLayoutError):
+            RotatingRegisterFile(3, 0)
+
+    def test_load_shape_validation(self):
+        f, _ = make_file()
+        with pytest.raises(BitsliceLayoutError):
+            f.load(np.zeros((4, 3), np.uint64))
+
+
+class TestShiftSemantics:
+    def test_shift_matches_naive_roll(self):
+        """Renaming must be observationally identical to physically moving
+        every row — the paper's claimed equivalence."""
+        f, planes = make_file()
+        naive = planes.copy()
+        rng = np.random.default_rng(0)
+        for step in range(12):
+            new = rng.integers(0, 100, size=3).astype(np.uint64)
+            retired = f.shift_in(new)
+            assert np.array_equal(retired, naive[0])
+            naive = np.vstack([naive[1:], new[None, :]])
+            for i in range(5):
+                assert np.array_equal(f[i], naive[i]), (step, i)
+
+    def test_snapshot_logical_order(self):
+        f, planes = make_file()
+        f.shift_in(np.full(3, 7, np.uint64))
+        f.shift_in(np.full(3, 8, np.uint64))
+        snap = f.snapshot()
+        assert np.array_equal(snap[:3], planes[2:])
+        assert np.all(snap[3] == 7) and np.all(snap[4] == 8)
+
+    def test_shift_counter(self):
+        f, _ = make_file()
+        for _ in range(7):
+            f.shift_in(np.zeros(3, np.uint64))
+        assert f.shifts == 7
+
+    def test_retired_plane_is_a_copy(self):
+        f, _ = make_file()
+        retired = f.shift_in(np.full(3, 50, np.uint64))
+        retired[:] = 123  # mutating the copy must not corrupt the file
+        assert not np.any(f.snapshot() == 123)
+
+    def test_gather(self):
+        f, planes = make_file()
+        f.shift_in(np.full(3, 9, np.uint64))
+        got = f.gather([0, 2, -1])
+        assert np.array_equal(got[0], planes[1])
+        assert np.array_equal(got[1], planes[3])
+        assert np.all(got[2] == 9)
+
+    def test_full_rotation_returns_home(self):
+        f, _ = make_file()
+        marker = [np.full(3, 100 + i, np.uint64) for i in range(5)]
+        for m in marker:
+            f.shift_in(m)
+        for i, m in enumerate(marker):
+            assert np.array_equal(f[i], m)
+
+    def test_wraparound_many_cycles(self):
+        f, _ = make_file(size=3, n_words=1)
+        expect = [np.array([0]), np.array([1]), np.array([2])]
+        f.load(np.array([[0], [1], [2]], dtype=np.uint64))
+        for k in range(100):
+            f.shift_in(np.array([k + 3], dtype=np.uint64))
+        assert int(f[0][0]) == 100
+        assert int(f[2][0]) == 102

@@ -1,0 +1,153 @@
+"""ASCII chart rendering and the parallel-period estimates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.period import (
+    effective_period_log2,
+    safe_stream_length,
+    stream_overlap_probability,
+)
+from repro.errors import SpecificationError
+from repro.report import bar_chart, grouped_bar_chart, series_table
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        out = bar_chart([("long", 10.0), ("half", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart([("a", 1.0), ("bbbb", 2.0)], width=4)
+        starts = [line.index("█") if "█" in line else len(line) for line in out.splitlines()]
+        # a zero bar would have no block; both values here are positive
+        assert len(set(starts)) == 1
+
+    def test_unit_and_format(self):
+        out = bar_chart([("x", 2.5)], width=4, unit="Gb/s", fmt="{:.2f}")
+        assert "2.50 Gb/s" in out
+
+    def test_zero_values_allowed(self):
+        out = bar_chart([("x", 0.0), ("y", 1.0)], width=4)
+        assert "x" in out
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            bar_chart([])
+        with pytest.raises(SpecificationError):
+            bar_chart([("x", -1.0)])
+        with pytest.raises(SpecificationError):
+            bar_chart([("x", 1.0)], width=0)
+
+    def test_fractional_cells(self):
+        # 1.5/2 of width 4 = 3 cells: 3 full blocks, no partial
+        out = bar_chart([("a", 2.0), ("b", 1.5)], width=4)
+        assert out.splitlines()[1].count("█") == 3
+
+
+class TestGroupedBarChart:
+    SERIES = {
+        "mickey2": {"V100": 2900.0, "2080Ti": 2720.0},
+        "curand": {"V100": 2300.0, "2080Ti": 1943.0},
+    }
+
+    def test_structure(self):
+        out = grouped_bar_chart(self.SERIES, width=20)
+        assert "V100:" in out and "2080Ti:" in out
+        assert out.count("mickey2") == 2  # once per group
+
+    def test_global_scaling(self):
+        out = grouped_bar_chart(self.SERIES, width=20)
+        longest = max(line.count("█") for line in out.splitlines())
+        assert longest == 20  # the global max fills the width
+
+    def test_group_mismatch_rejected(self):
+        bad = {"a": {"x": 1.0}, "b": {"y": 1.0}}
+        with pytest.raises(SpecificationError):
+            grouped_bar_chart(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            grouped_bar_chart({})
+
+
+class TestSeriesTable:
+    def test_layout(self):
+        out = series_table(TestGroupedBarChart.SERIES, fmt="{:.0f}")
+        lines = out.splitlines()
+        assert "V100" in lines[0] and "2080Ti" in lines[0]
+        assert "2900" in out and "1943" in out
+        assert len(lines) == 2 + 2  # header + rule + two series
+
+
+class TestOverlapProbability:
+    def test_birthday_bound_value(self):
+        # p = n^2 * L / P exactly in this regime
+        p = stream_overlap_probability(100, 4096, 30)
+        assert p == pytest.approx(2.0 ** (2 * 12 + 30 - 100))
+
+    def test_monotone_in_streams(self):
+        ps = [stream_overlap_probability(64, n, 20) for n in (2, 16, 256)]
+        assert ps == sorted(ps)
+
+    def test_saturates_at_one(self):
+        assert stream_overlap_probability(32, 1 << 16, 31) == 1.0
+        assert stream_overlap_probability(32, 2, 33) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            stream_overlap_probability(64, 0, 10)
+        with pytest.raises(SpecificationError):
+            stream_overlap_probability(0, 4, 10)
+
+
+class TestEffectivePeriod:
+    def test_single_stream_is_full_period(self):
+        assert effective_period_log2(100, 1) == pytest.approx(
+            math.log2(2**100 - 1), abs=1e-9
+        )
+
+    def test_halves_per_doubling(self):
+        a = effective_period_log2(64, 1024)
+        b = effective_period_log2(64, 2048)
+        assert a - b == pytest.approx(1.0)
+
+    def test_paper_scenario(self):
+        # 100-bit MICKEY-style register, 4096 lanes: each lane still has
+        # ~2^88 outputs — far above any practical draw.
+        assert effective_period_log2(100, 4096) > 80
+
+
+class TestSafeStreamLength:
+    def test_inverts_overlap_bound(self):
+        n, period = 4096, 100.0
+        length = safe_stream_length(period, n, max_collision_prob=2.0**-40)
+        assert stream_overlap_probability(period, n, length) == pytest.approx(2.0**-40)
+
+    def test_tighter_bound_shorter_streams(self):
+        loose = safe_stream_length(100, 64, max_collision_prob=2.0**-20)
+        tight = safe_stream_length(100, 64, max_collision_prob=2.0**-60)
+        assert tight < loose
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            safe_stream_length(100, 64, max_collision_prob=0.0)
+        with pytest.raises(SpecificationError):
+            safe_stream_length(100, 0)
+
+
+class TestOverlapEmpirical:
+    def test_overlapping_windows_detected(self):
+        """Ground the math: two overlapping windows of one LFSR cycle ARE
+        shifted copies (the failure mode the bound protects against)."""
+        from repro.core.lfsr import ReferenceLFSR
+
+        lfsr = ReferenceLFSR(16)
+        lfsr.seed(1)
+        cycle = lfsr.run(3000)
+        w1, w2 = cycle[0:1000], cycle[500:1500]
+        assert np.array_equal(w1[500:], w2[:500])

@@ -1,0 +1,159 @@
+"""Trivium tests: reference semantics, bitsliced cross-validation,
+avalanche and generator integration (extension beyond the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import avalanche_profile, key_avalanche
+from repro.ciphers.trivium import INIT_CLOCKS, STATE_BITS, Trivium
+from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+from repro.core.engine import BitslicedEngine
+from repro.errors import KeyScheduleError
+
+
+@pytest.fixture()
+def rng_np():
+    return np.random.default_rng(0xBEEF)
+
+
+class TestReference:
+    def test_state_size(self):
+        t = Trivium(np.zeros(80, np.uint8), np.zeros(80, np.uint8))
+        assert t.state().shape == (STATE_BITS,)
+
+    def test_init_clock_count(self):
+        assert INIT_CLOCKS == 1152
+
+    def test_determinism(self, rng_np):
+        key = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        iv = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        a = Trivium(key, iv).keystream(128)
+        b = Trivium(key, iv).keystream(128)
+        assert np.array_equal(a, b)
+
+    def test_key_sensitivity(self, rng_np):
+        key = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        iv = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        key2 = key.copy()
+        key2[0] ^= 1
+        assert not np.array_equal(Trivium(key, iv).keystream(128), Trivium(key2, iv).keystream(128))
+
+    def test_iv_sensitivity(self, rng_np):
+        key = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        iv = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        iv2 = iv.copy()
+        iv2[79] ^= 1
+        assert not np.array_equal(Trivium(key, iv).keystream(128), Trivium(key, iv2).keystream(128))
+
+    def test_hex_key_accepted(self):
+        t = Trivium("0123456789ABCDEF0123", "00000000000000000000")
+        assert t.keystream(8).size == 8
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(KeyScheduleError):
+            Trivium(np.zeros(79, np.uint8), np.zeros(80, np.uint8))
+        with pytest.raises(KeyScheduleError):
+            Trivium(np.zeros(80, np.uint8), np.zeros(64, np.uint8))
+
+    def test_keystream_balanced(self):
+        bits = Trivium(np.ones(80, np.uint8), np.zeros(80, np.uint8)).keystream(4096)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_avalanche(self):
+        def ks(key_bits):
+            return Trivium(key_bits, np.zeros(80, np.uint8)).keystream(512)
+
+        prof = avalanche_profile(key_avalanche(ks, key_bits=80, n_flips=8))
+        assert prof["passed"], prof
+
+    def test_reseed_resets(self, rng_np):
+        key = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        iv = rng_np.integers(0, 2, 80, dtype=np.uint8)
+        t = Trivium(key, iv)
+        first = t.keystream(64)
+        t.reseed(key, iv)
+        assert np.array_equal(t.keystream(64), first)
+
+
+class TestBitsliced:
+    def test_matches_reference_all_lanes(self, rng_np, dtype):
+        lanes = 11
+        keys = rng_np.integers(0, 2, (lanes, 80), dtype=np.uint8)
+        ivs = rng_np.integers(0, 2, (lanes, 80), dtype=np.uint8)
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=lanes, dtype=dtype))
+        bank.load(keys, ivs)
+        got = bank.keystream_bits(192)
+        for k in range(lanes):
+            assert np.array_equal(got[k], Trivium(keys[k], ivs[k]).keystream(192)), k
+
+    def test_seed_shared_key(self):
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(3)
+        lanes = bank.keystream_bits(512)
+        # distinct IVs: no two lanes repeat
+        assert np.unique(np.packbits(lanes, axis=1), axis=0).shape[0] == 8
+
+    def test_requires_load(self):
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.next_planes(4)
+
+    def test_shape_validation(self):
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.load(np.zeros((7, 80), np.uint8), np.zeros((8, 80), np.uint8))
+        with pytest.raises(KeyScheduleError):
+            bank.load(np.zeros((8, 80), np.uint8), np.zeros((8, 64), np.uint8))
+
+    def test_gate_accounting(self):
+        bank = BitslicedTrivium(BitslicedEngine(n_lanes=8, dtype=np.uint8)).seed(1)
+        bank.engine.reset_gate_counts()
+        bank.next_planes(10)
+        snap = bank.engine.counter.snapshot()
+        assert snap["xor"] == 10 * 11
+        assert snap["and"] == 10 * 3
+
+    def test_cheapest_cipher(self):
+        # The extension's selling point: fewest gates per output bit.
+        from repro.ciphers.grain_bitsliced import BitslicedGrain
+        from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+
+        eng = lambda: BitslicedEngine(n_lanes=8, dtype=np.uint8)  # noqa: E731
+        t = BitslicedTrivium(eng()).gates_per_output_bit()
+        assert t < BitslicedGrain(eng()).gates_per_output_bit()
+        assert t < BitslicedMickey2(eng()).gates_per_output_bit()
+
+
+class TestGeneratorIntegration:
+    def test_registered(self):
+        from repro import available_algorithms
+
+        assert "trivium" in available_algorithms()
+
+    def test_stream_draws(self):
+        from repro import BSRNG
+
+        rng = BSRNG("trivium", seed=5, lanes=256)
+        assert len(rng.random_bytes(100)) == 100
+        assert rng.random(10).shape == (10,)
+
+    def test_stream_prefix(self):
+        from repro import BSRNG
+
+        a = BSRNG("trivium", seed=5, lanes=128)
+        chunked = a.random_bytes(37) + a.random_bytes(91)
+        assert chunked == BSRNG("trivium", seed=5, lanes=128).random_bytes(128)
+
+    def test_nist_spot_check(self):
+        from repro import BSRNG
+        from repro.nist import frequency_test, runs_test, serial_test
+
+        bits = BSRNG("trivium", seed=9, lanes=512).random_bits(100_000)
+        assert frequency_test(bits).passed
+        assert runs_test(bits).passed
+        assert serial_test(bits).passed
+
+    def test_kernel_profile_present(self):
+        from repro.gpu.kernels import kernel_profiles
+
+        prof = kernel_profiles()["trivium"]
+        assert prof.bitsliced and prof.gates_per_bit == 14.0
