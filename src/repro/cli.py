@@ -10,6 +10,9 @@ Commands
     Run the SP 800-22 battery on a generator or an input file.
 ``fips``
     Run the FIPS 140-2 power-up battery (fast accept/reject gate).
+``selftest``
+    Run the startup self-test plus the SP 800-90B continuous health
+    tests (Repetition Count / Adaptive Proportion) over a stream.
 ``throughput``
     Measure the software throughput of one or more algorithms.
 ``model``
@@ -52,6 +55,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="hex",
     )
     gen.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
+    gen.add_argument(
+        "--health",
+        action="store_true",
+        help="front the generator with startup + continuous health tests",
+    )
+    gen.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="generate through N supervised worker devices (paper §5.4)",
+    )
+    gen.add_argument("--retries", type=int, default=2, help="per-partition retry budget")
+    gen.add_argument("--timeout", type=float, default=None, help="per-partition timeout (s)")
 
     nist = sub.add_parser("nist", help="run the NIST SP 800-22 battery")
     nist.add_argument("-a", "--algorithm", default="mickey2")
@@ -65,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
     fips.add_argument("-a", "--algorithm", default="mickey2")
     fips.add_argument("-s", "--seed", type=int, default=0)
     fips.add_argument("-l", "--lanes", type=int, default=4096)
+
+    st = sub.add_parser(
+        "selftest", help="startup self-test + SP 800-90B continuous health tests"
+    )
+    st.add_argument("-a", "--algorithm", default="mickey2")
+    st.add_argument("-s", "--seed", type=int, default=0)
+    st.add_argument("-l", "--lanes", type=int, default=4096)
+    st.add_argument(
+        "-n", "--bytes", type=int, default=1 << 20, dest="n_bytes",
+        help="continuous-test stream length",
+    )
+    st.add_argument(
+        "--alpha", type=float, default=2.0**-30,
+        help="per-test false-positive rate for the cutoff derivation",
+    )
 
     tp = sub.add_parser("throughput", help="measure software throughput")
     tp.add_argument("algorithms", nargs="*", default=[])
@@ -104,8 +135,31 @@ def _cmd_gen(args) -> int:
     from repro.bitio.streams import write_nist_ascii, write_nist_binary
     from repro.core.generator import BSRNG
 
-    rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
-    data = rng.random_bytes(args.n_bytes)
+    if args.devices > 1:
+        # supervised multi-device path: block-granular partitioning, so
+        # round the byte count up to whole blocks and trim
+        from repro.gpu.multigpu import MultiDeviceGenerator
+
+        block_bytes = 1 << 12
+        gen = MultiDeviceGenerator(
+            args.algorithm,
+            seed=args.seed,
+            lanes=args.lanes,
+            n_devices=args.devices,
+            block_bytes=block_bytes,
+            timeout=args.timeout,
+            max_retries=args.retries,
+            verify_crc=True,
+        )
+        data = gen.generate(-(-args.n_bytes // block_bytes))[: args.n_bytes]
+    elif args.health:
+        from repro.robust.health import HealthMonitoredBSRNG
+
+        rng = HealthMonitoredBSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+        data = rng.random_bytes(args.n_bytes)
+    else:
+        rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+        data = rng.random_bytes(args.n_bytes)
     if args.format == "hex":
         payload = data.hex().encode() + b"\n"
     elif args.format == "raw":
@@ -164,6 +218,37 @@ def _cmd_fips(args) -> int:
     print(f"FIPS 140-2 on {args.algorithm} (seed={args.seed}):")
     print(report.to_table())
     return 0 if report.passed else 1
+
+
+def _cmd_selftest(args) -> int:
+    from repro.errors import HealthTestError
+    from repro.robust.health import HealthMonitoredBSRNG
+
+    print(f"self-test: {args.algorithm} (seed={args.seed}, alpha={args.alpha:.3g})")
+    try:
+        mon = HealthMonitoredBSRNG(
+            args.algorithm, seed=args.seed, lanes=args.lanes, alpha=args.alpha
+        )
+    except HealthTestError as exc:
+        print(f"startup self-test: FAIL ({exc})")
+        return 1
+    print("startup self-test (FIPS 140-2, 20,000 bits): pass")
+    print(f"  {mon.startup_report.to_table()}".replace("\n", "\n  "))
+    print(
+        f"continuous tests: RCT cutoff {mon.rct.cutoff}, "
+        f"APT cutoff {mon.apt.cutoff}/{mon.apt.window}"
+    )
+    chunk = 1 << 16
+    remaining = args.n_bytes
+    try:
+        while remaining > 0:
+            mon.random_bytes(min(chunk, remaining))
+            remaining -= chunk
+    except HealthTestError as exc:
+        print(f"continuous health tests: FAIL ({exc})")
+        return 1
+    print(f"continuous health tests over {mon.log.bytes_screened:,} bytes: pass")
+    return 0
 
 
 def _cmd_throughput(args) -> int:
@@ -228,6 +313,7 @@ _COMMANDS = {
     "gen": _cmd_gen,
     "nist": _cmd_nist,
     "fips": _cmd_fips,
+    "selftest": _cmd_selftest,
     "throughput": _cmd_throughput,
     "model": _cmd_model,
     "cuda": _cmd_cuda,

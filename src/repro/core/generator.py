@@ -235,7 +235,29 @@ class BSRNG:
         self.kind = kind
         self.seed = int(seed)
         self.lanes = int(lanes)
+        self._dtype = dtype
+        self._reseed_count = 0
         self._source = factory(self.seed, self.lanes, dtype)
+        self._buf = np.zeros(0, dtype=np.uint8)
+        self._pos = 0
+
+    def reseed(self, seed: int | None = None) -> None:
+        """Rebuild the generator bank from a fresh seed.
+
+        With ``seed=None`` a new seed is derived from the current one via
+        SplitMix64 stream separation (distinct from :meth:`spawn`
+        children), so repeated reseeds walk a deterministic, non-repeating
+        seed sequence — the recovery action health monitoring takes when a
+        bank goes bad.  Buffered output from the old state is discarded.
+        """
+        from repro.core.seeding import expand_seed_words
+
+        self._reseed_count += 1
+        if seed is None:
+            seed = int(expand_seed_words(self.seed, 1, stream=31 + self._reseed_count)[0])
+        factory, _, _ = _REGISTRY[self.algorithm]
+        self.seed = int(seed)
+        self._source = factory(self.seed, self.lanes, self._dtype)
         self._buf = np.zeros(0, dtype=np.uint8)
         self._pos = 0
 

@@ -6,7 +6,14 @@ with the per-cycle shift/mask work replaced by register renaming.
 """
 
 from repro.crc.bitsliced import BitslicedCRC
-from repro.crc.serial import CRC8_ATM, CRC16_CCITT, CRC32_IEEE, SerialCRC, crc_table_lookup
+from repro.crc.serial import (
+    CRC8_ATM,
+    CRC16_CCITT,
+    CRC32_IEEE,
+    SerialCRC,
+    crc_table_lookup,
+    table_crc_bytes,
+)
 
 __all__ = [
     "SerialCRC",
@@ -15,4 +22,5 @@ __all__ = [
     "CRC16_CCITT",
     "CRC32_IEEE",
     "crc_table_lookup",
+    "table_crc_bytes",
 ]

@@ -14,7 +14,15 @@ import numpy as np
 from repro.bitio.bits import as_bit_array
 from repro.errors import SpecificationError
 
-__all__ = ["CRCSpec", "SerialCRC", "CRC8_ATM", "CRC16_CCITT", "CRC32_IEEE", "crc_table_lookup"]
+__all__ = [
+    "CRCSpec",
+    "SerialCRC",
+    "CRC8_ATM",
+    "CRC16_CCITT",
+    "CRC32_IEEE",
+    "crc_table_lookup",
+    "table_crc_bytes",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,40 @@ class SerialCRC:
         return self.feed_bits(bits)
 
 
+def _byte_table(spec: CRCSpec) -> list[int]:
+    """The 256-entry byte-at-a-time stepping table for *spec*."""
+    if spec.width < 8:
+        raise SpecificationError("table driver supports width >= 8")
+    mask = (1 << spec.width) - 1
+    table = []
+    for byte in range(256):
+        reg = byte << (spec.width - 8)
+        for _ in range(8):
+            top = (reg >> (spec.width - 1)) & 1
+            reg = (reg << 1) & mask
+            if top:
+                reg ^= spec.poly
+        table.append(reg)
+    return table
+
+
+def table_crc_bytes(spec: CRCSpec, data: bytes) -> int:
+    """CRC of one byte string (msb-first), table-driven.
+
+    The single-message companion to :func:`crc_table_lookup`: a plain
+    Python loop over a precomputed table, used where one long message is
+    checksummed once (e.g. the multi-device supervisor's per-partition
+    integrity hook) rather than many short lanes at once.
+    """
+    table = _byte_table(spec)
+    mask = (1 << spec.width) - 1
+    shift = spec.width - 8
+    reg = spec.init
+    for b in data:
+        reg = ((reg << 8) & mask) ^ table[((reg >> shift) ^ b) & 0xFF]
+    return reg
+
+
 def crc_table_lookup(spec: CRCSpec, data: np.ndarray) -> np.ndarray:
     """Byte-at-a-time table CRC over many messages (oracle for tests).
 
@@ -79,18 +121,8 @@ def crc_table_lookup(spec: CRCSpec, data: np.ndarray) -> np.ndarray:
     data = np.asarray(data, dtype=np.uint8)
     if data.ndim != 2:
         raise SpecificationError("expected (n_messages, n_bytes)")
-    table = np.empty(256, dtype=np.uint64)
+    table = np.array(_byte_table(spec), dtype=np.uint64)
     mask = (1 << spec.width) - 1
-    for byte in range(256):
-        reg = byte << (spec.width - 8) if spec.width >= 8 else byte >> (8 - spec.width)
-        for _ in range(8):
-            top = (reg >> (spec.width - 1)) & 1
-            reg = (reg << 1) & mask
-            if top:
-                reg ^= spec.poly
-        table[byte] = reg
-    if spec.width < 8:
-        raise SpecificationError("table driver supports width >= 8")
     out = np.full(data.shape[0], spec.init, dtype=np.uint64)
     shift = np.uint64(spec.width - 8)
     m = np.uint64(mask)

@@ -23,3 +23,17 @@ class ModelError(ReproError, ValueError):
 
 class InsufficientDataError(ReproError, ValueError):
     """A statistical test was given fewer bits than it requires."""
+
+
+class DeviceFailureError(ReproError, RuntimeError):
+    """A device partition failed permanently (crash, hang or corruption
+    that survived every retry the supervisor was allowed)."""
+
+
+class PartitionCorruptionError(DeviceFailureError):
+    """A partition's payload failed its CRC verification on receipt."""
+
+
+class HealthTestError(ReproError, RuntimeError):
+    """A startup self-test or continuous health test rejected generator
+    output (SP 800-90B / FIPS 140-2 style gating)."""

@@ -1,0 +1,53 @@
+"""Fault tolerance: health-tested generators and supervised scale-out.
+
+Production RNG deployments gate output with startup/continuous health
+tests (SP 800-90B, FIPS 140-2) and survive device failure.  This package
+adds both layers to the reproduction:
+
+* :mod:`repro.robust.health` — streaming Repetition Count / Adaptive
+  Proportion tests and the :class:`HealthMonitoredBSRNG` wrapper;
+* :mod:`repro.robust.supervisor` — retry/timeout/backoff/CRC supervision
+  for the multi-device partition fan-out;
+* :mod:`repro.robust.faults` — a deterministic fault-injection harness
+  exercising every recovery path without flakiness.
+"""
+
+from repro.robust.faults import FAULT_PLAN_ENV, Fault, FaultPlan, InjectedCrash, StuckBSRNG
+from repro.robust.health import (
+    AdaptiveProportionTest,
+    HealthEvent,
+    HealthLog,
+    HealthMonitoredBSRNG,
+    RepetitionCountTest,
+    apt_cutoff,
+    rct_cutoff,
+    startup_self_test,
+)
+from repro.robust.supervisor import (
+    PartitionEvent,
+    PartitionSupervisor,
+    SupervisorConfig,
+    SupervisorReport,
+    payload_crc,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+    "StuckBSRNG",
+    "FAULT_PLAN_ENV",
+    "AdaptiveProportionTest",
+    "RepetitionCountTest",
+    "HealthEvent",
+    "HealthLog",
+    "HealthMonitoredBSRNG",
+    "rct_cutoff",
+    "apt_cutoff",
+    "startup_self_test",
+    "PartitionEvent",
+    "PartitionSupervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "payload_crc",
+]

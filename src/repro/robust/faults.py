@@ -1,0 +1,190 @@
+"""Deterministic fault injection for the multi-device pipeline.
+
+Real scale-out fails in boring, hard-to-reproduce ways: a device crashes
+mid-kernel, a transfer stalls, DMA flips bytes, a bank wedges at a
+constant.  This module makes every one of those failures *scriptable and
+seeded* so tests and benchmarks can exercise each recovery path of the
+supervisor and the health tests without flakiness.
+
+A :class:`FaultPlan` is a list of :class:`Fault` entries keyed by
+``(partition, attempt)``:
+
+* ``crash``   — the worker raises before generating (a dead device).
+* ``delay``   — the worker sleeps ``delay`` seconds first (a hung
+  device; trips the supervisor's per-partition timeout).
+* ``corrupt`` — ``corrupt_bytes`` bytes of the returned payload are
+  XOR-flipped at seeded positions *after* the worker computed its CRC
+  (a corrupted transfer; trips CRC verification).
+* ``stuck``   — the payload is replaced by a constant byte (a wedged
+  bank; trips the Repetition Count Test when screened).
+
+Plans are consulted inside the worker entry points
+(:mod:`repro.gpu.multigpu`), activated either by constructor argument or
+by the ``REPRO_FAULT_PLAN`` environment variable (a JSON plan), so a
+spawn-context worker with no shared memory still injects identically.
+Because an entry fires only on its exact attempt number, every plan is
+finite: retried partitions eventually run clean and regenerate
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.generator import BSRNG
+from repro.errors import SpecificationError
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+    "StuckBSRNG",
+    "FAULT_PLAN_ENV",
+]
+
+#: Environment variable carrying a JSON fault plan into worker processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_KINDS = ("crash", "delay", "corrupt", "stuck")
+
+
+class InjectedCrash(RuntimeError):
+    """The scripted worker crash (distinguishable from real bugs)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure, keyed by ``(partition, attempt)``."""
+
+    kind: str
+    partition: int
+    attempt: int = 0
+    delay: float = 0.0
+    corrupt_bytes: int = 1
+    stuck_byte: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SpecificationError(f"fault kind must be one of {_KINDS}")
+        if self.partition < 0 or self.attempt < 0:
+            raise SpecificationError("partition and attempt must be non-negative")
+        if self.kind == "delay" and self.delay <= 0:
+            raise SpecificationError("delay faults need delay > 0")
+        if self.kind == "corrupt" and self.corrupt_bytes <= 0:
+            raise SpecificationError("corrupt faults need corrupt_bytes > 0")
+        if not 0 <= self.stuck_byte <= 255:
+            raise SpecificationError("stuck_byte must be a byte value")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, finite schedule of faults."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def matching(self, partition: int, attempt: int) -> list[Fault]:
+        """Faults scheduled for this exact partition attempt."""
+        return [f for f in self.faults if f.partition == partition and f.attempt == attempt]
+
+    # -- injection hooks (called from worker entry points) -----------------------
+    def pre_generate(self, partition: int, attempt: int) -> None:
+        """Apply crash/delay faults before the partition generates."""
+        for f in self.matching(partition, attempt):
+            if f.kind == "crash":
+                raise InjectedCrash(
+                    f"injected crash: partition {partition}, attempt {attempt}"
+                )
+            if f.kind == "delay":
+                time.sleep(f.delay)
+
+    def post_generate(self, partition: int, attempt: int, payload: bytes) -> bytes:
+        """Apply stuck/corrupt faults to the generated payload.
+
+        Runs *after* the worker computed its payload CRC, so corruption
+        models a damaged transfer and is visible to the supervisor's
+        verification hook.
+        """
+        for f in self.matching(partition, attempt):
+            if f.kind == "stuck":
+                payload = bytes([f.stuck_byte]) * len(payload)
+            elif f.kind == "corrupt" and payload:
+                rng = np.random.default_rng([self.seed, partition, attempt])
+                data = np.frombuffer(payload, dtype=np.uint8).copy()
+                k = min(f.corrupt_bytes, data.size)
+                pos = rng.choice(data.size, size=k, replace=False)
+                # XOR with a non-zero mask so every hit really changes a byte
+                data[pos] ^= rng.integers(1, 256, size=k, dtype=np.uint8)
+                payload = data.tobytes()
+        return payload
+
+    # -- serialisation (constructor flag or env var, spawn-safe) -----------------
+    def to_json(self) -> str:
+        """JSON encoding (the ``REPRO_FAULT_PLAN`` format)."""
+        return json.dumps({"seed": self.seed, "faults": [asdict(f) for f in self.faults]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output."""
+        obj = json.loads(text)
+        return cls(
+            faults=tuple(Fault(**f) for f in obj.get("faults", ())),
+            seed=int(obj.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan in ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
+        text = os.environ.get(FAULT_PLAN_ENV)
+        return cls.from_json(text) if text else None
+
+
+class StuckBSRNG(BSRNG):
+    """A :class:`BSRNG` that wedges at a constant byte — the classic
+    hardware failure the Repetition Count Test exists to catch.
+
+    Emits ``stuck_after`` honest bytes, then the constant ``stuck_byte``
+    forever.  ``reseed`` clears the wedge when ``recover_on_reseed`` is
+    set, which lets tests exercise the health monitor's degrade path end
+    to end.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "mickey2",
+        seed: int = 0,
+        lanes: int = 256,
+        stuck_byte: int = 0,
+        stuck_after: int = 0,
+        recover_on_reseed: bool = True,
+    ) -> None:
+        super().__init__(algorithm, seed=seed, lanes=lanes)
+        self.stuck_byte = stuck_byte
+        self.stuck_after = stuck_after
+        self.recover_on_reseed = recover_on_reseed
+        self._emitted = 0
+        self._wedged = True
+
+    def _take_bytes(self, n: int) -> np.ndarray:
+        honest = super()._take_bytes(n)
+        if not self._wedged:
+            return honest
+        start = self._emitted
+        self._emitted += n
+        out = np.full(n, self.stuck_byte, dtype=np.uint8)
+        good = max(0, min(n, self.stuck_after - start))
+        out[:good] = honest[:good]
+        return out
+
+    def reseed(self, seed: int | None = None) -> None:
+        super().reseed(seed)
+        if self.recover_on_reseed:
+            self._wedged = False

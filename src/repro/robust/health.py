@@ -1,0 +1,374 @@
+"""SP 800-90B-style health tests, streaming and vectorised.
+
+Hardware RNG deployments (the FPGA/optical TRNGs of paper §3) never ship
+raw generator output: a *startup self-test* gates the first block and two
+*continuous health tests* screen every subsequent sample.  This module
+implements that gate for any :class:`~repro.core.generator.BSRNG`:
+
+* :class:`RepetitionCountTest` — SP 800-90B §4.4.1.  Fails when any byte
+  value repeats ``cutoff`` or more times in a row.  Catches stuck-at
+  faults within a handful of samples.
+* :class:`AdaptiveProportionTest` — SP 800-90B §4.4.2.  Fails when the
+  first byte of a 512-sample window recurs too often inside that window.
+  Catches heavily biased (but not constant) output.
+* startup self-test — the existing FIPS 140-2 battery
+  (:func:`repro.nist.fips140.fips140_battery`) on the first 20,000 bits.
+
+Both continuous tests are *streaming*: state (current run, current
+window) carries across buffers, and each buffer is screened with
+vectorised numpy passes rather than a per-byte Python loop.
+
+Cutoffs are derived, not hard-coded: for a false-positive rate ``alpha``
+and an entropy estimate of ``h`` bits per byte sample, the RCT cutoff is
+``1 + ceil(-log2(alpha) / h)`` and the APT cutoff is the smallest count
+whose binomial tail probability over a 512-sample window is below
+``alpha`` (both per SP 800-90B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.generator import BSRNG
+from repro.errors import HealthTestError, SpecificationError
+from repro.nist.fips140 import BLOCK_BITS, Fips140Report, fips140_battery
+
+__all__ = [
+    "rct_cutoff",
+    "apt_cutoff",
+    "RepetitionCountTest",
+    "AdaptiveProportionTest",
+    "HealthEvent",
+    "HealthLog",
+    "startup_self_test",
+    "HealthMonitoredBSRNG",
+    "APT_WINDOW",
+]
+
+#: SP 800-90B §4.4.2 window size for non-binary (here: byte) samples.
+APT_WINDOW = 512
+
+#: Default per-test false-positive rate (the 800-90B recommended value).
+DEFAULT_ALPHA = 2.0**-30
+
+
+def rct_cutoff(alpha: float = DEFAULT_ALPHA, entropy_per_sample: float = 8.0) -> int:
+    """Repetition Count Test cutoff ``C = 1 + ceil(-log2(alpha) / H)``.
+
+    A run of ``C`` identical samples has probability at most
+    ``2^(-H·(C-1)) <= alpha`` under the claimed ``H`` bits of entropy per
+    sample, so a healthy source trips this at rate ``<= alpha``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise SpecificationError("alpha must be in (0, 1)")
+    if entropy_per_sample <= 0.0:
+        raise SpecificationError("entropy_per_sample must be positive")
+    return 1 + math.ceil(-math.log2(alpha) / entropy_per_sample)
+
+
+def apt_cutoff(
+    alpha: float = DEFAULT_ALPHA,
+    entropy_per_sample: float = 8.0,
+    window: int = APT_WINDOW,
+) -> int:
+    """Adaptive Proportion Test cutoff (smallest failing count).
+
+    Under ``H`` bits of entropy per sample the most probable value has
+    probability ``p = 2^-H``; the count of its recurrences among the
+    ``window - 1`` samples after the reference draw is ``Binomial(window
+    - 1, p)``.  The cutoff is ``1 +`` the smallest ``k`` whose upper tail
+    ``P(X >= k)`` drops to ``alpha`` or below (the ``1 +`` counts the
+    reference sample itself).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise SpecificationError("alpha must be in (0, 1)")
+    if entropy_per_sample <= 0.0:
+        raise SpecificationError("entropy_per_sample must be positive")
+    if window < 2:
+        raise SpecificationError("window must be at least 2")
+    p = 2.0**-entropy_per_sample
+    n = window - 1
+    log_p, log_q = math.log(p), math.log1p(-p)
+    # upper tail P(X >= k), walked downward from 1.0 by subtracting pmfs
+    tail = 1.0
+    for k in range(n + 1):
+        if tail <= alpha:
+            return 1 + k
+        log_pmf = (
+            math.lgamma(n + 1)
+            - math.lgamma(k + 1)
+            - math.lgamma(n - k + 1)
+            + k * log_p
+            + (n - k) * log_q
+        )
+        tail -= math.exp(log_pmf)
+    return 1 + window  # alpha so small the test can never fire
+
+
+@dataclass
+class HealthEvent:
+    """One health-test failure (or recovery action)."""
+
+    test: str  # "rct" | "apt" | "startup"
+    position: int  # byte offset into the screened stream
+    detail: str
+    action: str = "raise"  # "raise" | "reseed"
+
+
+@dataclass
+class HealthLog:
+    """Accumulated health events plus total screened volume."""
+
+    events: list[HealthEvent] = field(default_factory=list)
+    bytes_screened: int = 0
+    reseeds: int = 0
+
+    def record(self, event: HealthEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+
+class RepetitionCountTest:
+    """Streaming Repetition Count Test over byte samples (800-90B §4.4.1)."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, entropy_per_sample: float = 8.0) -> None:
+        self.cutoff = rct_cutoff(alpha, entropy_per_sample)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the carried run (after a reseed)."""
+        self._last: int | None = None
+        self._run = 0
+
+    def update(self, data: np.ndarray) -> int | None:
+        """Screen one buffer of byte samples.
+
+        Returns the offset (within *data*) at which a run reached the
+        cutoff, or ``None`` when the buffer is healthy.  State carries to
+        the next call either way.
+        """
+        if data.size == 0:
+            return None
+        # runs within the buffer
+        change = np.flatnonzero(np.diff(data)) + 1
+        starts = np.concatenate([[0], change])
+        ends = np.concatenate([change, [data.size]])
+        lengths = ends - starts
+        # the first run may extend the carried run from the previous buffer
+        carry = self._run if self._last is not None and int(data[0]) == self._last else 0
+        total_first = lengths[0] + carry
+        fail_at: int | None = None
+        if total_first >= self.cutoff:
+            fail_at = int(starts[0] + max(self.cutoff - carry, 1) - 1)
+        else:
+            over = np.flatnonzero(lengths >= self.cutoff)
+            if over.size:
+                fail_at = int(starts[over[0]] + self.cutoff - 1)
+        # carry the trailing run forward
+        self._last = int(data[-1])
+        self._run = int(lengths[-1]) + (carry if lengths.size == 1 else 0)
+        return fail_at
+
+
+class AdaptiveProportionTest:
+    """Streaming Adaptive Proportion Test over byte samples (§4.4.2)."""
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        entropy_per_sample: float = 8.0,
+        window: int = APT_WINDOW,
+    ) -> None:
+        self.window = window
+        self.cutoff = apt_cutoff(alpha, entropy_per_sample, window)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the open window (after a reseed)."""
+        self._ref: int | None = None
+        self._seen = 0  # samples consumed of the current window
+        self._count = 0  # matches of the reference so far (incl. itself)
+
+    def _open_window(self, sample: int) -> None:
+        self._ref = sample
+        self._seen = 1
+        self._count = 1
+
+    def update(self, data: np.ndarray) -> int | None:
+        """Screen one buffer; returns the failing offset or ``None``."""
+        pos = 0
+        n = data.size
+        while pos < n:
+            if self._ref is None:
+                self._open_window(int(data[pos]))
+                pos += 1
+                continue
+            take = min(self.window - self._seen, n - pos)
+            chunk = data[pos : pos + take]
+            # vectorised count of the reference value inside the window
+            self._count += int(np.count_nonzero(chunk == self._ref))
+            self._seen += take
+            if self._count >= self.cutoff:
+                return pos + take - 1
+            pos += take
+            if self._seen == self.window:
+                self._ref = None  # next sample opens a new window
+        return None
+
+
+def startup_self_test(rng: BSRNG) -> Fips140Report:
+    """FIPS 140-2 battery on the generator's next 20,000 bits.
+
+    The classic hardware power-up gate (paper §3's TRNGs are certified
+    with exactly this battery).  Consumes ``BLOCK_BITS`` bits from *rng*;
+    raises :class:`HealthTestError` on rejection.
+    """
+    report = fips140_battery(rng.random_bits(BLOCK_BITS))
+    if not report.passed:
+        raise HealthTestError(
+            f"startup self-test failed (FIPS 140-2): {report.statistics}"
+        )
+    return report
+
+
+class HealthMonitoredBSRNG:
+    """Front a :class:`BSRNG` with startup and continuous health tests.
+
+    Every emitted buffer is screened by the Repetition Count and Adaptive
+    Proportion tests before the caller sees it.  On a failure:
+
+    * ``on_failure="raise"`` (default) — raise :class:`HealthTestError`
+      (the FIPS error state: no further output).
+    * ``on_failure="degrade"`` — reseed the failing bank through
+      :meth:`BSRNG.reseed`, record a :class:`HealthEvent` in
+      :attr:`log`, and regenerate the buffer from the fresh state.  After
+      ``max_reseeds`` consecutive reseeds still fail, raise anyway (a
+      genuinely broken source must not spin forever).
+
+    Parameters
+    ----------
+    rng:
+        The generator to monitor, or an algorithm name (then ``seed`` /
+        ``lanes`` construct one).
+    alpha:
+        Per-test false-positive rate for the cutoff derivation.
+    entropy_per_sample:
+        Claimed min-entropy per byte (8.0 for a full-entropy PRNG).
+    startup_test:
+        Run the FIPS 140-2 battery on the first 20,000 bits.  Those bits
+        are consumed by the gate and **not** emitted — exactly the
+        hardware power-up semantics.
+    """
+
+    def __init__(
+        self,
+        rng: BSRNG | str = "mickey2",
+        *,
+        seed: int = 0,
+        lanes: int = 4096,
+        alpha: float = DEFAULT_ALPHA,
+        entropy_per_sample: float = 8.0,
+        on_failure: str = "raise",
+        max_reseeds: int = 3,
+        startup_test: bool = True,
+    ) -> None:
+        if on_failure not in ("raise", "degrade"):
+            raise SpecificationError("on_failure must be 'raise' or 'degrade'")
+        self.inner = rng if isinstance(rng, BSRNG) else BSRNG(rng, seed=seed, lanes=lanes)
+        self.on_failure = on_failure
+        self.max_reseeds = max_reseeds
+        self.rct = RepetitionCountTest(alpha, entropy_per_sample)
+        self.apt = AdaptiveProportionTest(alpha, entropy_per_sample)
+        self.log = HealthLog()
+        self.startup_report: Fips140Report | None = None
+        if startup_test:
+            self.startup_report = startup_self_test(self.inner)
+
+    # -- screening core ----------------------------------------------------------
+    def _screen(self, data: np.ndarray) -> HealthEvent | None:
+        """Run both continuous tests over one buffer."""
+        at = self.rct.update(data)
+        if at is not None:
+            return HealthEvent(
+                "rct",
+                self.log.bytes_screened + at,
+                f"byte 0x{int(data[at]):02x} repeated {self.rct.cutoff} times",
+            )
+        at = self.apt.update(data)
+        if at is not None:
+            return HealthEvent(
+                "apt",
+                self.log.bytes_screened + at,
+                f"window proportion reached cutoff {self.apt.cutoff}",
+            )
+        return None
+
+    def _draw(self, n: int) -> np.ndarray:
+        """Screened byte draw (uint8 array)."""
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
+        for attempt in range(self.max_reseeds + 1):
+            data = np.frombuffer(self.inner.random_bytes(n), dtype=np.uint8)
+            event = self._screen(data)
+            if event is None:
+                self.log.bytes_screened += n
+                return data
+            if self.on_failure == "raise" or attempt == self.max_reseeds:
+                event.action = "raise"
+                self.log.record(event)
+                raise HealthTestError(
+                    f"{event.test} failed at byte {event.position}: {event.detail}"
+                    + (
+                        f" (after {self.log.reseeds} reseeds)"
+                        if self.on_failure == "degrade"
+                        else ""
+                    )
+                )
+            event.action = "reseed"
+            self.log.record(event)
+            self.inner.reseed()
+            self.log.reseeds += 1
+            self.rct.reset()
+            self.apt.reset()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- public draws (mirror BSRNG) ---------------------------------------------
+    def random_bytes(self, n: int) -> bytes:
+        """*n* screened uniform bytes."""
+        return self._draw(n).tobytes()
+
+    def random_bits(self, n: int) -> np.ndarray:
+        """*n* screened bits (uint8 0/1, little bit order)."""
+        raw = self._draw(-(-n // 8))
+        return np.unpackbits(raw, bitorder="little")[:n]
+
+    def random_uint64(self, n: int) -> np.ndarray:
+        """*n* screened uniform 64-bit words."""
+        return self._draw(8 * n).view(np.uint64)
+
+    def random_uint32(self, n: int) -> np.ndarray:
+        """*n* screened uniform 32-bit words."""
+        return self._draw(8 * -(-n // 2)).view(np.uint32)[:n].copy()
+
+    def random(self, size: int | tuple = 1) -> np.ndarray:
+        """Screened uniform float64 in [0, 1)."""
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        n = int(np.prod(shape)) if shape else 1
+        words = self.random_uint64(n)
+        return ((words >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))).reshape(shape)
+
+    @property
+    def algorithm(self) -> str:
+        """The wrapped generator's algorithm name."""
+        return self.inner.algorithm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HealthMonitoredBSRNG({self.inner!r}, on_failure={self.on_failure!r}, "
+            f"rct_cutoff={self.rct.cutoff}, apt_cutoff={self.apt.cutoff})"
+        )

@@ -1,0 +1,278 @@
+"""Partition supervision: retry, timeout, backoff and verified receipt.
+
+The paper's §5.4 scale-out is a straight ``pool.map`` — split the
+counter space, run every partition, concatenate.  That works only while
+every device always answers.  This supervisor wraps the same fan-out
+with the failure handling a production deployment needs:
+
+* a **per-partition timeout** — a hung device does not hang the job;
+* **retry with exponential backoff** — failed or timed-out partitions
+  are resubmitted on a fresh pool.  Each partition is a pure function of
+  ``(seed, start_block, n_blocks)``, so a retried partition regenerates
+  *byte-identical* data and the reconstructed stream is unaffected;
+* optional **CRC verification** — workers checksum their payload before
+  returning it (:func:`repro.crc.table_crc_bytes`); the supervisor
+  recomputes on receipt and treats a mismatch as a failed attempt;
+* **graceful degradation** — when the worker pool has exhausted its
+  retries, remaining partitions run in-process sequentially rather than
+  failing the job (disable with ``degrade_sequential=False`` to get a
+  :class:`~repro.errors.DeviceFailureError` instead).
+
+Pool hygiene: every round builds its pool with ``maxtasksperchild=1`` so
+a worker process never serves two partitions — state corrupted by one
+attempt cannot leak into a retry — and tears the pool down with
+``terminate()`` in a ``finally`` block, so a ``KeyboardInterrupt``
+mid-round leaves no orphaned workers behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.crc import CRC32_IEEE, table_crc_bytes
+from repro.errors import DeviceFailureError, PartitionCorruptionError, SpecificationError
+
+__all__ = [
+    "SupervisorConfig",
+    "PartitionEvent",
+    "SupervisorReport",
+    "PartitionSupervisor",
+    "payload_crc",
+]
+
+
+def payload_crc(payload: bytes | np.ndarray) -> int:
+    """CRC-32 over a partition payload's canonical byte form.
+
+    Workers call this before returning; the supervisor calls it again on
+    receipt — both sides must agree on the byte serialisation, hence one
+    shared helper.
+    """
+    data = payload.tobytes() if isinstance(payload, np.ndarray) else payload
+    return table_crc_bytes(CRC32_IEEE, data)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/timeout/verification policy for one generation job."""
+
+    timeout: float | None = None  # seconds per partition round; None = wait forever
+    max_retries: int = 2  # pool rounds after the first (attempts = 1 + max_retries)
+    backoff_base: float = 0.05  # sleep before retry round r: base * factor**(r-1)
+    backoff_factor: float = 2.0
+    verify_crc: bool = False
+    degrade_sequential: bool = True
+    maxtasksperchild: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecificationError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise SpecificationError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise SpecificationError("need backoff_base >= 0 and backoff_factor >= 1")
+
+    def backoff(self, round_index: int) -> float:
+        """Sleep before retry round *round_index* (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (round_index - 1)
+
+
+@dataclass
+class PartitionEvent:
+    """One observed partition failure or recovery action."""
+
+    partition: int
+    attempt: int
+    kind: str  # "error" | "timeout" | "corrupt" | "degraded"
+    detail: str = ""
+
+
+@dataclass
+class SupervisorReport:
+    """What the supervisor saw while completing a job."""
+
+    events: list[PartitionEvent] = field(default_factory=list)
+    attempts: dict[int, int] = field(default_factory=dict)
+    degraded: bool = False
+
+    @property
+    def retried_partitions(self) -> set[int]:
+        """Partitions that needed more than one attempt."""
+        return {pid for pid, n in self.attempts.items() if n > 1}
+
+    def record(self, event: PartitionEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+
+class PartitionSupervisor:
+    """Run partition jobs through a worker pool with failure recovery.
+
+    Parameters
+    ----------
+    worker:
+        A picklable module-level function ``worker(payload, attempt) ->
+        (result, crc_or_None)``.  The attempt number is threaded through
+        so deterministic fault plans can key on it.
+    mp_context:
+        ``"fork"`` / ``"spawn"`` / ``None`` (auto: fork where available).
+    config:
+        The :class:`SupervisorConfig` policy.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any, int], tuple[Any, int | None]],
+        mp_context: str | None = None,
+        config: SupervisorConfig | None = None,
+    ) -> None:
+        self.worker = worker
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self.mp_context = mp_context
+        self.config = config or SupervisorConfig()
+        self.report = SupervisorReport()
+
+    # -- attempt bookkeeping -----------------------------------------------------
+    def _accept(self, pid: int, result: Any, crc: int | None, attempt: int) -> bool:
+        """Verify one returned payload; record a corrupt event on mismatch."""
+        if self.config.verify_crc:
+            got = payload_crc(result)
+            if crc is None or got != crc:
+                self.report.record(
+                    PartitionEvent(
+                        pid,
+                        attempt,
+                        "corrupt",
+                        f"crc mismatch: worker 0x{crc or 0:08x}, received 0x{got:08x}",
+                    )
+                )
+                return False
+        return True
+
+    def _bump(self, pid: int) -> None:
+        self.report.attempts[pid] = self.report.attempts.get(pid, 0) + 1
+
+    # -- pool round --------------------------------------------------------------
+    def _run_round(self, pending: dict[int, Any], results: dict[int, Any], attempt: int) -> None:
+        """One pool pass over every pending partition."""
+        cfg = self.config
+        ctx = mp.get_context(self.mp_context)
+        pool = ctx.Pool(processes=len(pending), maxtasksperchild=cfg.maxtasksperchild)
+        try:
+            handles = {
+                pid: pool.apply_async(self.worker, (payload, attempt))
+                for pid, payload in pending.items()
+            }
+            deadline = time.monotonic() + cfg.timeout if cfg.timeout is not None else None
+            for pid, handle in handles.items():
+                self._bump(pid)
+                wait: float | None = None
+                if deadline is not None:
+                    wait = max(0.0, deadline - time.monotonic())
+                try:
+                    result, crc = handle.get(wait)
+                except mp.TimeoutError:
+                    self.report.record(
+                        PartitionEvent(pid, attempt, "timeout", f"no result within {cfg.timeout}s")
+                    )
+                    continue
+                except Exception as exc:  # worker raised (crash, bad state, ...)
+                    self.report.record(
+                        PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
+                if self._accept(pid, result, crc, attempt):
+                    results[pid] = result
+            for pid in results:
+                pending.pop(pid, None)
+        finally:
+            # terminate (not close): hung or slow workers must die with the
+            # round, including on KeyboardInterrupt — no orphaned processes.
+            pool.terminate()
+            pool.join()
+
+    # -- in-process path ---------------------------------------------------------
+    def _run_inline(
+        self,
+        pending: dict[int, Any],
+        results: dict[int, Any],
+        first_attempt: int,
+    ) -> None:
+        """Sequential in-process execution with the same retry policy.
+
+        Used for ``parallel=False`` jobs and as the degraded fallback
+        once the worker pool is exhausted.  Timeouts cannot be enforced
+        in-process; errors and CRC failures still consume attempts.
+        """
+        cfg = self.config
+        for pid in sorted(pending):
+            last: PartitionEvent | None = None
+            for attempt in range(first_attempt, first_attempt + cfg.max_retries + 1):
+                self._bump(pid)
+                if attempt > first_attempt:
+                    time.sleep(cfg.backoff(attempt - first_attempt))
+                try:
+                    result, crc = self.worker(pending[pid], attempt)
+                except Exception as exc:
+                    last = PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
+                    self.report.record(last)
+                    continue
+                if self._accept(pid, result, crc, attempt):
+                    results[pid] = result
+                    break
+                last = self.report.events[-1]
+            else:
+                raise (
+                    PartitionCorruptionError(f"partition {pid}: {last.detail}")
+                    if last is not None and last.kind == "corrupt"
+                    else DeviceFailureError(
+                        f"partition {pid} failed every attempt"
+                        + (f" (last: {last.detail})" if last is not None else "")
+                    )
+                )
+        for pid in results:
+            pending.pop(pid, None)
+
+    # -- entry point -------------------------------------------------------------
+    def run(self, jobs: dict[int, Any], parallel: bool = True) -> dict[int, Any]:
+        """Complete every job; returns ``{partition_id: result}``.
+
+        Raises :class:`DeviceFailureError` only when a partition fails
+        every pool attempt *and* every degraded in-process attempt (or
+        degradation is disabled).
+        """
+        self.report = SupervisorReport()
+        results: dict[int, Any] = {}
+        pending = dict(jobs)
+        if not pending:
+            return results
+        cfg = self.config
+        if parallel and len(pending) > 1:
+            for round_index in range(cfg.max_retries + 1):
+                if round_index > 0:
+                    time.sleep(cfg.backoff(round_index))
+                self._run_round(pending, results, attempt=round_index)
+                if not pending:
+                    return results
+            if not cfg.degrade_sequential:
+                pid = min(pending)
+                last = [e for e in self.report.events if e.partition == pid]
+                raise DeviceFailureError(
+                    f"partition {pid} failed {self.report.attempts.get(pid, 0)} pool attempts"
+                    + (f" (last: {last[-1].kind}: {last[-1].detail})" if last else "")
+                )
+            self.report.degraded = True
+            for pid in sorted(pending):
+                self.report.record(
+                    PartitionEvent(pid, cfg.max_retries + 1, "degraded", "pool exhausted; running in-process")
+                )
+            self._run_inline(pending, results, first_attempt=cfg.max_retries + 1)
+        else:
+            self._run_inline(pending, results, first_attempt=0)
+        return results

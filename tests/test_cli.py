@@ -112,3 +112,32 @@ class TestFips:
         assert main(["fips", "-a", "grain", "-s", "3"]) == 0
         out = capsys.readouterr().out
         assert "Monobit" in out and "pass" in out
+
+
+class TestSelftest:
+    def test_healthy_generator_passes(self, capsys):
+        assert main(["selftest", "-a", "xorwow", "-s", "3", "-l", "256", "-n", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "startup self-test" in out and "RCT cutoff" in out
+        assert "continuous health tests over 65,536 bytes: pass" in out
+
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["selftest"])
+        assert args.algorithm == "mickey2" and args.n_bytes == 1 << 20
+
+
+class TestGenRobust:
+    def test_health_flag_deterministic(self, capsys):
+        # the monitored stream starts after the consumed 20,000-bit
+        # power-up block, but stays deterministic per seed
+        main(["gen", "-a", "xorwow", "-n", "16", "-s", "5", "-l", "256", "--health"])
+        first = capsys.readouterr().out
+        main(["gen", "-a", "xorwow", "-n", "16", "-s", "5", "-l", "256", "--health"])
+        assert capsys.readouterr().out == first
+
+    def test_devices_flag_matches_single(self, capsys):
+        main(["gen", "-a", "xorwow", "-n", "64", "-s", "7", "-l", "256"])
+        single = capsys.readouterr().out
+        main(["gen", "-a", "xorwow", "-n", "64", "-s", "7", "-l", "256",
+              "--devices", "3", "--timeout", "30", "--retries", "2"])
+        assert capsys.readouterr().out == single

@@ -91,6 +91,13 @@ class TestMultiDeviceGenerator:
         gen = MultiDeviceGenerator("xorwow", seed=3, lanes=64, n_devices=2, block_bytes=256)
         assert gen.generate(0, parallel=False) == b""
 
+    def test_zero_blocks_parallel_fast_path(self):
+        # the explicit empty-job fast path: no pool is built, no
+        # supervisor report is produced
+        gen = MultiDeviceGenerator("xorwow", seed=3, lanes=64, n_devices=4, block_bytes=256)
+        assert gen.generate(0, parallel=True) == b""
+        assert gen.last_report is None
+
     def test_output_length(self):
         gen = MultiDeviceGenerator("xorwow", seed=3, lanes=64, n_devices=3, block_bytes=128)
         assert len(gen.generate(5, parallel=False)) == 5 * 128
@@ -159,6 +166,47 @@ class TestLanePartitioned:
 
         with pytest.raises(SpecificationError):
             LanePartitionedGenerator("trivium", total_lanes=10, n_devices=3)
+
+
+class TestSpawnContext:
+    """The spawn fallback path (platforms without fork) must reconstruct
+    identically — workers receive everything through the job payload, so
+    a fresh interpreter per device changes nothing."""
+
+    def test_multi_device_spawn(self):
+        gen = MultiDeviceGenerator(
+            "xorwow", seed=5, lanes=64, n_devices=2, block_bytes=256, mp_context="spawn"
+        )
+        assert gen.mp_context == "spawn"
+        assert gen.generate(4, parallel=True) == gen.sequential_reference(4)
+
+    def test_lane_partitioned_spawn(self):
+        from repro.gpu.multigpu import LanePartitionedGenerator
+
+        gen = LanePartitionedGenerator(
+            "trivium", seed=1, total_lanes=16, n_devices=2, mp_context="spawn"
+        )
+        assert np.array_equal(
+            gen.generate_lanes(64, parallel=True), gen.sequential_reference(64)
+        )
+
+    def test_spawn_crash_recovery(self):
+        # retry rounds build fresh spawn pools; the fault plan travels in
+        # the pickled job payload, not shared memory
+        from repro.robust.faults import Fault, FaultPlan
+
+        plan = FaultPlan((Fault("crash", 1, 0),))
+        gen = MultiDeviceGenerator(
+            "xorwow",
+            seed=5,
+            lanes=64,
+            n_devices=2,
+            block_bytes=256,
+            mp_context="spawn",
+            fault_plan=plan,
+        )
+        assert gen.generate(4, parallel=True) == gen.sequential_reference(4)
+        assert gen.last_report.attempts[1] == 2
 
 
 class TestLaneOffsetSeeding:

@@ -1,0 +1,192 @@
+"""Health tests (SP 800-90B RCT/APT + FIPS startup gate): cutoff
+derivation, streaming state across buffers, and the monitored wrapper's
+raise/degrade semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import BSRNG
+from repro.errors import HealthTestError, SpecificationError
+from repro.robust.faults import StuckBSRNG
+from repro.robust.health import (
+    APT_WINDOW,
+    AdaptiveProportionTest,
+    HealthMonitoredBSRNG,
+    RepetitionCountTest,
+    apt_cutoff,
+    rct_cutoff,
+    startup_self_test,
+)
+
+
+class TestCutoffs:
+    def test_rct_90b_worked_value(self):
+        # SP 800-90B: C = 1 + ceil(-log2(alpha)/H); alpha=2^-30, H=8 -> 5
+        assert rct_cutoff(2.0**-30, 8.0) == 5
+
+    def test_rct_binary_source(self):
+        # H=1 bit/sample: the full 30-sample run bound
+        assert rct_cutoff(2.0**-30, 1.0) == 31
+
+    def test_rct_tighter_alpha_raises_cutoff(self):
+        assert rct_cutoff(2.0**-40, 8.0) >= rct_cutoff(2.0**-20, 8.0)
+
+    def test_apt_monotone_in_alpha(self):
+        assert apt_cutoff(2.0**-40) >= apt_cutoff(2.0**-10)
+
+    def test_apt_sane_range(self):
+        # full-entropy bytes over 512 samples: expect ~2 recurrences, so the
+        # cutoff sits well above the mean and well below the window
+        c = apt_cutoff(2.0**-30, 8.0, 512)
+        assert 5 < c < 64
+
+    def test_apt_tail_never_reached(self):
+        # impossibly small alpha: the test can never fire
+        assert apt_cutoff(1e-300, 8.0, 16) == 17
+
+    def test_invalid_parameters(self):
+        for bad in (0.0, 1.0, -1.0):
+            with pytest.raises(SpecificationError):
+                rct_cutoff(alpha=bad)
+        with pytest.raises(SpecificationError):
+            rct_cutoff(entropy_per_sample=0.0)
+        with pytest.raises(SpecificationError):
+            apt_cutoff(window=1)
+
+
+class TestRepetitionCount:
+    def test_constant_buffer_detected_at_cutoff(self):
+        rct = RepetitionCountTest()
+        at = rct.update(np.full(64, 0xAA, dtype=np.uint8))
+        assert at == rct.cutoff - 1  # fails the moment the run reaches C
+
+    def test_run_spanning_buffers(self):
+        rct = RepetitionCountTest()
+        cut = rct.cutoff
+        # cut-1 repeats at the end of buffer one: no failure yet
+        buf1 = np.concatenate([np.arange(10, dtype=np.uint8), np.full(cut - 1, 7, np.uint8)])
+        assert rct.update(buf1) is None
+        # one more sample of the same value completes the run
+        assert rct.update(np.array([7], dtype=np.uint8)) == 0
+
+    def test_healthy_stream_passes(self):
+        rct = RepetitionCountTest()
+        data = np.frombuffer(BSRNG("xorwow", seed=3, lanes=64).random_bytes(1 << 16), np.uint8)
+        assert rct.update(data) is None
+
+    def test_interrupted_run_resets(self):
+        rct = RepetitionCountTest()
+        cut = rct.cutoff
+        pattern = np.tile(
+            np.concatenate([np.full(cut - 1, 5, np.uint8), np.array([9], np.uint8)]), 20
+        )
+        assert rct.update(pattern) is None
+
+    def test_reset_clears_carry(self):
+        rct = RepetitionCountTest()
+        rct.update(np.full(rct.cutoff - 1, 3, np.uint8))
+        rct.reset()
+        assert rct.update(np.full(rct.cutoff - 1, 3, np.uint8)) is None
+
+
+class TestAdaptiveProportion:
+    def test_constant_window_detected(self):
+        apt = AdaptiveProportionTest()
+        assert apt.update(np.full(APT_WINDOW, 0x55, dtype=np.uint8)) is not None
+
+    def test_detection_spans_buffers(self):
+        apt = AdaptiveProportionTest()
+        # feed the biased stream 17 bytes at a time: state must carry
+        biased = np.zeros(APT_WINDOW, dtype=np.uint8)
+        hit = None
+        for start in range(0, APT_WINDOW, 17):
+            hit = apt.update(biased[start : start + 17])
+            if hit is not None:
+                break
+        assert hit is not None
+
+    def test_healthy_stream_passes(self):
+        apt = AdaptiveProportionTest()
+        data = np.frombuffer(BSRNG("xorwow", seed=9, lanes=64).random_bytes(1 << 16), np.uint8)
+        assert apt.update(data) is None
+
+    def test_window_rollover(self):
+        apt = AdaptiveProportionTest()
+        # constant value only *between* windows: each window sees a clean ref
+        data = np.arange(4 * APT_WINDOW, dtype=np.int64) % 251
+        assert apt.update(data.astype(np.uint8)) is None
+
+
+class TestStartupSelfTest:
+    def test_healthy_generator_passes(self):
+        report = startup_self_test(BSRNG("xorwow", seed=2, lanes=64))
+        assert report.passed
+
+    def test_stuck_generator_rejected(self):
+        with pytest.raises(HealthTestError):
+            startup_self_test(StuckBSRNG("xorwow", seed=2, lanes=64, stuck_byte=0))
+
+
+class TestHealthMonitoredBSRNG:
+    def test_transparent_for_healthy_stream(self):
+        # without the startup gate, the monitored stream IS the plain stream
+        mon = HealthMonitoredBSRNG(BSRNG("xorwow", seed=4, lanes=64), startup_test=False)
+        plain = BSRNG("xorwow", seed=4, lanes=64)
+        assert mon.random_bytes(4096) == plain.random_bytes(4096)
+        assert mon.log.bytes_screened == 4096 and not mon.log.events
+
+    def test_startup_consumes_block(self):
+        # the power-up gate consumes 20,000 bits before the first emission
+        mon = HealthMonitoredBSRNG("xorwow", seed=4, lanes=64)
+        plain = BSRNG("xorwow", seed=4, lanes=64)
+        plain.skip_bytes(2500)
+        assert mon.random_bytes(512) == plain.random_bytes(512)
+        assert mon.startup_report is not None and mon.startup_report.passed
+
+    def test_stuck_raises_within_one_buffer(self):
+        stuck = StuckBSRNG("xorwow", seed=1, lanes=64, stuck_byte=0xAA, stuck_after=100)
+        mon = HealthMonitoredBSRNG(stuck, startup_test=False)
+        with pytest.raises(HealthTestError, match="rct"):
+            mon.random_bytes(256)
+        assert mon.log.events and mon.log.events[0].test == "rct"
+
+    def test_degrade_reseeds_and_recovers(self):
+        stuck = StuckBSRNG("xorwow", seed=1, lanes=64, stuck_byte=0xAA)
+        mon = HealthMonitoredBSRNG(stuck, startup_test=False, on_failure="degrade")
+        data = mon.random_bytes(2048)
+        assert len(data) == 2048
+        assert mon.log.reseeds == 1
+        assert [e.action for e in mon.log.events] == ["reseed"]
+
+    def test_degrade_gives_up_after_max_reseeds(self):
+        stuck = StuckBSRNG(
+            "xorwow", seed=1, lanes=64, stuck_byte=0xAA, recover_on_reseed=False
+        )
+        mon = HealthMonitoredBSRNG(
+            stuck, startup_test=False, on_failure="degrade", max_reseeds=2
+        )
+        with pytest.raises(HealthTestError, match="reseed"):
+            mon.random_bytes(256)
+        assert mon.log.reseeds == 2
+
+    def test_draw_api_shapes(self):
+        mon = HealthMonitoredBSRNG("xorwow", seed=5, lanes=64, startup_test=False)
+        assert mon.random_uint64(4).shape == (4,)
+        assert mon.random_uint32(3).dtype == np.uint32
+        assert mon.random_bits(17).size == 17
+        assert ((0.0 <= mon.random(8)) & (mon.random(8) < 1.0)).all()
+        assert mon.random_bytes(0) == b""
+
+    def test_invalid_on_failure(self):
+        with pytest.raises(SpecificationError):
+            HealthMonitoredBSRNG("xorwow", lanes=64, on_failure="retry", startup_test=False)
+
+    def test_reseed_walks_deterministic_sequence(self):
+        a = BSRNG("xorwow", seed=10, lanes=64)
+        b = BSRNG("xorwow", seed=10, lanes=64)
+        a.reseed()
+        b.reseed()
+        assert a.seed == b.seed != 10
+        assert a.random_bytes(64) == b.random_bytes(64)
+        a.reseed()
+        assert a.seed != b.seed  # reseed count separates the streams

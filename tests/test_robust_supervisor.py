@@ -1,0 +1,185 @@
+"""Partition supervisor: crash/hang/corruption recovery, backoff policy,
+degradation, and the supervised multi-device equivalence guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceFailureError, SpecificationError
+from repro.gpu.multigpu import LanePartitionedGenerator, MultiDeviceGenerator
+from repro.robust.faults import Fault, FaultPlan
+from repro.robust.supervisor import PartitionSupervisor, SupervisorConfig, payload_crc
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = SupervisorConfig()
+        assert cfg.timeout is None and cfg.max_retries == 2 and cfg.maxtasksperchild == 1
+
+    def test_backoff_is_exponential(self):
+        cfg = SupervisorConfig(backoff_base=0.1, backoff_factor=2.0)
+        assert cfg.backoff(1) == pytest.approx(0.1)
+        assert cfg.backoff(3) == pytest.approx(0.4)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(SpecificationError):
+            SupervisorConfig(timeout=0.0)
+        with pytest.raises(SpecificationError):
+            SupervisorConfig(max_retries=-1)
+        with pytest.raises(SpecificationError):
+            SupervisorConfig(backoff_factor=0.5)
+
+
+class TestPayloadCrc:
+    def test_bytes_and_array_agree(self):
+        data = bytes(range(100))
+        assert payload_crc(data) == payload_crc(np.frombuffer(data, np.uint8))
+
+    def test_sensitive_to_flips(self):
+        data = bytearray(range(100))
+        ref = payload_crc(bytes(data))
+        data[42] ^= 0x01
+        assert payload_crc(bytes(data)) != ref
+
+
+def _mk(algorithm="xorwow", **kw):
+    defaults = dict(seed=5, lanes=64, n_devices=3, block_bytes=256)
+    defaults.update(kw)
+    return MultiDeviceGenerator(algorithm, **defaults)
+
+
+class TestCrashRecovery:
+    def test_single_crash_retried_byte_identical(self):
+        plan = FaultPlan((Fault("crash", 1, 0),))
+        gen = _mk(fault_plan=plan)
+        out = gen.generate(6, parallel=True)
+        assert out == gen.sequential_reference(6)
+        assert gen.last_report.attempts[1] == 2
+        assert gen.last_report.retried_partitions == {1}
+
+    def test_multiple_simultaneous_crashes(self):
+        plan = FaultPlan((Fault("crash", 0, 0), Fault("crash", 2, 0)))
+        gen = _mk(fault_plan=plan)
+        assert gen.generate(6, parallel=True) == gen.sequential_reference(6)
+        assert gen.last_report.retried_partitions == {0, 2}
+
+    def test_repeated_crash_same_partition(self):
+        plan = FaultPlan((Fault("crash", 1, 0), Fault("crash", 1, 1)))
+        gen = _mk(fault_plan=plan, max_retries=3)
+        assert gen.generate(6, parallel=True) == gen.sequential_reference(6)
+        assert gen.last_report.attempts[1] == 3
+
+
+class TestTimeoutRecovery:
+    def test_hung_partition_times_out_and_retries(self):
+        plan = FaultPlan((Fault("delay", 0, 0, delay=30.0),))
+        gen = _mk(fault_plan=plan, timeout=0.75)
+        out = gen.generate(6, parallel=True)
+        assert out == gen.sequential_reference(6)
+        kinds = [(e.partition, e.kind) for e in gen.last_report.events]
+        assert (0, "timeout") in kinds
+
+    def test_short_delay_within_timeout_is_fine(self):
+        plan = FaultPlan((Fault("delay", 0, 0, delay=0.05),))
+        gen = _mk(fault_plan=plan, timeout=10.0)
+        assert gen.generate(3, parallel=True) == gen.sequential_reference(3)
+        assert not gen.last_report.events
+
+
+class TestCorruptionRecovery:
+    def test_crc_detects_and_retries(self):
+        plan = FaultPlan((Fault("corrupt", 2, 0, corrupt_bytes=3),), seed=1)
+        gen = _mk(fault_plan=plan, verify_crc=True)
+        out = gen.generate(6, parallel=True)
+        assert out == gen.sequential_reference(6)
+        assert any(e.kind == "corrupt" for e in gen.last_report.events)
+
+    def test_without_crc_corruption_slips_through(self):
+        # the negative control: verification off means a corrupted payload
+        # is concatenated as-is — exactly why the hook exists
+        plan = FaultPlan((Fault("corrupt", 2, 0, corrupt_bytes=3),), seed=1)
+        gen = _mk(fault_plan=plan, verify_crc=False)
+        assert gen.generate(6, parallel=True) != gen.sequential_reference(6)
+
+    def test_stuck_payload_caught_by_crc(self):
+        plan = FaultPlan((Fault("stuck", 0, 0),))
+        gen = _mk(fault_plan=plan, verify_crc=True)
+        assert gen.generate(6, parallel=True) == gen.sequential_reference(6)
+
+
+class TestDegradation:
+    def test_pool_exhaustion_degrades_to_inline(self):
+        plan = FaultPlan(tuple(Fault("crash", 1, a) for a in range(3)))
+        gen = _mk(fault_plan=plan, max_retries=2)
+        out = gen.generate(6, parallel=True)
+        assert out == gen.sequential_reference(6)
+        assert gen.last_report.degraded
+        assert any(e.kind == "degraded" for e in gen.last_report.events)
+
+    def test_degradation_disabled_raises(self):
+        plan = FaultPlan(tuple(Fault("crash", 1, a) for a in range(3)))
+        gen = _mk(fault_plan=plan, max_retries=2, degrade_sequential=False)
+        with pytest.raises(DeviceFailureError):
+            gen.generate(6, parallel=True)
+
+    def test_unrecoverable_fault_raises_even_inline(self):
+        # crash on every attempt the policy allows, parallel and inline
+        plan = FaultPlan(tuple(Fault("crash", 1, a) for a in range(10)))
+        gen = _mk(fault_plan=plan, max_retries=1)
+        with pytest.raises(DeviceFailureError):
+            gen.generate(6, parallel=True)
+
+
+class TestSequentialPath:
+    def test_inline_retry_handles_crash(self):
+        plan = FaultPlan((Fault("crash", 1, 0),))
+        gen = _mk(fault_plan=plan)
+        assert gen.generate(6, parallel=False) == gen.sequential_reference(6)
+        assert gen.last_report.attempts[1] == 2
+
+    def test_inline_crc_verification(self):
+        plan = FaultPlan((Fault("corrupt", 0, 0),), seed=4)
+        gen = _mk(fault_plan=plan, verify_crc=True)
+        assert gen.generate(6, parallel=False) == gen.sequential_reference(6)
+
+
+class TestEmptyJobs:
+    def test_zero_blocks_fast_path_parallel(self):
+        gen = _mk()
+        assert gen.generate(0, parallel=True) == b""
+        assert gen.last_report is None  # no supervisor ran at all
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(SpecificationError):
+            _mk().generate(-1)
+
+    def test_supervisor_empty_jobs(self):
+        sup = PartitionSupervisor(lambda payload, attempt: (payload, None))
+        assert sup.run({}, parallel=True) == {}
+
+
+class TestLanePartitionedSupervision:
+    def test_crash_recovery_lane_path(self):
+        plan = FaultPlan((Fault("crash", 1, 0),))
+        gen = LanePartitionedGenerator(
+            "trivium", seed=1, total_lanes=16, n_devices=2, fault_plan=plan
+        )
+        lanes = gen.generate_lanes(64, parallel=True)
+        assert np.array_equal(lanes, gen.sequential_reference(64))
+        assert gen.last_report.retried_partitions == {1}
+
+    def test_corruption_recovery_lane_path(self):
+        plan = FaultPlan((Fault("corrupt", 0, 0, corrupt_bytes=2),), seed=8)
+        gen = LanePartitionedGenerator(
+            "trivium", seed=1, total_lanes=16, n_devices=2, verify_crc=True, fault_plan=plan
+        )
+        lanes = gen.generate_lanes(64, parallel=True)
+        assert np.array_equal(lanes, gen.sequential_reference(64))
+
+
+class TestReportShape:
+    def test_clean_run_has_empty_report(self):
+        gen = _mk()
+        gen.generate(6, parallel=True)
+        assert gen.last_report.events == []
+        assert not gen.last_report.degraded
+        assert set(gen.last_report.attempts.values()) == {1}
