@@ -1,0 +1,72 @@
+"""Machine-readable benchmark emission — the perf trajectory's data feed.
+
+The free-text tables under ``benchmarks/results/*.txt`` are for humans;
+this module gives every bench a structured sibling:
+``benchmarks/results/BENCH_<name>.json`` with a fixed schema::
+
+    {
+      "schema": 1,
+      "name": "<bench name>",
+      "params": {...},          # workload knobs (lanes, rows, scale, ...)
+      "gbps": <float|null>,     # headline throughput, Gbit/s, when meaningful
+      "wall_s": <float|null>,   # headline wall time, seconds, when meaningful
+      "metrics": {...},         # any additional named numbers
+      "timestamp": <unix seconds>,
+      "date": "YYYY-MM-DDTHH:MM:SSZ"
+    }
+
+Later perf PRs diff these files to prove a win; dashboards and the CI
+trend job parse them without scraping table text.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCHEMA_VERSION = 1
+
+
+def emit_bench(
+    name: str,
+    *,
+    params: dict | None = None,
+    gbps: float | None = None,
+    wall_s: float | None = None,
+    metrics: dict | None = None,
+) -> pathlib.Path:
+    """Write ``results/BENCH_<name>.json`` and return its path.
+
+    ``params`` records the workload configuration so two runs are
+    comparable; ``metrics`` takes any extra named numbers (per-kernel
+    series, speedups) that do not fit the two headline fields.
+    """
+    now = time.time()
+    record = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "params": dict(params or {}),
+        "gbps": None if gbps is None else round(float(gbps), 6),
+        "wall_s": None if wall_s is None else round(float(wall_s), 6),
+        "metrics": {k: _jsonable(v) for k, v in (metrics or {}).items()},
+        "timestamp": round(now, 3),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _jsonable(v):
+    """Round floats; pass everything JSON already understands through."""
+    if isinstance(v, float):
+        return round(v, 6)
+    if isinstance(v, dict):
+        return {k: _jsonable(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return v

@@ -10,6 +10,7 @@ sweeps the virtual datapath word width (design-choice ablation #1).
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table, measure_gbps
 
 from repro.ciphers.grain_bitsliced import BitslicedGrain
@@ -30,6 +31,12 @@ def test_batch_size_sweep(benchmark):
     for b, gbps in rows.items():
         lines.append(f"{b:>12}{gbps:>10.4f}")
     emit_table("ablation_batch", lines)
+    emit_bench(
+        "ablation_batch",
+        params={"lanes": LANES, "batches": list(BATCHES), "full_scale": FULL_SCALE},
+        gbps=max(rows.values()),
+        metrics={"gbps_by_batch": {str(k): v for k, v in rows.items()}},
+    )
     benchmark.extra_info["gbps"] = {str(k): round(v, 4) for k, v in rows.items()}
     benchmark.pedantic(lambda: throughput_at(BATCHES[1]), rounds=1, iterations=1)
 
@@ -51,6 +58,12 @@ def test_word_width_sweep(benchmark):
     for name, gbps in widths.items():
         lines.append(f"{name:>15}{gbps:>10.4f}")
     emit_table("ablation_word_width", lines)
+    emit_bench(
+        "ablation_word_width",
+        params={"lanes": LANES, "batch_rows": 64},
+        gbps=max(widths.values()),
+        metrics={"gbps_by_dtype": widths},
+    )
     benchmark.extra_info["gbps"] = {k: round(v, 4) for k, v in widths.items()}
     benchmark.pedantic(lambda: throughput_at(64, np.uint64), rounds=1, iterations=1)
 

@@ -9,6 +9,7 @@ linearly) for the serial one.
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table, measure_gbps
 
 from repro.core.engine import BitslicedEngine
@@ -50,6 +51,16 @@ def test_crc_scaling(benchmark):
         f"bitsliced @4096 lanes vs bit-serial: {rows[-1][1] / serial_gbps:.0f}x total throughput"
     )
     emit_table("ablation_crc", lines)
+    emit_bench(
+        "ablation_crc",
+        params={"msg_bits": MSG_BITS, "lane_counts": list(LANE_COUNTS)},
+        gbps=rows[-1][1],
+        metrics={
+            "gbps_by_lanes": {str(l): g for l, g in rows},
+            "serial_gbps": serial_gbps,
+            "speedup_vs_serial": rows[-1][1] / serial_gbps,
+        },
+    )
     benchmark.extra_info["gbps"] = {str(l): round(g, 4) for l, g in rows}
     bs = BitslicedCRC(CRC8_ATM, BitslicedEngine(n_lanes=256))
     msgs = rng.integers(0, 2, (256, MSG_BITS), dtype=np.uint8)

@@ -13,6 +13,7 @@ register renaming.  Verified two ways:
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table, measure_gbps
 
 from repro.core.engine import BitslicedEngine
@@ -49,6 +50,15 @@ def test_op_count_claim(benchmark):
         f"(paper claims ~{LANES}*k -> k, i.e. O(lanes))",
     ]
     emit_table("ablation_lfsr_ops", lines)
+    emit_bench(
+        "ablation_lfsr_ops",
+        params={"n": N, "taps_k": k, "lanes": LANES, "steps": STEPS},
+        metrics={
+            "naive_ops_per_clock": naive_ops_total,
+            "bitsliced_ops_per_clock": bitsliced_ops_total,
+            "reduction": naive_ops_total / bitsliced_ops_total,
+        },
+    )
 
     # Bitsliced work per clock is K+1 full-width XORs (the +1 accounts the
     # tap accumulator copy) regardless of lane count.
@@ -74,6 +84,12 @@ def test_wallclock_naive_vs_bitsliced(benchmark):
         f"speedup: {bs_gbps / naive_gbps:.2f}x",
     ]
     emit_table("ablation_lfsr_wallclock", lines)
+    emit_bench(
+        "ablation_lfsr_wallclock",
+        params={"n": N, "lanes": LANES, "steps": STEPS},
+        gbps=bs_gbps,
+        metrics={"naive_gbps": naive_gbps, "speedup": bs_gbps / naive_gbps},
+    )
     benchmark.extra_info["speedup"] = round(bs_gbps / naive_gbps, 2)
     benchmark.pedantic(lambda: bs.run(STEPS), rounds=1, iterations=1)
 
@@ -111,6 +127,12 @@ def test_renaming_vs_physical_roll(benchmark):
         f"renaming advantage: {rename_gbps / roll_gbps:.2f}x",
     ]
     emit_table("ablation_lfsr_renaming", lines)
+    emit_bench(
+        "ablation_lfsr_renaming",
+        params={"n": N, "lanes": LANES, "steps": STEPS},
+        gbps=rename_gbps,
+        metrics={"roll_gbps": roll_gbps, "advantage": rename_gbps / roll_gbps},
+    )
     benchmark.extra_info["advantage"] = round(rename_gbps / roll_gbps, 2)
     benchmark.pedantic(lambda: bs.run(64), rounds=1, iterations=1)
 
@@ -148,6 +170,12 @@ def test_jump_ahead_vs_stepping(benchmark):
         f"speedup: {step_s / jump_s:.0f}x (and O(log k): doubling k adds one squaring)",
     ]
     emit_table("ablation_jump_ahead", lines)
+    emit_bench(
+        "ablation_jump_ahead",
+        params={"n": N, "lanes": LANES, "k": k},
+        wall_s=jump_s,
+        metrics={"step_s": step_s, "speedup": step_s / jump_s},
+    )
     benchmark.extra_info["speedup"] = round(step_s / jump_s, 1)
     benchmark.pedantic(lambda: bs2.jump(k), rounds=2, iterations=1)
 

@@ -11,6 +11,7 @@ time to scattered (strided) destinations.
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table, measure_gbps
 
 from repro.core.engine import BitslicedEngine
@@ -28,6 +29,11 @@ def test_staging_model_sweep(benchmark):
             f"{s:>12}{staging_efficiency(s):>13.4f}{effective_write_bw(900.0, stage_bytes=s):>23.1f}"
         )
     emit_table("ablation_staging_model", lines)
+    emit_bench(
+        "ablation_staging_model",
+        params={"stage_bytes": sizes},
+        metrics={"staging_eff": {str(s): staging_efficiency(s) for s in sizes}},
+    )
     benchmark.pedantic(lambda: [effective_write_bw(900.0, stage_bytes=s) for s in sizes], rounds=3, iterations=1)
 
     # Monotone rising with diminishing returns — the paper's try-and-error
@@ -43,6 +49,11 @@ def test_coalescing_model_sweep(benchmark):
     for s in strides:
         lines.append(f"{s:>15}{coalescing_efficiency(s):>16.4f}")
     emit_table("ablation_coalescing_model", lines)
+    emit_bench(
+        "ablation_coalescing_model",
+        params={"strides": strides},
+        metrics={"coalescing_eff": {str(s): coalescing_efficiency(s) for s in strides}},
+    )
     benchmark.pedantic(lambda: [coalescing_efficiency(s) for s in strides], rounds=3, iterations=1)
     effs = [coalescing_efficiency(s) for s in strides]
     assert effs[0] == 1.0 and effs == sorted(effs, reverse=True)
@@ -87,6 +98,15 @@ def test_staged_vs_scattered_writes(benchmark):
         f"staging advantage: {staged_gbps / scattered_gbps:.2f}x",
     ]
     emit_table("ablation_memory_measured", lines)
+    emit_bench(
+        "ablation_memory_measured",
+        params={"lanes": LANES, "rows": ROWS, "stage_rows": 256},
+        gbps=staged_gbps,
+        metrics={
+            "scattered_gbps": scattered_gbps,
+            "advantage": staged_gbps / scattered_gbps,
+        },
+    )
     benchmark.extra_info["advantage"] = round(staged_gbps / scattered_gbps, 2)
     benchmark.pedantic(staged, rounds=1, iterations=1)
 

@@ -8,6 +8,7 @@ row-major table-lookup ablation (design choice #3).
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import emit_table, measure_gbps
 
 from repro.ciphers.aes import SBOX
@@ -29,6 +30,15 @@ def test_gates_per_bit_table(benchmark):
             f"{name:<16}{p.gates_per_bit:>11.1f}{p.datapath_lanes:>10}{p.bits_per_instruction:>12.2f}"
         )
     emit_table("ablation_gates_per_bit", lines)
+    emit_bench(
+        "ablation_gates_per_bit",
+        metrics={
+            "gates_per_bit": {
+                name: profiles[name].gates_per_bit
+                for name in ("mickey2", "grain", "aes128ctr", "curand-mt")
+            }
+        },
+    )
 
     # The paper's explanation requires AES to pay far more gates per bit
     # than the stream ciphers.
@@ -50,6 +60,15 @@ def test_sbox_share_of_aes(benchmark):
         f"S-box share: {100 * sbox_per_bit / total_per_bit:.1f}%",
     ]
     emit_table("ablation_sbox_share", lines)
+    emit_bench(
+        "ablation_sbox_share",
+        metrics={
+            "sbox_gates": counts["total"],
+            "circuit_depth": circuit.depth(),
+            "aes_gates_per_bit": total_per_bit,
+            "sbox_share": sbox_per_bit / total_per_bit,
+        },
+    )
 
     # "mainly caused by the complex bitsliced S-box": SubBytes dominates.
     assert sbox_per_bit / total_per_bit > 0.5
@@ -88,6 +107,12 @@ def test_circuit_vs_table_lookup(benchmark):
         "cheap row-major, but forces a transpose per round in that layout",
     ]
     emit_table("ablation_sbox_lookup", lines)
+    emit_bench(
+        "ablation_sbox_lookup",
+        params={"lanes": lanes},
+        gbps=circuit_gbps,
+        metrics={"table_gbps": table_gbps},
+    )
     benchmark.extra_info["circuit_gbps"] = round(circuit_gbps, 3)
     benchmark.extra_info["table_gbps"] = round(table_gbps, 3)
     benchmark.pedantic(lambda: aes._sub_bytes(planes), rounds=2, iterations=1)

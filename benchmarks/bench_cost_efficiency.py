@@ -9,6 +9,7 @@ card beats the datacenter V100 ~8x on throughput per dollar.
 """
 
 import pytest
+from _emit import emit_bench
 from conftest import emit_table
 
 from repro.gpu.model import ThroughputModel
@@ -49,6 +50,14 @@ def test_cost_efficiency(benchmark):
         )
     )
     emit_table("cost_efficiency", lines)
+    emit_bench(
+        "cost_efficiency",
+        params={"kernel": "mickey2"},
+        metrics={
+            "gbps_per_usd": {n: v for n, _, v, _ in rows if v == v},
+            "gbps_per_watt": {n: v for n, _, _, v in rows if v == v},
+        },
+    )
 
     by_gpu = {name: (per_usd, per_w) for name, _, per_usd, per_w in rows}
     # The abstract's "affordable 2080 Ti" framing: the consumer flagship

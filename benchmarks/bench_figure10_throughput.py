@@ -14,6 +14,7 @@ Two complementary reproductions:
 
 import numpy as np
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table, measure_gbps
 
 from repro.baselines.mt19937 import MT19937Bank
@@ -44,6 +45,12 @@ def test_figure10_modeled(benchmark):
         "(Gbit/s; anchored roofline model — see EXPERIMENTS.md E3)",
     ]
     emit_table("figure10_modeled", lines)
+    emit_bench(
+        "figure10_modeled",
+        params={"kernels": list(KERNELS)},
+        gbps=series["mickey2"]["GTX 2080 Ti"],
+        metrics={"modeled_gbps": {k: dict(v) for k, v in ordered.items()}},
+    )
 
     # Paper shape assertions.  On the 2010-era GTX 480 the model has
     # MICKEY's 210-register working set collapse occupancy below Grain's —
@@ -109,6 +116,12 @@ def test_figure10_measured_summary(benchmark):
     lines.append(f"bitslicing speedup over bit-serial MICKEY: "
                  f"{rows['mickey2 (bitsliced)'] / rows['mickey2 (bit-serial ref)']:.0f}x")
     emit_table("figure10_measured", lines)
+    emit_bench(
+        "figure10_measured",
+        params={"lanes": LANES, "rows": ROWS, "full_scale": FULL_SCALE},
+        gbps=rows["mickey2 (bitsliced)"],
+        metrics={"gbps_by_kernel": dict(rows)},
+    )
     benchmark.extra_info.update({k: round(v, 4) for k, v in rows.items()})
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 

@@ -6,6 +6,7 @@ from Table 1); our kernels are normalized to the device the anchored
 model predicts them on.
 """
 
+from _emit import emit_bench
 from conftest import emit_table
 
 from repro.gpu.model import ThroughputModel
@@ -34,6 +35,10 @@ def test_figure11_normalized(benchmark):
         bar_chart(ranked, width=44, unit="Gbps/GFLOPS", fmt="{:.4f}"),
     ]
     emit_table("figure11_normalized", lines)
+    emit_bench(
+        "figure11_normalized",
+        metrics={"gbps_per_gflops": {n: v for n, v in series}},
+    )
 
     vals = dict(series)
     mickey = vals["mickey2 on GTX 2080 Ti"]

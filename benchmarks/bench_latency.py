@@ -10,6 +10,7 @@ byte (dominated by the same initialisation clocks the model charges).
 import time
 
 import pytest
+from _emit import emit_bench
 from conftest import emit_table
 
 from repro.core.generator import BSRNG
@@ -42,6 +43,14 @@ def test_latency_throughput_frontier(benchmark):
     lines.append("the paper's trade-off: the throughput winner (MICKEY) pays the")
     lines.append("largest time-to-first-byte; counter-mode kernels start instantly")
     emit_table("latency_frontier", lines)
+    emit_bench(
+        "latency_frontier",
+        params={"gpu": "GTX 2080 Ti", "kernels": list(KERNELS)},
+        metrics={
+            "first_byte_us": {k: lat for k, lat, _ in rows},
+            "modeled_gbps": {k: g for k, _, g in rows},
+        },
+    )
     benchmark.pedantic(lambda: first_byte_latency_us("mickey2", "GTX 2080 Ti"), rounds=3, iterations=1)
 
     by_kernel = {k: (lat, gbps) for k, lat, gbps in rows}
@@ -71,6 +80,12 @@ def test_measured_first_byte(benchmark):
     for alg, ms in rows.items():
         lines.append(f"{alg:<12}{ms:>31.2f}")
     emit_table("latency_measured", lines)
+    emit_bench(
+        "latency_measured",
+        params={"lanes": 1024},
+        wall_s=rows["mickey2"] / 1e3,
+        metrics={"first_byte_ms": dict(rows)},
+    )
     benchmark.extra_info["ms"] = {k: round(v, 2) for k, v in rows.items()}
     benchmark.pedantic(lambda: BSRNG("grain", seed=1, lanes=1024).random_bytes(1), rounds=1, iterations=1)
 

@@ -15,6 +15,7 @@ import os
 import time
 
 import pytest
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table
 
 from repro.gpu.multigpu import MultiDeviceGenerator, scaling_model
@@ -52,6 +53,19 @@ def test_multigpu_scaling(benchmark):
     for n in (1, 2, 4):
         lines.append(f"{n:>8}{measured[n]:>18.2f}{scaling_model(n):>15.2f}{paper[n]:>8}")
     emit_table("multigpu_scaling", lines)
+    emit_bench(
+        "multigpu_scaling",
+        params={
+            "block_bytes": BLOCK_BYTES,
+            "total_blocks": TOTAL_BLOCKS,
+            "host_cpus": cpus,
+        },
+        wall_s=base,
+        metrics={
+            "measured_speedup": {str(k): v for k, v in measured.items()},
+            "model_speedup": {str(n): scaling_model(n) for n in (1, 2, 4, 8)},
+        },
+    )
     benchmark.extra_info["measured"] = {str(k): round(v, 3) for k, v in measured.items()}
     benchmark.pedantic(lambda: run_job(2), rounds=1, iterations=1)
 

@@ -5,6 +5,7 @@ Regenerates the paper's Table 1 with the normalized Gbps/GFLOPS column
 paper's arithmetic rather than transcribing it.
 """
 
+from _emit import emit_bench
 from conftest import emit_table
 
 from repro.gpu.priorwork import PRIOR_WORK
@@ -26,6 +27,14 @@ def render_table1() -> list[str]:
 def test_table1_prior_work(benchmark):
     lines = benchmark(render_table1)
     emit_table("table1_prior_work", lines)
+    emit_bench(
+        "table1_prior_work",
+        metrics={
+            "normalized_gbps_per_gflops": {
+                f"{row.method} ({row.year})": row.normalized for row in PRIOR_WORK
+            }
+        },
+    )
     # The paper's printed normalization, re-derived (4-decimal agreement).
     printed = [0.0752, 0.0199, 0.0562, 0.0020, 0.3922, 0.0278]
     for row, expect in zip(PRIOR_WORK, printed):

@@ -4,6 +4,7 @@ Dumps the catalogue exactly in the paper's three columns, plus the SM
 resources the occupancy model uses on top of them.
 """
 
+from _emit import emit_bench
 from conftest import emit_table
 
 from repro.gpu.launch import occupancy
@@ -27,4 +28,13 @@ def render_table2() -> list[str]:
 def test_table2_gpu_specs(benchmark):
     lines = benchmark(render_table2)
     emit_table("table2_gpu_specs", lines)
+    emit_bench(
+        "table2_gpu_specs",
+        metrics={
+            "occupancy_at_210_regs": {
+                g.name: occupancy(g, registers_per_thread=210)
+                for g in TABLE2_GPUS.values()
+            }
+        },
+    )
     assert len(lines) == 2 + 6  # header + the paper's six platforms

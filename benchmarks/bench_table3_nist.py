@@ -12,6 +12,9 @@ Both print the same Table-3 layout (per-test uniformity P-value,
 proportion, Success/FAILURE).
 """
 
+import time
+
+from _emit import emit_bench
 from conftest import FULL_SCALE, emit_table
 
 from repro.core.generator import BSRNG
@@ -27,7 +30,9 @@ def run_battery():
 
 
 def test_table3_nist_mickey(benchmark):
+    t0 = time.perf_counter()
     report = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+    battery_s = time.perf_counter() - t0
     lines = [
         f"NIST SP 800-22 on bitsliced MICKEY 2.0 — "
         f"{report.n_sequences} sequences x {report.n_bits} bits",
@@ -35,6 +40,19 @@ def test_table3_nist_mickey(benchmark):
         report.to_table(),
     ]
     emit_table("table3_nist", lines)
+    emit_bench(
+        "table3_nist",
+        params={
+            "n_sequences": N_SEQUENCES,
+            "n_bits": N_BITS,
+            "full_scale": FULL_SCALE,
+        },
+        wall_s=battery_s,
+        metrics={
+            "tests_run": len(report.per_test),
+            "tests_skipped": len(report.skipped),
+        },
+    )
 
     # The paper's Table 3: every test passes.  At CI scale some tests are
     # skipped for insufficient data (as sts itself would); every test that

@@ -26,8 +26,15 @@ The package is organised as:
     code generation, randomness analysis, GF(2) algebra, bit packing).
 """
 
+import logging as _logging
+
 from repro.core.bitslice import bitslice, bitslice_bytes, unbitslice, unbitslice_bytes
 from repro.core.generator import BSRNG, available_algorithms
+
+# Library logging convention: a NullHandler on the package root, so
+# `repro.robust.*` WARNING records (supervisor retries, health-test
+# failures) are silent until an application configures logging.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -15,10 +15,17 @@ Commands
     tests (Repetition Count / Adaptive Proportion) over a stream.
 ``throughput``
     Measure the software throughput of one or more algorithms.
+``stats``
+    Render a telemetry snapshot (JSON/Prometheus/human) — either a
+    ``--metrics-out`` file or a fresh instrumented run.
 ``model``
     Query the anchored GPU throughput model (the paper's Figure 10).
 ``cuda``
     Emit the generated CUDA kernels (paper §4.4).
+
+``gen``, ``throughput`` and ``selftest`` accept ``--metrics-out PATH``
+(write a JSON metrics snapshot) and ``--trace-out PATH`` (write a
+Chrome-trace-event JSON viewable in Perfetto).
 """
 
 from __future__ import annotations
@@ -40,6 +47,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(ICPP Workshops 2020 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_flags(p) -> None:
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write a JSON metrics snapshot (render it with 'repro stats')",
+        )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write a Chrome-trace-event JSON (open in Perfetto)",
+        )
 
     sub.add_parser("info", help="list algorithms and GPU platforms")
 
@@ -68,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--retries", type=int, default=2, help="per-partition retry budget")
     gen.add_argument("--timeout", type=float, default=None, help="per-partition timeout (s)")
+    add_telemetry_flags(gen)
 
     nist = sub.add_parser("nist", help="run the NIST SP 800-22 battery")
     nist.add_argument("-a", "--algorithm", default="mickey2")
@@ -96,11 +118,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=2.0**-30,
         help="per-test false-positive rate for the cutoff derivation",
     )
+    add_telemetry_flags(st)
 
     tp = sub.add_parser("throughput", help="measure software throughput")
     tp.add_argument("algorithms", nargs="*", default=[])
     tp.add_argument("-l", "--lanes", type=int, default=16384)
     tp.add_argument("--mbits", type=float, default=8.0, help="Mbit per measurement")
+    add_telemetry_flags(tp)
+
+    stats = sub.add_parser(
+        "stats", help="render a telemetry snapshot (JSON / Prometheus / human)"
+    )
+    stats.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="metrics snapshot JSON written by --metrics-out; "
+        "omitted = run a short instrumented generation",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("human", "prometheus", "json"),
+        default="human",
+        dest="fmt",
+    )
+    stats.add_argument("-a", "--algorithm", default="mickey2")
+    stats.add_argument("-s", "--seed", type=int, default=0)
+    stats.add_argument("-l", "--lanes", type=int, default=4096)
+    stats.add_argument(
+        "-n", "--bytes", type=int, default=1 << 20, dest="n_bytes",
+        help="bytes to generate in the no-input self-run mode",
+    )
 
     model = sub.add_parser("model", help="query the GPU throughput model")
     model.add_argument("-k", "--kernel", default="mickey2")
@@ -112,6 +160,38 @@ def build_parser() -> argparse.ArgumentParser:
     cuda.add_argument("-o", "--output", default="-")
 
     return parser
+
+
+def _telemetry(args):
+    """Context manager: honour ``--metrics-out`` / ``--trace-out``.
+
+    Enables the corresponding telemetry layer for the body and writes the
+    snapshot / Chrome trace on the way out (including early error
+    returns, so a failed selftest still leaves its evidence behind).
+    """
+    from contextlib import contextmanager
+
+    from repro import obs
+
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+
+    @contextmanager
+    def ctx():
+        tracer = obs.enable_tracing() if trace_out else None
+        if metrics_out:
+            obs.enable_metrics()
+        try:
+            yield
+        finally:
+            if metrics_out:
+                obs.write_snapshot(obs.registry().snapshot(), metrics_out)
+                obs.disable_metrics()
+            if tracer is not None:
+                tracer.write(trace_out)
+                obs.disable_tracing()
+
+    return ctx()
 
 
 def _cmd_info(_args) -> int:
@@ -134,32 +214,38 @@ def _cmd_gen(args) -> int:
     from repro.bitio.bits import bits_from_bytes
     from repro.bitio.streams import write_nist_ascii, write_nist_binary
     from repro.core.generator import BSRNG
+    from repro.obs import span
 
-    if args.devices > 1:
-        # supervised multi-device path: block-granular partitioning, so
-        # round the byte count up to whole blocks and trim
-        from repro.gpu.multigpu import MultiDeviceGenerator
+    with _telemetry(args), span(
+        "gen", algo=args.algorithm, n_bytes=args.n_bytes, devices=args.devices
+    ):
+        if args.devices > 1:
+            # supervised multi-device path: block-granular partitioning, so
+            # round the byte count up to whole blocks and trim
+            from repro.gpu.multigpu import MultiDeviceGenerator
 
-        block_bytes = 1 << 12
-        gen = MultiDeviceGenerator(
-            args.algorithm,
-            seed=args.seed,
-            lanes=args.lanes,
-            n_devices=args.devices,
-            block_bytes=block_bytes,
-            timeout=args.timeout,
-            max_retries=args.retries,
-            verify_crc=True,
-        )
-        data = gen.generate(-(-args.n_bytes // block_bytes))[: args.n_bytes]
-    elif args.health:
-        from repro.robust.health import HealthMonitoredBSRNG
+            block_bytes = 1 << 12
+            gen = MultiDeviceGenerator(
+                args.algorithm,
+                seed=args.seed,
+                lanes=args.lanes,
+                n_devices=args.devices,
+                block_bytes=block_bytes,
+                timeout=args.timeout,
+                max_retries=args.retries,
+                verify_crc=True,
+            )
+            data = gen.generate(-(-args.n_bytes // block_bytes))[: args.n_bytes]
+        elif args.health:
+            from repro.robust.health import HealthMonitoredBSRNG
 
-        rng = HealthMonitoredBSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
-        data = rng.random_bytes(args.n_bytes)
-    else:
-        rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
-        data = rng.random_bytes(args.n_bytes)
+            rng = HealthMonitoredBSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+            data = rng.random_bytes(args.n_bytes)
+            rng.inner.publish_metrics()
+        else:
+            rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+            data = rng.random_bytes(args.n_bytes)
+            rng.publish_metrics()
     if args.format == "hex":
         payload = data.hex().encode() + b"\n"
     elif args.format == "raw":
@@ -222,37 +308,43 @@ def _cmd_fips(args) -> int:
 
 def _cmd_selftest(args) -> int:
     from repro.errors import HealthTestError
+    from repro.obs import span
     from repro.robust.health import HealthMonitoredBSRNG
 
     print(f"self-test: {args.algorithm} (seed={args.seed}, alpha={args.alpha:.3g})")
-    try:
-        mon = HealthMonitoredBSRNG(
-            args.algorithm, seed=args.seed, lanes=args.lanes, alpha=args.alpha
+    with _telemetry(args), span("selftest", algo=args.algorithm):
+        try:
+            mon = HealthMonitoredBSRNG(
+                args.algorithm, seed=args.seed, lanes=args.lanes, alpha=args.alpha
+            )
+        except HealthTestError as exc:
+            print(f"startup self-test: FAIL ({exc})")
+            return 1
+        print("startup self-test (FIPS 140-2, 20,000 bits): pass")
+        print(f"  {mon.startup_report.to_table()}".replace("\n", "\n  "))
+        print(
+            f"continuous tests: RCT cutoff {mon.rct.cutoff}, "
+            f"APT cutoff {mon.apt.cutoff}/{mon.apt.window}"
         )
-    except HealthTestError as exc:
-        print(f"startup self-test: FAIL ({exc})")
-        return 1
-    print("startup self-test (FIPS 140-2, 20,000 bits): pass")
-    print(f"  {mon.startup_report.to_table()}".replace("\n", "\n  "))
-    print(
-        f"continuous tests: RCT cutoff {mon.rct.cutoff}, "
-        f"APT cutoff {mon.apt.cutoff}/{mon.apt.window}"
-    )
-    chunk = 1 << 16
-    remaining = args.n_bytes
-    try:
-        while remaining > 0:
-            mon.random_bytes(min(chunk, remaining))
-            remaining -= chunk
-    except HealthTestError as exc:
-        print(f"continuous health tests: FAIL ({exc})")
-        return 1
-    print(f"continuous health tests over {mon.log.bytes_screened:,} bytes: pass")
+        chunk = 1 << 16
+        remaining = args.n_bytes
+        try:
+            while remaining > 0:
+                mon.random_bytes(min(chunk, remaining))
+                remaining -= chunk
+        except HealthTestError as exc:
+            print(f"continuous health tests: FAIL ({exc})")
+            return 1
+        finally:
+            mon.inner.publish_metrics()
+        print(f"continuous health tests over {mon.log.bytes_screened:,} bytes: pass")
     return 0
 
 
 def _cmd_throughput(args) -> int:
+    from repro import obs
     from repro.core.generator import BSRNG, available_algorithms
+    from repro.obs import span
 
     algorithms = args.algorithms or list(available_algorithms())
     # Draw in chunks until enough wall time has elapsed: buffered refills
@@ -262,14 +354,39 @@ def _cmd_throughput(args) -> int:
     min_seconds = max(args.mbits / 100.0, 0.25)
     print(f"{'algorithm':<18}{'Mbit/s':>10}")
     print("-" * 28)
-    for alg in algorithms:
-        rng = BSRNG(alg, seed=1, lanes=args.lanes)
-        total = 0
-        t0 = time.perf_counter()
-        while (elapsed := time.perf_counter() - t0) < min_seconds:
-            rng.random_bytes(chunk)
-            total += chunk
-        print(f"{alg:<18}{8 * total / elapsed / 1e6:>10.1f}")
+    with _telemetry(args):
+        for alg in algorithms:
+            rng = BSRNG(alg, seed=1, lanes=args.lanes)
+            total = 0
+            with span("throughput.measure", algo=alg):
+                t0 = time.perf_counter()
+                while (elapsed := time.perf_counter() - t0) < min_seconds:
+                    rng.random_bytes(chunk)
+                    total += chunk
+            mbit_s = 8 * total / elapsed / 1e6
+            obs.set_gauge("repro_throughput_mbit_s", round(mbit_s, 1), algorithm=alg)
+            rng.publish_metrics()
+            print(f"{alg:<18}{mbit_s:>10.1f}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro import obs
+
+    if args.input:
+        snap = obs.load_snapshot(args.input)
+    else:
+        # self-run mode: a short fully-instrumented generation, so
+        # `repro stats` with no arguments always has something to show
+        from repro.core.generator import BSRNG
+
+        with obs.scoped() as reg:
+            with obs.span("stats.selfrun", algo=args.algorithm):
+                rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+                rng.random_bytes(args.n_bytes)
+                rng.publish_metrics()
+            snap = reg.snapshot()
+    obs.dump(snap, args.fmt, sys.stdout)
     return 0
 
 
@@ -315,6 +432,7 @@ _COMMANDS = {
     "fips": _cmd_fips,
     "selftest": _cmd_selftest,
     "throughput": _cmd_throughput,
+    "stats": _cmd_stats,
     "model": _cmd_model,
     "cuda": _cmd_cuda,
 }

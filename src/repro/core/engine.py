@@ -108,6 +108,23 @@ class BitslicedEngine:
         snap["word_width"] = self.width
         return snap
 
+    def publish_gate_metrics(self, **labels) -> None:
+        """Fold the gate tallies into the metrics registry as gauges.
+
+        Gauges rather than counters because :class:`GateCounter` is
+        itself cumulative — republishing must overwrite, not re-add.
+        Extra *labels* (typically ``algorithm=...``) distinguish engines.
+        """
+        from repro import obs
+
+        if not obs.metrics_enabled():
+            return
+        snap = self.counter.snapshot()
+        for kind in ("xor", "and", "or", "not", "shift", "total"):
+            obs.set_gauge("repro_engine_gates", snap[kind], kind=kind, **labels)
+        obs.set_gauge("repro_engine_lanes", self.n_lanes, **labels)
+        obs.set_gauge("repro_engine_word_width", self.width, **labels)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BitslicedEngine(n_lanes={self.n_lanes}, dtype={self.dtype.name}, "

@@ -19,8 +19,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.engine import BitslicedEngine
 from repro.errors import SpecificationError
+from repro.obs.tracing import span
 
 __all__ = ["BSRNG", "available_algorithms"]
 
@@ -252,6 +254,7 @@ class BSRNG:
         """
         from repro.core.seeding import expand_seed_words
 
+        obs.inc("repro_generator_reseeds_total", 1, algorithm=self.algorithm)
         self._reseed_count += 1
         if seed is None:
             seed = int(expand_seed_words(self.seed, 1, stream=31 + self._reseed_count)[0])
@@ -270,13 +273,20 @@ class BSRNG:
         while filled < n:
             avail = self._buf.size - self._pos
             if avail == 0:
-                self._buf = self._source.next_words().view(np.uint8)
+                with span("refill", algo=self.algorithm):
+                    self._buf = self._source.next_words().view(np.uint8)
                 self._pos = 0
                 avail = self._buf.size
+                if obs.metrics_enabled():
+                    obs.inc("repro_generator_refills_total", 1, algorithm=self.algorithm)
+                    obs.inc("repro_generator_generated_bytes_total", avail, algorithm=self.algorithm)
+                    obs.observe("repro_generator_refill_bytes", avail, algorithm=self.algorithm)
             take = min(avail, n - filled)
             out[filled : filled + take] = self._buf[self._pos : self._pos + take]
             self._pos += take
             filled += take
+        if obs.metrics_enabled():
+            obs.inc("repro_generator_emitted_bytes_total", n, algorithm=self.algorithm)
         return out
 
     def _take_words(self, n: int) -> np.ndarray:
@@ -291,6 +301,7 @@ class BSRNG:
         """
         if n < 0:
             raise SpecificationError("n must be non-negative")
+        obs.inc("repro_generator_skipped_bytes_total", n, algorithm=self.algorithm)
         # drain whatever is already buffered
         take = min(n, self._buf.size - self._pos)
         self._pos += take
@@ -380,6 +391,28 @@ class BSRNG:
     def gates_per_output_bit(self) -> float:
         """Logic-gate cost per emitted bit (NaN for table-based baselines)."""
         return self._source.gates_per_output_bit()
+
+    def publish_metrics(self) -> None:
+        """Fold slow-moving state into the metrics registry.
+
+        Counters stream into the registry as generation happens; the
+        engine's cumulative gate tallies and the bank geometry are
+        *state*, so they are published as gauges on demand — call this
+        before snapshotting (``--metrics-out`` does).  No-op while
+        metrics are disabled and for baselines without an engine.
+        """
+        if not obs.metrics_enabled():
+            return
+        obs.set_gauge(
+            "repro_generator_lanes", self.lanes, algorithm=self.algorithm, kind=self.kind
+        )
+        gpb = self.gates_per_output_bit()
+        if gpb == gpb:  # skip NaN (table-based baselines)
+            obs.set_gauge("repro_generator_gates_per_bit", gpb, algorithm=self.algorithm)
+        bank = getattr(self._source, "bank", None)
+        engine = getattr(bank, "engine", None)
+        if isinstance(engine, BitslicedEngine):
+            engine.publish_gate_metrics(algorithm=self.algorithm)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BSRNG(algorithm={self.algorithm!r}, seed={self.seed}, lanes={self.lanes})"

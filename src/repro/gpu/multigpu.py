@@ -26,13 +26,21 @@ to exercise every recovery path.
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ModelError, SpecificationError
+from repro.obs.tracing import span
 from repro.robust.faults import FaultPlan
-from repro.robust.supervisor import PartitionSupervisor, SupervisorConfig, payload_crc
+from repro.robust.supervisor import (
+    PartitionSupervisor,
+    SupervisorConfig,
+    SupervisorReport,
+    payload_crc,
+)
 
 __all__ = [
     "partition_counter_space",
@@ -40,6 +48,8 @@ __all__ = [
     "MultiDeviceGenerator",
     "LanePartitionedGenerator",
     "DevicePartition",
+    "PartitionOutcome",
+    "GenerationReport",
 ]
 
 #: Bitsliced banks that support the seed/IV-space lane partitioning
@@ -95,6 +105,131 @@ def scaling_model(n_devices: int, overhead_per_device: float = 0.0417) -> float:
     return n_devices / (1.0 + overhead_per_device * (n_devices - 1))
 
 
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """How one partition's generation concluded."""
+
+    device_id: int
+    attempts: int
+    outcome: str  # "ok" | "retried" | "degraded" | "failed"
+    wall_s: float | None  # job start → accepted result; None if never accepted
+
+
+@dataclass
+class GenerationReport:
+    """Structured result of one multi-device generation job.
+
+    Replaces the bare ``SupervisorReport`` that ``last_report`` used to
+    hold: per-partition attempt counts, wall times and outcomes are
+    first-class fields backed by the metrics the supervisor and the
+    instrumented workers recorded, and per-partition worker metric
+    snapshots are carried for the parent-side registry merge.  The old
+    ``SupervisorReport`` surface (``events`` / ``attempts`` /
+    ``retried_partitions`` / ``degraded``) is preserved as pass-through
+    properties, so existing callers keep working.
+    """
+
+    algorithm: str
+    n_devices: int
+    job_size: int
+    job_unit: str  # "blocks" (counter partitioning) | "bits" (lane partitioning)
+    wall_s: float
+    partitions: list[PartitionOutcome] = field(default_factory=list)
+    supervisor: SupervisorReport = field(default_factory=SupervisorReport)
+
+    @classmethod
+    def build(
+        cls,
+        algorithm: str,
+        n_devices: int,
+        job_size: int,
+        job_unit: str,
+        wall_s: float,
+        supervisor: SupervisorReport,
+        completed: set[int],
+        degraded_pids: set[int],
+    ) -> "GenerationReport":
+        """Assemble per-partition outcomes from a supervisor report."""
+        partitions = []
+        for pid in sorted(supervisor.attempts):
+            attempts = supervisor.attempts[pid]
+            if pid not in completed:
+                outcome = "failed"
+            elif pid in degraded_pids:
+                outcome = "degraded"
+            elif attempts > 1:
+                outcome = "retried"
+            else:
+                outcome = "ok"
+            partitions.append(
+                PartitionOutcome(pid, attempts, outcome, supervisor.partition_wall.get(pid))
+            )
+        return cls(algorithm, n_devices, job_size, job_unit, wall_s, partitions, supervisor)
+
+    # -- legacy SupervisorReport surface -----------------------------------------
+    @property
+    def events(self):
+        """Supervisor events (failures and recovery actions)."""
+        return self.supervisor.events
+
+    @property
+    def attempts(self) -> dict[int, int]:
+        """Per-partition attempt counts."""
+        return self.supervisor.attempts
+
+    @property
+    def retried_partitions(self) -> set[int]:
+        """Partitions that needed more than one attempt."""
+        return self.supervisor.retried_partitions
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any partition fell back to in-process generation."""
+        return self.supervisor.degraded
+
+    @property
+    def worker_metrics(self) -> dict[int, dict]:
+        """Per-partition metrics snapshots shipped back by the workers."""
+        return self.supervisor.worker_metrics
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (events flattened to strings)."""
+        return {
+            "algorithm": self.algorithm,
+            "n_devices": self.n_devices,
+            "job_size": self.job_size,
+            "job_unit": self.job_unit,
+            "wall_s": self.wall_s,
+            "degraded": self.degraded,
+            "partitions": [
+                {
+                    "device_id": p.device_id,
+                    "attempts": p.attempts,
+                    "outcome": p.outcome,
+                    "wall_s": p.wall_s,
+                }
+                for p in self.partitions
+            ],
+            "events": [
+                f"partition {e.partition} attempt {e.attempt}: {e.kind} {e.detail}".strip()
+                for e in self.events
+            ],
+        }
+
+
+def _merge_worker_metrics(report: SupervisorReport) -> None:
+    """Fold worker metric snapshots into the parent registry.
+
+    Each partition's series gain a ``partition=<id>`` label, so merged
+    metrics stay attributable after reconstruction.  No-op while the
+    parent has metrics disabled.
+    """
+    if not obs.metrics_enabled():
+        return
+    for pid, snap in sorted(report.worker_metrics.items()):
+        obs.registry().merge(snap, extra_labels={"partition": pid})
+
+
 def _resolve_plan(plan_json: str | None) -> FaultPlan | None:
     """Worker-side fault plan: job payload first, env var fallback."""
     if plan_json:
@@ -102,13 +237,17 @@ def _resolve_plan(plan_json: str | None) -> FaultPlan | None:
     return FaultPlan.from_env()
 
 
-def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None]:
+def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
     """Generate one partition (runs in a worker process = one 'GPU').
 
-    Returns ``(payload, crc)``: the CRC is computed over the true
-    generated bytes *before* fault injection mutates the payload, so the
-    supervisor's verification hook sees injected corruption exactly the
-    way it would see a damaged transfer.
+    Returns ``(payload, crc, metrics)``: the CRC is computed over the
+    true generated bytes *before* fault injection mutates the payload, so
+    the supervisor's verification hook sees injected corruption exactly
+    the way it would see a damaged transfer.  ``metrics`` is the worker's
+    local registry snapshot — a plain (picklable, so spawn-context safe)
+    dict the parent merges with a ``partition`` label.  The scoped
+    registry is created *inside* the worker, so fork-context workers do
+    not double-count into an inherited parent registry.
     """
     device_id, algorithm, seed, lanes, start_block, n_blocks, block_bytes, verify_crc, plan_json = job
     from repro.core.generator import BSRNG
@@ -116,17 +255,23 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None]:
     plan = _resolve_plan(plan_json)
     if plan is not None:
         plan.pre_generate(device_id, attempt)
-    rng = BSRNG(algorithm, seed=seed, lanes=lanes)
-    # Seek to this device's offset.  Counter-based kernels (AES-CTR, the
-    # paper's §5.4 example) jump in O(1); LFSR-based kernels clock through
-    # and discard, which caps their multi-device speedup — exactly why the
-    # paper partitions *counter space* rather than a serial stream.
-    rng.skip_bytes(start_block * block_bytes)
-    data = rng.random_bytes(n_blocks * block_bytes)
+    with obs.scoped() as reg:
+        t0 = time.perf_counter()
+        rng = BSRNG(algorithm, seed=seed, lanes=lanes)
+        # Seek to this device's offset.  Counter-based kernels (AES-CTR, the
+        # paper's §5.4 example) jump in O(1); LFSR-based kernels clock through
+        # and discard, which caps their multi-device speedup — exactly why the
+        # paper partitions *counter space* rather than a serial stream.
+        rng.skip_bytes(start_block * block_bytes)
+        data = rng.random_bytes(n_blocks * block_bytes)
+        rng.publish_metrics()
+        obs.set_gauge("repro_device_wall_seconds", time.perf_counter() - t0, device=device_id)
+        obs.inc("repro_device_attempts_total", 1, device=device_id)
+        metrics = reg.snapshot()
     crc = payload_crc(data) if verify_crc else None
     if plan is not None:
         data = plan.post_generate(device_id, attempt, data)
-    return data, crc
+    return data, crc, metrics
 
 
 class MultiDeviceGenerator:
@@ -209,9 +354,11 @@ class MultiDeviceGenerator:
 
         With ``parallel=True`` partitions run in separate supervised
         processes and are concatenated in device order (the paper's
-        reconstruction).  ``last_report`` afterwards holds the
-        :class:`~repro.robust.supervisor.SupervisorReport` (retries,
-        timeouts, degradation) for the job.
+        reconstruction).  ``last_report`` afterwards holds a
+        :class:`GenerationReport` — per-partition attempts, wall times
+        and outcomes, the underlying supervisor events, and the workers'
+        metric snapshots (merged into the parent registry when metrics
+        are enabled).
         """
         if total_blocks < 0:
             raise SpecificationError("total_blocks must be non-negative")
@@ -219,8 +366,22 @@ class MultiDeviceGenerator:
             # explicit empty-job fast path: no pool, no workers, no report
             return b""
         supervisor = PartitionSupervisor(_device_worker, self.mp_context, self.config)
-        results = supervisor.run(self._jobs(total_blocks), parallel=parallel)
-        self.last_report = supervisor.report
+        t0 = time.perf_counter()
+        with span("multidevice.generate", algo=self.algorithm, devices=self.n_devices,
+                  blocks=total_blocks):
+            results = supervisor.run(self._jobs(total_blocks), parallel=parallel)
+        wall = time.perf_counter() - t0
+        _merge_worker_metrics(supervisor.report)
+        self.last_report = GenerationReport.build(
+            self.algorithm,
+            self.n_devices,
+            total_blocks,
+            "blocks",
+            wall,
+            supervisor.report,
+            completed=set(results),
+            degraded_pids={e.partition for e in supervisor.report.events if e.kind == "degraded"},
+        )
         return b"".join(results[pid] for pid in sorted(results))
 
     def sequential_reference(self, total_blocks: int) -> bytes:
@@ -231,8 +392,13 @@ class MultiDeviceGenerator:
         return rng.random_bytes(total_blocks * self.block_bytes)
 
 
-def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None]:
-    """Run one device's lane window (a worker process = one 'GPU')."""
+def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
+    """Run one device's lane window (a worker process = one 'GPU').
+
+    Like :func:`_device_worker`, returns a third element: the worker's
+    local metrics snapshot (engine gate tallies, lane window, wall time)
+    for the parent-side merge.
+    """
     device_id, cls_path, seed, lane_offset, n_lanes, n_bits, verify_crc, plan_json = job
     from repro.core.engine import BitslicedEngine
 
@@ -241,13 +407,21 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None]:
         plan.pre_generate(device_id, attempt)
     module_name, cls_name = cls_path.rsplit(".", 1)
     cls = getattr(__import__(module_name, fromlist=[cls_name]), cls_name)
-    bank = cls(BitslicedEngine(n_lanes=n_lanes)).seed(seed, lane_offset=lane_offset)
-    out = bank.keystream_bits(n_bits)
+    with obs.scoped() as reg:
+        t0 = time.perf_counter()
+        engine = BitslicedEngine(n_lanes=n_lanes)
+        bank = cls(engine).seed(seed, lane_offset=lane_offset)
+        out = bank.keystream_bits(n_bits)
+        engine.publish_gate_metrics(algorithm=cls_name)
+        obs.inc("repro_device_lane_bits_total", int(out.size), device=device_id)
+        obs.set_gauge("repro_device_wall_seconds", time.perf_counter() - t0, device=device_id)
+        obs.inc("repro_device_attempts_total", 1, device=device_id)
+        metrics = reg.snapshot()
     crc = payload_crc(out) if verify_crc else None
     if plan is not None:
         mutated = plan.post_generate(device_id, attempt, out.tobytes())
         out = np.frombuffer(mutated, dtype=np.uint8).reshape(out.shape)
-    return out, crc
+    return out, crc, metrics
 
 
 class LanePartitionedGenerator:
@@ -326,13 +500,27 @@ class LanePartitionedGenerator:
             for p in self.device_partitions()
         }
         supervisor = PartitionSupervisor(_lane_worker, self.mp_context, self.config)
-        results = supervisor.run(jobs, parallel=parallel)
-        self.last_report = supervisor.report
+        t0 = time.perf_counter()
+        with span("lanepartitioned.generate", algo=self.algorithm, devices=self.n_devices,
+                  bits=n_bits):
+            results = supervisor.run(jobs, parallel=parallel)
+        wall = time.perf_counter() - t0
+        _merge_worker_metrics(supervisor.report)
+        self.last_report = GenerationReport.build(
+            self.algorithm,
+            self.n_devices,
+            n_bits,
+            "bits",
+            wall,
+            supervisor.report,
+            completed=set(results),
+            degraded_pids={e.partition for e in supervisor.report.events if e.kind == "degraded"},
+        )
         return np.vstack([results[pid] for pid in sorted(results)])
 
     def sequential_reference(self, n_bits: int) -> np.ndarray:
         """One big bank on a single device — the equivalence target."""
-        out, _ = _lane_worker(
+        out, _, _ = _lane_worker(
             (0, _LANE_BANKS[self.algorithm], self.seed, 0, self.total_lanes, n_bits, False, None)
         )
         return out

@@ -1,0 +1,160 @@
+"""Telemetry for the generation pipeline: metrics, spans, exporters.
+
+The package has three layers:
+
+* :mod:`repro.obs.metrics` — the storage layer: a thread-safe
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  fixed-log2-bucket histograms, with picklable snapshots that merge
+  across processes.
+* :mod:`repro.obs.tracing` — span tracing
+  (``with span("refill", algo=...)``) with wall + CPU time and a
+  Chrome-trace-event exporter viewable in Perfetto.
+* :mod:`repro.obs.export` — JSON / Prometheus-text / human renderings
+  of a metrics snapshot (``repro stats``).
+
+This module is the *switchboard*: instrumentation call sites throughout
+the package go through the module-level helpers below (:func:`inc`,
+:func:`observe`, :func:`set_gauge`, :func:`~repro.obs.tracing.span`),
+which are **true no-ops while telemetry is disabled** — one module-level
+flag check, no allocation, no locking.  Disabled is the default, so the
+hot paths pay nothing unless a caller opts in:
+
+>>> from repro import obs
+>>> obs.enable_metrics()
+>>> # ... run a generator ...
+>>> snap = obs.registry().snapshot()
+
+Worker processes never share the parent's registry.  They collect into a
+fresh local registry via :func:`scoped` (spawn-context safe: the scope
+is established inside the worker function, not inherited), snapshot it,
+and ship the plain dict back through the pool result; the parent merges
+with ``registry().merge(snap, extra_labels={"partition": pid})``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    dump,
+    load_snapshot,
+    render_human,
+    render_json,
+    render_prometheus,
+    write_snapshot,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_bucket
+from repro.obs.tracing import SpanRecord, Tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log2_bucket",
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "dump",
+    "load_snapshot",
+    "render_human",
+    "render_json",
+    "render_prometheus",
+    "write_snapshot",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "registry",
+    "enable_tracing",
+    "disable_tracing",
+    "active_tracer",
+    "scoped",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+_metrics_enabled: bool = False
+_registry: MetricsRegistry = MetricsRegistry()
+_tracer: Tracer | None = None
+
+
+# -- switches --------------------------------------------------------------------
+def enable_metrics() -> None:
+    """Turn metric collection on (process-wide)."""
+    global _metrics_enabled
+    _metrics_enabled = True
+
+
+def disable_metrics() -> None:
+    """Turn metric collection off; existing values are kept."""
+    global _metrics_enabled
+    _metrics_enabled = False
+
+
+def metrics_enabled() -> bool:
+    """Whether metric collection is currently on."""
+    return _metrics_enabled
+
+
+def registry() -> MetricsRegistry:
+    """The currently active registry (the process-global one by default)."""
+    return _registry
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the active tracer; spans start recording."""
+    global _tracer
+    _tracer = tracer if tracer is not None else Tracer()
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Stop recording spans (the old tracer keeps its records)."""
+    global _tracer
+    _tracer = None
+
+
+def active_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _tracer
+
+
+@contextmanager
+def scoped(reg: MetricsRegistry | None = None, enabled: bool = True):
+    """Temporarily swap in a registry (worker processes, tests).
+
+    Yields the scoped registry; on exit the previous registry and enable
+    flag are restored exactly.  Not re-entrant across threads — this is
+    process-level scoping for pool workers and test isolation.
+    """
+    global _registry, _metrics_enabled
+    prev_reg, prev_enabled = _registry, _metrics_enabled
+    _registry = reg if reg is not None else MetricsRegistry()
+    _metrics_enabled = enabled
+    try:
+        yield _registry
+    finally:
+        _registry, _metrics_enabled = prev_reg, prev_enabled
+
+
+# -- no-op-when-disabled instrumentation helpers ---------------------------------
+def inc(name: str, n: int | float = 1, **labels) -> None:
+    """Count *n* events on counter *name* (no-op while disabled)."""
+    if not _metrics_enabled:
+        return
+    _registry.counter(name, **labels).inc(n)
+
+
+def observe(name: str, value: int | float, **labels) -> None:
+    """Record one histogram sample (no-op while disabled)."""
+    if not _metrics_enabled:
+        return
+    _registry.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: int | float, **labels) -> None:
+    """Set gauge *name* (no-op while disabled)."""
+    if not _metrics_enabled:
+        return
+    _registry.gauge(name, **labels).set(value)

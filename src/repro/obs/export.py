@@ -1,0 +1,158 @@
+"""Metric snapshot exporters: JSON, Prometheus text exposition, human.
+
+All three render the plain-dict snapshot format of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, so a snapshot can be
+written to disk by one process (``repro gen --metrics-out m.json``) and
+rendered later by another (``repro stats m.json --format prometheus``).
+
+The Prometheus renderer emits the text exposition format (version
+0.0.4): ``# TYPE`` headers, ``name{labels} value`` samples, and for
+histograms the cumulative ``_bucket``/``_sum``/``_count`` triplet with
+``le`` bounds at the log2 bucket upper edges.  ``tools/lint_prometheus.py``
+validates this output in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.errors import SpecificationError
+from repro.obs.metrics import SNAPSHOT_VERSION
+
+__all__ = [
+    "load_snapshot",
+    "render_json",
+    "render_prometheus",
+    "render_human",
+    "write_snapshot",
+    "dump",
+]
+
+
+def write_snapshot(snapshot: dict, path: str) -> None:
+    """Write a snapshot as JSON to *path* (the ``--metrics-out`` format)."""
+    with open(path, "w") as fh:
+        fh.write(render_json(snapshot))
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a ``--metrics-out`` JSON snapshot back."""
+    with open(path) as fh:
+        snap = json.load(fh)
+    if snap.get("version") != SNAPSHOT_VERSION:
+        raise SpecificationError(
+            f"{path}: unsupported metrics snapshot version {snap.get('version')!r}"
+        )
+    return snap
+
+
+def render_json(snapshot: dict) -> str:
+    """Pretty JSON rendering of a snapshot."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+# -- Prometheus ------------------------------------------------------------------
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(v: str) -> str:
+    return str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return repr(v)
+    return str(int(v))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (0.0.4) of a snapshot."""
+    by_family: dict[tuple[str, str], list[dict]] = {}
+    for entry in snapshot.get("metrics", []):
+        by_family.setdefault((entry["name"], entry["type"]), []).append(entry)
+    lines: list[str] = []
+    for (name, kind), entries in sorted(by_family.items()):
+        lines.append(f"# TYPE {name} {'histogram' if kind == 'histogram' else kind}")
+        for entry in entries:
+            labels = entry.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_str(labels)} {_fmt(entry['value'])}")
+                continue
+            # histogram: cumulative buckets at log2 upper edges, then +Inf
+            cumulative = 0
+            buckets = entry.get("buckets", {})
+            numeric = sorted(int(k) for k in buckets if k != "underflow")
+            if "underflow" in buckets:
+                cumulative += buckets["underflow"]
+                le = _label_str({**labels, "le": _fmt(2.0 ** numeric[0]) if numeric else "0"})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            for e in numeric:
+                cumulative += buckets[str(e)]
+                le = _label_str({**labels, "le": _fmt(float(2.0 ** (e + 1)))})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            inf = _label_str({**labels, "le": "+Inf"})
+            lines.append(f"{name}_bucket{inf} {entry['count']}")
+            lines.append(f"{name}_sum{_label_str(labels)} {_fmt(float(entry['sum']))}")
+            lines.append(f"{name}_count{_label_str(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human summary ---------------------------------------------------------------
+
+
+def render_human(snapshot: dict) -> str:
+    """Aligned plain-text summary, grouped by instrument kind."""
+    counters, gauges, histograms = [], [], []
+    for entry in snapshot.get("metrics", []):
+        series = f"{entry['name']}{_label_str(entry.get('labels', {}))}"
+        if entry["type"] == "counter":
+            counters.append((series, _fmt(entry["value"])))
+        elif entry["type"] == "gauge":
+            gauges.append((series, _fmt(entry["value"])))
+        else:
+            if entry["count"]:
+                mean = entry["sum"] / entry["count"]
+                detail = (
+                    f"count={entry['count']} mean={mean:.3g} "
+                    f"min={entry['min']:.3g} max={entry['max']:.3g}"
+                )
+            else:
+                detail = "count=0"
+            histograms.append((series, detail))
+    lines: list[str] = []
+    for title, rows in (("counters", counters), ("gauges", gauges), ("histograms", histograms)):
+        if not rows:
+            continue
+        lines.append(f"{title}:")
+        width = max(len(s) for s, _ in rows)
+        for series, value in sorted(rows):
+            lines.append(f"  {series:<{width}}  {value}")
+        lines.append("")
+    if not lines:
+        return "(no metrics recorded)\n"
+    return "\n".join(lines)
+
+
+def dump(snapshot: dict, fmt: str, out: TextIO) -> None:
+    """Render *snapshot* in *fmt* ('json' | 'prometheus' | 'human') to *out*."""
+    renderers = {
+        "json": render_json,
+        "prometheus": render_prometheus,
+        "human": render_human,
+    }
+    try:
+        renderer = renderers[fmt]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown format {fmt!r}; pick one of {sorted(renderers)}"
+        ) from None
+    out.write(renderer(snapshot))

@@ -27,14 +27,19 @@ whose binomial tail probability over a 512-sample window is below
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.generator import BSRNG
 from repro.errors import HealthTestError, SpecificationError
 from repro.nist.fips140 import BLOCK_BITS, Fips140Report, fips140_battery
+from repro.obs.tracing import span
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "rct_cutoff",
@@ -226,8 +231,20 @@ def startup_self_test(rng: BSRNG) -> Fips140Report:
     with exactly this battery).  Consumes ``BLOCK_BITS`` bits from *rng*;
     raises :class:`HealthTestError` on rejection.
     """
-    report = fips140_battery(rng.random_bits(BLOCK_BITS))
+    with span("health.startup", algo=rng.algorithm):
+        report = fips140_battery(rng.random_bits(BLOCK_BITS))
+    obs.inc(
+        "repro_health_startup_total",
+        1,
+        algorithm=rng.algorithm,
+        verdict="pass" if report.passed else "fail",
+    )
     if not report.passed:
+        logger.warning(
+            "startup self-test failed (FIPS 140-2) on %s: %s",
+            rng.algorithm,
+            report.statistics,
+        )
         raise HealthTestError(
             f"startup self-test failed (FIPS 140-2): {report.statistics}"
         )
@@ -314,13 +331,28 @@ class HealthMonitoredBSRNG:
             return np.empty(0, dtype=np.uint8)
         for attempt in range(self.max_reseeds + 1):
             data = np.frombuffer(self.inner.random_bytes(n), dtype=np.uint8)
-            event = self._screen(data)
+            with span("health.screen", algo=self.algorithm, n=n):
+                event = self._screen(data)
             if event is None:
                 self.log.bytes_screened += n
+                obs.inc("repro_health_screened_bytes_total", n, algorithm=self.algorithm)
                 return data
+            obs.inc(
+                "repro_health_failures_total",
+                1,
+                algorithm=self.algorithm,
+                test=event.test,
+            )
             if self.on_failure == "raise" or attempt == self.max_reseeds:
                 event.action = "raise"
                 self.log.record(event)
+                logger.warning(
+                    "health test %s failed at byte %d on %s: %s (raising)",
+                    event.test,
+                    event.position,
+                    self.algorithm,
+                    event.detail,
+                )
                 raise HealthTestError(
                     f"{event.test} failed at byte {event.position}: {event.detail}"
                     + (
@@ -331,8 +363,18 @@ class HealthMonitoredBSRNG:
                 )
             event.action = "reseed"
             self.log.record(event)
+            logger.warning(
+                "health test %s failed at byte %d on %s: %s (degrading: reseed %d/%d)",
+                event.test,
+                event.position,
+                self.algorithm,
+                event.detail,
+                self.log.reseeds + 1,
+                self.max_reseeds,
+            )
             self.inner.reseed()
             self.log.reseeds += 1
+            obs.inc("repro_health_reseeds_total", 1, algorithm=self.algorithm)
             self.rct.reset()
             self.apt.reset()
         raise AssertionError("unreachable")  # pragma: no cover

@@ -27,6 +27,7 @@ mid-round leaves no orphaned workers behind.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
@@ -34,8 +35,12 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.crc import CRC32_IEEE, table_crc_bytes
 from repro.errors import DeviceFailureError, PartitionCorruptionError, SpecificationError
+from repro.obs.tracing import span
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "SupervisorConfig",
@@ -99,6 +104,10 @@ class SupervisorReport:
     events: list[PartitionEvent] = field(default_factory=list)
     attempts: dict[int, int] = field(default_factory=dict)
     degraded: bool = False
+    #: Per-partition wall time from job start to accepted result (seconds).
+    partition_wall: dict[int, float] = field(default_factory=dict)
+    #: Per-partition metrics snapshots shipped back by instrumented workers.
+    worker_metrics: dict[int, dict] = field(default_factory=dict)
 
     @property
     def retried_partitions(self) -> set[int]:
@@ -106,8 +115,17 @@ class SupervisorReport:
         return {pid for pid, n in self.attempts.items() if n > 1}
 
     def record(self, event: PartitionEvent) -> None:
-        """Append one event."""
+        """Append one event (logged at WARNING: every event is a failure
+        or a recovery action, never normal operation)."""
         self.events.append(event)
+        logger.warning(
+            "partition %d attempt %d: %s%s",
+            event.partition,
+            event.attempt,
+            event.kind,
+            f" ({event.detail})" if event.detail else "",
+        )
+        obs.inc("repro_supervisor_events_total", 1, kind=event.kind)
 
 
 class PartitionSupervisor:
@@ -137,8 +155,31 @@ class PartitionSupervisor:
         self.mp_context = mp_context
         self.config = config or SupervisorConfig()
         self.report = SupervisorReport()
+        self._job_t0 = time.monotonic()
 
     # -- attempt bookkeeping -----------------------------------------------------
+    @staticmethod
+    def _unpack(ret: Any) -> tuple[Any, int | None, dict | None]:
+        """Normalise a worker return value.
+
+        Workers return ``(result, crc)`` or, when instrumented,
+        ``(result, crc, metrics_snapshot)`` — the third element is a
+        plain-dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+        that rides back through the (picklable) pool result.
+        """
+        if isinstance(ret, tuple) and len(ret) == 3:
+            return ret
+        result, crc = ret
+        return result, crc, None
+
+    def _accepted(self, pid: int, metrics: dict | None) -> None:
+        """Book-keeping for one accepted partition result."""
+        wall = time.monotonic() - self._job_t0
+        self.report.partition_wall[pid] = wall
+        if metrics is not None:
+            self.report.worker_metrics[pid] = metrics
+        obs.observe("repro_supervisor_partition_seconds", wall)
+
     def _accept(self, pid: int, result: Any, crc: int | None, attempt: int) -> bool:
         """Verify one returned payload; record a corrupt event on mismatch."""
         if self.config.verify_crc:
@@ -156,7 +197,11 @@ class PartitionSupervisor:
         return True
 
     def _bump(self, pid: int) -> None:
-        self.report.attempts[pid] = self.report.attempts.get(pid, 0) + 1
+        n = self.report.attempts.get(pid, 0) + 1
+        self.report.attempts[pid] = n
+        obs.inc("repro_supervisor_attempts_total")
+        if n > 1:
+            obs.inc("repro_supervisor_retries_total")
 
     # -- pool round --------------------------------------------------------------
     def _run_round(self, pending: dict[int, Any], results: dict[int, Any], attempt: int) -> None:
@@ -176,7 +221,7 @@ class PartitionSupervisor:
                 if deadline is not None:
                     wait = max(0.0, deadline - time.monotonic())
                 try:
-                    result, crc = handle.get(wait)
+                    result, crc, metrics = self._unpack(handle.get(wait))
                 except mp.TimeoutError:
                     self.report.record(
                         PartitionEvent(pid, attempt, "timeout", f"no result within {cfg.timeout}s")
@@ -189,6 +234,7 @@ class PartitionSupervisor:
                     continue
                 if self._accept(pid, result, crc, attempt):
                     results[pid] = result
+                    self._accepted(pid, metrics)
             for pid in results:
                 pending.pop(pid, None)
         finally:
@@ -218,13 +264,14 @@ class PartitionSupervisor:
                 if attempt > first_attempt:
                     time.sleep(cfg.backoff(attempt - first_attempt))
                 try:
-                    result, crc = self.worker(pending[pid], attempt)
+                    result, crc, metrics = self._unpack(self.worker(pending[pid], attempt))
                 except Exception as exc:
                     last = PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
                     self.report.record(last)
                     continue
                 if self._accept(pid, result, crc, attempt):
                     results[pid] = result
+                    self._accepted(pid, metrics)
                     break
                 last = self.report.events[-1]
             else:
@@ -248,6 +295,7 @@ class PartitionSupervisor:
         degradation is disabled).
         """
         self.report = SupervisorReport()
+        self._job_t0 = time.monotonic()
         results: dict[int, Any] = {}
         pending = dict(jobs)
         if not pending:
@@ -257,7 +305,8 @@ class PartitionSupervisor:
             for round_index in range(cfg.max_retries + 1):
                 if round_index > 0:
                     time.sleep(cfg.backoff(round_index))
-                self._run_round(pending, results, attempt=round_index)
+                with span("supervisor.round", round=round_index, partitions=len(pending)):
+                    self._run_round(pending, results, attempt=round_index)
                 if not pending:
                     return results
             if not cfg.degrade_sequential:
@@ -268,11 +317,13 @@ class PartitionSupervisor:
                     + (f" (last: {last[-1].kind}: {last[-1].detail})" if last else "")
                 )
             self.report.degraded = True
+            obs.inc("repro_supervisor_degraded_jobs_total")
             for pid in sorted(pending):
                 self.report.record(
                     PartitionEvent(pid, cfg.max_retries + 1, "degraded", "pool exhausted; running in-process")
                 )
-            self._run_inline(pending, results, first_attempt=cfg.max_retries + 1)
+            with span("supervisor.degraded", partitions=len(pending)):
+                self._run_inline(pending, results, first_attempt=cfg.max_retries + 1)
         else:
             self._run_inline(pending, results, first_attempt=0)
         return results

@@ -1,0 +1,320 @@
+"""End-to-end telemetry: instrumented pipeline, worker merge, CLI, overhead."""
+
+import importlib.util
+import json
+import logging
+import pathlib
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.generator import BSRNG
+from repro.gpu.multigpu import GenerationReport, MultiDeviceGenerator
+from repro.obs.tracing import span
+from repro.robust.faults import Fault, FaultPlan
+from repro.robust.health import HealthMonitoredBSRNG
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+
+
+def load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "lint_prometheus", TOOLS / "lint_prometheus.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def metric_value(snap: dict, name: str, **labels) -> float | None:
+    for m in snap["metrics"]:
+        if m["name"] == name and all(
+            m["labels"].get(k) == str(v) for k, v in labels.items()
+        ):
+            return m.get("value", m.get("count"))
+    return None
+
+
+# -- generator instrumentation ---------------------------------------------------
+
+
+def test_generator_counts_refills_and_bytes():
+    with obs.scoped() as reg:
+        rng = BSRNG("xorwow", seed=1, lanes=256)
+        out = rng.random_bytes(1 << 14)
+        rng.publish_metrics()
+        snap = reg.snapshot()
+    assert len(out) == 1 << 14
+    assert metric_value(snap, "repro_generator_refills_total", algorithm="xorwow") >= 1
+    assert (
+        metric_value(snap, "repro_generator_emitted_bytes_total", algorithm="xorwow")
+        == 1 << 14
+    )
+    assert metric_value(snap, "repro_generator_lanes", algorithm="xorwow") == 256
+
+
+def test_bitsliced_engine_gate_metrics():
+    with obs.scoped() as reg:
+        rng = BSRNG("grain", seed=1, lanes=64)
+        rng.random_bytes(64)
+        rng.publish_metrics()
+        snap = reg.snapshot()
+    total = metric_value(snap, "repro_engine_gates", algorithm="grain", kind="total")
+    xor = metric_value(snap, "repro_engine_gates", algorithm="grain", kind="xor")
+    assert total and total > 0
+    assert xor and xor <= total
+    assert metric_value(snap, "repro_generator_gates_per_bit", algorithm="grain") > 0
+
+
+def test_disabled_generation_records_nothing():
+    with obs.scoped(enabled=False) as reg:
+        BSRNG("xorwow", seed=1, lanes=64).random_bytes(4096)
+        assert len(reg) == 0
+
+
+# -- supervisor + worker merge ---------------------------------------------------
+
+
+def test_multidevice_metrics_show_injected_retry():
+    plan = FaultPlan(faults=(Fault(kind="crash", partition=1, attempt=0),))
+    with obs.scoped() as reg:
+        gen = MultiDeviceGenerator(
+            "xorwow", seed=3, lanes=256, n_devices=2, block_bytes=4096, fault_plan=plan
+        )
+        out = gen.generate(4)
+        snap = reg.snapshot()
+    assert out == gen.sequential_reference(4)
+    assert metric_value(snap, "repro_supervisor_retries_total") == 1
+    assert metric_value(snap, "repro_supervisor_events_total", kind="error") == 1
+    # worker-local metrics arrive merged with a partition label; device 1
+    # seeks past device 0's range, so its skip shows up too
+    for pid in (0, 1):
+        assert (
+            metric_value(
+                snap, "repro_generator_emitted_bytes_total", algorithm="xorwow", partition=pid
+            )
+            == 2 * 4096
+        )
+    assert (
+        metric_value(
+            snap, "repro_generator_skipped_bytes_total", algorithm="xorwow", partition=1
+        )
+        == 2 * 4096
+    )
+
+    report = gen.last_report
+    assert isinstance(report, GenerationReport)
+    outcomes = {p.device_id: p.outcome for p in report.partitions}
+    assert outcomes == {0: "ok", 1: "retried"}
+    attempts = {p.device_id: p.attempts for p in report.partitions}
+    assert attempts == {0: 1, 1: 2}
+    assert all(p.wall_s is not None and p.wall_s >= 0 for p in report.partitions)
+    assert report.wall_s > 0
+    # legacy SupervisorReport surface still answers
+    assert report.retried_partitions == {1}
+    assert not report.degraded
+    json.dumps(report.to_dict())  # serialisable
+
+
+def test_multidevice_merge_under_spawn_context():
+    """The acceptance posture: worker registries survive a spawn pool."""
+    with obs.scoped() as reg:
+        gen = MultiDeviceGenerator(
+            "xorwow",
+            seed=5,
+            lanes=128,
+            n_devices=2,
+            block_bytes=2048,
+            mp_context="spawn",
+        )
+        gen.generate(2)
+        snap = reg.snapshot()
+    assert set(gen.last_report.worker_metrics) == {0, 1}
+    for pid in (0, 1):
+        assert (
+            metric_value(
+                snap, "repro_generator_emitted_bytes_total", algorithm="xorwow", partition=pid
+            )
+            == 2048
+        )
+        assert metric_value(snap, "repro_device_attempts_total", device=pid) == 1
+
+
+def test_report_without_metrics_enabled():
+    """The structured report works even with parent telemetry off.
+
+    Workers always account locally (they cannot see the parent's flag
+    across a spawn boundary) and the snapshots ride the report; only the
+    parent-side registry merge is gated on the flag.
+    """
+    assert not obs.metrics_enabled()
+    gen = MultiDeviceGenerator("xorwow", seed=7, lanes=128, n_devices=2, block_bytes=2048)
+    gen.generate(2)
+    report = gen.last_report
+    assert [p.outcome for p in report.partitions] == ["ok", "ok"]
+    assert set(report.worker_metrics) == {0, 1}
+
+
+# -- health + logging ------------------------------------------------------------
+
+
+def test_health_screen_metrics():
+    with obs.scoped() as reg:
+        mon = HealthMonitoredBSRNG("xorwow", seed=1, lanes=64)
+        mon.random_bytes(4096)
+        snap = reg.snapshot()
+    assert (
+        metric_value(snap, "repro_health_screened_bytes_total", algorithm="xorwow")
+        == 4096
+    )
+
+
+def test_supervisor_warns_on_failure(caplog):
+    plan = FaultPlan(faults=(Fault(kind="crash", partition=0, attempt=0),))
+    gen = MultiDeviceGenerator(
+        "xorwow", seed=3, lanes=128, n_devices=1, block_bytes=2048, fault_plan=plan
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.robust.supervisor"):
+        gen.generate(1)
+    assert any("partition 0 attempt 0" in r.message for r in caplog.records)
+
+
+def test_package_root_has_null_handler():
+    handlers = logging.getLogger("repro").handlers
+    assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+# -- tracing through the pipeline ------------------------------------------------
+
+
+def test_generation_emits_nested_spans():
+    tracer = obs.enable_tracing()
+    try:
+        with span("job"):
+            BSRNG("xorwow", seed=1, lanes=256).random_bytes(1 << 14)
+    finally:
+        obs.disable_tracing()
+    names = [r.name for r in tracer.records]
+    assert "refill" in names and "job" in names
+    refill = next(r for r in tracer.records if r.name == "refill")
+    assert refill.depth == 1
+    assert refill.args["algo"] == "xorwow"
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def test_cli_gen_writes_metrics_and_trace(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    trace = tmp_path / "t.json"
+    out = tmp_path / "out.bin"
+    rc = main(
+        [
+            "gen",
+            "-a",
+            "xorwow",
+            "-n",
+            "8192",
+            "-l",
+            "64",
+            "-f",
+            "raw",
+            "-o",
+            str(out),
+            "--metrics-out",
+            str(metrics),
+            "--trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    assert out.stat().st_size == 8192
+    snap = obs.load_snapshot(str(metrics))
+    assert metric_value(snap, "repro_generator_emitted_bytes_total", algorithm="xorwow")
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["name"] == "gen" for e in events)
+    capsys.readouterr()
+
+
+def test_cli_gen_leaves_telemetry_disabled(tmp_path, capsys):
+    out = tmp_path / "out.bin"
+    main(["gen", "-a", "xorwow", "-n", "1024", "-l", "64", "-f", "raw", "-o", str(out)])
+    assert not obs.metrics_enabled()
+    assert obs.active_tracer() is None
+    capsys.readouterr()
+
+
+def test_cli_stats_renders_snapshot(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    out = tmp_path / "out.bin"
+    main(
+        [
+            "gen", "-a", "xorwow", "-n", "4096", "-l", "64",
+            "-f", "raw", "-o", str(out), "--metrics-out", str(metrics),
+        ]
+    )
+    capsys.readouterr()
+
+    assert main(["stats", str(metrics), "--format", "prometheus"]) == 0
+    prom = capsys.readouterr().out
+    assert not load_linter().lint(prom), prom
+    assert "repro_generator_refills_total" in prom
+
+    assert main(["stats", str(metrics), "--format", "human"]) == 0
+    assert "counters:" in capsys.readouterr().out
+
+
+def test_cli_stats_self_run(capsys):
+    assert main(["stats", "-a", "xorwow", "-l", "64", "-n", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "repro_generator" in out
+    assert not obs.metrics_enabled()
+
+
+# -- overhead --------------------------------------------------------------------
+
+
+def test_disabled_telemetry_overhead_under_two_percent():
+    """Disabled-path cost, bounded deterministically.
+
+    Wall-clock A/B of two full runs is noise-dominated, so bound the
+    overhead structurally instead: measure the per-call cost of the
+    disabled helpers, count how often the hot path calls them (refill
+    count from an instrumented run), and compare the product against the
+    measured generation time.  The hot path makes a handful of telemetry
+    calls per *refill* — never per byte — so the budget is tiny.
+    """
+    assert not obs.metrics_enabled()
+    n_bytes = 1 << 22
+
+    # how many refills does this workload trigger?
+    with obs.scoped() as reg:
+        rng = BSRNG("grain", seed=1, lanes=4096)
+        rng.random_bytes(n_bytes)
+        refills = reg.counter("repro_generator_refills_total", algorithm="grain").value
+    assert refills >= 1
+
+    # per-call cost of the disabled helpers
+    reps = 100_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        obs.inc("x")
+        obs.observe("y", 1)
+        with span("z"):
+            pass
+    per_refill_cost = (time.perf_counter() - t0) / reps  # 3 calls ≈ one refill's worth
+
+    # the real workload, telemetry fully disabled
+    rng = BSRNG("grain", seed=1, lanes=4096)
+    rng.random_bytes(4096)  # warm: init clocks out of the measurement
+    t0 = time.perf_counter()
+    rng.random_bytes(n_bytes)
+    wall = time.perf_counter() - t0
+
+    # budget: 3x headroom on calls per refill, plus the per-request calls
+    overhead = per_refill_cost * (3 * refills + 100)
+    assert overhead < 0.02 * wall, (
+        f"disabled telemetry overhead {overhead * 1e6:.1f}us vs wall {wall * 1e6:.1f}us"
+    )

@@ -1,0 +1,122 @@
+"""Span tracing: nesting, timing, and the Chrome-trace exporter."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer, span
+
+
+@pytest.fixture
+def tracer():
+    t = obs.enable_tracing()
+    yield t
+    obs.disable_tracing()
+
+
+def test_span_is_shared_noop_while_disabled():
+    assert obs.active_tracer() is None
+    assert span("a") is span("b", k=1)  # one shared object, no allocation
+    with span("a"):
+        pass  # and it is a working context manager
+
+
+def test_span_records_name_args_and_timing(tracer):
+    with span("refill", algo="grain"):
+        time.sleep(0.002)
+    (rec,) = tracer.records
+    assert rec.name == "refill"
+    assert rec.args == {"algo": "grain"}
+    assert rec.dur_us >= 2000
+    assert rec.cpu_us >= 0
+    assert rec.ts_us >= 0
+
+
+def test_span_nesting_depth(tracer):
+    with span("outer"):
+        with span("inner"):
+            pass
+    by_name = {r.name: r for r in tracer.records}
+    assert by_name["outer"].depth == 0
+    assert by_name["inner"].depth == 1
+    # inner completes first, and sits inside outer's window
+    inner, outer = by_name["inner"], by_name["outer"]
+    assert outer.ts_us <= inner.ts_us
+    assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1.0
+
+
+def test_depth_is_per_thread(tracer):
+    seen = []
+
+    def worker():
+        with span("t"):
+            seen.append(tracer._tls.depth)
+
+    with span("main"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    # the worker thread starts at depth 0 regardless of main's nesting
+    assert seen == [1]
+    depths = {r.name: r.depth for r in tracer.records}
+    assert depths["t"] == 0 and depths["main"] == 0
+
+
+def test_span_survives_exceptions(tracer):
+    with pytest.raises(ValueError):
+        with span("boom"):
+            raise ValueError("x")
+    (rec,) = tracer.records
+    assert rec.name == "boom"
+    # depth bookkeeping unwound correctly
+    with span("after"):
+        pass
+    assert tracer.records[-1].depth == 0
+
+
+def test_chrome_trace_structure(tracer):
+    with span("gen", algorithm="mickey2"):
+        with span("refill"):
+            pass
+    trace = tracer.to_chrome_trace()
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    assert len(events) == 2
+    for ev in events:
+        assert ev["ph"] == "X" and ev["cat"] == "repro"
+        assert isinstance(ev["ts"], float) and isinstance(ev["dur"], float)
+        assert "cpu_us" in ev["args"] and "depth" in ev["args"]
+    gen = next(e for e in events if e["name"] == "gen")
+    assert gen["args"]["algorithm"] == "mickey2"
+
+
+def test_trace_write_is_loadable(tracer, tmp_path):
+    with span("a"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"][0]["name"] == "a"
+
+
+def test_clear_resets_records_and_epoch(tracer):
+    with span("a"):
+        pass
+    tracer.clear()
+    assert tracer.records == []
+    with span("b"):
+        pass
+    assert tracer.records[0].ts_us < 1e6  # fresh epoch
+
+
+def test_enable_tracing_accepts_existing_tracer():
+    mine = Tracer()
+    try:
+        assert obs.enable_tracing(mine) is mine
+        assert obs.active_tracer() is mine
+    finally:
+        obs.disable_tracing()
+    assert obs.active_tracer() is None
