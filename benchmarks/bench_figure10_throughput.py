@@ -22,6 +22,7 @@ from repro.ciphers.aes_bitsliced import BitslicedAESCTR
 from repro.ciphers.grain_bitsliced import BitslicedGrain
 from repro.ciphers.mickey import Mickey2
 from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+from repro.ciphers.trivium_bitsliced import BitslicedTrivium
 from repro.core.engine import BitslicedEngine
 from repro.gpu.model import ThroughputModel
 from repro.gpu.specs import TABLE2_GPUS
@@ -29,6 +30,15 @@ from repro.gpu.specs import TABLE2_GPUS
 KERNELS = ("aes128ctr", "mickey2", "grain", "curand-mt")
 LANES = 1 << 17 if FULL_SCALE else 1 << 14
 ROWS = 256 if FULL_SCALE else 64
+
+# Kernels with a fused compiled path, with the plane rows drawn per call
+# (AES works in 128-row CTR batches, so give it exactly one).
+FUSED_KERNELS = {
+    "mickey2": (BitslicedMickey2, ROWS),
+    "grain": (BitslicedGrain, ROWS),
+    "trivium": (BitslicedTrivium, ROWS),
+    "aes128ctr": (BitslicedAESCTR, 128),
+}
 
 
 def test_figure10_modeled(benchmark):
@@ -131,3 +141,63 @@ def test_figure10_measured_summary(benchmark):
     assert rows["mickey2 (bitsliced)"] > 50 * rows["mickey2 (bit-serial ref)"]
     assert rows["grain (bitsliced)"] > rows["aes128ctr (bitsliced)"]
     assert rows["mickey2 (bitsliced)"] > rows["aes128ctr (bitsliced)"]
+
+
+def test_figure10_fused_speedup(benchmark):
+    """Fused compiled kernels vs the per-clock interpreter.
+
+    Measures every kernel both ways on identical workloads and emits the
+    speedup ratios — machine-independent numbers the CI perf-regression
+    gate diffs against the committed baseline.  The headline claim is
+    the *aggregate* (geometric-mean) speedup; MICKEY's irregular
+    clocking leaves it memory-bound and closer to the interpreter.
+    """
+    gbps_unfused, gbps_fused, speedup = {}, {}, {}
+    for name, (cls, rows_n) in FUSED_KERNELS.items():
+        plain = cls(BitslicedEngine(n_lanes=LANES)).seed(1)
+        gbps_unfused[name] = measure_gbps(
+            lambda b=plain, r=rows_n: b.next_planes(r), rows_n * LANES, repeat=2
+        )
+        fast = cls(BitslicedEngine(n_lanes=LANES, fused=True)).seed(1)
+        gbps_fused[name] = measure_gbps(
+            lambda b=fast, r=rows_n: b.next_planes(r), rows_n * LANES, repeat=2
+        )
+        speedup[name] = gbps_fused[name] / gbps_unfused[name]
+    geomean = float(np.exp(np.mean([np.log(s) for s in speedup.values()])))
+
+    lines = [
+        f"{'kernel':<12}{'unfused Gb/s':>14}{'fused Gb/s':>14}{'speedup':>10}",
+        "-" * 50,
+    ]
+    for name in FUSED_KERNELS:
+        lines.append(
+            f"{name:<12}{gbps_unfused[name]:>14.4f}{gbps_fused[name]:>14.4f}"
+            f"{speedup[name]:>9.2f}x"
+        )
+    lines.append("")
+    lines.append(f"aggregate (geomean) fused speedup: {geomean:.2f}x")
+    emit_table("figure10_fused", lines)
+    emit_bench(
+        "figure10_fused",
+        params={
+            "lanes": LANES,
+            "rows": {k: v[1] for k, v in FUSED_KERNELS.items()},
+            "clocks_per_call": 32,
+            "full_scale": FULL_SCALE,
+        },
+        gbps=max(gbps_fused.values()),
+        metrics={
+            "gbps_unfused": dict(gbps_unfused),
+            "gbps_fused": dict(gbps_fused),
+            "speedup": dict(speedup),
+            "geomean_speedup": geomean,
+        },
+    )
+    benchmark.extra_info.update({f"speedup_{k}": round(v, 3) for k, v in speedup.items()})
+    benchmark.extra_info["geomean_speedup"] = round(geomean, 3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Acceptance: the fused path is the point of this machinery.
+    assert geomean >= 2.0, f"aggregate fused speedup {geomean:.2f}x < 2x"
+    for name, s in speedup.items():
+        assert s > 1.05, f"{name} fused path slower than interpreter ({s:.2f}x)"

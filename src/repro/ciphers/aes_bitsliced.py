@@ -110,6 +110,9 @@ class BitslicedAESCTR:
         self._counter_base = np.uint64(counter_start & 0xFFFFFFFFFFFFFFFF)
         self._blocks_done = 0
         self._key_loaded = True
+        # Fused-kernel contexts embed the round-key flip indices, which
+        # just changed — drop them so the next fused call rebuilds.
+        self._fused_ctx = {}
 
     def seed(self, seed: int) -> "BitslicedAESCTR":
         """Derive key and nonce from one integer seed."""
@@ -198,12 +201,32 @@ class BitslicedAESCTR:
             raise SpecificationError("AES-CTR seek granularity is 128 planes")
         self._blocks_done += n_rows // 128
 
+    def _count_batch_gates(self, n_batches: int) -> None:
+        """Gate tallies for *n_batches* fused CTR batches (mirrors the
+        per-op accounting of the unfused round functions)."""
+        ark = sum(int(m.sum()) for m in self._rk_masks)
+        self.engine.counter.add("xor", n_batches * (ark + 9 * 4 * (24 + 4 * 28)))
+        self.engine.counter.add("xor", n_batches * 10 * 16 * self._sbox_gates["xor"])
+        self.engine.counter.add("and_", n_batches * 10 * 16 * self._sbox_gates["and"])
+        self.engine.counter.add("or_", n_batches * 10 * 16 * self._sbox_gates["or"])
+        self.engine.counter.add("not_", n_batches * 10 * 16 * self._sbox_gates["not"])
+
     def next_planes(self, n_rows: int) -> np.ndarray:
         """Emit ``(n_rows, n_words)`` keystream planes (multiples of 128
-        are generated; the tail batch is truncated)."""
+        are generated; the tail batch is truncated).
+
+        With ``engine.fused`` the batches come from the compiled kernel
+        (in-place S-box circuit, view-based rounds) — bit-identical.
+        """
         self._require_loaded()
         batches = -(-n_rows // 128)
         out = np.empty((batches * 128, self.engine.n_words), dtype=self.engine.dtype)
+        if getattr(self.engine, "fused", False):
+            from repro.codegen.fused import fused_generate
+
+            fused_generate(self, "aes128ctr", batches, out)
+            self._count_batch_gates(batches)
+            return out[:n_rows]
         for i in range(batches):
             out[128 * i : 128 * (i + 1)] = self.next_block_planes()
         return out[:n_rows]

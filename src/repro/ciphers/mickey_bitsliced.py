@@ -195,6 +195,13 @@ class BitslicedMickey2:
         """
         self._require_loaded()
         out = np.empty((n_rows, self.engine.n_words), dtype=self.engine.dtype)
+        if getattr(self.engine, "fused", False):
+            from repro.codegen.fused import fused_generate
+
+            fused_generate(self, "mickey2", n_rows, out)
+            for kind, n in self._gates_per_clock.items():
+                self.engine.counter.add(kind, n * n_rows)
+            return out
         stage = self.engine.make_stage()
         row = 0
         for _ in range(n_rows):

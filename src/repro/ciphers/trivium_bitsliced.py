@@ -115,9 +115,21 @@ class BitslicedTrivium:
             raise KeyScheduleError("cipher bank must be loaded/seeded before generating")
 
     def next_planes(self, n_rows: int) -> np.ndarray:
-        """Emit ``(n_rows, n_words)`` keystream planes via the staging buffer."""
+        """Emit ``(n_rows, n_words)`` keystream planes via the staging buffer.
+
+        With ``engine.fused`` the rows come from the compiled K-clock
+        kernel (bit-identical stream, same gate accounting).
+        """
         self._require_loaded()
         out = np.empty((n_rows, self.engine.n_words), dtype=self.engine.dtype)
+        if getattr(self.engine, "fused", False):
+            from repro.codegen.fused import fused_generate
+
+            fused_generate(self, "trivium", n_rows, out)
+            for kind, n in _GATES_PER_CLOCK.items():
+                if n:
+                    self.engine.counter.add(kind, n * n_rows)
+            return out
         stage = self.engine.make_stage()
         row = 0
         for _ in range(n_rows):

@@ -25,7 +25,11 @@ Commands
 
 ``gen``, ``throughput`` and ``selftest`` accept ``--metrics-out PATH``
 (write a JSON metrics snapshot) and ``--trace-out PATH`` (write a
-Chrome-trace-event JSON viewable in Perfetto).
+Chrome-trace-event JSON viewable in Perfetto), plus the fused-kernel
+group ``--fused/--no-fused``, ``--clocks-per-call K`` and ``--dtype
+{uint32,uint64}``.  ``repro selftest --fused`` additionally cross-checks
+the fused stream byte-for-byte against the per-clock interpreter before
+running the health tests.
 """
 
 from __future__ import annotations
@@ -47,6 +51,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(ICPP Workshops 2020 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fused_flags(p) -> None:
+        p.add_argument(
+            "--fused",
+            dest="fused",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="use the compiled fused-kernel path "
+            "(default: on for bitsliced algorithms; --no-fused forces the "
+            "per-clock interpreter)",
+        )
+        p.add_argument(
+            "--clocks-per-call",
+            type=int,
+            default=32,
+            metavar="K",
+            help="clocks advanced per fused kernel call (default 32)",
+        )
+        p.add_argument(
+            "--dtype",
+            choices=("uint32", "uint64"),
+            default="uint64",
+            help="lane-packing word width (default uint64)",
+        )
 
     def add_telemetry_flags(p) -> None:
         p.add_argument(
@@ -89,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--retries", type=int, default=2, help="per-partition retry budget")
     gen.add_argument("--timeout", type=float, default=None, help="per-partition timeout (s)")
+    add_fused_flags(gen)
     add_telemetry_flags(gen)
 
     nist = sub.add_parser("nist", help="run the NIST SP 800-22 battery")
@@ -118,12 +147,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=2.0**-30,
         help="per-test false-positive rate for the cutoff derivation",
     )
+    add_fused_flags(st)
+    st.add_argument(
+        "--cross-check-bytes",
+        type=int,
+        default=1 << 16,
+        metavar="N",
+        help="stream length for the fused-vs-unfused cross-check "
+        "(run with --fused; 0 disables)",
+    )
     add_telemetry_flags(st)
 
     tp = sub.add_parser("throughput", help="measure software throughput")
     tp.add_argument("algorithms", nargs="*", default=[])
     tp.add_argument("-l", "--lanes", type=int, default=16384)
     tp.add_argument("--mbits", type=float, default=8.0, help="Mbit per measurement")
+    add_fused_flags(tp)
     add_telemetry_flags(tp)
 
     stats = sub.add_parser(
@@ -160,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     cuda.add_argument("-o", "--output", default="-")
 
     return parser
+
+
+def _fused_kwargs(args) -> dict:
+    """BSRNG/engine keyword arguments from the ``--fused`` flag group."""
+    return {
+        "dtype": np.uint32 if getattr(args, "dtype", "uint64") == "uint32" else np.uint64,
+        "fused": getattr(args, "fused", None),
+        "clocks_per_call": getattr(args, "clocks_per_call", 32),
+    }
 
 
 def _telemetry(args):
@@ -234,16 +282,19 @@ def _cmd_gen(args) -> int:
                 timeout=args.timeout,
                 max_retries=args.retries,
                 verify_crc=True,
+                fused=args.fused,
+                clocks_per_call=args.clocks_per_call,
             )
             data = gen.generate(-(-args.n_bytes // block_bytes))[: args.n_bytes]
         elif args.health:
             from repro.robust.health import HealthMonitoredBSRNG
 
-            rng = HealthMonitoredBSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+            inner = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args))
+            rng = HealthMonitoredBSRNG(inner)
             data = rng.random_bytes(args.n_bytes)
             rng.inner.publish_metrics()
         else:
-            rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
+            rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args))
             data = rng.random_bytes(args.n_bytes)
             rng.publish_metrics()
     if args.format == "hex":
@@ -311,11 +362,28 @@ def _cmd_selftest(args) -> int:
     from repro.obs import span
     from repro.robust.health import HealthMonitoredBSRNG
 
+    from repro.core.generator import BSRNG
+
     print(f"self-test: {args.algorithm} (seed={args.seed}, alpha={args.alpha:.3g})")
     with _telemetry(args), span("selftest", algo=args.algorithm):
+        if args.fused and args.cross_check_bytes > 0:
+            # --fused cross-check mode: the fused compiled kernels must
+            # reproduce the interpreter stream byte for byte before we
+            # trust them with the health-tested output path.
+            n = args.cross_check_bytes
+            kw = _fused_kwargs(args)
+            fused_rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **kw)
+            kw = dict(kw, fused=False)
+            plain_rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **kw)
+            with span("selftest.fused_crosscheck", algo=args.algorithm, n_bytes=n):
+                if fused_rng.random_bytes(n) != plain_rng.random_bytes(n):
+                    print(f"fused cross-check over {n:,} bytes: FAIL (stream mismatch)")
+                    return 1
+            print(f"fused cross-check over {n:,} bytes: pass (fused == unfused)")
         try:
             mon = HealthMonitoredBSRNG(
-                args.algorithm, seed=args.seed, lanes=args.lanes, alpha=args.alpha
+                BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args)),
+                alpha=args.alpha,
             )
         except HealthTestError as exc:
             print(f"startup self-test: FAIL ({exc})")
@@ -356,7 +424,7 @@ def _cmd_throughput(args) -> int:
     print("-" * 28)
     with _telemetry(args):
         for alg in algorithms:
-            rng = BSRNG(alg, seed=1, lanes=args.lanes)
+            rng = BSRNG(alg, seed=1, lanes=args.lanes, **_fused_kwargs(args))
             total = 0
             with span("throughput.measure", algo=alg):
                 t0 = time.perf_counter()

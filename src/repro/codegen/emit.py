@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.codegen.circuit import Circuit
 
-__all__ = ["emit_numpy", "emit_cuda"]
+__all__ = ["emit_numpy", "emit_numpy_inplace", "compile_inplace", "emit_cuda"]
 
 
 def _toposorted_gates(circuit: Circuit):
@@ -52,6 +52,97 @@ def emit_numpy(circuit: Circuit, func_name: str = "kernel") -> str:
     pairs = ", ".join(f"{name!r}: {names[node.id]}" for name, node in circuit.outputs.items())
     lines.append(f"    return {{{pairs}}}")
     return "\n".join(lines) + "\n"
+
+
+def emit_numpy_inplace(circuit: Circuit, func_name: str = "kernel") -> tuple[str, int]:
+    """Emit an allocation-free kernel ``f(*inputs, out, regs, ones, zeros)``.
+
+    Unlike :func:`emit_numpy`, every gate writes into a preallocated
+    register from ``regs`` (a list of arrays shaped like the inputs) via
+    the ufunc ``out=`` parameter, so the hot loop performs **zero**
+    temporary allocations — the "no per-gate temporaries" discipline of
+    the fused execution path.  Registers are assigned by linear scan over
+    the topologically ordered gate list: a register frees as soon as its
+    node's last consumer has executed, so the pool stays near the
+    circuit's live-range width rather than its gate count.
+
+    ``out`` is an indexable of output buffers, one per circuit output in
+    declaration order; a gate that defines exactly one output and has no
+    later consumers writes straight into its output buffer.  ``ones`` /
+    ``zeros`` supply constant planes.  Returns ``(source, n_regs)`` where
+    ``n_regs`` is the register-pool size the caller must preallocate.
+    """
+    gates = list(_toposorted_gates(circuit))
+    out_nodes = list(circuit.outputs.values())
+    out_ids = {n.id for n in out_nodes}
+    # Last gate index that reads each node (outputs are pinned to the end).
+    last_use: dict[int, int] = {}
+    for gi, node in enumerate(gates):
+        for a in node.args:
+            last_use[a] = gi
+    for n in out_nodes:
+        last_use[n.id] = len(gates)
+
+    # How many output slots each node feeds (a node may be several outputs).
+    out_slots: dict[int, list[int]] = {}
+    for slot, node in enumerate(out_nodes):
+        out_slots.setdefault(node.id, []).append(slot)
+
+    names: dict[int, str] = {}
+    for node in circuit.nodes:
+        if node.op == "in":
+            names[node.id] = node.name
+        elif node.op == "const":
+            names[node.id] = "ones" if node.args[0] else "zeros"
+
+    lines = [
+        f"def {func_name}({', '.join(circuit.input_names)}, out, regs, ones, zeros):",
+        '    """Generated in-place bitsliced kernel (repro.codegen.emit)."""',
+    ]
+    free: list[int] = []
+    reg_of: dict[int, int] = {}
+    n_regs = 0
+    ops = {"xor": "np.bitwise_xor", "and": "np.bitwise_and", "or": "np.bitwise_or"}
+    for gi, node in enumerate(gates):
+        args = [names[a] for a in node.args]
+        # Free operand registers whose last consumer is this gate; the
+        # freed register may immediately be reused as this gate's target
+        # (full-overlap in-place ufuncs are well-defined).
+        for a in node.args:
+            if a in reg_of and last_use.get(a) == gi:
+                free.append(reg_of.pop(a))
+        slots = out_slots.get(node.id, [])
+        direct_out = len(slots) == 1 and last_use[node.id] == len(gates) and all(
+            node.id not in g.args for g in gates[gi + 1 :]
+        )
+        if direct_out:
+            target = f"out[{slots[0]}]"
+        else:
+            reg = free.pop() if free else n_regs
+            n_regs = max(n_regs, reg + 1)
+            reg_of[node.id] = reg
+            target = f"regs[{reg}]"
+        if node.op == "not":
+            lines.append(f"    np.bitwise_not({args[0]}, out={target})")
+        else:
+            lines.append(f"    {ops[node.op]}({args[0]}, {args[1]}, out={target})")
+        names[node.id] = target
+    # Outputs not produced by a direct-write gate (shared nodes, inputs,
+    # constants, multi-slot nodes) are copied at the end.
+    for slot, node in enumerate(out_nodes):
+        if names[node.id] != f"out[{slot}]":
+            lines.append(f"    out[{slot}][...] = {names[node.id]}")
+    return "\n".join(lines) + "\n", n_regs
+
+
+def compile_inplace(circuit: Circuit, func_name: str = "kernel"):
+    """Compile :func:`emit_numpy_inplace` output; returns ``(fn, n_regs)``."""
+    import numpy as np
+
+    src, n_regs = emit_numpy_inplace(circuit, func_name=func_name)
+    ns: dict = {"np": np}
+    exec(src, ns)  # noqa: S102 - our own generated source
+    return ns[func_name], n_regs
 
 
 def emit_cuda(circuit: Circuit, func_name: str = "kernel", word_type: str = "uint32_t") -> str:

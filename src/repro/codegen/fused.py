@@ -1,0 +1,606 @@
+"""Fused K-clock kernels: compiled cipher circuits + renaming schedules.
+
+The virtual SIMD engine's unfused path pays one NumPy dispatch — and one
+temporary allocation — per gate per clock, plus a Python-level register
+shift (``s[1:] = s[:-1]``) that copies the whole state every clock.  On
+the GPU the paper avoids exactly this by fusing the gate network into a
+single kernel launch; here the analogue is *source emission*: for each
+cipher we generate a Python function that steps **K clocks per call**
+with
+
+* the register-renaming schedule compiled in — LFSR shifts become
+  constant-index reads into a sliding window (stream ciphers) or a
+  compile-time ping-pong buffer swap (MICKEY), so the per-clock state
+  copy disappears entirely and is replaced by one window rebase per K
+  clocks,
+* every gate writing into a preallocated scratch register through the
+  ufunc ``out=`` parameter (no per-gate temporaries), and
+* keystream planes written straight into the caller's output rows (the
+  coalesced-store ideal of §4.5 — no staging buffer round trip).
+
+Kernels are compiled once and kept in a process-global
+:class:`KernelCache` keyed by ``(cipher, word-dtype, clocks-per-call)``
+plus a version stamp; bumping :data:`KERNEL_CACHE_VERSION` (or a
+cipher's entry in :data:`CIRCUIT_VERSIONS`) orphans stale entries, and
+per-bank execution contexts check kernel identity so they rebuild after
+an invalidation.  The compiled function is pure; all mutable scratch
+lives in a per-bank context (:meth:`FusedKernel.make_context`), so two
+banks sharing a cached kernel can never alias each other's buffers.
+
+The conformance contract — fused streams are bit-identical to the
+unfused and reference paths — is enforced by
+``tests/test_fused_conformance.py`` and ``repro selftest --fused``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SpecificationError
+
+__all__ = [
+    "KERNEL_CACHE_VERSION",
+    "CIRCUIT_VERSIONS",
+    "FusedKernel",
+    "KernelCache",
+    "KERNEL_CACHE",
+    "get_kernel",
+    "fused_generate",
+]
+
+#: Bump to orphan every cached kernel (e.g. when the emitters change).
+KERNEL_CACHE_VERSION = 1
+
+#: Per-cipher circuit versions; bump one to invalidate only its kernels.
+CIRCUIT_VERSIONS = {"mickey2": 1, "grain": 1, "trivium": 1, "aes128ctr": 1}
+
+#: Default clock batch per fused call (CLI/BSRNG override per instance).
+DEFAULT_CLOCKS_PER_CALL = 32
+
+
+@dataclass(frozen=True)
+class FusedKernel:
+    """A compiled fused kernel plus its per-bank context factory.
+
+    ``fn(bank, out, base, ctx)`` advances *bank* by ``clocks`` clocks,
+    writing ``clocks * rows_per_clock`` keystream plane rows into
+    ``out[base:...]``.  ``ctx`` must come from :meth:`make_context` on
+    the same bank (geometry-matched scratch, constant planes, and — for
+    AES — key-derived round-key flip indices).
+    """
+
+    cipher: str
+    clocks: int
+    dtype: np.dtype
+    rows_per_clock: int
+    source: str
+    fn: Callable = field(repr=False)
+    _context_builder: Callable = field(repr=False)
+
+    def make_context(self, bank) -> dict:
+        """Allocate the per-bank scratch/constant bundle for this kernel."""
+        return self._context_builder(bank)
+
+
+class KernelCache:
+    """Process-global cache of compiled fused kernels.
+
+    Keyed by ``(cipher, dtype, clocks, version)``; thread-safe (the
+    double-buffered refill pipeline compiles from a worker thread).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._kernels: dict[tuple, FusedKernel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, cipher: str, dtype, clocks: int) -> tuple:
+        version = (KERNEL_CACHE_VERSION, CIRCUIT_VERSIONS[cipher])
+        return (cipher, np.dtype(dtype).name, int(clocks), version)
+
+    def get(self, cipher: str, dtype, clocks: int) -> FusedKernel:
+        """Fetch (or compile and cache) the kernel for one configuration."""
+        if cipher not in CIRCUIT_VERSIONS:
+            raise SpecificationError(f"no fused kernel emitter for {cipher!r}")
+        if clocks <= 0:
+            raise SpecificationError("clocks per call must be positive")
+        key = self._key(cipher, dtype, clocks)
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None:
+                self.hits += 1
+                obs.inc("repro_kernel_cache_hits_total", 1, cipher=cipher)
+                return kernel
+            self.misses += 1
+        # Compile outside the lock (emission is slow for large K); a rare
+        # duplicate compile just overwrites with an identical kernel.
+        kernel = _BUILDERS[cipher](int(clocks), np.dtype(dtype))
+        with self._lock:
+            self._kernels[key] = kernel
+        obs.inc("repro_kernel_cache_misses_total", 1, cipher=cipher)
+        obs.set_gauge("repro_kernel_cache_size", len(self._kernels))
+        return kernel
+
+    def invalidate(self, cipher: str | None = None) -> int:
+        """Drop cached kernels (all, or one cipher's); returns the count."""
+        with self._lock:
+            if cipher is None:
+                n = len(self._kernels)
+                self._kernels.clear()
+            else:
+                stale = [k for k in self._kernels if k[0] == cipher]
+                n = len(stale)
+                for k in stale:
+                    del self._kernels[k]
+        return n
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for tests and ``repro stats``)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._kernels)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kernels)
+
+
+#: The process-global kernel cache all banks share.
+KERNEL_CACHE = KernelCache()
+
+
+def get_kernel(cipher: str, dtype, clocks: int) -> FusedKernel:
+    """Shorthand for ``KERNEL_CACHE.get(...)``."""
+    return KERNEL_CACHE.get(cipher, dtype, clocks)
+
+
+def _context_for(bank, kernel: FusedKernel) -> dict:
+    """The bank's context for *kernel*, rebuilt if the kernel changed.
+
+    Contexts are stored on the bank keyed by clock count and stamped
+    with the kernel object they were built for, so a cache invalidation
+    (new kernel object) transparently rebuilds the scratch bundle.
+    """
+    contexts = getattr(bank, "_fused_ctx", None)
+    if contexts is None:
+        contexts = bank._fused_ctx = {}
+    entry = contexts.get(kernel.clocks)
+    if entry is None or entry[0] is not kernel:
+        ctx = kernel.make_context(bank)
+        contexts[kernel.clocks] = (kernel, ctx)
+        return ctx
+    return entry[1]
+
+
+def fused_generate(bank, cipher: str, n_clocks: int, out: np.ndarray, base: int = 0) -> None:
+    """Advance *bank* by ``n_clocks`` clocks through fused kernels.
+
+    Splits the request into full ``engine.clocks_per_call`` batches plus
+    one tail kernel, so any row count is served without overshooting the
+    cipher state.  Writes ``n_clocks * rows_per_clock`` rows into *out*
+    starting at row *base*.
+    """
+    engine = bank.engine
+    K = max(1, int(getattr(engine, "clocks_per_call", DEFAULT_CLOCKS_PER_CALL)))
+    done = 0
+    calls = 0
+    rows_per_clock = 1
+    while done < n_clocks:
+        k = min(K, n_clocks - done)
+        kernel = get_kernel(cipher, engine.dtype, k)
+        rows_per_clock = kernel.rows_per_clock
+        ctx = _context_for(bank, kernel)
+        kernel.fn(bank, out, base + done * rows_per_clock, ctx)
+        done += k
+        calls += 1
+    if obs.metrics_enabled():
+        obs.inc("repro_fused_kernel_calls_total", calls, algorithm=cipher)
+        obs.inc("repro_fused_clocks_total", n_clocks, algorithm=cipher)
+        obs.observe(
+            "repro_fused_clocks_per_call", n_clocks / max(calls, 1), algorithm=cipher
+        )
+
+
+def _compile(source: str, func_name: str, namespace: dict | None = None) -> Callable:
+    ns: dict = {"np": np}
+    if namespace:
+        ns.update(namespace)
+    exec(source, ns)  # noqa: S102 - our own generated source
+    return ns[func_name]
+
+
+# ---------------------------------------------------------------------------
+# Trivium: three shift registers -> three sliding windows.
+# ---------------------------------------------------------------------------
+def _build_trivium(K: int, dtype: np.dtype) -> FusedKernel:
+    from repro.ciphers.trivium import (
+        STATE_BITS,
+        _B_HEAD,
+        _C_HEAD,
+        _T1_AND,
+        _T1_FWD,
+        _T1_TAPS,
+        _T2_AND,
+        _T2_FWD,
+        _T2_TAPS,
+        _T3_AND,
+        _T3_FWD,
+        _T3_TAPS,
+    )
+
+    LA, LB, LC = _B_HEAD, _C_HEAD - _B_HEAD, STATE_BITS - _C_HEAD
+    L = [
+        f"def _fused_trivium(bank, out, base, c):",
+        f'    """Generated fused Trivium kernel: {K} clocks per call."""',
+        "    s = bank.s",
+        "    ea = c['ea']; eb = c['eb']; ec = c['ec']",
+        "    w0 = c['w0']; w1 = c['w1']; w2 = c['w2']; w3 = c['w3']",
+        # window load: logical s[i] at clock t lives at E*[K - t + local(i)]
+        f"    ea[{K}:] = s[0:{_B_HEAD}]",
+        f"    eb[{K}:] = s[{_B_HEAD}:{_C_HEAD}]",
+        f"    ec[{K}:] = s[{_C_HEAD}:{STATE_BITS}]",
+    ]
+
+    def emit_clock(t: int) -> None:
+        o = K - t
+
+        def ref(g: int) -> str:
+            if g < _B_HEAD:
+                return f"ea[{o + g}]"
+            if g < _C_HEAD:
+                return f"eb[{o + g - _B_HEAD}]"
+            return f"ec[{o + g - _C_HEAD}]"
+
+        L.append(f"    np.bitwise_xor({ref(_T1_TAPS[0])}, {ref(_T1_TAPS[1])}, out=w1)")
+        L.append(f"    np.bitwise_xor({ref(_T2_TAPS[0])}, {ref(_T2_TAPS[1])}, out=w2)")
+        L.append(f"    np.bitwise_xor({ref(_T3_TAPS[0])}, {ref(_T3_TAPS[1])}, out=w3)")
+        L.append("    np.bitwise_xor(w1, w2, out=w0)")
+        L.append(f"    np.bitwise_xor(w0, w3, out=out[base + {t}])")
+        L.append(f"    np.bitwise_and({ref(_T1_AND[0])}, {ref(_T1_AND[1])}, out=w0)")
+        L.append("    np.bitwise_xor(w1, w0, out=w1)")
+        L.append(f"    np.bitwise_xor(w1, {ref(_T1_FWD)}, out=eb[{o - 1}])")
+        L.append(f"    np.bitwise_and({ref(_T2_AND[0])}, {ref(_T2_AND[1])}, out=w0)")
+        L.append("    np.bitwise_xor(w2, w0, out=w2)")
+        L.append(f"    np.bitwise_xor(w2, {ref(_T2_FWD)}, out=ec[{o - 1}])")
+        L.append(f"    np.bitwise_and({ref(_T3_AND[0])}, {ref(_T3_AND[1])}, out=w0)")
+        L.append("    np.bitwise_xor(w3, w0, out=w3)")
+        L.append(f"    np.bitwise_xor(w3, {ref(_T3_FWD)}, out=ea[{o - 1}])")
+
+    for t in range(K):
+        emit_clock(t)
+    # window rebase: one copy per K clocks instead of one per clock
+    L.append(f"    s[0:{_B_HEAD}] = ea[0:{LA}]")
+    L.append(f"    s[{_B_HEAD}:{_C_HEAD}] = eb[0:{LB}]")
+    L.append(f"    s[{_C_HEAD}:{STATE_BITS}] = ec[0:{LC}]")
+    source = "\n".join(L) + "\n"
+
+    def make_context(bank) -> dict:
+        nw, dt = bank.engine.n_words, bank.engine.dtype
+        return {
+            "ea": np.empty((K + LA, nw), dt),
+            "eb": np.empty((K + LB, nw), dt),
+            "ec": np.empty((K + LC, nw), dt),
+            "w0": np.empty(nw, dt),
+            "w1": np.empty(nw, dt),
+            "w2": np.empty(nw, dt),
+            "w3": np.empty(nw, dt),
+        }
+
+    return FusedKernel(
+        "trivium", K, np.dtype(dtype), 1, source, _compile(source, "_fused_trivium"), make_context
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grain v1: LFSR + NFSR -> forward sliding windows with block-batched
+# feedback.  The deepest state tap is index 63, so feedback bits for up
+# to 16 consecutive clocks depend only on already-materialized window
+# rows — one (16, nw) slice op replaces 16 single-row ops.  The filter
+# output never feeds back in keystream mode, so z for all K clocks is
+# computed in bulk at the end, straight into the caller's output rows.
+# ---------------------------------------------------------------------------
+_GRAIN_BLOCK = 16  # 80 - max feedback tap (63) = 17; 16 keeps margin
+
+
+def _build_grain(K: int, dtype: np.dtype) -> FusedKernel:
+    from repro.ciphers.grain import LFSR_TAPS, OUTPUT_TAPS, STATE_BITS
+
+    L = [
+        "def _fused_grain(bank, out, base, c):",
+        f'    """Generated fused Grain v1 kernel: {K} clocks per call."""',
+        "    s = bank.s; b = bank.b",
+        "    es = c['es']; eb = c['eb']",
+        "    P16 = c['p16']; T52_ = c['t52']; T28_ = c['t28']; T60_ = c['t60']",
+        "    X = c['x']; Y = c['y']",
+        f"    es[0:{STATE_BITS}] = s",
+        f"    eb[0:{STATE_BITS}] = b",
+    ]
+    for tb in range(0, K, _GRAIN_BLOCK):
+        B = min(_GRAIN_BLOCK, K - tb)
+
+        def S(i: int) -> str:
+            return f"es[{tb + i}:{tb + i + B}]"
+
+        def Bb(i: int) -> str:
+            return f"eb[{tb + i}:{tb + i + B}]"
+
+        L.append(f"    F = es[{tb + STATE_BITS}:{tb + STATE_BITS + B}]")
+        L.append(f"    G = eb[{tb + STATE_BITS}:{tb + STATE_BITS + B}]")
+        L.append(f"    P = P16[0:{B}]; T52 = T52_[0:{B}]; T28 = T28_[0:{B}]; T60 = T60_[0:{B}]")
+        # LFSR feedback block: fs = xor of the six taps
+        L.append(f"    np.bitwise_xor({S(LFSR_TAPS[0])}, {S(LFSR_TAPS[1])}, out=F)")
+        for tap in LFSR_TAPS[2:]:
+            L.append(f"    np.bitwise_xor(F, {S(tap)}, out=F)")
+        # NFSR feedback block: fb = s0 ^ g(b); shared monomials first
+        L.append(f"    np.bitwise_and({Bb(60)}, {Bb(52)}, out=T52)")
+        L.append(f"    np.bitwise_and({Bb(33)}, {Bb(28)}, out=T28)")
+        L.append(f"    np.bitwise_and({Bb(63)}, {Bb(60)}, out=T60)")
+        L.append(f"    np.bitwise_xor({S(0)}, {Bb(62)}, out=G)")
+        for tap in (60, 52, 45, 37, 33, 28, 21, 14, 9, 0):
+            L.append(f"    np.bitwise_xor(G, {Bb(tap)}, out=G)")
+        L.append("    np.bitwise_xor(G, T60, out=G)")
+        products = (
+            (Bb(37), Bb(33)),
+            (Bb(15), Bb(9)),
+            ("T52", Bb(45)),
+            ("T28", Bb(21)),
+            (Bb(63), Bb(45), Bb(28), Bb(9)),
+            ("T52", Bb(37), Bb(33)),
+            ("T60", Bb(21), Bb(15)),
+            ("T52", "T60", Bb(45), Bb(37)),
+            ("T28", Bb(21), Bb(15), Bb(9)),
+            (Bb(52), Bb(45), Bb(37), "T28", Bb(21)),
+        )
+        for terms in products:
+            L.append(f"    np.bitwise_and({terms[0]}, {terms[1]}, out=P)")
+            for extra in terms[2:]:
+                L.append(f"    np.bitwise_and(P, {extra}, out=P)")
+            L.append("    np.bitwise_xor(G, P, out=G)")
+    # Bulk filter: z_t for every clock at once, written into the output
+    L.append(f"    Z = out[base:base + {K}]")
+    x0, x1, x2, x3, x4 = (
+        f"es[3:{3 + K}]",
+        f"es[25:{25 + K}]",
+        f"es[46:{46 + K}]",
+        f"es[64:{64 + K}]",
+        f"eb[63:{63 + K}]",
+    )
+    L.append(f"    np.bitwise_and({x0}, {x2}, out=X)")  # shared x0&x2
+    L.append(f"    np.bitwise_xor({x1}, {x4}, out=Z)")
+    for pair in ((x0, x3), (x2, x3), (x3, x4), ("X", x1), ("X", x3), ("X", x4)):
+        L.append(f"    np.bitwise_and({pair[0]}, {pair[1]}, out=Y)")
+        L.append("    np.bitwise_xor(Z, Y, out=Z)")
+    for triple in ((x1, x2, x4), (x2, x3, x4)):
+        L.append(f"    np.bitwise_and({triple[0]}, {triple[1]}, out=Y)")
+        L.append(f"    np.bitwise_and(Y, {triple[2]}, out=Y)")
+        L.append("    np.bitwise_xor(Z, Y, out=Z)")
+    for k in OUTPUT_TAPS:
+        L.append(f"    np.bitwise_xor(Z, eb[{k}:{k + K}], out=Z)")
+    # window rebase
+    L.append(f"    s[:] = es[{K}:{K + STATE_BITS}]")
+    L.append(f"    b[:] = eb[{K}:{K + STATE_BITS}]")
+    source = "\n".join(L) + "\n"
+
+    def make_context(bank) -> dict:
+        nw, dt = bank.engine.n_words, bank.engine.dtype
+        blk = min(_GRAIN_BLOCK, K)
+        return {
+            "es": np.empty((K + STATE_BITS, nw), dt),
+            "eb": np.empty((K + STATE_BITS, nw), dt),
+            "p16": np.empty((blk, nw), dt),
+            "t52": np.empty((blk, nw), dt),
+            "t28": np.empty((blk, nw), dt),
+            "t60": np.empty((blk, nw), dt),
+            "x": np.empty((K, nw), dt),
+            "y": np.empty((K, nw), dt),
+        }
+
+    return FusedKernel(
+        "grain", K, np.dtype(dtype), 1, source, _compile(source, "_fused_grain"), make_context
+    )
+
+
+# ---------------------------------------------------------------------------
+# MICKEY 2.0: irregular clocking -> compile-time ping-pong buffer swap.
+# ---------------------------------------------------------------------------
+def _build_mickey2(K: int, dtype: np.dtype) -> FusedKernel:
+    from repro.ciphers._mickey_tables import (
+        COMP0_BITS,
+        COMP1_BITS,
+        FB0_BITS,
+        FB1_BITS,
+        R_TAPS_BITS,
+    )
+    from repro.ciphers.mickey import STATE_BITS
+
+    fb0 = FB0_BITS.astype(bool)
+    fb1 = FB1_BITS.astype(bool)
+    # The spec's "feedback & (ctrl ? FB1 : FB0)" per-row select collapses
+    # into three constant index sets: rows in both masks always take the
+    # feedback, FB1-only rows take it when ctrl_s is set, FB0-only when
+    # clear.  The fancy-index RMW replaces two (100, nw) mask products.
+    ns = {
+        "_RT": np.flatnonzero(R_TAPS_BITS),
+        "_IB": np.flatnonzero(fb0 & fb1),
+        "_I1": np.flatnonzero(fb1 & ~fb0),
+        "_I0": np.flatnonzero(fb0 & ~fb1),
+    }
+    SB_ = STATE_BITS  # 100
+    L = [
+        "def _fused_mickey2(bank, out, base, c):",
+        f'    """Generated fused MICKEY 2.0 keystream kernel: {K} clocks per call."""',
+        "    R0 = bank.R; S0 = bank.S",
+        "    RB = c['RB']; SB = c['SB']",
+        "    T = c['T']; M = c['M']; M2 = c['M2']",
+        "    cr = c['cr']; cs = c['cs']; w = c['w']",
+        "    comp0 = c['comp0']; comp1 = c['comp1']",
+    ]
+    for t in range(K):
+        # keystream clocking: input plane is zero, so fb_r = R[99],
+        # fb_s = S[99] — the mixing=False specialization baked in.
+        R, S = ("R0", "S0") if t % 2 == 0 else ("RB", "SB")
+        Rn, Sn = ("RB", "SB") if t % 2 == 0 else ("R0", "S0")
+        L += [
+            f"    np.bitwise_xor({R}[0], {S}[0], out=out[base + {t}])",
+            f"    np.bitwise_xor({S}[34], {R}[67], out=cr)",
+            f"    np.bitwise_xor({S}[67], {R}[33], out=cs)",
+            # Rn[i] = R[i-1] ^ (R[i] & cr): the register shift folds into
+            # the control mix, so no standalone 100-row copy per clock.
+            f"    np.bitwise_and({R}, cr, out=T)",
+            f"    np.bitwise_xor(T[1:{SB_}], {R}[0:{SB_ - 1}], out={Rn}[1:{SB_}])",
+            f"    {Rn}[0] = T[0]",
+            f"    {Rn}[_RT] ^= {R}[99]",
+            f"    np.bitwise_xor({S}[1:99], comp0, out=M)",
+            f"    np.bitwise_xor({S}[2:{SB_}], comp1, out=M2)",
+            "    np.bitwise_and(M, M2, out=M)",
+            f"    np.bitwise_xor({S}[0:98], M, out={Sn}[1:99])",
+            f"    {Sn}[0] = 0",
+            f"    {Sn}[99] = {S}[98]",
+        ]
+        if ns["_IB"].size:
+            L.append(f"    {Sn}[_IB] ^= {S}[99]")
+        if ns["_I1"].size:
+            L.append(f"    np.bitwise_and(cs, {S}[99], out=w)")
+            L.append(f"    {Sn}[_I1] ^= w")
+        if ns["_I0"].size:
+            L.append("    np.bitwise_not(cs, out=cs)")
+            L.append(f"    np.bitwise_and(cs, {S}[99], out=w)")
+            L.append(f"    {Sn}[_I0] ^= w")
+    if K % 2 == 1:
+        # odd clock count: the final state landed in the scratch pair
+        L.append("    R0[...] = RB")
+        L.append("    S0[...] = SB")
+    source = "\n".join(L) + "\n"
+
+    def make_context(bank) -> dict:
+        from repro.ciphers.mickey_bitsliced import _const_column
+
+        nw, dt = bank.engine.n_words, bank.engine.dtype
+        return {
+            "RB": np.empty((SB_, nw), dt),
+            "SB": np.empty((SB_, nw), dt),
+            "T": np.empty((SB_, nw), dt),
+            "M": np.empty((SB_ - 2, nw), dt),
+            "M2": np.empty((SB_ - 2, nw), dt),
+            "cr": np.empty(nw, dt),
+            "cs": np.empty(nw, dt),
+            "w": np.empty(nw, dt),
+            "comp0": _const_column(COMP0_BITS[1:99], nw, dt),
+            "comp1": _const_column(COMP1_BITS[1:99], nw, dt),
+        }
+
+    return FusedKernel(
+        "mickey2", K, np.dtype(dtype), 1, source, _compile(source, "_fused_mickey2", ns), make_context
+    )
+
+
+# ---------------------------------------------------------------------------
+# AES-128-CTR: in-place S-box circuit + view-based round pipeline.
+# ---------------------------------------------------------------------------
+_AES_SBOX_INPLACE: tuple | None = None
+
+
+def _aes_sbox_inplace() -> tuple:
+    global _AES_SBOX_INPLACE
+    if _AES_SBOX_INPLACE is None:
+        from repro.ciphers.aes_bitsliced import sbox_circuit
+        from repro.codegen.emit import compile_inplace
+
+        _AES_SBOX_INPLACE = compile_inplace(sbox_circuit(), func_name="_sbox_inplace")
+    return _AES_SBOX_INPLACE
+
+
+def _build_aes(K: int, dtype: np.dtype) -> FusedKernel:
+    from repro.ciphers.aes_bitsliced import _SHIFT_ROWS_PERM
+
+    sbox_fn, n_regs = _aes_sbox_inplace()
+    perm = _SHIFT_ROWS_PERM
+
+    def make_context(bank) -> dict:
+        nw, dt = bank.engine.n_words, bank.engine.dtype
+        st_a = np.empty((16, 8, nw), dt)
+        st_b = np.empty((16, 8, nw), dt)
+        return {
+            "st": (st_a, st_b),
+            "views": (
+                [st_a[:, i, :] for i in range(8)],
+                [st_b[:, i, :] for i in range(8)],
+            ),
+            "regs": [np.empty((16, nw), dt) for _ in range(n_regs)],
+            "ones": np.full((16, nw), np.iinfo(dt).max, dt),
+            "zeros": np.zeros((16, nw), dt),
+            "ones_row": np.full(nw, np.iinfo(dt).max, dt),
+            "t": np.empty((4, 8, nw), dt),
+            "u": np.empty((4, 8, nw), dt),
+            "v": np.empty((4, 8, nw), dt),
+            # round-key bit flips as flat plane indices (key-dependent:
+            # the AES bank clears _fused_ctx on load() to rebuild these)
+            "ark_idx": [np.flatnonzero(m.reshape(128)) for m in bank._rk_masks],
+        }
+
+    def fn(bank, out, base, c):
+        from repro.core.bitslice import bitslice_bytes
+
+        st_a, st_b = c["st"]
+        views_a, views_b = c["views"]
+        regs, ones, zeros = c["regs"], c["ones"], c["zeros"]
+        ones_row = c["ones_row"]
+        t, u, v = c["t"], c["u"], c["v"]
+        ark = c["ark_idx"]
+        for k in range(K):
+            blocks = bank._counter_block_bytes(bank._blocks_done)
+            bank._blocks_done += 1
+            np.copyto(st_a.reshape(128, -1), bitslice_bytes(blocks, dtype=st_a.dtype))
+            cur, oth = st_a, st_b
+            vcur, voth = views_a, views_b
+            cur.reshape(128, -1)[ark[0]] ^= ones_row
+            for rnd in range(1, 10):
+                sbox_fn(*vcur, voth, regs, ones, zeros)  # SubBytes: cur -> oth
+                np.take(oth.reshape(16, -1), perm, axis=0, out=cur.reshape(16, -1))
+                # MixColumns: cur -> oth, fully in place
+                cols = cur.reshape(4, 4, 8, -1)
+                dcols = oth.reshape(4, 4, 8, -1)
+                np.bitwise_xor(cols[:, 0], cols[:, 1], out=t)
+                np.bitwise_xor(t, cols[:, 2], out=t)
+                np.bitwise_xor(t, cols[:, 3], out=t)
+                for r in range(4):
+                    np.bitwise_xor(cols[:, r], cols[:, (r + 1) % 4], out=u)
+                    # xtime(u) -> v (GF(2^8) doubling at bit level)
+                    np.copyto(v[:, 0], u[:, 7])
+                    np.bitwise_xor(u[:, 0], u[:, 7], out=v[:, 1])
+                    np.copyto(v[:, 2], u[:, 1])
+                    np.bitwise_xor(u[:, 2], u[:, 7], out=v[:, 3])
+                    np.bitwise_xor(u[:, 3], u[:, 7], out=v[:, 4])
+                    np.copyto(v[:, 5], u[:, 4])
+                    np.copyto(v[:, 6], u[:, 5])
+                    np.copyto(v[:, 7], u[:, 6])
+                    np.bitwise_xor(cols[:, r], t, out=dcols[:, r])
+                    np.bitwise_xor(dcols[:, r], v, out=dcols[:, r])
+                oth.reshape(128, -1)[ark[rnd]] ^= ones_row
+                cur, oth = oth, cur
+                vcur, voth = voth, vcur
+            sbox_fn(*vcur, voth, regs, ones, zeros)
+            np.take(oth.reshape(16, -1), perm, axis=0, out=cur.reshape(16, -1))
+            flat = cur.reshape(128, -1)
+            flat[ark[10]] ^= ones_row
+            out[base + 128 * k : base + 128 * (k + 1)] = flat
+
+    source = (
+        f"# aes128ctr fused kernel: {K} clocks/call, closure over the in-place\n"
+        f"# S-box circuit ({n_regs} registers); rounds ping-pong two (16, 8, nw)\n"
+        "# plane stacks with view-based SubBytes/ShiftRows/MixColumns/ARK.\n"
+    )
+    return FusedKernel("aes128ctr", K, np.dtype(dtype), 128, source, fn, make_context)
+
+
+_BUILDERS = {
+    "trivium": _build_trivium,
+    "grain": _build_grain,
+    "mickey2": _build_mickey2,
+    "aes128ctr": _build_aes,
+}

@@ -45,6 +45,17 @@ class BitslicedEngine:
     count_gates:
         When False the gate counter is still present but kernels are free
         to skip labelling; counting is cheap either way.
+    fused:
+        When True, cipher banks route ``next_planes`` through the fused
+        K-clock kernels of :mod:`repro.codegen.fused` (compiled circuit +
+        renaming schedule, no per-gate temporaries) instead of per-gate
+        NumPy dispatch.  Streams are bit-identical either way; the
+        default stays False so direct-engine callers keep exact per-call
+        gate attribution.
+    clocks_per_call:
+        Clock batch size K of one fused kernel call (ignored unless
+        ``fused``).  Larger K amortizes dispatch overhead against
+        compiled-source size; 32 is the measured sweet spot.
     """
 
     def __init__(
@@ -54,6 +65,8 @@ class BitslicedEngine:
         *,
         stage_rows: int = 256,
         seed_counter: GateCounter | None = None,
+        fused: bool = False,
+        clocks_per_call: int = 32,
     ) -> None:
         if np.dtype(dtype).type not in SUPPORTED_DTYPES:
             raise BitsliceLayoutError(f"unsupported engine dtype {np.dtype(dtype)}")
@@ -61,11 +74,15 @@ class BitslicedEngine:
             raise BitsliceLayoutError("n_lanes must be positive")
         if stage_rows <= 0:
             raise BitsliceLayoutError("stage_rows must be positive")
+        if clocks_per_call <= 0:
+            raise BitsliceLayoutError("clocks_per_call must be positive")
         self.dtype = np.dtype(dtype)
         self.width = word_width(dtype)
         self.n_lanes = int(n_lanes)
         self.n_words = n_words_for_lanes(self.n_lanes, dtype)
         self.stage_rows = int(stage_rows)
+        self.fused = bool(fused)
+        self.clocks_per_call = int(clocks_per_call)
         self.counter = seed_counter if seed_counter is not None else GateCounter()
         self.gates = GateOps(self.counter)
 
@@ -128,7 +145,8 @@ class BitslicedEngine:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BitslicedEngine(n_lanes={self.n_lanes}, dtype={self.dtype.name}, "
-            f"n_words={self.n_words}, stage_rows={self.stage_rows})"
+            f"n_words={self.n_words}, stage_rows={self.stage_rows}, "
+            f"fused={self.fused}, clocks_per_call={self.clocks_per_call})"
         )
 
 

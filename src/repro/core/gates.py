@@ -78,6 +78,31 @@ class GateCounter:
         }
 
 
+def _safe_operand(out: np.ndarray, b):
+    """Defuse the read-after-write hazard of a partially aliased operand.
+
+    In-place ufuncs are well-defined when the operand *is* the output
+    (full overlap) but undefined when it merely overlaps it — e.g. a
+    shifted view ``state[1:]`` XORed into ``state[:-1]``, exactly the
+    register-renaming pattern bitsliced kernels use.  NumPy may process
+    such pairs in chunks, so earlier output writes corrupt later operand
+    reads.  Partial overlaps get a defensive copy; disjoint and
+    fully-overlapping operands pass through untouched.
+    """
+    ba = np.asarray(b)
+    if ba is out or not np.may_share_memory(out, ba):
+        return b
+    if (
+        ba.shape == out.shape
+        and ba.strides == out.strides
+        and ba.__array_interface__["data"][0] == out.__array_interface__["data"][0]
+    ):
+        return b  # same memory, same layout: full overlap is well-defined
+    if np.shares_memory(out, ba):
+        return ba.copy()
+    return b
+
+
 def _rows(x) -> int:
     """Number of plane rows an operand represents (1 for a single plane)."""
     arr = np.asarray(x)
@@ -132,19 +157,19 @@ class GateOps:
 
     # -- in-place ops ------------------------------------------------------
     def ixor(self, out, b):
-        """In-place XOR into *out*, counted."""
+        """In-place XOR into *out*, counted; safe under partial aliasing."""
         self.counter.add("xor", max(_rows(out), _rows(b)))
-        np.bitwise_xor(out, b, out=out)
+        np.bitwise_xor(out, _safe_operand(out, b), out=out)
         return out
 
     def iand(self, out, b):
-        """In-place AND into *out*, counted."""
+        """In-place AND into *out*, counted; safe under partial aliasing."""
         self.counter.add("and_", max(_rows(out), _rows(b)))
-        np.bitwise_and(out, b, out=out)
+        np.bitwise_and(out, _safe_operand(out, b), out=out)
         return out
 
     def ior(self, out, b):
-        """In-place OR into *out*, counted."""
+        """In-place OR into *out*, counted; safe under partial aliasing."""
         self.counter.add("or_", max(_rows(out), _rows(b)))
-        np.bitwise_or(out, b, out=out)
+        np.bitwise_or(out, _safe_operand(out, b), out=out)
         return out

@@ -15,6 +15,9 @@ True
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
@@ -28,24 +31,66 @@ __all__ = ["BSRNG", "available_algorithms"]
 
 
 def _make_bitsliced(cls_path: str) -> Callable:
-    def factory(seed: int, lanes: int, dtype) -> "_PlaneSource":
+    def factory(seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int) -> "_PlaneSource":
         module_name, cls_name = cls_path.rsplit(".", 1)
         module = __import__(module_name, fromlist=[cls_name])
         cls = getattr(module, cls_name)
-        engine = BitslicedEngine(n_lanes=lanes, dtype=dtype)
+        engine = BitslicedEngine(
+            n_lanes=lanes, dtype=dtype, fused=fused, clocks_per_call=clocks_per_call
+        )
         return _PlaneSource(cls(engine).seed(seed))
 
     return factory
 
 
 def _make_baseline(cls_path: str) -> Callable:
-    def factory(seed: int, lanes: int, dtype) -> "_WordSource":
+    def factory(seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int) -> "_WordSource":
         module_name, cls_name = cls_path.rsplit(".", 1)
         module = __import__(module_name, fromlist=[cls_name])
         cls = getattr(module, cls_name)
         return _WordSource(cls(seed=seed, n_streams=lanes))
 
     return factory
+
+
+# -- double-buffered refill plumbing -------------------------------------------
+# One background worker produces refill N+1 while the consumer drains N.
+# The executor is process-global and keyed by PID: a fork-inherited
+# ThreadPoolExecutor is unusable (its worker thread does not survive the
+# fork but its bookkeeping says it exists, so no new thread ever spawns
+# and every submit deadlocks) — after a fork the child lazily builds its
+# own.
+_REFILL_EXECUTOR: tuple[int, ThreadPoolExecutor] | None = None
+
+
+def _refill_executor() -> ThreadPoolExecutor:
+    global _REFILL_EXECUTOR
+    pid = os.getpid()
+    if _REFILL_EXECUTOR is None or _REFILL_EXECUTOR[0] != pid:
+        _REFILL_EXECUTOR = (
+            pid,
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="bsrng-refill"),
+        )
+    return _REFILL_EXECUTOR[1]
+
+
+def _quiesce_refills() -> None:
+    """Pre-fork barrier: wait until the refill worker is idle.
+
+    Forking while the worker thread holds an allocator or GIL-internal
+    lock would deadlock the child; draining the (single-worker, FIFO)
+    queue from the forking thread guarantees the worker is between tasks
+    at fork time.
+    """
+    if _REFILL_EXECUTOR is not None and _REFILL_EXECUTOR[0] == os.getpid():
+        try:
+            _REFILL_EXECUTOR[1].submit(lambda: None).result()
+        except RuntimeError:  # pragma: no cover - executor already shut down
+            pass
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(before=_quiesce_refills)
 
 
 #: Registry: algorithm name → (factory, kind, description).
@@ -223,10 +268,32 @@ class BSRNG:
         Number of parallel generator instances (bitsliced lanes or
         baseline streams).  More lanes = more work per vector op.
     dtype:
-        Virtual datapath word type for bitsliced algorithms.
+        Virtual datapath word type for bitsliced algorithms (uint32 or
+        uint64; wider words carry more lanes per NumPy instruction).
+    fused:
+        Route refills through the compiled fused kernels
+        (:mod:`repro.codegen.fused`).  ``None`` (default) enables fusion
+        for bitsliced algorithms and is a no-op for baselines; the
+        stream is bit-identical either way.
+    clocks_per_call:
+        Clock batch size K of one fused kernel call.
+    prefetch:
+        Double-buffer refills: a background worker produces buffer N+1
+        while buffer N drains.  Kicks in from the second refill, so
+        one-shot draws pay nothing.
     """
 
-    def __init__(self, algorithm: str = "mickey2", seed: int = 0, lanes: int = 4096, dtype=np.uint64) -> None:
+    def __init__(
+        self,
+        algorithm: str = "mickey2",
+        seed: int = 0,
+        lanes: int = 4096,
+        dtype=np.uint64,
+        *,
+        fused: bool | None = None,
+        clocks_per_call: int = 32,
+        prefetch: bool = True,
+    ) -> None:
         try:
             factory, kind, _ = _REGISTRY[algorithm]
         except KeyError:
@@ -238,10 +305,15 @@ class BSRNG:
         self.seed = int(seed)
         self.lanes = int(lanes)
         self._dtype = dtype
+        self.fused = (kind == "bitsliced") if fused is None else bool(fused)
+        self.clocks_per_call = int(clocks_per_call)
+        self.prefetch = bool(prefetch)
         self._reseed_count = 0
-        self._source = factory(self.seed, self.lanes, dtype)
+        self._source = factory(self.seed, self.lanes, dtype, self.fused, self.clocks_per_call)
         self._buf = np.zeros(0, dtype=np.uint8)
         self._pos = 0
+        self._pending = None  # in-flight prefetched refill (Future)
+        self._refills = 0
 
     def reseed(self, seed: int | None = None) -> None:
         """Rebuild the generator bank from a fresh seed.
@@ -258,15 +330,52 @@ class BSRNG:
         self._reseed_count += 1
         if seed is None:
             seed = int(expand_seed_words(self.seed, 1, stream=31 + self._reseed_count)[0])
+        self._discard_pending()
         factory, _, _ = _REGISTRY[self.algorithm]
         self.seed = int(seed)
-        self._source = factory(self.seed, self.lanes, self._dtype)
+        self._source = factory(self.seed, self.lanes, self._dtype, self.fused, self.clocks_per_call)
         self._buf = np.zeros(0, dtype=np.uint8)
         self._pos = 0
+        self._refills = 0
 
     # -- stream plumbing ---------------------------------------------------------
     # The internal buffer is byte-granular so partial draws never discard
     # generated output: random_bytes(1) twice equals random_bytes(2).
+    def _discard_pending(self) -> None:
+        """Wait out and drop any in-flight prefetched refill."""
+        if self._pending is not None:
+            self._pending.result()
+            self._pending = None
+
+    def _next_buffer(self) -> np.ndarray:
+        """Produce the next refill, double-buffered when ``prefetch``.
+
+        The first refill is always synchronous (a one-shot draw should
+        not pay for a speculative second buffer); from the second refill
+        on, buffer N+1 is produced on the background worker while N
+        drains, so a steady consumer only ever waits for the *remainder*
+        of an overlapped refill — the buffer-swap latency metric below.
+        """
+        if not self.prefetch:
+            return self._source.next_words().view(np.uint8)
+        t0 = time.perf_counter()
+        if self._pending is not None:
+            buf = self._pending.result().view(np.uint8)
+            self._pending = None
+            obs.inc("repro_generator_prefetch_hits_total", 1, algorithm=self.algorithm)
+        else:
+            buf = self._source.next_words().view(np.uint8)
+        self._refills += 1
+        if self._refills >= 2:
+            self._pending = _refill_executor().submit(self._source.next_words)
+        if obs.metrics_enabled():
+            obs.observe(
+                "repro_generator_buffer_swap_seconds",
+                time.perf_counter() - t0,
+                algorithm=self.algorithm,
+            )
+        return buf
+
     def _take_bytes(self, n: int) -> np.ndarray:
         out = np.empty(n, dtype=np.uint8)
         filled = 0
@@ -274,7 +383,7 @@ class BSRNG:
             avail = self._buf.size - self._pos
             if avail == 0:
                 with span("refill", algo=self.algorithm):
-                    self._buf = self._source.next_words().view(np.uint8)
+                    self._buf = self._next_buffer()
                 self._pos = 0
                 avail = self._buf.size
                 if obs.metrics_enabled():
@@ -306,6 +415,14 @@ class BSRNG:
         take = min(n, self._buf.size - self._pos)
         self._pos += take
         n -= take
+        # an in-flight prefetched buffer is the next refill of the stream:
+        # it must be consumed (as skipped output) before any native seek,
+        # or the generator state would double-produce those bytes
+        if n and self._pending is not None:
+            self._buf = self._pending.result().view(np.uint8)
+            self._pending = None
+            self._pos = min(n, self._buf.size)
+            n -= self._pos
         refill = getattr(self._source, "refill_bytes", 0)
         skip = getattr(self._source, "skip_refills", None)
         if n and refill and skip is not None:
@@ -384,7 +501,16 @@ class BSRNG:
             raise SpecificationError("n_children must be positive")
         child_seeds = expand_seed_words(self.seed, n_children, stream=23)
         return [
-            BSRNG(self.algorithm, seed=int(s), lanes=self.lanes) for s in child_seeds
+            BSRNG(
+                self.algorithm,
+                seed=int(s),
+                lanes=self.lanes,
+                dtype=self._dtype,
+                fused=self.fused,
+                clocks_per_call=self.clocks_per_call,
+                prefetch=self.prefetch,
+            )
+            for s in child_seeds
         ]
 
     # -- introspection ---------------------------------------------------------------
@@ -406,6 +532,11 @@ class BSRNG:
         obs.set_gauge(
             "repro_generator_lanes", self.lanes, algorithm=self.algorithm, kind=self.kind
         )
+        obs.set_gauge("repro_generator_fused", int(self.fused), algorithm=self.algorithm)
+        if self.fused:
+            obs.set_gauge(
+                "repro_generator_clocks_per_call", self.clocks_per_call, algorithm=self.algorithm
+            )
         gpb = self.gates_per_output_bit()
         if gpb == gpb:  # skip NaN (table-based baselines)
             obs.set_gauge("repro_generator_gates_per_bit", gpb, algorithm=self.algorithm)
@@ -415,4 +546,7 @@ class BSRNG:
             engine.publish_gate_metrics(algorithm=self.algorithm)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"BSRNG(algorithm={self.algorithm!r}, seed={self.seed}, lanes={self.lanes})"
+        return (
+            f"BSRNG(algorithm={self.algorithm!r}, seed={self.seed}, lanes={self.lanes}, "
+            f"fused={self.fused})"
+        )

@@ -249,7 +249,19 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
     registry is created *inside* the worker, so fork-context workers do
     not double-count into an inherited parent registry.
     """
-    device_id, algorithm, seed, lanes, start_block, n_blocks, block_bytes, verify_crc, plan_json = job
+    (
+        device_id,
+        algorithm,
+        seed,
+        lanes,
+        start_block,
+        n_blocks,
+        block_bytes,
+        verify_crc,
+        plan_json,
+        fused,
+        clocks_per_call,
+    ) = job
     from repro.core.generator import BSRNG
 
     plan = _resolve_plan(plan_json)
@@ -257,7 +269,9 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
         plan.pre_generate(device_id, attempt)
     with obs.scoped() as reg:
         t0 = time.perf_counter()
-        rng = BSRNG(algorithm, seed=seed, lanes=lanes)
+        rng = BSRNG(
+            algorithm, seed=seed, lanes=lanes, fused=fused, clocks_per_call=clocks_per_call
+        )
         # Seek to this device's offset.  Counter-based kernels (AES-CTR, the
         # paper's §5.4 example) jump in O(1); LFSR-based kernels clock through
         # and discard, which caps their multi-device speedup — exactly why the
@@ -292,6 +306,11 @@ class MultiDeviceGenerator:
     fault_plan:
         Deterministic fault injection for tests and drills (also
         activatable via the ``REPRO_FAULT_PLAN`` env var).
+    fused / clocks_per_call:
+        Fused-kernel configuration each device worker passes to its
+        :class:`~repro.core.generator.BSRNG` (``None`` = the BSRNG
+        default: fused for bitsliced algorithms).  Workers also inherit
+        BSRNG's double-buffered refill pipeline.
     """
 
     def __init__(
@@ -307,6 +326,8 @@ class MultiDeviceGenerator:
         verify_crc: bool = False,
         degrade_sequential: bool = True,
         fault_plan: FaultPlan | None = None,
+        fused: bool | None = None,
+        clocks_per_call: int = 32,
     ) -> None:
         if n_devices <= 0:
             raise SpecificationError("n_devices must be positive")
@@ -315,6 +336,8 @@ class MultiDeviceGenerator:
         self.lanes = lanes
         self.n_devices = n_devices
         self.block_bytes = block_bytes
+        self.fused = fused
+        self.clocks_per_call = int(clocks_per_call)
         # fork avoids re-importing the stack in every worker (a fixed
         # ~second per device that would swamp small jobs); platforms
         # without fork fall back to spawn.
@@ -344,6 +367,8 @@ class MultiDeviceGenerator:
                 self.block_bytes,
                 self.config.verify_crc,
                 plan_json,
+                self.fused,
+                self.clocks_per_call,
             )
             for p in parts
             if p.n_blocks > 0
@@ -388,7 +413,13 @@ class MultiDeviceGenerator:
         """The single-device output the multi-device result must equal."""
         from repro.core.generator import BSRNG
 
-        rng = BSRNG(self.algorithm, seed=self.seed, lanes=self.lanes)
+        rng = BSRNG(
+            self.algorithm,
+            seed=self.seed,
+            lanes=self.lanes,
+            fused=self.fused,
+            clocks_per_call=self.clocks_per_call,
+        )
         return rng.random_bytes(total_blocks * self.block_bytes)
 
 
@@ -399,7 +430,18 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
     local metrics snapshot (engine gate tallies, lane window, wall time)
     for the parent-side merge.
     """
-    device_id, cls_path, seed, lane_offset, n_lanes, n_bits, verify_crc, plan_json = job
+    (
+        device_id,
+        cls_path,
+        seed,
+        lane_offset,
+        n_lanes,
+        n_bits,
+        verify_crc,
+        plan_json,
+        fused,
+        clocks_per_call,
+    ) = job
     from repro.core.engine import BitslicedEngine
 
     plan = _resolve_plan(plan_json)
@@ -409,7 +451,7 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
     cls = getattr(__import__(module_name, fromlist=[cls_name]), cls_name)
     with obs.scoped() as reg:
         t0 = time.perf_counter()
-        engine = BitslicedEngine(n_lanes=n_lanes)
+        engine = BitslicedEngine(n_lanes=n_lanes, fused=fused, clocks_per_call=clocks_per_call)
         bank = cls(engine).seed(seed, lane_offset=lane_offset)
         out = bank.keystream_bits(n_bits)
         engine.publish_gate_metrics(algorithm=cls_name)
@@ -452,6 +494,8 @@ class LanePartitionedGenerator:
         verify_crc: bool = False,
         degrade_sequential: bool = True,
         fault_plan: FaultPlan | None = None,
+        fused: bool = True,
+        clocks_per_call: int = 32,
     ) -> None:
         if algorithm not in _LANE_BANKS:
             raise SpecificationError(
@@ -476,6 +520,8 @@ class LanePartitionedGenerator:
             degrade_sequential=degrade_sequential,
         )
         self.fault_plan = fault_plan
+        self.fused = bool(fused)
+        self.clocks_per_call = int(clocks_per_call)
         self.last_report = None
 
     def device_partitions(self) -> list[DevicePartition]:
@@ -496,6 +542,8 @@ class LanePartitionedGenerator:
                 n_bits,
                 self.config.verify_crc,
                 plan_json,
+                self.fused,
+                self.clocks_per_call,
             )
             for p in self.device_partitions()
         }
@@ -521,6 +569,17 @@ class LanePartitionedGenerator:
     def sequential_reference(self, n_bits: int) -> np.ndarray:
         """One big bank on a single device — the equivalence target."""
         out, _, _ = _lane_worker(
-            (0, _LANE_BANKS[self.algorithm], self.seed, 0, self.total_lanes, n_bits, False, None)
+            (
+                0,
+                _LANE_BANKS[self.algorithm],
+                self.seed,
+                0,
+                self.total_lanes,
+                n_bits,
+                False,
+                None,
+                self.fused,
+                self.clocks_per_call,
+            )
         )
         return out

@@ -1,0 +1,177 @@
+"""Property and invariant tests for the fused path and its kernel cache.
+
+Randomised key/IV/seed material, adversarial interleavings of
+``reseed()`` / ``skip_bytes()`` / ragged partial reads, and the
+process-global :data:`repro.codegen.fused.KERNEL_CACHE` invariants
+(hits accumulate, misses stop once warm, invalidation forces an
+identical recompile).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.aes_bitsliced import BitslicedAESCTR
+from repro.ciphers.grain_bitsliced import BitslicedGrain
+from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+from repro.codegen.fused import (
+    DEFAULT_CLOCKS_PER_CALL,
+    KERNEL_CACHE,
+    KernelCache,
+    get_kernel,
+)
+from repro.core.engine import BitslicedEngine
+from repro.core.generator import BSRNG
+from repro.errors import SpecificationError
+
+ALGORITHMS = ["trivium", "grain", "mickey2", "aes128ctr"]
+
+STREAM_BANKS = {
+    "trivium": (BitslicedTrivium, 80),
+    "grain": (BitslicedGrain, 64),
+    "mickey2": (BitslicedMickey2, 80),
+}
+
+
+class TestRandomMaterial:
+    @pytest.mark.parametrize("name", sorted(STREAM_BANKS))
+    def test_random_key_iv_matrices(self, name, rng):
+        """Fresh random per-lane key/IV loads: fused == interpreter."""
+        bank_cls, iv_bits = STREAM_BANKS[name]
+        for trial in range(3):
+            lanes = int(rng.integers(1, 70))
+            keys = rng.integers(0, 2, (lanes, 80), dtype=np.uint8)
+            ivs = rng.integers(0, 2, (lanes, iv_bits), dtype=np.uint8)
+            k = int(rng.integers(1, 40))
+            fused = bank_cls(BitslicedEngine(n_lanes=lanes, fused=True, clocks_per_call=k))
+            plain = bank_cls(BitslicedEngine(n_lanes=lanes))
+            fused.load(keys, ivs)
+            plain.load(keys, ivs)
+            n_rows = int(rng.integers(1, 3 * k + 2))
+            assert np.array_equal(fused.next_planes(n_rows), plain.next_planes(n_rows)), (
+                name, trial, lanes, k, n_rows,
+            )
+
+    def test_random_aes_keys(self, rng):
+        for trial in range(3):
+            key = rng.integers(0, 256, 16, dtype=np.uint8)
+            nonce = int(rng.integers(0, 1 << 62))
+            fused = BitslicedAESCTR(BitslicedEngine(n_lanes=19, fused=True, clocks_per_call=5))
+            plain = BitslicedAESCTR(BitslicedEngine(n_lanes=19))
+            fused.load(key, nonce=nonce)
+            plain.load(key, nonce=nonce)
+            n_rows = int(rng.integers(1, 1000))
+            assert np.array_equal(fused.next_planes(n_rows), plain.next_planes(n_rows)), trial
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_random_seeds_full_generator(self, algorithm, rng):
+        for _ in range(2):
+            seed = int(rng.integers(0, 1 << 60))
+            fused = BSRNG(algorithm, seed=seed, lanes=64, fused=True)
+            plain = BSRNG(algorithm, seed=seed, lanes=64, fused=False, prefetch=False)
+            n = int(rng.integers(1, 50_000))
+            assert fused.random_bytes(n) == plain.random_bytes(n), (algorithm, seed, n)
+
+
+class TestInterleavedOperations:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_reseed_jump_partial_interleave(self, algorithm, rng):
+        """A random op schedule keeps fused+prefetch and plain in lockstep,
+        and once warm the shared kernel cache never recompiles."""
+        fused = BSRNG(algorithm, seed=3, lanes=64, fused=True, prefetch=True)
+        plain = BSRNG(algorithm, seed=3, lanes=64, fused=False, prefetch=False)
+        fused.random_bytes(64)  # warm the cache for this configuration
+        plain.random_bytes(64)
+        misses_before = KERNEL_CACHE.stats()["misses"]
+        for step in range(12):
+            op = rng.choice(["read", "skip", "reseed"], p=[0.6, 0.25, 0.15])
+            if op == "read":
+                n = int(rng.integers(1, 9000))
+                assert fused.random_bytes(n) == plain.random_bytes(n), (algorithm, step)
+            elif op == "skip":
+                n = int(rng.integers(1, 9000))
+                fused.skip_bytes(n)
+                plain.skip_bytes(n)
+            else:
+                seed = int(rng.integers(0, 1 << 32))
+                fused.reseed(seed)
+                plain.reseed(seed)
+        assert fused.random_bytes(1024) == plain.random_bytes(1024)
+        assert KERNEL_CACHE.stats()["misses"] == misses_before
+
+    @pytest.mark.parametrize("name", sorted(STREAM_BANKS))
+    def test_reseed_reuses_kernel_and_context(self, name):
+        bank_cls = STREAM_BANKS[name][0]
+        bank = bank_cls(BitslicedEngine(n_lanes=33, fused=True, clocks_per_call=8))
+        first = bank.seed(5).next_planes(40)
+        misses_before = KERNEL_CACHE.stats()["misses"]
+        again = bank.seed(5).next_planes(40)
+        assert np.array_equal(first, again)
+        assert KERNEL_CACHE.stats()["misses"] == misses_before
+
+
+class TestKernelCacheInvariants:
+    def test_same_configuration_same_kernel_object(self):
+        a = get_kernel("trivium", np.uint64, 8)
+        hits_before = KERNEL_CACHE.stats()["hits"]
+        b = get_kernel("trivium", np.uint64, 8)
+        assert a is b
+        assert KERNEL_CACHE.stats()["hits"] == hits_before + 1
+
+    def test_distinct_configurations_distinct_kernels(self):
+        a = get_kernel("trivium", np.uint64, 8)
+        assert get_kernel("trivium", np.uint32, 8) is not a
+        assert get_kernel("trivium", np.uint64, 9) is not a
+        assert get_kernel("grain", np.uint64, 8) is not a
+
+    def test_kernel_metadata(self):
+        k = get_kernel("grain", np.uint32, 6)
+        assert (k.cipher, k.clocks, k.rows_per_clock) == ("grain", 6, 1)
+        assert k.dtype == np.dtype(np.uint32)
+        assert "def " in k.source or k.source  # emitted source is retained
+        ka = get_kernel("aes128ctr", np.uint64, 2)
+        assert ka.rows_per_clock == 128
+
+    def test_unknown_cipher_rejected(self):
+        with pytest.raises(SpecificationError):
+            get_kernel("rc4", np.uint64, 8)
+        with pytest.raises(SpecificationError):
+            get_kernel("trivium", np.uint64, 0)
+
+    def test_invalidate_forces_identical_recompile(self):
+        cache = KernelCache()
+        a = cache.get("mickey2", np.uint64, 4)
+        assert cache.invalidate("mickey2") == 1
+        b = cache.get("mickey2", np.uint64, 4)
+        assert b is not a
+        assert b.source == a.source
+        assert cache.stats() == {"hits": 0, "misses": 2, "size": 1}
+
+    def test_global_invalidation_rebuilds_bank_contexts(self):
+        """Banks survive a cache flush mid-stream, bit for bit."""
+        fused = BitslicedTrivium(
+            BitslicedEngine(n_lanes=21, fused=True, clocks_per_call=8)
+        ).seed(2)
+        plain = BitslicedTrivium(BitslicedEngine(n_lanes=21)).seed(2)
+        assert np.array_equal(fused.next_planes(20), plain.next_planes(20))
+        KERNEL_CACHE.invalidate()
+        assert np.array_equal(fused.next_planes(20), plain.next_planes(20))
+
+    def test_default_clocks_constant(self):
+        assert DEFAULT_CLOCKS_PER_CALL == 32
+        eng = BitslicedEngine(n_lanes=8, fused=True)
+        assert eng.clocks_per_call == DEFAULT_CLOCKS_PER_CALL
+
+
+class TestPrefetchPipeline:
+    @pytest.mark.parametrize("algorithm", ["trivium", "aes128ctr"])
+    def test_prefetch_transparent(self, algorithm):
+        a = BSRNG(algorithm, seed=11, lanes=64, prefetch=True)
+        b = BSRNG(algorithm, seed=11, lanes=64, prefetch=False)
+        assert a.random_bytes(200_000) == b.random_bytes(200_000)
+
+    def test_spawn_children_prefetch(self):
+        parent = BSRNG("trivium", seed=1, lanes=64, prefetch=True)
+        ref = BSRNG("trivium", seed=1, lanes=64, prefetch=False)
+        for a, b in zip(parent.spawn(2), ref.spawn(2)):
+            assert a.random_bytes(10_000) == b.random_bytes(10_000)

@@ -51,6 +51,26 @@ class TestGateOps:
         self.g.ixor(out, self.b)
         assert out[0] == 0b0110
 
+    @pytest.mark.parametrize("op", ["ixor", "iand", "ior"])
+    def test_inplace_partially_aliased_operand(self, op):
+        # The register-renaming pattern: a shifted view of the output
+        # itself.  NumPy ufuncs chunk large arrays, so without a
+        # defensive copy the early output writes corrupt the later
+        # operand reads — this is the latent scratch-buffer aliasing bug.
+        # Use an array big enough to span several ufunc buffers.
+        state = np.arange(1 << 16, dtype=np.uint64)
+        expect = getattr(np, {"ixor": "bitwise_xor", "iand": "bitwise_and",
+                              "ior": "bitwise_or"}[op])(state[:-1], state[1:].copy())
+        out = state.copy()
+        getattr(self.g, op)(out[:-1], out[1:])
+        assert np.array_equal(out[:-1], expect)
+
+    def test_inplace_full_overlap_passthrough(self):
+        # Operand IS the output: well-defined in NumPy, must not copy.
+        out = np.array([0b1100, 0b1010], dtype=np.uint64)
+        self.g.ixor(out, out)
+        assert not out.any()
+
 
 class TestGateCounter:
     def test_totals(self):

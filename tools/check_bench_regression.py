@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the fused-kernel benchmarks.
+
+Compares a freshly emitted ``BENCH_figure10_fused.json`` against the
+committed baseline and fails when the fused path lost ground.  Only
+*ratios* (fused/unfused speedups) are compared — absolute Gbit/s depend
+on the runner hardware, but a speedup is a property of the code, so it
+transfers across machines up to noise.  The noise allowance is the
+``--tolerance`` (default 15%).
+
+Usage::
+
+    python tools/check_bench_regression.py CURRENT BASELINE [--tolerance 0.15]
+
+Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path: str) -> dict:
+    """Read per-kernel + geomean speedups from a BENCH_*.json file."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported bench schema {record.get('schema')!r}")
+    metrics = record.get("metrics", {})
+    speedups = dict(metrics.get("speedup", {}))
+    if not speedups:
+        raise ValueError(f"{path}: no metrics.speedup map — not a fused bench record?")
+    speedups["__geomean__"] = float(metrics["geomean_speedup"])
+    return speedups
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass)."""
+    problems = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run (baseline {base:.2f}x)")
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            problems.append(
+                f"{name}: speedup {cur:.2f}x < {floor:.2f}x "
+                f"(baseline {base:.2f}x - {tolerance:.0%})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH json emitted by this run")
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop per speedup ratio (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = load_speedups(args.current)
+        baseline = load_speedups(args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{'kernel':<14}{'baseline':>10}{'current':>10}")
+    for name in sorted(baseline):
+        label = "geomean" if name == "__geomean__" else name
+        cur = current.get(name, float("nan"))
+        print(f"{label:<14}{baseline[name]:>9.2f}x{cur:>9.2f}x")
+    problems = compare(current, baseline, args.tolerance)
+    if problems:
+        print("\nFUSED PERF REGRESSION:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"\nok: all speedups within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
