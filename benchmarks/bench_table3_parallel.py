@@ -1,0 +1,97 @@
+"""E5b — the Table-3 battery, sharded across a supervised process pool.
+
+Times the same NIST SP 800-22 workload twice — ``run_suite_sequential``
+(one process, the paper's validation path) and ``run_suite_parallel``
+with 4 workers — asserts the two reports carry identical aggregates, and
+emits ``BENCH_table3_parallel.json`` whose ``metrics.speedup`` map feeds
+``tools/check_bench_regression.py`` against the committed baseline.
+
+The speedup floor (≥ 2.5× at 4 workers) is asserted only when the
+machine actually has ≥ 4 usable cores — on fewer cores the run still
+checks conformance and emits its record, but a 1-core box cannot
+measure parallelism.  REPRO_FULL=1 scales to 96 × 1 Mbit sequences.
+"""
+
+import os
+import time
+
+from _emit import emit_bench
+from conftest import FULL_SCALE, emit_table
+
+from repro.nist.parallel import run_suite_parallel, run_suite_sequential
+
+N_SEQUENCES = 96 if FULL_SCALE else 16
+N_BITS = 1_000_000 if FULL_SCALE else 100_000
+WORKERS = 4
+SPEEDUP_FLOOR = 2.5
+
+WORKLOAD = dict(
+    algorithm="mickey2",
+    seed=0xB5B5,
+    lanes=4096,
+    n_sequences=N_SEQUENCES,
+    n_bits=N_BITS,
+)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_table3_parallel_speedup():
+    t0 = time.perf_counter()
+    seq_report = run_suite_sequential(**WORKLOAD)
+    sequential_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par_report = run_suite_parallel(**WORKLOAD, workers=WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    # the speedup only counts if the sharded battery is the *same* battery
+    assert par_report.per_test == seq_report.per_test
+    assert par_report.skipped == seq_report.skipped
+    assert par_report.errors == seq_report.errors
+
+    speedup = sequential_s / parallel_s
+    cores = _usable_cores()
+    lines = [
+        f"NIST SP 800-22 battery, {N_SEQUENCES} sequences x {N_BITS:,} bits "
+        f"(bitsliced MICKEY 2.0), {cores} cores",
+        "",
+        f"{'path':<24}{'wall (s)':>12}",
+        "-" * 36,
+        f"{'sequential':<24}{sequential_s:>12.2f}",
+        f"{f'parallel ({WORKERS} workers)':<24}{parallel_s:>12.2f}",
+        "",
+        f"speedup: {speedup:.2f}x   (aggregates identical: yes)",
+        "",
+        par_report.to_table(),
+    ]
+    emit_table("table3_parallel", lines)
+    emit_bench(
+        "table3_parallel",
+        params={
+            "n_sequences": N_SEQUENCES,
+            "n_bits": N_BITS,
+            "workers": WORKERS,
+            "cores": cores,
+            "full_scale": FULL_SCALE,
+        },
+        wall_s=parallel_s,
+        metrics={
+            "sequential_wall_s": sequential_s,
+            "parallel_wall_s": parallel_s,
+            "speedup": {"battery": speedup},
+            "geomean_speedup": speedup,
+            "shards": len(par_report.supervision.attempts),
+        },
+    )
+
+    if cores >= WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel battery speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x "
+            f"on {cores} cores"
+        )

@@ -7,7 +7,9 @@ Commands
 ``gen``
     Generate random output (hex, raw binary, or NIST sts input formats).
 ``nist``
-    Run the SP 800-22 battery on a generator or an input file.
+    Run the SP 800-22 battery on a generator or an input file —
+    ``--workers N`` shards it across a supervised process pool
+    (``--timeout``/``--retries`` set the per-shard recovery policy).
 ``fips``
     Run the FIPS 140-2 power-up battery (fast accept/reject gate).
 ``selftest``
@@ -23,7 +25,7 @@ Commands
 ``cuda``
     Emit the generated CUDA kernels (paper §4.4).
 
-``gen``, ``throughput`` and ``selftest`` accept ``--metrics-out PATH``
+``gen``, ``nist``, ``throughput`` and ``selftest`` accept ``--metrics-out PATH``
 (write a JSON metrics snapshot) and ``--trace-out PATH`` (write a
 Chrome-trace-event JSON viewable in Perfetto), plus the fused-kernel
 group ``--fused/--no-fused``, ``--clocks-per-call K`` and ``--dtype
@@ -127,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
     nist.add_argument("--sequences", type=int, default=24)
     nist.add_argument("--bits", type=int, default=100_000)
     nist.add_argument("--input", help="read bits from a raw binary file instead")
+    nist.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the battery across N supervised worker processes "
+        "(1 = sequential; requires a generator source, not --input)",
+    )
+    nist.add_argument(
+        "--timeout", type=float, default=None, help="per-shard-round timeout (s)"
+    )
+    nist.add_argument("--retries", type=int, default=2, help="per-shard retry budget")
+    add_fused_flags(nist)
+    add_telemetry_flags(nist)
 
     fips = sub.add_parser("fips", help="FIPS 140-2 power-up battery (20,000 bits)")
     fips.add_argument("-a", "--algorithm", default="mickey2")
@@ -320,27 +335,62 @@ def _cmd_gen(args) -> int:
 def _cmd_nist(args) -> int:
     from repro.bitio.bits import bits_from_bytes
     from repro.core.generator import BSRNG
-    from repro.nist import run_suite
+    from repro.nist import run_suite, run_suite_parallel
+    from repro.obs import span
 
-    if args.input:
-        raw = open(args.input, "rb").read()
-        bits = bits_from_bytes(raw)
-        per_seq = bits.size // args.sequences
-        if per_seq == 0:
-            print("input too short for the requested sequence count", file=sys.stderr)
-            return 2
-        source = lambda i: bits[i * per_seq : (i + 1) * per_seq]  # noqa: E731
-        n_bits = per_seq
-    else:
-        rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes)
-        source = lambda i: rng.random_bits(args.bits)  # noqa: E731
-        n_bits = args.bits
-    print(
-        f"NIST SP 800-22: {args.sequences} sequences x {n_bits:,} bits "
-        f"({'file ' + args.input if args.input else args.algorithm})"
-    )
-    report = run_suite(source, args.sequences)
+    workers = args.workers
+    if args.input and workers > 1:
+        print(
+            "--workers needs a generator source (workers regenerate their "
+            "sequence chunks); running the file battery sequentially",
+            file=sys.stderr,
+        )
+        workers = 1
+    with _telemetry(args), span(
+        "nist", algo=args.algorithm, sequences=args.sequences, workers=workers
+    ):
+        if args.input:
+            raw = open(args.input, "rb").read()
+            bits = bits_from_bytes(raw)
+            per_seq = bits.size // args.sequences
+            if per_seq == 0:
+                print("input too short for the requested sequence count", file=sys.stderr)
+                return 2
+            source = lambda i: bits[i * per_seq : (i + 1) * per_seq]  # noqa: E731
+            n_bits = per_seq
+        else:
+            n_bits = args.bits
+        print(
+            f"NIST SP 800-22: {args.sequences} sequences x {n_bits:,} bits "
+            f"({'file ' + args.input if args.input else args.algorithm})"
+            + (f", {workers} workers" if workers > 1 else "")
+        )
+        if workers > 1:
+            report = run_suite_parallel(
+                args.algorithm,
+                seed=args.seed,
+                lanes=args.lanes,
+                n_sequences=args.sequences,
+                n_bits=n_bits,
+                workers=workers,
+                timeout=args.timeout,
+                max_retries=args.retries,
+                **_fused_kwargs(args),
+            )
+        elif args.input:
+            report = run_suite(source, args.sequences)
+        else:
+            rng = BSRNG(args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args))
+            report = run_suite(lambda i: rng.random_bits(n_bits), args.sequences)
     print(report.to_table())
+    sup = report.supervision
+    if sup is not None and (sup.events or sup.degraded):
+        print(
+            f"\nsupervision: {len(sup.attempts)} shards, "
+            f"{len(sup.retried_partitions)} retried, degraded: {sup.degraded}"
+        )
+        for event in sup.events:
+            print(f"  shard {event.partition} attempt {event.attempt}: {event.kind}")
     print(f"\nall passed: {report.all_passed}")
     return 0 if report.all_passed else 1
 

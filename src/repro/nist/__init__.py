@@ -19,6 +19,7 @@ from repro.nist.fips140 import Fips140Report, fips140_battery
 from repro.nist.excursions import random_excursions_test, random_excursions_variant_test
 from repro.nist.frequency import block_frequency_test, frequency_test
 from repro.nist.rank import binary_matrix_rank_test
+from repro.nist.parallel import plan_shards, run_suite_parallel, run_suite_sequential
 from repro.nist.result import TestResult
 from repro.nist.runs import longest_run_test, runs_test
 from repro.nist.serial import serial_test
@@ -53,6 +54,9 @@ __all__ = [
     "random_excursions_variant_test",
     "ALL_TESTS",
     "run_suite",
+    "run_suite_parallel",
+    "run_suite_sequential",
+    "plan_shards",
     "summarize_pvalues",
     "SuiteReport",
 ]

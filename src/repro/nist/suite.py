@@ -14,12 +14,14 @@ battery can stream gigabit workloads without holding them all in memory.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.errors import InsufficientDataError
+from repro import obs
+from repro.errors import InsufficientDataError, SpecificationError
 from repro.nist._utils import igamc
 from repro.nist.complexity import linear_complexity_test
 from repro.nist.cusum import cumulative_sums_test
@@ -60,7 +62,10 @@ def summarize_pvalues(p_values, alpha: float = ALPHA) -> dict:
     """NIST aggregation of one test's p-values across sequences.
 
     Returns proportion, the proportion confidence band, and the
-    uniformity P-value (χ² over 10 bins; requires ≥ 2 samples).
+    uniformity P-value (χ² over 10 bins; requires ≥ 2 samples — with a
+    single sample the χ² statistic is meaningless, so ``uniformity_p``
+    and ``uniformity_ok`` are reported as ``None`` = not applicable and
+    the pass decision rests on the proportion alone).
     """
     ps = np.asarray(list(p_values), dtype=np.float64)
     s = ps.size
@@ -68,36 +73,68 @@ def summarize_pvalues(p_values, alpha: float = ALPHA) -> dict:
         raise InsufficientDataError("no p-values to summarize")
     proportion = float(np.mean(ps >= alpha))
     band = 3.0 * math.sqrt(alpha * (1 - alpha) / s)
+    # both band edges clamp to the [0, 1] proportions they bound
+    low = max(0.0, (1 - alpha) - band)
+    out = {
+        "n_sequences": s,
+        "proportion": proportion,
+        "proportion_low": low,
+        "proportion_high": min(1.0, (1 - alpha) + band),
+        "proportion_ok": proportion >= low,
+    }
+    if s < 2:
+        out["uniformity_p"] = None
+        out["uniformity_ok"] = None  # not applicable below 2 samples
+        return out
     counts, _ = np.histogram(ps, bins=10, range=(0.0, 1.0))
     expected = s / 10.0
     chi2 = float(np.sum((counts - expected) ** 2 / expected))
     uniformity_p = igamc(9 / 2.0, chi2 / 2.0)
-    return {
-        "n_sequences": s,
-        "proportion": proportion,
-        "proportion_low": (1 - alpha) - band,
-        "proportion_high": min(1.0, (1 - alpha) + band),
-        "proportion_ok": proportion >= (1 - alpha) - band,
-        "uniformity_p": uniformity_p,
-        "uniformity_ok": uniformity_p >= 0.0001,  # NIST's uniformity threshold
-    }
+    out["uniformity_p"] = uniformity_p
+    out["uniformity_ok"] = uniformity_p >= 0.0001  # NIST's uniformity threshold
+    return out
+
+
+def _row_ok(row: dict) -> bool:
+    """One aggregated row's pass decision (``uniformity_ok is None`` =
+    the χ² was not applicable, so the proportion criterion decides)."""
+    return bool(row["proportion_ok"]) and row["uniformity_ok"] is not False
 
 
 @dataclass
 class SuiteReport:
-    """Aggregated battery results across all sequences."""
+    """Aggregated battery results across all sequences.
+
+    ``errors`` counts, per test, the sequences dropped because the test
+    raised :class:`~repro.errors.InsufficientDataError` on them — a test
+    that dropped *some* sequences still aggregates (over the partial
+    sample set) but the loss is first-class data, rendered by
+    :meth:`to_table` so a partial battery never masquerades as a full
+    one.  A test that dropped *every* sequence lands in ``skipped``.
+    """
 
     n_sequences: int
     n_bits: int
     per_test: dict[str, dict] = field(default_factory=dict)
     skipped: dict[str, str] = field(default_factory=dict)
+    #: test name → sequences dropped by InsufficientDataError.
+    errors: dict[str, int] = field(default_factory=dict)
+    #: Supervision details when produced by the parallel runner
+    #: (:func:`repro.nist.parallel.run_suite_parallel`); ``None`` for
+    #: sequential batteries.  Not part of the aggregate comparison.
+    supervision: object | None = None
 
     @property
     def all_passed(self) -> bool:
-        """True when every test passes both NIST criteria."""
-        return all(
-            row["proportion_ok"] and row["uniformity_ok"] for row in self.per_test.values()
-        )
+        """True when every test passes both NIST criteria.
+
+        A battery that aggregated nothing (every test skipped, or no
+        tests ran at all) reports ``False`` — an empty run is not a
+        passing run.
+        """
+        if not self.per_test:
+            return False
+        return all(_row_ok(row) for row in self.per_test.values())
 
     def to_table(self) -> str:
         """Render in the layout of the paper's Table 3."""
@@ -106,10 +143,12 @@ class SuiteReport:
             "-" * 60,
         ]
         for name, row in self.per_test.items():
-            ok = row["proportion_ok"] and row["uniformity_ok"]
+            pval = "n/a" if row["uniformity_p"] is None else f"{row['uniformity_p']:.6f}"
+            dropped = self.errors.get(name, 0)
+            note = f"  [dropped {dropped}/{self.n_sequences} seqs]" if dropped else ""
             lines.append(
-                f"{name:<26}{row['uniformity_p']:>12.6f}{row['proportion']:>12.4f}"
-                f"  {'Success' if ok else 'FAILURE'}"
+                f"{name:<26}{pval:>12}{row['proportion']:>12.4f}"
+                f"  {'Success' if _row_ok(row) else 'FAILURE'}{note}"
             )
         for name, reason in self.skipped.items():
             lines.append(f"{name:<26}{'—':>12}{'—':>12}  skipped ({reason})")
@@ -134,7 +173,14 @@ def run_suite(
 
     Tests that raise :class:`~repro.errors.InsufficientDataError` on every
     sequence are reported as skipped rather than failing the battery
-    (matching sts behaviour for e.g. Universal on short inputs).
+    (matching sts behaviour for e.g. Universal on short inputs); tests
+    that raise on only *some* sequences aggregate the surviving samples
+    and record the loss in :attr:`SuiteReport.errors`.
+
+    All sequences must have the same length — the battery's sequence
+    length is a single number (Table 3's "n") and a mixed-length sample
+    set would silently change what the aggregation means; a mismatch
+    raises :class:`~repro.errors.SpecificationError`.
     """
     tests = dict(tests) if tests is not None else dict(ALL_TESTS)
     if callable(sequence_source):
@@ -144,17 +190,32 @@ def run_suite(
         getter = lambda i: seqs[i]  # noqa: E731
 
     collected: dict[str, list[float]] = {name: [] for name in tests}
-    errors: dict[str, str] = {}
+    reasons: dict[str, str] = {}
+    dropped: dict[str, int] = {name: 0 for name in tests}
+    timed = obs.metrics_enabled()
     n_bits = 0
     for i in range(n_sequences):
         bits = np.asarray(getter(i))
-        n_bits = bits.size
+        if i == 0:
+            n_bits = bits.size
+        elif bits.size != n_bits:
+            raise SpecificationError(
+                f"sequence {i} has {bits.size} bits, expected {n_bits} — "
+                "a battery aggregates equal-length sequences only"
+            )
         for name, fn in tests.items():
+            t0 = time.perf_counter() if timed else 0.0
             try:
                 result: TestResult = fn(bits)
             except InsufficientDataError as exc:
-                errors.setdefault(name, str(exc))
+                dropped[name] += 1
+                reasons.setdefault(name, str(exc))
                 continue
+            finally:
+                if timed:
+                    obs.observe(
+                        "repro_nist_test_seconds", time.perf_counter() - t0, test=name
+                    )
             # sts semantics: every sub-test p-value (each excursion state,
             # each serial psi, forward and backward cusum) enters the
             # aggregation as its own sample; aggregating the per-sequence
@@ -167,5 +228,7 @@ def run_suite(
         if collected[name]:
             report.per_test[name] = summarize_pvalues(collected[name])
         else:
-            report.skipped[name] = errors.get(name, "no data")
+            report.skipped[name] = reasons.get(name, "no data")
+        if dropped[name]:
+            report.errors[name] = dropped[name]
     return report

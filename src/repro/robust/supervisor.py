@@ -73,6 +73,13 @@ class SupervisorConfig:
     verify_crc: bool = False
     degrade_sequential: bool = True
     maxtasksperchild: int | None = 1
+    #: Pool size cap.  ``None`` (the historical behaviour) sizes each
+    #: round's pool to the number of pending partitions — right when a
+    #: partition models a physical device.  Shard-style jobs (many more
+    #: work units than cores, e.g. the parallel NIST battery) set an
+    #: explicit worker count; queued shards then share the capped pool
+    #: and the round deadline scales by the resulting number of waves.
+    processes: int | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -81,6 +88,8 @@ class SupervisorConfig:
             raise SpecificationError("max_retries must be non-negative")
         if self.backoff_base < 0 or self.backoff_factor < 1.0:
             raise SpecificationError("need backoff_base >= 0 and backoff_factor >= 1")
+        if self.processes is not None and self.processes <= 0:
+            raise SpecificationError("processes must be positive (or None)")
 
     def backoff(self, round_index: int) -> float:
         """Sleep before retry round *round_index* (1-based)."""
@@ -208,13 +217,20 @@ class PartitionSupervisor:
         """One pool pass over every pending partition."""
         cfg = self.config
         ctx = mp.get_context(self.mp_context)
-        pool = ctx.Pool(processes=len(pending), maxtasksperchild=cfg.maxtasksperchild)
+        procs = len(pending) if cfg.processes is None else min(cfg.processes, len(pending))
+        pool = ctx.Pool(processes=procs, maxtasksperchild=cfg.maxtasksperchild)
         try:
             handles = {
                 pid: pool.apply_async(self.worker, (payload, attempt))
                 for pid, payload in pending.items()
             }
-            deadline = time.monotonic() + cfg.timeout if cfg.timeout is not None else None
+            deadline = None
+            if cfg.timeout is not None:
+                # with a capped pool the pending partitions drain in
+                # waves; a queued partition must not be charged for the
+                # wait behind partitions that ran first
+                waves = -(-len(pending) // procs)
+                deadline = time.monotonic() + cfg.timeout * waves
             for pid, handle in handles.items():
                 self._bump(pid)
                 wait: float | None = None

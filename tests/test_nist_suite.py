@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 from scipy.special import gammaincc
 
-from repro.errors import InsufficientDataError
+from repro.errors import InsufficientDataError, SpecificationError
 from repro.nist import ALL_TESTS, SuiteReport, run_suite, summarize_pvalues
 from repro.nist.result import ALPHA
 from repro.nist.result import TestResult as NistResult
@@ -60,6 +60,28 @@ class TestSummarize:
     def test_empty_raises(self):
         with pytest.raises(InsufficientDataError):
             summarize_pvalues([])
+
+    def test_single_sample_uniformity_not_applicable(self):
+        # the docstring demands >= 2 samples for the chi-square; with one
+        # sample it must report not-applicable, never a fabricated p-value
+        out = summarize_pvalues([0.5])
+        assert out["n_sequences"] == 1
+        assert out["uniformity_p"] is None
+        assert out["uniformity_ok"] is None
+        assert out["proportion_ok"]
+
+    def test_proportion_low_clamped_at_zero(self):
+        # wide alpha + tiny s used to drive the lower band edge negative
+        # while the upper edge was clamped at 1.0
+        out = summarize_pvalues([0.6], alpha=0.5)
+        assert out["proportion_low"] == 0.0
+        assert out["proportion_high"] == 1.0
+
+    def test_single_sample_row_renders_and_passes(self):
+        rep = SuiteReport(1, 100)
+        rep.per_test["X"] = summarize_pvalues([0.5])
+        assert "n/a" in rep.to_table()
+        assert rep.all_passed  # proportion criterion decides when chi2 is n/a
 
 
 class TestRunSuite:
@@ -121,6 +143,40 @@ class TestRunSuite:
         seqs = [(rng.random(5000) < 0.55).astype(np.uint8) for _ in range(6)]
         rep = run_suite(seqs, 6, tests={"Frequency": ALL_TESTS["Frequency"]})
         assert not rep.all_passed
+
+    def test_all_skipped_battery_is_not_a_pass(self):
+        # a battery that ran nothing must not report success
+        assert not SuiteReport(1, 100).all_passed
+        seqs = [np.random.default_rng(i).integers(0, 2, 200, dtype=np.uint8) for i in range(3)]
+        rep = run_suite(seqs, 3, tests={"FFT": ALL_TESTS["FFT"]})  # needs 1000 bits
+        assert rep.skipped and not rep.per_test
+        assert not rep.all_passed
+
+    def test_partial_insufficient_data_is_counted_and_flagged(self):
+        # a test that drops only *some* sequences must surface the loss
+        calls = {"n": 0}
+
+        def flaky(bits):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise InsufficientDataError("every other sequence is too thin")
+            return NistResult("flaky", [0.5])
+
+        seqs = [np.random.default_rng(i).integers(0, 2, 1000, dtype=np.uint8) for i in range(4)]
+        rep = run_suite(seqs, 4, tests={"Flaky": flaky, "Frequency": ALL_TESTS["Frequency"]})
+        assert rep.errors == {"Flaky": 2}
+        assert rep.per_test["Flaky"]["n_sequences"] == 2  # partial aggregation
+        assert "Frequency" not in rep.errors
+        assert "[dropped 2/4 seqs]" in rep.to_table()
+
+    def test_mixed_length_sequences_raise(self):
+        rng = np.random.default_rng(9)
+        seqs = [
+            rng.integers(0, 2, 1000, dtype=np.uint8),
+            rng.integers(0, 2, 1500, dtype=np.uint8),
+        ]
+        with pytest.raises(SpecificationError, match="1500 bits, expected 1000"):
+            run_suite(seqs, 2, tests={"Frequency": ALL_TESTS["Frequency"]})
 
 
 class TestTable3Workflow:

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Perf-regression gate for the fused-kernel benchmarks.
+"""Perf-regression gate for speedup-ratio benchmarks.
 
-Compares a freshly emitted ``BENCH_figure10_fused.json`` against the
-committed baseline and fails when the fused path lost ground.  Only
-*ratios* (fused/unfused speedups) are compared — absolute Gbit/s depend
-on the runner hardware, but a speedup is a property of the code, so it
-transfers across machines up to noise.  The noise allowance is the
-``--tolerance`` (default 15%).
+Compares a freshly emitted ``BENCH_*.json`` record (the fused-kernel
+speedups of ``BENCH_figure10_fused.json``, the parallel-battery speedup
+of ``BENCH_table3_parallel.json``, ...) against its committed baseline
+and fails when the optimised path lost ground.  Only *ratios* (the
+``metrics.speedup`` map plus ``metrics.geomean_speedup``) are compared —
+absolute Gbit/s or wall seconds depend on the runner hardware, but a
+speedup is a property of the code, so it transfers across machines up to
+noise.  The noise allowance is the ``--tolerance`` (default 15%).
 
 Usage::
 
@@ -31,7 +33,7 @@ def load_speedups(path: str) -> dict:
     metrics = record.get("metrics", {})
     speedups = dict(metrics.get("speedup", {}))
     if not speedups:
-        raise ValueError(f"{path}: no metrics.speedup map — not a fused bench record?")
+        raise ValueError(f"{path}: no metrics.speedup map — not a speedup bench record?")
     speedups["__geomean__"] = float(metrics["geomean_speedup"])
     return speedups
 
@@ -77,7 +79,7 @@ def main(argv=None) -> int:
         print(f"{label:<14}{baseline[name]:>9.2f}x{cur:>9.2f}x")
     problems = compare(current, baseline, args.tolerance)
     if problems:
-        print("\nFUSED PERF REGRESSION:", file=sys.stderr)
+        print("\nPERF REGRESSION:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
