@@ -20,6 +20,10 @@ Commands
 ``stats``
     Render a telemetry snapshot (JSON/Prometheus/human) — either a
     ``--metrics-out`` file or a fresh instrumented run.
+``serve``
+    Run the RNG-as-a-service daemon: counter-space leases, streaming
+    HTTP endpoints, ``/healthz``/``/metrics``, graceful SIGTERM drain
+    (see ``repro.serve`` and DESIGN.md §12).
 ``model``
     Query the anchored GPU throughput model (the paper's Figure 10).
 ``cuda``
@@ -203,6 +207,50 @@ def build_parser() -> argparse.ArgumentParser:
         "-n", "--bytes", type=int, default=1 << 20, dest="n_bytes",
         help="bytes to generate in the no-input self-run mode",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the RNG-as-a-service daemon (HTTP, leases, /healthz)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8797, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument("-a", "--algorithm", default="trivium")
+    serve.add_argument("-s", "--seed", type=int, default=0)
+    serve.add_argument("-l", "--lanes", type=int, default=4096)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent generation worker processes (0 = inline, no pool)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, help="per-chunk worker timeout (s)"
+    )
+    serve.add_argument("--retries", type=int, default=2, help="per-chunk retry budget")
+    serve.add_argument(
+        "--chunk-bytes", type=int, default=1 << 16,
+        help="generation / streaming granularity (default 64 KiB)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=4,
+        help="buffered chunks per stream before backpressure (default 4)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds in-flight requests get after SIGTERM (default 10)",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="lease journal (JSONL); restarting over it resumes allocation",
+    )
+    serve.add_argument(
+        "--no-screen", action="store_true",
+        help="disable the SP 800-90B RCT/APT output screen",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=2.0**-20,
+        help="health-screen false-positive rate (default 2^-20)",
+    )
+    add_fused_flags(serve)
 
     model = sub.add_parser("model", help="query the GPU throughput model")
     model.add_argument("-k", "--kernel", default="mickey2")
@@ -508,6 +556,54 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import logging
+
+    from repro.robust.supervisor import SupervisorConfig
+    from repro.serve import DaemonConfig, ServeDaemon, ServeEngine, StreamConfig
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    stream = StreamConfig(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        lanes=args.lanes,
+        dtype=args.dtype,
+        fused=args.fused,
+        clocks_per_call=args.clocks_per_call,
+    )
+    engine = ServeEngine(
+        stream,
+        workers=args.workers,
+        supervision=SupervisorConfig(timeout=args.timeout, max_retries=args.retries),
+        screen=not args.no_screen,
+        alpha=args.alpha,
+    )
+    daemon = ServeDaemon(
+        engine,
+        DaemonConfig(
+            host=args.host,
+            port=args.port,
+            chunk_bytes=args.chunk_bytes,
+            queue_depth=args.queue_depth,
+            drain_grace=args.drain_grace,
+            journal_path=args.journal,
+        ),
+    )
+
+    def on_started() -> None:
+        # parseable readiness line: supervisors and the smoke test key on it
+        print(
+            f"repro-serve listening on {daemon.config.host}:{daemon.bound_port}",
+            flush=True,
+        )
+
+    asyncio.run(daemon.run(install_signal_handlers=True, on_started=on_started))
+    return 0
+
+
 def _cmd_model(args) -> int:
     from repro.gpu.model import ThroughputModel
     from repro.gpu.specs import TABLE2_GPUS
@@ -551,6 +647,7 @@ _COMMANDS = {
     "selftest": _cmd_selftest,
     "throughput": _cmd_throughput,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
     "model": _cmd_model,
     "cuda": _cmd_cuda,
 }

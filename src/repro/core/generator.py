@@ -16,6 +16,7 @@ True
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
@@ -281,6 +282,24 @@ class BSRNG:
         Double-buffer refills: a background worker produces buffer N+1
         while buffer N drains.  Kicks in from the second refill, so
         one-shot draws pay nothing.
+
+    Thread safety
+    -------------
+    All public draws (:meth:`read`, :meth:`random_bytes`, ...),
+    :meth:`skip_bytes` and :meth:`reseed` serialise on :attr:`lock`, a
+    re-entrant lock, so concurrent callers interleave at draw granularity
+    and the union of their draws is exactly the sequential stream — no
+    bytes are duplicated or lost.  Compound operations that must be
+    atomic (e.g. "record :meth:`tell`, then draw") take the lock
+    explicitly::
+
+        with rng.lock:
+            offset = rng.tell()
+            data = rng.read(n)   # data == offline stream at `offset`
+
+    The serve layer's worker pool instead relies on the *per-worker
+    ownership invariant*: each worker process owns its generator
+    exclusively, so the lock is uncontended there.
     """
 
     def __init__(
@@ -314,6 +333,10 @@ class BSRNG:
         self._pos = 0
         self._pending = None  # in-flight prefetched refill (Future)
         self._refills = 0
+        #: Serialises draws/seeks/reseeds across threads (re-entrant, so
+        #: callers can compose atomic tell-then-read sequences).
+        self.lock = threading.RLock()
+        self._position = 0  # stream offset: bytes emitted + skipped since seed
 
     def reseed(self, seed: int | None = None) -> None:
         """Rebuild the generator bank from a fresh seed.
@@ -326,17 +349,21 @@ class BSRNG:
         """
         from repro.core.seeding import expand_seed_words
 
-        obs.inc("repro_generator_reseeds_total", 1, algorithm=self.algorithm)
-        self._reseed_count += 1
-        if seed is None:
-            seed = int(expand_seed_words(self.seed, 1, stream=31 + self._reseed_count)[0])
-        self._discard_pending()
-        factory, _, _ = _REGISTRY[self.algorithm]
-        self.seed = int(seed)
-        self._source = factory(self.seed, self.lanes, self._dtype, self.fused, self.clocks_per_call)
-        self._buf = np.zeros(0, dtype=np.uint8)
-        self._pos = 0
-        self._refills = 0
+        with self.lock:
+            obs.inc("repro_generator_reseeds_total", 1, algorithm=self.algorithm)
+            self._reseed_count += 1
+            if seed is None:
+                seed = int(expand_seed_words(self.seed, 1, stream=31 + self._reseed_count)[0])
+            self._discard_pending()
+            factory, _, _ = _REGISTRY[self.algorithm]
+            self.seed = int(seed)
+            self._source = factory(
+                self.seed, self.lanes, self._dtype, self.fused, self.clocks_per_call
+            )
+            self._buf = np.zeros(0, dtype=np.uint8)
+            self._pos = 0
+            self._refills = 0
+            self._position = 0
 
     # -- stream plumbing ---------------------------------------------------------
     # The internal buffer is byte-granular so partial draws never discard
@@ -377,26 +404,30 @@ class BSRNG:
         return buf
 
     def _take_bytes(self, n: int) -> np.ndarray:
-        out = np.empty(n, dtype=np.uint8)
-        filled = 0
-        while filled < n:
-            avail = self._buf.size - self._pos
-            if avail == 0:
-                with span("refill", algo=self.algorithm):
-                    self._buf = self._next_buffer()
-                self._pos = 0
-                avail = self._buf.size
-                if obs.metrics_enabled():
-                    obs.inc("repro_generator_refills_total", 1, algorithm=self.algorithm)
-                    obs.inc("repro_generator_generated_bytes_total", avail, algorithm=self.algorithm)
-                    obs.observe("repro_generator_refill_bytes", avail, algorithm=self.algorithm)
-            take = min(avail, n - filled)
-            out[filled : filled + take] = self._buf[self._pos : self._pos + take]
-            self._pos += take
-            filled += take
-        if obs.metrics_enabled():
-            obs.inc("repro_generator_emitted_bytes_total", n, algorithm=self.algorithm)
-        return out
+        with self.lock:
+            out = np.empty(n, dtype=np.uint8)
+            filled = 0
+            while filled < n:
+                avail = self._buf.size - self._pos
+                if avail == 0:
+                    with span("refill", algo=self.algorithm):
+                        self._buf = self._next_buffer()
+                    self._pos = 0
+                    avail = self._buf.size
+                    if obs.metrics_enabled():
+                        obs.inc("repro_generator_refills_total", 1, algorithm=self.algorithm)
+                        obs.inc(
+                            "repro_generator_generated_bytes_total", avail, algorithm=self.algorithm
+                        )
+                        obs.observe("repro_generator_refill_bytes", avail, algorithm=self.algorithm)
+                take = min(avail, n - filled)
+                out[filled : filled + take] = self._buf[self._pos : self._pos + take]
+                self._pos += take
+                filled += take
+            self._position += n
+            if obs.metrics_enabled():
+                obs.inc("repro_generator_emitted_bytes_total", n, algorithm=self.algorithm)
+            return out
 
     def _take_words(self, n: int) -> np.ndarray:
         return self._take_bytes(8 * n).view(np.uint64)
@@ -410,31 +441,45 @@ class BSRNG:
         """
         if n < 0:
             raise SpecificationError("n must be non-negative")
-        obs.inc("repro_generator_skipped_bytes_total", n, algorithm=self.algorithm)
-        # drain whatever is already buffered
-        take = min(n, self._buf.size - self._pos)
-        self._pos += take
-        n -= take
-        # an in-flight prefetched buffer is the next refill of the stream:
-        # it must be consumed (as skipped output) before any native seek,
-        # or the generator state would double-produce those bytes
-        if n and self._pending is not None:
-            self._buf = self._pending.result().view(np.uint8)
-            self._pending = None
-            self._pos = min(n, self._buf.size)
-            n -= self._pos
-        refill = getattr(self._source, "refill_bytes", 0)
-        skip = getattr(self._source, "skip_refills", None)
-        if n and refill and skip is not None:
-            k = n // refill
-            if k and skip(k):
-                n -= k * refill
-        while n:
-            self._buf = self._source.next_words().view(np.uint8)
-            self._pos = min(n, self._buf.size)
-            n -= self._pos
+        with self.lock:
+            obs.inc("repro_generator_skipped_bytes_total", n, algorithm=self.algorithm)
+            self._position += n
+            # drain whatever is already buffered
+            take = min(n, self._buf.size - self._pos)
+            self._pos += take
+            n -= take
+            # an in-flight prefetched buffer is the next refill of the stream:
+            # it must be consumed (as skipped output) before any native seek,
+            # or the generator state would double-produce those bytes
+            if n and self._pending is not None:
+                self._buf = self._pending.result().view(np.uint8)
+                self._pending = None
+                self._pos = min(n, self._buf.size)
+                n -= self._pos
+            refill = getattr(self._source, "refill_bytes", 0)
+            skip = getattr(self._source, "skip_refills", None)
+            if n and refill and skip is not None:
+                k = n // refill
+                if k and skip(k):
+                    n -= k * refill
+            while n:
+                self._buf = self._source.next_words().view(np.uint8)
+                self._pos = min(n, self._buf.size)
+                n -= self._pos
 
     # -- public draws -----------------------------------------------------------
+    def read(self, n: int) -> bytes:
+        """*n* stream bytes (file-like alias of :meth:`random_bytes`)."""
+        return self.random_bytes(n)
+
+    def tell(self) -> int:
+        """Current stream offset: bytes emitted plus bytes skipped since
+        the last (re)seed.  ``rng.tell()`` names the offset at which the
+        next :meth:`read` begins — the coordinate the serve layer's
+        counter-space leases are expressed in."""
+        with self.lock:
+            return self._position
+
     def random_uint64(self, n: int) -> np.ndarray:
         """*n* uniform 64-bit words."""
         if n < 0:

@@ -1,0 +1,441 @@
+"""The daemon's generation core: a persistent, supervised worker pool.
+
+:class:`ServeEngine` turns lease ranges into bytes.  It reuses the
+machinery the batch layers built:
+
+* **counter-space addressing** — every chunk is a pure function of
+  ``(stream config, offset, length)`` via :meth:`BSRNG.skip_bytes`, the
+  same partitioning :mod:`repro.gpu.multigpu` uses (§5.4 of the paper),
+  so any worker can serve any chunk and a retried chunk is
+  byte-identical;
+* **supervision** — the per-chunk dispatch applies the
+  :class:`~repro.robust.supervisor.SupervisorConfig` policy (timeout,
+  retry with backoff, optional CRC receipt via
+  :func:`~repro.robust.supervisor.payload_crc`) against a *persistent*
+  ``multiprocessing.Pool`` instead of the batch supervisor's
+  pool-per-round: a long-lived service cannot pay pool startup per
+  request, and a worker that crashes is replaced by the pool while the
+  chunk is retried elsewhere — the lease is effectively reassigned;
+* **fault injection** — workers honour ``REPRO_FAULT_PLAN``
+  (:class:`~repro.robust.faults.FaultPlan`) keyed by ``(chunk_id,
+  attempt)``, so drills can crash a worker or wedge a payload
+  deterministically;
+* **health gating** — accepted chunks stream through the SP 800-90B
+  Repetition Count / Adaptive Proportion tests
+  (:mod:`repro.robust.health`).  A screening failure is treated like any
+  other failed attempt (the chunk is regenerated), and the verdict is
+  *latched*: ``/healthz`` reports unhealthy from the first failure until
+  an operator intervenes.
+
+Worker processes each own a bounded :class:`RangeSource` cache of
+generator fronts per stream config (the *per-worker ownership
+invariant* — see :class:`BSRNG`'s thread-safety notes), so interleaved
+clients continue their own fronts instead of forcing a seek per chunk.
+Counter-based kernels (AES-CTR) seek in O(1); LFSR kernels
+clock-and-discard, which the chunk metrics make visible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.pool
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.core.generator import BSRNG
+from repro.errors import DeviceFailureError, SpecificationError
+from repro.obs.tracing import span
+from repro.robust.faults import FaultPlan
+from repro.robust.health import AdaptiveProportionTest, RepetitionCountTest
+from repro.robust.supervisor import SupervisorConfig, payload_crc
+
+__all__ = ["StreamConfig", "RangeSource", "HealthState", "ServeEngine"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """The served stream's identity: one deterministic BSRNG configuration.
+
+    Picklable (dtype carried by name), hashable (worker-side generator
+    cache key), and auditable — a client holding this config and a lease
+    offset can reproduce its bytes offline.
+    """
+
+    algorithm: str = "mickey2"
+    seed: int = 0
+    lanes: int = 4096
+    dtype: str = "uint64"
+    fused: bool | None = None
+    clocks_per_call: int = 32
+
+    def make_rng(self) -> BSRNG:
+        """A fresh generator positioned at stream offset 0."""
+        return BSRNG(
+            self.algorithm,
+            seed=self.seed,
+            lanes=self.lanes,
+            dtype=np.dtype(self.dtype).type,
+            fused=self.fused,
+            clocks_per_call=self.clocks_per_call,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON form for ``/v1/status``."""
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "lanes": self.lanes,
+            "dtype": self.dtype,
+            "fused": self.fused,
+            "clocks_per_call": self.clocks_per_call,
+        }
+
+
+class RangeSource:
+    """Serve absolute stream ranges from a bounded cache of generators.
+
+    Interleaved clients each advance their own contiguous window of the
+    stream, so the offsets any one worker sees hop between a handful of
+    fronts.  A single cached generator would pay a skip — or, for LFSR
+    kernels, a full clock-and-discard rebuild — on nearly every chunk
+    (measured: 8 concurrent clients halved total throughput).  Instead,
+    up to ``max_streams`` generators are kept, keyed by the offset each
+    would serve next:
+
+    * a read continuing any cached front costs nothing extra;
+    * a read ahead of the nearest front pays only the forward gap
+      (O(1) for counter-based kernels, generate-and-discard for LFSRs);
+    * only a read behind *every* cached front rebuilds from seed.
+
+    Because leases tile the stream contiguously, a serving worker almost
+    always finds an exact or near front, whatever kernel family runs
+    underneath.  Eviction is LRU by last use; collisions on the same
+    next-offset keep the most recent generator.  One internal lock makes
+    the shared inline-fallback instance safe under concurrent callers.
+    """
+
+    def __init__(self, config: StreamConfig, max_streams: int = 8) -> None:
+        if max_streams <= 0:
+            raise SpecificationError("max_streams must be positive")
+        self.config = config
+        self.max_streams = max_streams
+        self._streams: dict[int, BSRNG] = {}  # next served offset -> generator
+        self._lock = threading.Lock()
+        self.rebuilds = 0
+        self.forward_skips = 0
+
+    def read_range(self, offset: int, n: int) -> bytes:
+        """The stream's bytes ``[offset, offset + n)``."""
+        if offset < 0 or n < 0:
+            raise SpecificationError("offset and n must be non-negative")
+        with self._lock:
+            rng = self._streams.pop(offset, None)
+            if rng is None:
+                behind = [o for o in self._streams if o < offset]
+                if behind:
+                    # nearest front at-or-behind pays the smallest gap
+                    rng = self._streams.pop(max(behind))
+                    self.forward_skips += 1
+                else:
+                    rng = self.config.make_rng()
+                    self.rebuilds += 1
+                rng.skip_bytes(offset - rng.tell())
+            data = rng.read(n)
+            if len(self._streams) >= self.max_streams:
+                self._streams.pop(next(iter(self._streams)))  # oldest entry
+            self._streams[offset + n] = rng
+            return data
+
+
+# -- worker side -----------------------------------------------------------------
+#: Per-process generator cache: one RangeSource per stream config, owned
+#: exclusively by this worker process (the ownership invariant that makes
+#: the pool path lock-free in practice).
+_WORKER_SOURCES: dict[StreamConfig, RangeSource] = {}
+
+
+def _worker_init() -> None:
+    """Pool initializer: a fork-inherited parent registry must not
+    double-count, and serve workers report nothing of their own."""
+    obs.disable_metrics()
+    obs.disable_tracing()
+
+
+def _serve_chunk(job: tuple, attempt: int = 0) -> tuple[bytes, int | None]:
+    """Generate one chunk in a pool worker.
+
+    ``job`` is ``(chunk_id, config, offset, n, verify_crc)``.  The CRC is
+    computed before fault injection mutates the payload, so an injected
+    corruption looks exactly like a damaged transfer to the dispatcher.
+    """
+    chunk_id, config, offset, n, verify_crc = job
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        plan.pre_generate(chunk_id, attempt)
+    source = _WORKER_SOURCES.get(config)
+    if source is None:
+        source = _WORKER_SOURCES[config] = RangeSource(config)
+    data = source.read_range(offset, n)
+    crc = payload_crc(data) if verify_crc else None
+    if plan is not None:
+        data = plan.post_generate(chunk_id, attempt, data)
+    return data, crc
+
+
+# -- health gating ---------------------------------------------------------------
+class HealthState:
+    """Latched RCT/APT verdict over everything the daemon serves.
+
+    The continuous tests are streaming and stateful; one instance screens
+    the concatenation of accepted chunks (order of interleaved clients is
+    irrelevant to the tests' guarantees — they hunt stuck-at and biased
+    output, properties of the generator, not of any one lease).  The
+    verdict is sticky: one failure flips :attr:`healthy` until
+    :meth:`reset`.
+    """
+
+    def __init__(self, alpha: float = 2.0**-20) -> None:
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self.rct = RepetitionCountTest(alpha)
+        self.apt = AdaptiveProportionTest(alpha)
+        self.healthy = True
+        self.events: list[dict] = []
+        self.bytes_screened = 0
+
+    def screen(self, data: bytes) -> str | None:
+        """Screen one chunk; returns the failing test name or ``None``.
+
+        On failure the verdict latches unhealthy and the test state is
+        reset, so the retried chunk is screened from a clean slate.
+        """
+        buf = np.frombuffer(data, dtype=np.uint8)
+        with self._lock:
+            failed: str | None = None
+            at = self.rct.update(buf)
+            if at is not None:
+                failed = "rct"
+            else:
+                at = self.apt.update(buf)
+                if at is not None:
+                    failed = "apt"
+            if failed is None:
+                self.bytes_screened += len(data)
+                return None
+            self.healthy = False
+            self.events.append(
+                {"test": failed, "position": self.bytes_screened + int(at), "time": time.time()}
+            )
+            obs.inc("repro_serve_health_failures_total", 1, test=failed)
+            obs.set_gauge("repro_serve_healthy", 0)
+            self.rct.reset()
+            self.apt.reset()
+            return failed
+
+    def reset(self) -> None:
+        """Operator action: clear the latch (events are kept)."""
+        with self._lock:
+            self.healthy = True
+            self.rct.reset()
+            self.apt.reset()
+            obs.set_gauge("repro_serve_healthy", 1)
+
+    def to_dict(self) -> dict:
+        """JSON form for ``/healthz`` and ``/v1/status``."""
+        with self._lock:
+            return {
+                "healthy": self.healthy,
+                "bytes_screened": self.bytes_screened,
+                "events": list(self.events),
+            }
+
+
+# -- the engine ------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Dispatch counters for ``/v1/status`` (guarded by the engine lock)."""
+
+    chunks_ok: int = 0
+    retries: int = 0
+    degraded: int = 0
+    crc_rejects: int = 0
+    screen_rejects: int = 0
+    timeouts: int = 0
+    worker_errors: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class ServeEngine:
+    """Generate lease ranges through a persistent supervised worker pool.
+
+    Parameters
+    ----------
+    config:
+        The served stream's :class:`StreamConfig`.
+    workers:
+        Pool size.  ``0`` disables the pool entirely — every chunk is
+        generated inline (useful for tests and single-core boxes).
+    supervision:
+        Timeout/retry/CRC policy per chunk
+        (:class:`~repro.robust.supervisor.SupervisorConfig`; its
+        ``degrade_sequential`` flag controls the inline fallback when the
+        pool exhausts its retries).
+    screen:
+        Run the RCT/APT health screen over accepted chunks.
+    alpha:
+        False-positive rate for the screening cutoffs.
+    """
+
+    def __init__(
+        self,
+        config: StreamConfig | None = None,
+        workers: int = 2,
+        supervision: SupervisorConfig | None = None,
+        screen: bool = True,
+        alpha: float = 2.0**-20,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 0:
+            raise SpecificationError("workers must be non-negative")
+        self.config = config or StreamConfig()
+        self.workers = workers
+        self.supervision = supervision or SupervisorConfig(timeout=30.0, max_retries=2)
+        self.screen = screen
+        self.health = HealthState(alpha)
+        self.stats = EngineStats()
+        self._stats_lock = threading.Lock()
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self.mp_context = mp_context
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._inline: RangeSource | None = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker pool (idempotent).
+
+        Call *before* the event loop starts serving: fork-context pools
+        must not be created after request threads exist.
+        """
+        if self._started:
+            return
+        self._started = True
+        obs.set_gauge("repro_serve_healthy", 1)
+        obs.set_gauge("repro_serve_pool_workers", self.workers)
+        if self.workers > 0:
+            ctx = mp.get_context(self.mp_context)
+            self._pool = ctx.Pool(processes=self.workers, initializer=_worker_init)
+
+    def close(self) -> None:
+        """Terminate the pool (hung workers must die with the daemon)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._started = False
+
+    def _inline_source(self) -> RangeSource:
+        if self._inline is None:
+            self._inline = RangeSource(self.config)
+        return self._inline
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for name, d in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + d)
+
+    # -- dispatch ----------------------------------------------------------------
+    def generate_range(self, offset: int, n: int, chunk_id: int = 0) -> bytes:
+        """The stream bytes ``[offset, offset + n)``, supervised.
+
+        Attempts the chunk through the pool (timeout, retry with backoff,
+        CRC verification, health screening); falls back to inline
+        generation when the pool is exhausted and degradation is
+        enabled.  Raises :class:`~repro.errors.DeviceFailureError` only
+        when every path failed.  Safe to call from many threads — the
+        persistent pool multiplexes, and the inline fallback serialises
+        on the generator lock.
+        """
+        if n == 0:
+            return b""
+        cfg = self.supervision
+        job = (chunk_id, self.config, offset, n, cfg.verify_crc)
+        with span("serve.chunk", chunk=chunk_id, offset=offset, n=n):
+            if self._pool is not None:
+                for attempt in range(cfg.max_retries + 1):
+                    if attempt:
+                        time.sleep(cfg.backoff(attempt))
+                        self._count(retries=1)
+                        obs.inc("repro_serve_chunk_retries_total")
+                    data = self._attempt_pool(job, attempt, cfg)
+                    if data is not None:
+                        self._count(chunks_ok=1)
+                        return data
+                if not cfg.degrade_sequential:
+                    raise DeviceFailureError(
+                        f"chunk {chunk_id} (offset {offset}, {n} bytes) failed "
+                        f"{cfg.max_retries + 1} pool attempts"
+                    )
+                self._count(degraded=1)
+                obs.inc("repro_serve_degraded_chunks_total")
+            # inline path: workers disabled, or pool exhausted (degrade).
+            # The inline stream is deterministic and fault-free, so a
+            # screening failure here latches the verdict but cannot be
+            # retried away — the bytes are served and /healthz tells the
+            # operator the generator itself is suspect.
+            data = self._inline_source().read_range(offset, n)
+            if self.screen and self.health.screen(data) is not None:
+                self._count(screen_rejects=1)
+            self._count(chunks_ok=1)
+            return data
+
+    def _attempt_pool(self, job: tuple, attempt: int, cfg: SupervisorConfig) -> bytes | None:
+        """One pool attempt; ``None`` means retry (reason counted)."""
+        chunk_id, _, offset, n, verify = job
+        handle = self._pool.apply_async(_serve_chunk, (job, attempt))
+        try:
+            data, crc = handle.get(cfg.timeout)
+        except mp.TimeoutError:
+            self._count(timeouts=1)
+            obs.inc("repro_serve_chunk_failures_total", 1, kind="timeout")
+            return None
+        except Exception as exc:  # worker raised (crash, injected fault, ...)
+            self._count(worker_errors=1)
+            obs.inc("repro_serve_chunk_failures_total", 1, kind="error")
+            obs.inc("repro_serve_worker_exceptions_total", 1, exception=type(exc).__name__)
+            return None
+        if verify and (crc is None or payload_crc(data) != crc):
+            self._count(crc_rejects=1)
+            obs.inc("repro_serve_chunk_failures_total", 1, kind="corrupt")
+            return None
+        if self.screen and self.health.screen(data) is not None:
+            self._count(screen_rejects=1)
+            obs.inc("repro_serve_chunk_failures_total", 1, kind="screen")
+            return None
+        return data
+
+    # -- introspection -----------------------------------------------------------
+    def status(self) -> dict:
+        """JSON snapshot for ``/v1/status``."""
+        with self._stats_lock:
+            stats = self.stats.to_dict()
+        return {
+            "stream": self.config.to_dict(),
+            "workers": self.workers,
+            "supervision": {
+                "timeout": self.supervision.timeout,
+                "max_retries": self.supervision.max_retries,
+                "verify_crc": self.supervision.verify_crc,
+                "degrade_sequential": self.supervision.degrade_sequential,
+            },
+            "screen": self.screen,
+            "chunks": stats,
+            "health": self.health.to_dict(),
+        }

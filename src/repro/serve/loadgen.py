@@ -1,0 +1,213 @@
+"""Async load generator for the serve daemon.
+
+Drives ``GET /v1/bytes`` with N concurrent clients, each holding one
+persistent keep-alive connection and issuing sequential requests — the
+classic closed-loop load model, so offered load scales with concurrency
+and measured latency is honest (no coordinated omission from a dropped
+open-loop schedule).
+
+Every request runs inside an :func:`repro.obs.span` (name
+``serve_load.request``), so the latency distribution is computed from
+the tracer's span records — the same telemetry a production trace would
+carry — and a ``--trace-out`` style export shows the request timeline in
+Perfetto.  ``benchmarks/bench_serve_load.py`` wraps this into the
+committed ``BENCH_serve_load.json`` artifact.
+
+The HTTP client is raw asyncio streams (stdlib only, matching the
+server): it parses the status line, headers, and a ``Content-Length``
+body, and verifies the advertised lease length matches the payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import SpecificationError
+from repro.obs.tracing import Tracer
+
+__all__ = ["LoadResult", "run_load", "fetch_bytes", "percentile"]
+
+SPAN_NAME = "serve_load.request"
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one closed-loop load run."""
+
+    concurrency: int
+    requests: int
+    errors: int
+    bytes_received: int
+    wall_s: float
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+    #: (lease_offset, length) per completed request — non-overlap evidence
+    leases: list[tuple[int, int]] = field(repr=False, default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        """Completed requests per second of wall time."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_ms, 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_ms, 99.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes_received": self.bytes_received,
+            "wall_s": round(self.wall_s, 4),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile by linear interpolation (0 for no samples)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict[str, str], bytes]:
+    """Parse one Content-Length HTTP response off *reader*."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise SpecificationError(f"bad status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "content-length" not in headers:
+        raise SpecificationError("response without Content-Length")
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
+
+
+async def fetch_bytes(
+    host: str, port: int, n: int, *, fmt: str = "raw"
+) -> tuple[bytes, int]:
+    """One-shot ``GET /v1/bytes?n=n`` → ``(payload, lease_offset)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /v1/bytes?n={n}&format={fmt} HTTP/1.1\r\n"
+            f"Host: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        status, headers, body = await _read_response(reader)
+        if status != 200:
+            raise SpecificationError(f"HTTP {status}: {body[:200]!r}")
+        return body, int(headers["x-repro-lease-offset"])
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _client(
+    host: str,
+    port: int,
+    client_id: int,
+    requests: int,
+    n_bytes: int,
+    result: LoadResult,
+) -> None:
+    """One closed-loop client: persistent connection, sequential requests."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for _ in range(requests):
+            t0 = time.perf_counter()
+            try:
+                with obs.span(SPAN_NAME, client=client_id, n=n_bytes):
+                    writer.write(
+                        f"GET /v1/bytes?n={n_bytes} HTTP/1.1\r\n"
+                        f"Host: {host}\r\nConnection: keep-alive\r\n\r\n".encode()
+                    )
+                    await writer.drain()
+                    status, headers, body = await _read_response(reader)
+                if status != 200 or len(body) != n_bytes:
+                    result.errors += 1
+                    continue
+                result.requests += 1
+                result.bytes_received += len(body)
+                result.latencies_ms.append((time.perf_counter() - t0) * 1e3)
+                result.leases.append(
+                    (int(headers["x-repro-lease-offset"]), n_bytes)
+                )
+            except (ConnectionError, asyncio.IncompleteReadError):
+                result.errors += 1
+                return  # connection is gone; this client stops
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 4,
+    requests_per_client: int = 25,
+    n_bytes: int = 1 << 16,
+    tracer: Tracer | None = None,
+) -> LoadResult:
+    """Run the closed-loop load and aggregate the outcome.
+
+    When *tracer* is given it is installed for the run, and the latency
+    distribution is recomputed from its ``serve_load.request`` span
+    records (wall microseconds) — measurement via telemetry rather than
+    ad-hoc stopwatches, as the rest of the pipeline reports itself.
+    """
+    if concurrency <= 0 or requests_per_client <= 0 or n_bytes <= 0:
+        raise SpecificationError("concurrency, requests and n_bytes must be positive")
+    if tracer is not None:
+        obs.enable_tracing(tracer)
+    result = LoadResult(
+        concurrency=concurrency, requests=0, errors=0, bytes_received=0, wall_s=0.0
+    )
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(
+                _client(host, port, i, requests_per_client, n_bytes, result)
+                for i in range(concurrency)
+            )
+        )
+    finally:
+        result.wall_s = time.perf_counter() - t0
+        if tracer is not None:
+            spans = [r for r in tracer.records if r.name == SPAN_NAME]
+            if spans:
+                result.latencies_ms = [r.dur_us / 1e3 for r in spans]
+            obs.disable_tracing()
+    return result

@@ -1,9 +1,7 @@
 """End-to-end telemetry: instrumented pipeline, worker merge, CLI, overhead."""
 
-import importlib.util
 import json
 import logging
-import pathlib
 import time
 
 import pytest
@@ -12,21 +10,10 @@ from repro import obs
 from repro.cli import main
 from repro.core.generator import BSRNG
 from repro.gpu.multigpu import GenerationReport, MultiDeviceGenerator
+from repro.obs.promlint import lint
 from repro.obs.tracing import span
 from repro.robust.faults import Fault, FaultPlan
 from repro.robust.health import HealthMonitoredBSRNG
-
-TOOLS = pathlib.Path(__file__).parent.parent / "tools"
-
-
-def load_linter():
-    spec = importlib.util.spec_from_file_location(
-        "lint_prometheus", TOOLS / "lint_prometheus.py"
-    )
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
-    return mod
-
 
 def metric_value(snap: dict, name: str, **labels) -> float | None:
     for m in snap["metrics"]:
@@ -259,7 +246,7 @@ def test_cli_stats_renders_snapshot(tmp_path, capsys):
 
     assert main(["stats", str(metrics), "--format", "prometheus"]) == 0
     prom = capsys.readouterr().out
-    assert not load_linter().lint(prom), prom
+    assert not lint(prom), prom
     assert "repro_generator_refills_total" in prom
 
     assert main(["stats", str(metrics), "--format", "human"]) == 0

@@ -1,8 +1,6 @@
 """Metrics layer: instruments, registry, snapshot/merge, exporters."""
 
-import importlib.util
 import json
-import pathlib
 import pickle
 import threading
 
@@ -11,18 +9,7 @@ import pytest
 from repro import obs
 from repro.errors import SpecificationError
 from repro.obs.metrics import MetricsRegistry, log2_bucket
-
-TOOLS = pathlib.Path(__file__).parent.parent / "tools"
-
-
-def load_linter():
-    spec = importlib.util.spec_from_file_location(
-        "lint_prometheus", TOOLS / "lint_prometheus.py"
-    )
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
-    return mod
-
+from repro.obs.promlint import lint
 
 # -- buckets ---------------------------------------------------------------------
 
@@ -210,7 +197,7 @@ def test_scoped_restores_previous_state():
 
 def test_prometheus_rendering_lints_clean():
     text = obs.render_prometheus(make_registry().snapshot())
-    problems = load_linter().lint(text)
+    problems = lint(text)
     assert not problems, problems
     assert '# TYPE bytes_total counter' in text
     assert 'bytes_total{algorithm="grain"} 100' in text
@@ -227,7 +214,7 @@ def test_prometheus_underflow_bucket_lints_clean():
     for v in (-1, 0, 4):
         h.observe(v)
     text = obs.render_prometheus(reg.snapshot())
-    assert not load_linter().lint(text)
+    assert not lint(text)
     assert 'deltas_bucket{le="+Inf"} 3' in text
 
 

@@ -1,0 +1,143 @@
+"""Lease-manager invariants: the granted ranges partition the stream.
+
+The property the whole service rests on: whatever interleaving of
+acquire / release / crash-and-resume happens, the set of granted leases
+is pairwise disjoint and tiles ``[0, high_water)`` gap-free — and no
+byte range is ever granted twice, even across journal resumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.serve.leases import Lease, LeaseManager
+
+
+def assert_partition(leases: list[Lease], high_water: int) -> None:
+    """Pairwise disjoint, gap-free union from 0 up to *high_water*."""
+    spans = sorted((lease.offset, lease.end) for lease in leases)
+    cursor = 0
+    for start, end in spans:
+        assert start == cursor, f"gap or overlap at offset {start} (expected {cursor})"
+        cursor = end
+    assert cursor == high_water
+
+
+class TestLeaseBasics:
+    def test_acquire_is_sequential(self):
+        mgr = LeaseManager()
+        a = mgr.acquire(100, client="a")
+        b = mgr.acquire(50, client="b")
+        assert (a.offset, a.length) == (0, 100)
+        assert (b.offset, b.length) == (100, 50)
+        assert mgr.high_water == 150
+
+    def test_release_never_recycles(self):
+        mgr = LeaseManager()
+        a = mgr.acquire(64)
+        assert mgr.release(a.lease_id)
+        # the released range stays burned: the next grant starts after it
+        b = mgr.acquire(64)
+        assert b.offset == 64
+        assert not mgr.release(a.lease_id), "double release must be a no-op"
+
+    def test_rejects_bad_lengths(self):
+        mgr = LeaseManager(max_lease_bytes=1024)
+        with pytest.raises(SpecificationError):
+            mgr.acquire(0)
+        with pytest.raises(SpecificationError):
+            mgr.acquire(-5)
+        with pytest.raises(SpecificationError):
+            mgr.acquire(2048)
+
+    def test_stats_shape(self):
+        mgr = LeaseManager()
+        mgr.acquire(10)
+        keep = mgr.acquire(20)
+        mgr.release(keep.lease_id)
+        stats = mgr.stats()
+        assert stats["high_water_bytes"] == 30
+        assert stats["active"] == 1
+        assert stats["released"] == 1
+
+
+class TestJournalResume:
+    def test_resume_continues_allocation(self, tmp_path):
+        path = str(tmp_path / "leases.jsonl")
+        mgr = LeaseManager(journal_path=path)
+        first = mgr.acquire(100, client="one")
+        mgr.release(first.lease_id)
+        unfinished = mgr.acquire(40, client="two")
+        mgr.close()
+
+        reborn = LeaseManager(journal_path=path)
+        assert reborn.high_water == 140
+        orphans = reborn.orphaned_leases()
+        assert [o.lease_id for o in orphans] == [unfinished.lease_id]
+        nxt = reborn.acquire(10, client="three")
+        assert nxt.offset == 140, "resumed allocation must not replay burned bytes"
+        assert nxt.lease_id > unfinished.lease_id
+        reborn.close()
+
+    def test_gap_in_journal_is_rejected(self, tmp_path):
+        path = tmp_path / "leases.jsonl"
+        records = [
+            {"op": "acquire", "lease_id": 0, "offset": 0, "length": 10, "client": ""},
+            {"op": "acquire", "lease_id": 1, "offset": 99, "length": 10, "client": ""},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        with pytest.raises(SpecificationError, match="journal gap"):
+            LeaseManager(journal_path=str(path))
+
+    def test_corrupt_journal_line_is_rejected(self, tmp_path):
+        path = tmp_path / "leases.jsonl"
+        path.write_text('{"op": "acquire", "lease_id": 0\n')
+        with pytest.raises(SpecificationError, match="corrupt journal"):
+            LeaseManager(journal_path=str(path))
+
+
+# One operation script: acquire some length, release a previously seen
+# lease (index into the grant history), or restart from the journal.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.integers(min_value=1, max_value=4096)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("restart"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPartitionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_grant_history_is_always_a_partition(self, ops, tmp_path_factory):
+        """Acquire/release/restart in any order → granted ranges tile [0, hw)."""
+        path = str(tmp_path_factory.mktemp("leases") / "journal.jsonl")
+        mgr = LeaseManager(journal_path=path)
+        granted: list[Lease] = []
+        offsets_seen: set[int] = set()
+        try:
+            for op, arg in ops:
+                if op == "acquire":
+                    lease = mgr.acquire(arg)
+                    assert lease.offset not in offsets_seen, "offset reissued"
+                    offsets_seen.add(lease.offset)
+                    granted.append(lease)
+                elif op == "release" and granted:
+                    mgr.release(granted[arg % len(granted)].lease_id)
+                elif op == "restart":
+                    mgr.close()
+                    mgr = LeaseManager(journal_path=path)
+                    resumed = {o.lease_id for o in mgr.orphaned_leases()}
+                    # orphans are exactly the grants never released
+                    assert resumed <= {lease.lease_id for lease in granted}
+                assert_partition(granted, mgr.high_water)
+        finally:
+            mgr.close()

@@ -1,164 +1,26 @@
 #!/usr/bin/env python
-"""Validate Prometheus text exposition format (simple linter).
+"""Validate Prometheus text exposition format (CLI wrapper).
 
 Usage: ``python tools/lint_prometheus.py [FILE]`` (stdin when no file).
 
-Checks, per the exposition format spec (version 0.0.4):
-
-* every line is a comment (``# HELP`` / ``# TYPE``), blank, or a sample
-  ``name{labels} value [timestamp]``;
-* metric and label names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` /
-  ``[a-zA-Z_][a-zA-Z0-9_]*``; label values are properly quoted;
-* sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
-* a family's ``# TYPE`` line precedes its samples, at most once;
-* histogram families expose ``_bucket`` series with an ``le`` label,
-  cumulative non-decreasing bucket counts ending in ``le="+Inf"``, and
-  matching ``_sum`` / ``_count`` series with ``_count`` equal to the
-  ``+Inf`` bucket.
+The checker itself lives in :mod:`repro.obs.promlint` so tests and the
+serve layer can call it as a function; this script only adds file/stdin
+handling and an exit status.  When the package is not installed (a bare
+checkout), the ``src`` tree next to this script is put on ``sys.path``.
 
 Exits 0 on success; exits 1 with one message per problem otherwise.
-Deliberately dependency-free so CI can run it before anything is
-installed beyond the package itself.
 """
 
 from __future__ import annotations
 
-import re
+import pathlib
 import sys
 
-NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
-LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
-SAMPLE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)"
-    r"(?:\s+(?P<ts>-?\d+))?$"
-)
-LABEL_RE = re.compile(
-    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
-)
-TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
-
-
-def _parse_value(text: str) -> float | None:
-    if text in ("+Inf", "Inf"):
-        return float("inf")
-    if text == "-Inf":
-        return float("-inf")
-    try:
-        return float(text)
-    except ValueError:
-        return None
-
-
-def _parse_labels(raw: str, lineno: int, errors: list[str]) -> dict[str, str]:
-    labels: dict[str, str] = {}
-    rest = raw.strip().rstrip(",")
-    if not rest:
-        return labels
-    pos = 0
-    while pos < len(rest):
-        m = LABEL_RE.match(rest, pos)
-        if not m:
-            errors.append(f"line {lineno}: malformed label pair at {rest[pos:]!r}")
-            return labels
-        labels[m.group("name")] = m.group("value")
-        pos = m.end()
-        if pos < len(rest):
-            if rest[pos] != ",":
-                errors.append(f"line {lineno}: expected ',' between labels")
-                return labels
-            pos += 1
-    return labels
-
-
-def lint(text: str) -> list[str]:
-    """All format violations found in *text* (empty list = clean)."""
-    errors: list[str] = []
-    declared_types: dict[str, str] = {}
-    sample_seen: set[str] = set()
-    # histogram accounting: family -> {labelset-sans-le: [(le, count)]}
-    buckets: dict[str, dict[tuple, list[tuple[float, float]]]] = {}
-    sums: dict[str, dict[tuple, float]] = {}
-    counts: dict[str, dict[tuple, float]] = {}
-
-    for lineno, line in enumerate(text.splitlines(), 1):
-        if not line.strip():
-            continue
-        if line.startswith("#"):
-            parts = line.split(None, 3)
-            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
-                if parts[1] == "TYPE":
-                    if len(parts) < 4 or parts[3] not in TYPES:
-                        errors.append(f"line {lineno}: malformed TYPE line")
-                        continue
-                    family = parts[2]
-                    if family in declared_types:
-                        errors.append(f"line {lineno}: duplicate TYPE for {family}")
-                    if family in sample_seen:
-                        errors.append(
-                            f"line {lineno}: TYPE for {family} after its samples"
-                        )
-                    declared_types[family] = parts[3]
-            continue
-        m = SAMPLE_RE.match(line)
-        if not m:
-            errors.append(f"line {lineno}: not a valid sample line: {line!r}")
-            continue
-        name, raw_labels = m.group("name"), m.group("labels")
-        value = _parse_value(m.group("value"))
-        if value is None:
-            errors.append(f"line {lineno}: bad sample value {m.group('value')!r}")
-            continue
-        labels = _parse_labels(raw_labels or "", lineno, errors)
-        # resolve the family: histogram samples use _bucket/_sum/_count
-        family = name
-        for suffix in ("_bucket", "_sum", "_count"):
-            base = name[: -len(suffix)] if name.endswith(suffix) else None
-            if base and declared_types.get(base) == "histogram":
-                family = base
-                break
-        if family in declared_types:
-            sample_seen.add(family)
-        if declared_types.get(family) == "histogram":
-            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
-            if name.endswith("_bucket"):
-                if "le" not in labels:
-                    errors.append(f"line {lineno}: histogram bucket without le label")
-                    continue
-                le = _parse_value(labels["le"])
-                if le is None:
-                    errors.append(f"line {lineno}: bad le value {labels['le']!r}")
-                    continue
-                buckets.setdefault(family, {}).setdefault(key, []).append((le, value))
-            elif name.endswith("_sum"):
-                sums.setdefault(family, {})[key] = value
-            elif name.endswith("_count"):
-                counts.setdefault(family, {})[key] = value
-
-    # histogram cross-checks
-    for family, series in buckets.items():
-        for key, entries in series.items():
-            label_desc = "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
-            les = [le for le, _ in entries]
-            vals = [v for _, v in entries]
-            if les != sorted(les):
-                errors.append(f"{family}{label_desc}: bucket le values not sorted")
-            if vals != sorted(vals):
-                errors.append(f"{family}{label_desc}: bucket counts not cumulative")
-            if not les or les[-1] != float("inf"):
-                errors.append(f"{family}{label_desc}: missing le=\"+Inf\" bucket")
-            elif counts.get(family, {}).get(key) != vals[-1]:
-                errors.append(
-                    f"{family}{label_desc}: _count != +Inf bucket "
-                    f"({counts.get(family, {}).get(key)} vs {vals[-1]})"
-                )
-            if key not in sums.get(family, {}):
-                errors.append(f"{family}{label_desc}: missing _sum series")
-    for family in set(sums) | set(counts):
-        if family not in buckets:
-            errors.append(f"{family}: histogram with _sum/_count but no buckets")
-    return errors
+try:
+    from repro.obs.promlint import count_samples, lint
+except ImportError:  # bare checkout: resolve against the sibling src tree
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.promlint import count_samples, lint
 
 
 def main(argv: list[str]) -> int:
@@ -170,15 +32,10 @@ def main(argv: list[str]) -> int:
     problems = lint(text)
     for p in problems:
         print(f"lint_prometheus: {p}", file=sys.stderr)
-    n_samples = sum(
-        1
-        for line in text.splitlines()
-        if line.strip() and not line.startswith("#")
-    )
     if problems:
         print(f"lint_prometheus: FAILED ({len(problems)} problems)", file=sys.stderr)
         return 1
-    print(f"lint_prometheus: OK ({n_samples} samples)")
+    print(f"lint_prometheus: OK ({count_samples(text)} samples)")
     return 0
 
 
