@@ -223,6 +223,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent generation worker processes (0 = inline, no pool)",
     )
     serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N", dest="fleet",
+        help="mount a heartbeat-supervised elastic fleet of N workers "
+        "instead of the anonymous pool (health eviction, lease "
+        "reassignment; see DESIGN.md §13)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="S",
+        help="fleet worker heartbeat period (default 1s)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="S",
+        help="silence past this evicts a fleet worker (default 5s)",
+    )
+    serve.add_argument(
         "--timeout", type=float, default=30.0, help="per-chunk worker timeout (s)"
     )
     serve.add_argument("--retries", type=int, default=2, help="per-chunk retry budget")
@@ -251,6 +265,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="health-screen false-positive rate (default 2^-20)",
     )
     add_fused_flags(serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="generate through a supervised worker fleet and verify the merge",
+    )
+    fleet.add_argument("-a", "--algorithm", default="trivium")
+    fleet.add_argument("-s", "--seed", type=int, default=0)
+    fleet.add_argument("-l", "--lanes", type=int, default=4096)
+    fleet.add_argument(
+        "-n", "--bytes", type=int, default=1 << 20, dest="n_bytes",
+        help="total bytes to generate through the fleet (default 1 MiB)",
+    )
+    fleet.add_argument("--workers", type=int, default=2, help="initial fleet size")
+    fleet.add_argument(
+        "--chunk-bytes", type=int, default=1 << 16,
+        help="bytes per chunk lease (default 64 KiB)",
+    )
+    fleet.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="S",
+        help="worker heartbeat period (default 0.5s)",
+    )
+    fleet.add_argument(
+        "--heartbeat-timeout", type=float, default=3.0, metavar="S",
+        help="silence past this evicts a worker (default 3s)",
+    )
+    fleet.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-identity check against a single-device reference",
+    )
+    fleet.add_argument(
+        "--no-screen", action="store_true",
+        help="disable the per-worker SP 800-90B output screen",
+    )
+    fleet.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the merged bytes (default: discard after verification)",
+    )
+    add_fused_flags(fleet)
+    add_telemetry_flags(fleet)
 
     model = sub.add_parser("model", help="query the GPU throughput model")
     model.add_argument("-k", "--kernel", default="mickey2")
@@ -574,12 +627,26 @@ def _cmd_serve(args) -> int:
         fused=args.fused,
         clocks_per_call=args.clocks_per_call,
     )
+    fleet_config = None
+    if args.fleet > 0:
+        from repro.fleet import FleetConfig
+
+        fleet_config = FleetConfig(
+            workers=args.fleet,
+            max_workers=max(args.fleet * 2, args.fleet + 2),
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            chunk_bytes=args.chunk_bytes,
+            screen=not args.no_screen,
+            alpha=args.alpha,
+        )
     engine = ServeEngine(
         stream,
         workers=args.workers,
         supervision=SupervisorConfig(timeout=args.timeout, max_retries=args.retries),
         screen=not args.no_screen,
         alpha=args.alpha,
+        fleet=fleet_config,
     )
     daemon = ServeDaemon(
         engine,
@@ -601,6 +668,74 @@ def _cmd_serve(args) -> int:
         )
 
     asyncio.run(daemon.run(install_signal_handlers=True, on_started=on_started))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    import time as _time
+
+    from repro.fleet import FleetConfig, FleetController
+    from repro.obs import span
+    from repro.serve.engine import StreamConfig
+
+    stream = StreamConfig(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        lanes=args.lanes,
+        dtype=args.dtype,
+        fused=args.fused,
+        clocks_per_call=args.clocks_per_call,
+    )
+    config = FleetConfig(
+        workers=args.workers,
+        max_workers=max(args.workers * 2, args.workers + 2),
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        chunk_bytes=args.chunk_bytes,
+        screen=not args.no_screen,
+    )
+    print(
+        f"fleet: {args.workers} workers x {args.algorithm} "
+        f"(seed={args.seed}, lanes={args.lanes}), "
+        f"{args.n_bytes:,} bytes in {args.chunk_bytes:,}-byte leases"
+    )
+    with _telemetry(args), span("fleet", algo=args.algorithm, n=args.n_bytes):
+        controller = FleetController(stream, config)
+        controller.start(supervise=True)
+        try:
+            t0 = _time.perf_counter()
+            data = controller.read_range(0, args.n_bytes)
+            wall = _time.perf_counter() - t0
+            status = controller.status()
+        finally:
+            controller.close()
+    gbps = args.n_bytes * 8 / wall / 1e9 if wall > 0 else float("inf")
+    print(f"generated {len(data):,} bytes in {wall:.3f}s ({gbps:.3f} Gbit/s)")
+    counters = status["counters"]
+    print(
+        "membership: "
+        + ", ".join(f"{w['worker_id']}:{w['state']}" for w in status["workers"])
+    )
+    print(
+        f"evictions: {counters['evictions']}, "
+        f"reassignments: {counters['reassignments']}, "
+        f"stale results: {counters['stale_results']}, "
+        f"scale up/down: {counters['scale_ups']}/{counters['scale_downs']}, "
+        f"degraded chunks: {counters['degraded_chunks']}"
+    )
+    for event in status["events"]:
+        if event["kind"] in ("evict", "scale_up", "scale_down", "degrade"):
+            print(f"  [{event['at']:.3f}] {event['kind']} worker {event['worker_id']}: {event['detail']}")
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(data)
+        print(f"wrote {args.output}")
+    if not args.no_verify:
+        reference = stream.make_rng().random_bytes(args.n_bytes)
+        if data != reference:
+            print("FAIL: fleet merge differs from the single-device stream")
+            return 1
+        print("verified: bit-identical to the single-device stream")
     return 0
 
 
@@ -648,6 +783,7 @@ _COMMANDS = {
     "throughput": _cmd_throughput,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "model": _cmd_model,
     "cuda": _cmd_cuda,
 }

@@ -1,0 +1,57 @@
+"""Elastic worker fleet: heartbeat-supervised membership over a transport.
+
+The batch scale-out layers (:mod:`repro.gpu.multigpu`) and the service
+pool (:mod:`repro.serve.engine`) both treat workers as fire-and-forget
+pool jobs: a dead worker is only discovered when its result fails to
+arrive, and recovery is per call.  The paper's multi-GPU measurements
+(§VI, 2–8 devices) share the same assumption — every device is healthy
+for the whole run.  This package generalises that to *supervised
+membership* so a long-lived deployment survives workers that die, hang,
+or silently degrade:
+
+* :mod:`repro.fleet.transport` — the message plane: worker
+  registration, periodic heartbeats, job dispatch and results, behind a
+  :class:`~repro.fleet.transport.Transport` interface.  The shipped
+  implementation runs local processes (:class:`LocalProcessTransport`);
+  the interface is message-passing end to end, so a socket transport for
+  remote hosts slots in without touching the controller.
+* :mod:`repro.fleet.worker` — the long-lived worker loop: register,
+  heartbeat on an interval, serve counter-space chunk jobs through a
+  cached :class:`~repro.serve.engine.RangeSource` front, honour
+  fleet-level ``REPRO_FAULT_PLAN`` faults (heartbeat silence, slow-bleed
+  corruption) for deterministic chaos drills.
+* :mod:`repro.fleet.controller` — :class:`FleetController`:
+  deadline-based liveness over the heartbeats, per-worker SP 800-90B
+  output screening (RCT/APT from :mod:`repro.robust.health`), CRC
+  receipt verification, eviction with **lease reassignment** (chunk
+  leases follow :class:`~repro.serve.leases.LeaseManager`'s
+  never-reissue semantics, so the merged output stays bit-identical to a
+  single-device run), elastic resizing, and inline degradation when the
+  whole fleet is gone.
+
+Everything the controller observes is published through :mod:`repro.obs`
+(`repro_fleet_workers`, `repro_fleet_evictions_total`, ...), and
+:class:`~repro.serve.engine.ServeEngine` can mount a fleet in place of
+its anonymous pool (``repro serve --fleet N``).  See DESIGN.md §13.
+"""
+
+from repro.fleet.controller import FleetConfig, FleetController, FleetEvent, WorkerInfo
+from repro.fleet.transport import (
+    ChunkJob,
+    LocalProcessTransport,
+    Message,
+    Transport,
+    WorkerSpec,
+)
+
+__all__ = [
+    "ChunkJob",
+    "FleetConfig",
+    "FleetController",
+    "FleetEvent",
+    "LocalProcessTransport",
+    "Message",
+    "Transport",
+    "WorkerInfo",
+    "WorkerSpec",
+]

@@ -1,0 +1,217 @@
+"""The fleet's message plane: registration, heartbeats, jobs, results.
+
+The controller and its workers speak a small, explicit protocol — four
+message kinds flowing worker → controller (``register``, ``heartbeat``,
+``result``, ``bye``) and one controller → worker payload (a
+:class:`ChunkJob`, or ``None`` as the graceful-stop sentinel).  The
+:class:`Transport` interface carries exactly that protocol and nothing
+else, so the controller never reaches around it: a worker is *only* a
+stream of messages plus a liveness bit.  That is what makes the
+interface socket-ready — a TCP transport for remote hosts implements the
+same six methods and the controller is unchanged.  The implementation
+shipped here, :class:`LocalProcessTransport`, runs each worker as a
+local ``multiprocessing`` process (the same "a device is a worker
+process" stance as :mod:`repro.gpu.multigpu`).
+
+Message payloads are plain picklable values (``bytes`` payloads, int
+CRCs, plain-dict metric snapshots), so the local transport works under
+``spawn`` as well as ``fork`` and a remote transport can serialise them
+without caring what they mean.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.serve.engine import StreamConfig
+
+__all__ = [
+    "ChunkJob",
+    "Message",
+    "WorkerSpec",
+    "Transport",
+    "LocalProcessTransport",
+]
+
+#: Worker → controller message kinds.
+MESSAGE_KINDS = ("register", "heartbeat", "result", "bye")
+
+
+@dataclass(frozen=True)
+class ChunkJob:
+    """One counter-space chunk lease a worker generates.
+
+    ``job_id`` is the lease id from the controller's
+    :class:`~repro.serve.leases.LeaseManager` — never reissued, so
+    result acceptance can be keyed on it exactly once.
+    """
+
+    job_id: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise SpecificationError("need offset >= 0 and length > 0")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One worker → controller protocol message."""
+
+    kind: str  # one of MESSAGE_KINDS
+    worker_id: int
+    job_id: int = -1  # result messages: the ChunkJob.job_id
+    payload: bytes = b""  # result messages: the generated chunk
+    crc: int | None = None  # result messages: worker-side payload CRC
+    metrics: dict | None = None  # result messages: worker registry snapshot
+    detail: str = ""  # free-form (bye reason, error text)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise SpecificationError(f"message kind must be one of {MESSAGE_KINDS}")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to run, picklable (spawn-safe).
+
+    The fault plan travels as JSON here (same convention as the pool
+    workers) so a spawn-context worker with no inherited memory still
+    injects identically; ``None`` falls back to ``REPRO_FAULT_PLAN``.
+    """
+
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    heartbeat_interval: float = 1.0
+    verify_crc: bool = True
+    plan_json: str | None = None
+    max_streams: int = 8  # RangeSource front cache per worker
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise SpecificationError("heartbeat_interval must be positive")
+        if self.max_streams <= 0:
+            raise SpecificationError("max_streams must be positive")
+
+
+class Transport(ABC):
+    """The controller's only view of its workers.
+
+    Implementations own the worker lifecycle (process, container, remote
+    host) and move :class:`Message` / :class:`ChunkJob` values; the
+    controller supplies policy (membership, liveness, eviction).  All
+    methods must be thread-safe — the controller pumps from whichever
+    thread reaches it first (request threads and the supervision thread).
+    """
+
+    @abstractmethod
+    def launch(self, worker_id: int) -> None:
+        """Start a new worker; it must send a ``register`` message."""
+
+    @abstractmethod
+    def send_job(self, worker_id: int, job: ChunkJob | None) -> None:
+        """Dispatch one job (``None`` = graceful-stop sentinel)."""
+
+    @abstractmethod
+    def poll(self, timeout: float) -> list[Message]:
+        """Collect pending worker messages, waiting up to *timeout* s."""
+
+    @abstractmethod
+    def alive(self, worker_id: int) -> bool:
+        """Whether the worker's carrier (process, connection) still exists."""
+
+    @abstractmethod
+    def kill(self, worker_id: int) -> None:
+        """Hard-stop one worker (eviction; no graceful drain)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down every worker and release transport resources."""
+
+
+class LocalProcessTransport(Transport):
+    """Local ``multiprocessing`` workers — the in-box transport.
+
+    One process per worker, one shared inbound queue (workers →
+    controller) and one outbound queue per worker (controller → worker).
+    ``fork`` is preferred where available for the same reason the batch
+    layers prefer it (a fixed ~second of import cost per spawn would
+    swamp small jobs and slow eviction replacement); pass
+    ``mp_context="spawn"`` to exercise the no-shared-memory path.
+    """
+
+    def __init__(self, spec: WorkerSpec, mp_context: str | None = None) -> None:
+        self.spec = spec
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(mp_context)
+        self.mp_context = mp_context
+        self._inbox: mp.Queue = self._ctx.Queue()
+        self._procs: dict[int, mp.Process] = {}
+        self._outboxes: dict[int, mp.Queue] = {}
+
+    def launch(self, worker_id: int) -> None:
+        from repro.fleet.worker import fleet_worker_main
+
+        if worker_id in self._procs:
+            raise SpecificationError(f"worker {worker_id} already launched")
+        outbox: mp.Queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=fleet_worker_main,
+            args=(worker_id, self.spec, outbox, self._inbox),
+            daemon=True,
+            name=f"fleet-worker-{worker_id}",
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        self._outboxes[worker_id] = outbox
+
+    def send_job(self, worker_id: int, job: ChunkJob | None) -> None:
+        outbox = self._outboxes.get(worker_id)
+        if outbox is None:
+            raise SpecificationError(f"unknown worker {worker_id}")
+        outbox.put(job)
+
+    def poll(self, timeout: float) -> list[Message]:
+        msgs: list[Message] = []
+        try:
+            msgs.append(self._inbox.get(timeout=max(timeout, 0.0)))
+        except queue_mod.Empty:
+            return msgs
+        while True:  # drain whatever else already arrived, without waiting
+            try:
+                msgs.append(self._inbox.get_nowait())
+            except queue_mod.Empty:
+                return msgs
+
+    def alive(self, worker_id: int) -> bool:
+        proc = self._procs.get(worker_id)
+        return proc is not None and proc.is_alive()
+
+    def kill(self, worker_id: int) -> None:
+        proc = self._procs.get(worker_id)
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # SIGTERM masked or wedged: escalate
+                proc.kill()
+                proc.join(timeout=5.0)
+        outbox = self._outboxes.get(worker_id)
+        if outbox is not None:
+            # a killed worker never drains its outbox; without this the
+            # parent blocks at exit joining the queue's feeder thread
+            outbox.cancel_join_thread()
+            outbox.close()
+
+    def close(self) -> None:
+        for worker_id in list(self._procs):
+            self.kill(worker_id)
+        self._procs.clear()
+        self._outboxes.clear()
+        # release the queue feeder threads; pending messages are moot
+        self._inbox.cancel_join_thread()
+        self._inbox.close()

@@ -1,0 +1,106 @@
+"""The long-lived fleet worker: register, heartbeat, serve chunk leases.
+
+Where the pool workers of :mod:`repro.gpu.multigpu` live for exactly one
+partition (``maxtasksperchild=1``), a fleet worker is a *member*: it
+registers once, heartbeats on the controller's interval, and serves
+counter-space chunk jobs until told to stop, killed, or evicted.  Each
+payload goes through the same shared
+:func:`~repro.robust.supervisor.worker_attempt` shell as the pool
+workers — fault-plan hooks keyed by ``(worker_id, job_index)``, a scoped
+metrics registry shipped back with every result, CRC computed before any
+injected corruption — so the controller's receipt verification sees a
+bleeding transfer exactly the way the batch supervisor would.
+
+Failure modelling is deliberately honest:
+
+* a ``crash`` fault raises out of the loop and kills the process — the
+  controller sees a dead carrier, not a polite error message;
+* a ``delay`` fault sleeps on the job thread, which *also* stalls
+  heartbeats (the loop is single-threaded on purpose: a truly wedged
+  device cannot keep heartbeating), so a long stall trips the liveness
+  deadline;
+* ``hb_silence`` keeps the worker computing but mute — the classic
+  partitioned-but-alive member whose late results must be dropped;
+* ``slow_bleed`` flips bytes in every payload after the CRC, modelling
+  a degrading link that accumulates receipt strikes until eviction.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import signal
+import time
+
+from repro import obs
+from repro.robust.faults import FaultPlan
+from repro.robust.supervisor import worker_attempt
+from repro.serve.engine import RangeSource
+from repro.fleet.transport import ChunkJob, Message, WorkerSpec
+
+__all__ = ["fleet_worker_main"]
+
+
+def fleet_worker_main(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
+    """Worker process entry point (module-level: spawn-picklable).
+
+    ``jobs`` delivers :class:`ChunkJob` items (``None`` = graceful
+    stop); ``out`` receives this worker's :class:`Message` stream.
+    """
+    # a fork inherits the parent's signal dispositions — under the serve
+    # daemon that includes an asyncio SIGTERM handler which would swallow
+    # the controller's terminate() and leave an unkillable member
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    # a fork-inherited parent registry must not double-count; each job's
+    # metrics are collected in worker_attempt's scoped registry instead
+    obs.disable_metrics()
+    obs.disable_tracing()
+    plan = FaultPlan.from_json(spec.plan_json) if spec.plan_json else FaultPlan.from_env()
+    source = RangeSource(spec.stream, max_streams=spec.max_streams)
+    out.put(Message("register", worker_id))
+    job_index = 0
+    last_heartbeat = time.monotonic()
+    # poll briskly relative to the heartbeat interval so a due heartbeat
+    # is never late by more than a fraction of the interval
+    poll_s = min(max(spec.heartbeat_interval / 4.0, 0.01), 0.25)
+    while True:
+        now = time.monotonic()
+        silenced = plan is not None and plan.silences(worker_id, job_index)
+        if not silenced and now - last_heartbeat >= spec.heartbeat_interval:
+            out.put(Message("heartbeat", worker_id))
+            last_heartbeat = now
+        try:
+            job: ChunkJob | None = jobs.get(timeout=poll_s)
+        except queue_mod.Empty:
+            continue
+        if job is None:
+            out.put(Message("bye", worker_id, detail="drained"))
+            return
+
+        def produce(job: ChunkJob = job) -> bytes:
+            data = source.read_range(job.offset, job.length)
+            obs.inc("repro_fleet_worker_jobs_total", 1)
+            obs.inc("repro_fleet_worker_bytes_total", len(data))
+            return data
+
+        # crash faults raise out of here and kill the process — the
+        # controller must discover a dead carrier, not read an excuse
+        payload, crc, metrics = worker_attempt(
+            worker_id, job_index, spec.plan_json, spec.verify_crc, produce
+        )
+        if plan is not None:
+            payload = plan.bleed(worker_id, job_index, payload)
+        out.put(
+            Message(
+                "result",
+                worker_id,
+                job_id=job.job_id,
+                payload=payload,
+                crc=crc,
+                metrics=metrics,
+            )
+        )
+        job_index += 1

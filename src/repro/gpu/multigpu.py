@@ -39,7 +39,7 @@ from repro.robust.supervisor import (
     PartitionSupervisor,
     SupervisorConfig,
     SupervisorReport,
-    payload_crc,
+    worker_attempt,
 )
 
 __all__ = [
@@ -112,7 +112,10 @@ class PartitionOutcome:
     device_id: int
     attempts: int
     outcome: str  # "ok" | "retried" | "degraded" | "failed"
-    wall_s: float | None  # job start → accepted result; None if never accepted
+    #: Job start → final outcome: the accepted result, or — for failed
+    #: or evicted partitions — the last observed failure.  ``None`` only
+    #: when the partition saw neither (never dispatched).
+    wall_s: float | None
 
 
 @dataclass
@@ -230,24 +233,13 @@ def _merge_worker_metrics(report: SupervisorReport) -> None:
         obs.registry().merge(snap, extra_labels={"partition": pid})
 
 
-def _resolve_plan(plan_json: str | None) -> FaultPlan | None:
-    """Worker-side fault plan: job payload first, env var fallback."""
-    if plan_json:
-        return FaultPlan.from_json(plan_json)
-    return FaultPlan.from_env()
-
-
 def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
     """Generate one partition (runs in a worker process = one 'GPU').
 
-    Returns ``(payload, crc, metrics)``: the CRC is computed over the
-    true generated bytes *before* fault injection mutates the payload, so
-    the supervisor's verification hook sees injected corruption exactly
-    the way it would see a damaged transfer.  ``metrics`` is the worker's
-    local registry snapshot — a plain (picklable, so spawn-context safe)
-    dict the parent merges with a ``partition`` label.  The scoped
-    registry is created *inside* the worker, so fork-context workers do
-    not double-count into an inherited parent registry.
+    The ``(payload, crc, metrics)`` tuple shell — fault-plan hooks, the
+    scoped worker registry, CRC-before-corruption — is the shared
+    :func:`~repro.robust.supervisor.worker_attempt`; this function only
+    contributes the counter-space generation body.
     """
     (
         device_id,
@@ -264,10 +256,7 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
     ) = job
     from repro.core.generator import BSRNG
 
-    plan = _resolve_plan(plan_json)
-    if plan is not None:
-        plan.pre_generate(device_id, attempt)
-    with obs.scoped() as reg:
+    def produce() -> bytes:
         t0 = time.perf_counter()
         rng = BSRNG(
             algorithm, seed=seed, lanes=lanes, fused=fused, clocks_per_call=clocks_per_call
@@ -281,11 +270,9 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
         rng.publish_metrics()
         obs.set_gauge("repro_device_wall_seconds", time.perf_counter() - t0, device=device_id)
         obs.inc("repro_device_attempts_total", 1, device=device_id)
-        metrics = reg.snapshot()
-    crc = payload_crc(data) if verify_crc else None
-    if plan is not None:
-        data = plan.post_generate(device_id, attempt, data)
-    return data, crc, metrics
+        return data
+
+    return worker_attempt(device_id, attempt, plan_json, verify_crc, produce)
 
 
 class MultiDeviceGenerator:
@@ -426,9 +413,9 @@ class MultiDeviceGenerator:
 def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
     """Run one device's lane window (a worker process = one 'GPU').
 
-    Like :func:`_device_worker`, returns a third element: the worker's
-    local metrics snapshot (engine gate tallies, lane window, wall time)
-    for the parent-side merge.
+    Same shared :func:`~repro.robust.supervisor.worker_attempt` shell as
+    :func:`_device_worker` (ndarray payloads keep dtype and shape through
+    fault mutation); the body here is the lane-window bank run.
     """
     (
         device_id,
@@ -444,12 +431,10 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
     ) = job
     from repro.core.engine import BitslicedEngine
 
-    plan = _resolve_plan(plan_json)
-    if plan is not None:
-        plan.pre_generate(device_id, attempt)
     module_name, cls_name = cls_path.rsplit(".", 1)
     cls = getattr(__import__(module_name, fromlist=[cls_name]), cls_name)
-    with obs.scoped() as reg:
+
+    def produce() -> np.ndarray:
         t0 = time.perf_counter()
         engine = BitslicedEngine(n_lanes=n_lanes, fused=fused, clocks_per_call=clocks_per_call)
         bank = cls(engine).seed(seed, lane_offset=lane_offset)
@@ -458,12 +443,9 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
         obs.inc("repro_device_lane_bits_total", int(out.size), device=device_id)
         obs.set_gauge("repro_device_wall_seconds", time.perf_counter() - t0, device=device_id)
         obs.inc("repro_device_attempts_total", 1, device=device_id)
-        metrics = reg.snapshot()
-    crc = payload_crc(out) if verify_crc else None
-    if plan is not None:
-        mutated = plan.post_generate(device_id, attempt, out.tobytes())
-        out = np.frombuffer(mutated, dtype=np.uint8).reshape(out.shape)
-    return out, crc, metrics
+        return out
+
+    return worker_attempt(device_id, attempt, plan_json, verify_crc, produce)
 
 
 class LanePartitionedGenerator:

@@ -18,13 +18,29 @@ A :class:`FaultPlan` is a list of :class:`Fault` entries keyed by
 * ``stuck``   — the payload is replaced by a constant byte (a wedged
   bank; trips the Repetition Count Test when screened).
 
+Two *fleet-level* kinds model failure modes that only exist once workers
+are long-lived members with heartbeats (:mod:`repro.fleet`) rather than
+one-shot pool jobs.  Unlike the kinds above, they are **persistent**:
+they fire from their ``attempt`` (the worker's job index) *onward*,
+because a silent or bleeding worker stays that way until evicted:
+
+* ``hb_silence``  — the worker stops sending heartbeats (but keeps
+  working); the controller must evict on the liveness deadline and
+  reassign the lease, dropping any late result.
+* ``slow_bleed``  — every payload from this job on has
+  ``corrupt_bytes`` seeded bytes flipped after the CRC is computed (a
+  slowly failing transfer/DMA path; accumulates receipt strikes until
+  the worker is evicted).
+
 Plans are consulted inside the worker entry points
-(:mod:`repro.gpu.multigpu`), activated either by constructor argument or
-by the ``REPRO_FAULT_PLAN`` environment variable (a JSON plan), so a
-spawn-context worker with no shared memory still injects identically.
-Because an entry fires only on its exact attempt number, every plan is
-finite: retried partitions eventually run clean and regenerate
-byte-identical output.
+(:mod:`repro.gpu.multigpu`, :mod:`repro.fleet.worker`), activated either
+by constructor argument or by the ``REPRO_FAULT_PLAN`` environment
+variable (a JSON plan), so a spawn-context worker with no shared memory
+still injects identically.  Because a pool-level entry fires only on its
+exact attempt number, every pool plan is finite: retried partitions
+eventually run clean and regenerate byte-identical output.  Fleet plans
+terminate differently — the fleet evicts the faulty member and
+reassigns its work to a clean peer.
 """
 
 from __future__ import annotations
@@ -50,7 +66,7 @@ __all__ = [
 #: Environment variable carrying a JSON fault plan into worker processes.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_KINDS = ("crash", "delay", "corrupt", "stuck")
+_KINDS = ("crash", "delay", "corrupt", "stuck", "hb_silence", "slow_bleed")
 
 
 class InjectedCrash(RuntimeError):
@@ -75,8 +91,8 @@ class Fault:
             raise SpecificationError("partition and attempt must be non-negative")
         if self.kind == "delay" and self.delay <= 0:
             raise SpecificationError("delay faults need delay > 0")
-        if self.kind == "corrupt" and self.corrupt_bytes <= 0:
-            raise SpecificationError("corrupt faults need corrupt_bytes > 0")
+        if self.kind in ("corrupt", "slow_bleed") and self.corrupt_bytes <= 0:
+            raise SpecificationError("corrupt/slow_bleed faults need corrupt_bytes > 0")
         if not 0 <= self.stuck_byte <= 255:
             raise SpecificationError("stuck_byte must be a byte value")
 
@@ -94,6 +110,41 @@ class FaultPlan:
     def matching(self, partition: int, attempt: int) -> list[Fault]:
         """Faults scheduled for this exact partition attempt."""
         return [f for f in self.faults if f.partition == partition and f.attempt == attempt]
+
+    # -- fleet-level (persistent) faults ------------------------------------------
+    def silences(self, worker: int, job_index: int) -> bool:
+        """Whether *worker* has gone heartbeat-silent by its *job_index*.
+
+        ``hb_silence`` is persistent: it fires from its scheduled job
+        index onward (a silent worker stays silent until evicted).
+        """
+        return any(
+            f.kind == "hb_silence" and f.partition == worker and job_index >= f.attempt
+            for f in self.faults
+        )
+
+    def bleed(self, worker: int, job_index: int, payload: bytes) -> bytes:
+        """Apply any active ``slow_bleed`` fault to one payload.
+
+        Persistent like :meth:`silences`: every payload from the
+        scheduled job index on has ``corrupt_bytes`` seeded byte flips.
+        Call *after* the CRC is computed, so the bleed models a damaged
+        transfer and trips the receiving side's receipt verification.
+        """
+        for f in self.faults:
+            if (
+                f.kind == "slow_bleed"
+                and f.partition == worker
+                and job_index >= f.attempt
+                and payload
+            ):
+                rng = np.random.default_rng([self.seed, worker, job_index])
+                data = np.frombuffer(payload, dtype=np.uint8).copy()
+                k = min(f.corrupt_bytes, data.size)
+                pos = rng.choice(data.size, size=k, replace=False)
+                data[pos] ^= rng.integers(1, 256, size=k, dtype=np.uint8)
+                payload = data.tobytes()
+        return payload
 
     # -- injection hooks (called from worker entry points) -----------------------
     def pre_generate(self, partition: int, attempt: int) -> None:

@@ -48,6 +48,8 @@ __all__ = [
     "SupervisorReport",
     "PartitionSupervisor",
     "payload_crc",
+    "worker_attempt",
+    "unpack_worker_result",
 ]
 
 
@@ -60,6 +62,65 @@ def payload_crc(payload: bytes | np.ndarray) -> int:
     """
     data = payload.tobytes() if isinstance(payload, np.ndarray) else payload
     return table_crc_bytes(CRC32_IEEE, data)
+
+
+def worker_attempt(
+    partition: int,
+    attempt: int,
+    plan_json: str | None,
+    verify_crc: bool,
+    produce: Callable[[], Any],
+) -> tuple[Any, int | None, dict]:
+    """One instrumented worker attempt → the ``(result, crc, metrics)`` tuple.
+
+    The shared shell every worker entry point follows (device workers,
+    lane workers, fleet workers):
+
+    1. resolve the fault plan (explicit JSON first, ``REPRO_FAULT_PLAN``
+       env fallback) and apply its *pre*-generation faults;
+    2. run ``produce()`` inside a fresh :func:`repro.obs.scoped` registry
+       (spawn-safe: established here, in the worker, never inherited)
+       and snapshot what it recorded;
+    3. CRC the payload *before* post-generation faults mutate it, so
+       injected corruption models a damaged transfer and is visible to
+       the receiving side's verification hook;
+    4. apply *post*-generation faults, preserving ndarray payloads'
+       dtype and shape through the byte-level mutation.
+
+    ``produce`` returns the payload (``bytes`` or ``np.ndarray``); it
+    runs with metrics enabled and should publish whatever the parent
+    wants merged back.
+    """
+    from repro.robust.faults import FaultPlan
+
+    plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan.from_env()
+    if plan is not None:
+        plan.pre_generate(partition, attempt)
+    with obs.scoped() as reg:
+        payload = produce()
+        metrics = reg.snapshot()
+    crc = payload_crc(payload) if verify_crc else None
+    if plan is not None:
+        if isinstance(payload, np.ndarray):
+            mutated = plan.post_generate(partition, attempt, payload.tobytes())
+            payload = np.frombuffer(mutated, dtype=payload.dtype).reshape(payload.shape)
+        else:
+            payload = plan.post_generate(partition, attempt, payload)
+    return payload, crc, metrics
+
+
+def unpack_worker_result(ret: Any) -> tuple[Any, int | None, dict | None]:
+    """Normalise a worker return value to ``(result, crc, metrics)``.
+
+    Workers return ``(result, crc)`` or, when instrumented,
+    ``(result, crc, metrics_snapshot)`` — the third element is a
+    plain-dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` that
+    rides back through the (picklable) pool result or fleet transport.
+    """
+    if isinstance(ret, tuple) and len(ret) == 3:
+        return ret
+    result, crc = ret
+    return result, crc, None
 
 
 @dataclass(frozen=True)
@@ -113,7 +174,11 @@ class SupervisorReport:
     events: list[PartitionEvent] = field(default_factory=list)
     attempts: dict[int, int] = field(default_factory=dict)
     degraded: bool = False
-    #: Per-partition wall time from job start to accepted result (seconds).
+    #: Per-partition wall time from job start to the partition's final
+    #: outcome (seconds): the accepted result, or — for partitions that
+    #: failed or were evicted mid-attempt — the last observed failure.
+    #: Timing failed attempts too is what makes fleet drain latency
+    #: measurable; an accepted result always overwrites failure times.
     partition_wall: dict[int, float] = field(default_factory=dict)
     #: Per-partition metrics snapshots shipped back by instrumented workers.
     worker_metrics: dict[int, dict] = field(default_factory=dict)
@@ -167,19 +232,9 @@ class PartitionSupervisor:
         self._job_t0 = time.monotonic()
 
     # -- attempt bookkeeping -----------------------------------------------------
-    @staticmethod
-    def _unpack(ret: Any) -> tuple[Any, int | None, dict | None]:
-        """Normalise a worker return value.
-
-        Workers return ``(result, crc)`` or, when instrumented,
-        ``(result, crc, metrics_snapshot)`` — the third element is a
-        plain-dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
-        that rides back through the (picklable) pool result.
-        """
-        if isinstance(ret, tuple) and len(ret) == 3:
-            return ret
-        result, crc = ret
-        return result, crc, None
+    #: Kept as a static method for existing callers; the shared parse
+    #: lives in :func:`unpack_worker_result`.
+    _unpack = staticmethod(unpack_worker_result)
 
     def _accepted(self, pid: int, metrics: dict | None) -> None:
         """Book-keeping for one accepted partition result."""
@@ -189,18 +244,30 @@ class PartitionSupervisor:
             self.report.worker_metrics[pid] = metrics
         obs.observe("repro_supervisor_partition_seconds", wall)
 
+    def _failed(self, pid: int, event: PartitionEvent) -> None:
+        """Record one failed attempt *with* its wall time.
+
+        A partition abandoned mid-attempt (timeout, crash, eviction)
+        still gets a ``partition_wall`` entry — job start to the failure
+        — so drain latency is measurable even when no result was ever
+        accepted.  A later accepted attempt overwrites it.
+        """
+        self.report.record(event)
+        self.report.partition_wall[pid] = time.monotonic() - self._job_t0
+
     def _accept(self, pid: int, result: Any, crc: int | None, attempt: int) -> bool:
         """Verify one returned payload; record a corrupt event on mismatch."""
         if self.config.verify_crc:
             got = payload_crc(result)
             if crc is None or got != crc:
-                self.report.record(
+                self._failed(
+                    pid,
                     PartitionEvent(
                         pid,
                         attempt,
                         "corrupt",
                         f"crc mismatch: worker 0x{crc or 0:08x}, received 0x{got:08x}",
-                    )
+                    ),
                 )
                 return False
         return True
@@ -239,13 +306,15 @@ class PartitionSupervisor:
                 try:
                     result, crc, metrics = self._unpack(handle.get(wait))
                 except mp.TimeoutError:
-                    self.report.record(
-                        PartitionEvent(pid, attempt, "timeout", f"no result within {cfg.timeout}s")
+                    self._failed(
+                        pid,
+                        PartitionEvent(pid, attempt, "timeout", f"no result within {cfg.timeout}s"),
                     )
                     continue
                 except Exception as exc:  # worker raised (crash, bad state, ...)
-                    self.report.record(
-                        PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
+                    self._failed(
+                        pid,
+                        PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}"),
                     )
                     continue
                 if self._accept(pid, result, crc, attempt):
@@ -283,7 +352,7 @@ class PartitionSupervisor:
                     result, crc, metrics = self._unpack(self.worker(pending[pid], attempt))
                 except Exception as exc:
                     last = PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
-                    self.report.record(last)
+                    self._failed(pid, last)
                     continue
                 if self._accept(pid, result, crc, attempt):
                     results[pid] = result

@@ -290,6 +290,13 @@ class ServeEngine:
         Run the RCT/APT health screen over accepted chunks.
     alpha:
         False-positive rate for the screening cutoffs.
+    fleet:
+        Mount a supervised :class:`~repro.fleet.controller.FleetController`
+        (heartbeat liveness, health eviction, lease reassignment, elastic
+        sizing) in place of the anonymous pool.  When set, ``workers`` is
+        ignored — membership is the fleet's business — and worker loss is
+        absorbed below this engine: chunks are regenerated by healthy
+        peers or inline, never surfaced to clients as errors.
     """
 
     def __init__(
@@ -300,6 +307,7 @@ class ServeEngine:
         screen: bool = True,
         alpha: float = 2.0**-20,
         mp_context: str | None = None,
+        fleet=None,
     ) -> None:
         if workers < 0:
             raise SpecificationError("workers must be non-negative")
@@ -313,6 +321,8 @@ class ServeEngine:
         if mp_context is None:
             mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self.mp_context = mp_context
+        self.fleet_config = fleet  # FleetConfig | None (lazy import below)
+        self._fleet = None  # FleetController once started
         self._pool: multiprocessing.pool.Pool | None = None
         self._inline: RangeSource | None = None
         self._started = False
@@ -328,13 +338,24 @@ class ServeEngine:
             return
         self._started = True
         obs.set_gauge("repro_serve_healthy", 1)
+        if self.fleet_config is not None:
+            # deferred import: repro.fleet builds on this module
+            from repro.fleet.controller import FleetController
+
+            obs.set_gauge("repro_serve_pool_workers", 0)
+            self._fleet = FleetController(self.config, self.fleet_config)
+            self._fleet.start(supervise=True)
+            return
         obs.set_gauge("repro_serve_pool_workers", self.workers)
         if self.workers > 0:
             ctx = mp.get_context(self.mp_context)
             self._pool = ctx.Pool(processes=self.workers, initializer=_worker_init)
 
     def close(self) -> None:
-        """Terminate the pool (hung workers must die with the daemon)."""
+        """Terminate the pool/fleet (hung workers must die with the daemon)."""
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -368,6 +389,23 @@ class ServeEngine:
         cfg = self.supervision
         job = (chunk_id, self.config, offset, n, cfg.verify_crc)
         with span("serve.chunk", chunk=chunk_id, offset=offset, n=n):
+            if self._fleet is not None:
+                try:
+                    data = self._fleet.read_range(offset, n)
+                except DeviceFailureError:
+                    # the fleet is gone and refused to degrade; the engine
+                    # still owes the caller deterministic bytes
+                    if not cfg.degrade_sequential:
+                        raise
+                    self._count(degraded=1)
+                    obs.inc("repro_serve_degraded_chunks_total")
+                    data = self._inline_source().read_range(offset, n)
+                # the fleet screens per worker (and evicts); this screen
+                # latches the service-wide /healthz verdict
+                if self.screen and self.health.screen(data) is not None:
+                    self._count(screen_rejects=1)
+                self._count(chunks_ok=1)
+                return data
             if self._pool is not None:
                 for attempt in range(cfg.max_retries + 1):
                     if attempt:
@@ -428,7 +466,8 @@ class ServeEngine:
             stats = self.stats.to_dict()
         return {
             "stream": self.config.to_dict(),
-            "workers": self.workers,
+            "workers": self.workers if self._fleet is None else None,
+            "fleet": self._fleet.status() if self._fleet is not None else None,
             "supervision": {
                 "timeout": self.supervision.timeout,
                 "max_retries": self.supervision.max_retries,

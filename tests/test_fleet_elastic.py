@@ -1,0 +1,149 @@
+"""Fleet integration: real worker processes over LocalProcessTransport.
+
+Sized for a small CI box — few workers, small chunks, generous heartbeat
+deadlines (the container may have a single core, so freshly launched
+workers can be CPU-starved by a busy sibling; a tight deadline would
+evict healthy members and make these tests flaky)."""
+
+from repro.fleet import FleetConfig, FleetController
+from repro.robust.faults import Fault, FaultPlan
+from repro.robust.supervisor import SupervisorConfig
+from repro.serve.engine import ServeEngine, StreamConfig
+
+STREAM = StreamConfig(algorithm="trivium", seed=9, lanes=64)
+
+
+def reference(n: int, offset: int = 0) -> bytes:
+    rng = STREAM.make_rng()
+    rng.skip_bytes(offset)
+    return rng.random_bytes(n)
+
+
+def make_config(**overrides) -> FleetConfig:
+    defaults = dict(
+        workers=2,
+        max_workers=4,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=4.0,
+        chunk_bytes=4096,
+        scale_up_backlog=100,  # keep membership stable unless a test wants growth
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestCleanFleet:
+    def test_bit_identical_merge(self):
+        with FleetController(STREAM, make_config()) as ctrl:
+            data = ctrl.read_range(0, 65536, timeout=120)
+            status = ctrl.status()
+        assert data == reference(65536)
+        assert status["counters"]["jobs_completed"] == 16
+        assert status["counters"]["stale_results"] == 0
+
+    def test_nonzero_offset_and_repeat_reads(self):
+        with FleetController(STREAM, make_config()) as ctrl:
+            first = ctrl.read_range(8192, 4096, timeout=120)
+            second = ctrl.read_range(0, 8192, timeout=120)
+        assert first == reference(4096, offset=8192)
+        assert second == reference(8192)
+
+
+class TestChaosDrills:
+    def test_crash_and_silence_evicted_bit_identical(self):
+        plan = FaultPlan(
+            faults=(
+                Fault("crash", partition=0, attempt=1),  # dies on its 2nd job
+                Fault("hb_silence", partition=1, attempt=0),  # registers, never beats
+            ),
+            seed=5,
+        )
+        config = make_config(workers=3, heartbeat_timeout=2.0)
+        with FleetController(STREAM, config, fault_plan=plan) as ctrl:
+            data = ctrl.read_range(0, 262144, timeout=180)
+            status = ctrl.status()
+        assert data == reference(262144)
+        reasons = {w["evicted_reason"] for w in status["workers"] if w["state"] == "evicted"}
+        assert "crash" in reasons
+        assert status["counters"]["evictions"] >= 1
+        # replacements kept the fleet at target
+        live = [w for w in status["workers"] if w["state"] in ("live", "launching")]
+        assert len(live) >= 1
+
+    def test_slow_bleed_strikes_out_bit_identical(self):
+        plan = FaultPlan(
+            faults=(Fault("slow_bleed", partition=0, attempt=0, corrupt_bytes=2),),
+            seed=6,
+        )
+        config = make_config(max_strikes=2)
+        with FleetController(STREAM, config, fault_plan=plan) as ctrl:
+            data = ctrl.read_range(0, 131072, timeout=180)
+            status = ctrl.status()
+        assert data == reference(131072)
+        evicted = [w for w in status["workers"] if w["state"] == "evicted"]
+        assert any(w["evicted_reason"] == "corrupt" for w in evicted)
+
+    def test_every_initial_worker_lost_still_serves(self):
+        plan = FaultPlan(
+            faults=tuple(Fault("crash", partition=p, attempt=0) for p in range(2)),
+            seed=7,
+        )
+        with FleetController(STREAM, make_config(), fault_plan=plan) as ctrl:
+            data = ctrl.read_range(0, 32768, timeout=180)
+            status = ctrl.status()
+        assert data == reference(32768)
+        assert status["counters"]["evictions"] >= 2
+
+
+class TestServeEngineFleet:
+    def test_engine_routes_through_fleet(self):
+        engine = ServeEngine(
+            STREAM,
+            supervision=SupervisorConfig(timeout=60.0, max_retries=1),
+            fleet=make_config(),
+        )
+        engine.start()
+        try:
+            data = engine.generate_range(0, 16384)
+            status = engine.status()
+        finally:
+            engine.close()
+        assert data == reference(16384)
+        assert status["workers"] is None
+        assert status["fleet"] is not None
+        assert status["fleet"]["counters"]["jobs_completed"] >= 1
+        assert engine.stats.chunks_ok == 1
+
+    def test_engine_survives_worker_loss(self, monkeypatch):
+        # the engine builds its own controller; faults reach the workers
+        # the deployment way, through REPRO_FAULT_PLAN
+        plan = FaultPlan(faults=(Fault("crash", partition=0, attempt=0),), seed=8)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        engine = ServeEngine(
+            STREAM,
+            supervision=SupervisorConfig(timeout=60.0, max_retries=1),
+            fleet=make_config(),
+        )
+        engine.start()
+        try:
+            data = engine.generate_range(0, 16384)
+        finally:
+            engine.close()
+        assert data == reference(16384)
+        assert engine.stats.chunks_ok == 1
+
+
+class TestSilenceEviction:
+    def test_silent_worker_evicted_during_long_run(self):
+        """Give the run enough wall time for the silence deadline to fire."""
+        plan = FaultPlan(faults=(Fault("hb_silence", partition=0, attempt=0),), seed=9)
+        config = make_config(workers=2, heartbeat_interval=0.1, heartbeat_timeout=1.0)
+        with FleetController(STREAM, config, fault_plan=plan) as ctrl:
+            data = ctrl.read_range(0, 393216, timeout=240)
+            status = ctrl.status()
+        assert data == reference(393216)
+        assert any(
+            w["evicted_reason"] == "heartbeat"
+            for w in status["workers"]
+            if w["state"] == "evicted"
+        )

@@ -183,3 +183,36 @@ class TestReportShape:
         assert gen.last_report.events == []
         assert not gen.last_report.degraded
         assert set(gen.last_report.attempts.values()) == {1}
+
+
+class TestFailureWallTimes:
+    """Failed/evicted partitions get partition_wall entries too, not just
+    accepted results — that is what makes drain latency measurable."""
+
+    def test_retried_partition_timed_and_overwritten_by_acceptance(self):
+        plan = FaultPlan((Fault("crash", 1, 0),))
+        gen = _mk(fault_plan=plan)
+        gen.generate(6, parallel=True)
+        walls = gen.last_report.supervisor.partition_wall
+        assert set(walls) == {0, 1, 2}  # the crashed partition is timed too
+        assert all(w >= 0.0 for w in walls.values())
+        assert all(p.wall_s is not None for p in gen.last_report.partitions)
+
+    def test_unrecoverable_partition_still_timed(self):
+        def worker(payload, attempt):
+            raise RuntimeError("boom")
+
+        sup = PartitionSupervisor(
+            worker, SupervisorConfig(max_retries=1, degrade_sequential=False)
+        )
+        with pytest.raises(DeviceFailureError):
+            sup.run({7: b"x"}, parallel=False)
+        # the partition never delivered, but its failure wall is recorded
+        assert 7 in sup.report.partition_wall
+        assert sup.report.partition_wall[7] >= 0.0
+
+    def test_corrupt_receipt_timed(self):
+        plan = FaultPlan((Fault("corrupt", 0, 0),), seed=4)
+        gen = _mk(fault_plan=plan, verify_crc=True)
+        gen.generate(6, parallel=True)
+        assert 0 in gen.last_report.supervisor.partition_wall
