@@ -24,12 +24,17 @@ Commands
     Run the RNG-as-a-service daemon: counter-space leases, streaming
     HTTP endpoints, ``/healthz``/``/metrics``, graceful SIGTERM drain
     (see ``repro.serve`` and DESIGN.md §12).
+``top``
+    Live ANSI dashboard over a running daemon — polls ``/metrics`` and
+    ``/v1/status`` and renders rates, latency quantiles, and the
+    per-worker fleet table (see DESIGN.md §14).
 ``model``
     Query the anchored GPU throughput model (the paper's Figure 10).
 ``cuda``
     Emit the generated CUDA kernels (paper §4.4).
 
-``gen``, ``nist``, ``throughput`` and ``selftest`` accept ``--metrics-out PATH``
+``gen``, ``nist``, ``throughput``, ``selftest``, ``serve`` and ``fleet``
+accept ``--metrics-out PATH``
 (write a JSON metrics snapshot) and ``--trace-out PATH`` (write a
 Chrome-trace-event JSON viewable in Perfetto), plus the fused-kernel
 group ``--fused/--no-fused``, ``--clocks-per-call K`` and ``--dtype
@@ -237,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="silence past this evicts a fleet worker (default 5s)",
     )
     serve.add_argument(
+        "--fleet-chunk-bytes", type=int, default=None, metavar="N",
+        help="fleet lease granularity (default: --chunk-bytes); smaller "
+        "than --chunk-bytes pipelines one request across several workers",
+    )
+    serve.add_argument(
         "--timeout", type=float, default=30.0, help="per-chunk worker timeout (s)"
     )
     serve.add_argument("--retries", type=int, default=2, help="per-chunk retry budget")
@@ -265,6 +275,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="health-screen false-positive rate (default 2^-20)",
     )
     add_fused_flags(serve)
+    add_telemetry_flags(serve)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running serve daemon (/metrics + status)"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8797)
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll / redraw period (default 1s)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="print frames sequentially instead of redrawing the screen",
+    )
 
     fleet = sub.add_parser(
         "fleet",
@@ -636,7 +665,7 @@ def _cmd_serve(args) -> int:
             max_workers=max(args.fleet * 2, args.fleet + 2),
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
-            chunk_bytes=args.chunk_bytes,
+            chunk_bytes=args.fleet_chunk_bytes or args.chunk_bytes,
             screen=not args.no_screen,
             alpha=args.alpha,
         )
@@ -667,8 +696,21 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
 
-    asyncio.run(daemon.run(install_signal_handlers=True, on_started=on_started))
+    with _telemetry(args):
+        asyncio.run(daemon.run(install_signal_handlers=True, on_started=on_started))
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.dashboard import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_fleet(args) -> int:
@@ -783,6 +825,7 @@ _COMMANDS = {
     "throughput": _cmd_throughput,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "fleet": _cmd_fleet,
     "model": _cmd_model,
     "cuda": _cmd_cuda,

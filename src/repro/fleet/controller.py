@@ -58,6 +58,9 @@ import numpy as np
 
 from repro import obs
 from repro.errors import DeviceFailureError, SpecificationError
+from repro.obs import context as trace_context
+from repro.obs import flight
+from repro.obs.tracing import span
 from repro.robust.faults import FaultPlan
 from repro.robust.health import AdaptiveProportionTest, RepetitionCountTest
 from repro.robust.supervisor import payload_crc
@@ -437,10 +440,22 @@ class FleetController:
         obs.observe("repro_fleet_chunk_seconds", max(now - dispatched_at, 0.0))
         if msg.metrics and obs.metrics_enabled():
             obs.registry().merge(msg.metrics, extra_labels={"worker": str(member.worker_id)})
+        if msg.spans:
+            tracer = obs.active_tracer()
+            if tracer is not None:
+                tracer.merge(msg.spans, extra_args={"worker": member.worker_id})
 
     def _strike(self, member: WorkerInfo, job: ChunkJob, now: float, why: str) -> None:
         member.strikes += 1
         obs.inc("repro_fleet_receipt_failures_total")
+        flight.record(
+            "crc-strike",
+            worker=member.worker_id,
+            job=job.job_id,
+            strikes=member.strikes,
+            why=why,
+        )
+        flight.dump("crc-strike")
         self._requeue(job)
         if member.strikes >= self.config.max_strikes:
             self._evict(member, "corrupt", now)
@@ -491,6 +506,14 @@ class FleetController:
         self.evictions += 1
         obs.inc("repro_fleet_evictions_total", reason=reason)
         self.events.append(FleetEvent("evict", member.worker_id, reason, now))
+        flight.record(
+            "eviction",
+            worker=member.worker_id,
+            reason=reason,
+            jobs_done=member.jobs_done,
+            inflight=sorted(member.inflight),
+        )
+        flight.dump("eviction")
         # reassign every inflight lease: back to the queue head so a
         # healthy peer regenerates the identical bytes
         for job_id in sorted(member.inflight):
@@ -626,11 +649,15 @@ class FleetController:
                 raise SpecificationError("fleet controller is closed")
             if not self._started:
                 self.start(supervise=False)
+            # stamp each job with the caller's trace context so worker
+            # spans come home under the same trace (None while tracing
+            # is off — the wire must add nothing to the disabled path)
+            wire = trace_context.current_wire() if obs.active_tracer() else None
             pos, remaining = offset, n
             while remaining:
                 take = min(self.config.chunk_bytes, remaining)
                 lease = self.leases.acquire(take, client=f"fleet@{pos}")
-                jobs.append(ChunkJob(lease.lease_id, pos, take))
+                jobs.append(ChunkJob(lease.lease_id, pos, take, trace=wire))
                 pos += take
                 remaining -= take
             self._pending.extend(jobs)
@@ -656,6 +683,10 @@ class FleetController:
         """
         if n == 0:
             return b""
+        with span("fleet.read_range", offset=offset, n=n):
+            return self._read_range(offset, n, timeout)
+
+    def _read_range(self, offset: int, n: int, timeout: float | None) -> bytes:
         jobs = self.submit_range(offset, n)
         deadline = None if timeout is None else self.clock() + timeout
         period = min(self.config.heartbeat_interval / 2.0, 0.05)

@@ -53,6 +53,9 @@ class ChunkJob:
     job_id: int
     offset: int
     length: int
+    #: Optional ``(trace_id, span_id)`` wire pair — the controller's
+    #: trace context at submission, so worker spans join its trace.
+    trace: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.offset < 0 or self.length <= 0:
@@ -69,6 +72,7 @@ class Message:
     payload: bytes = b""  # result messages: the generated chunk
     crc: int | None = None  # result messages: worker-side payload CRC
     metrics: dict | None = None  # result messages: worker registry snapshot
+    spans: dict | None = None  # result messages: worker tracer snapshot
     detail: str = ""  # free-form (bye reason, error text)
 
     def __post_init__(self) -> None:

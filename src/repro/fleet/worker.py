@@ -32,6 +32,7 @@ import signal
 import time
 
 from repro import obs
+from repro.obs import flight
 from repro.robust.faults import FaultPlan
 from repro.robust.supervisor import worker_attempt
 from repro.serve.engine import RangeSource
@@ -58,6 +59,22 @@ def fleet_worker_main(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
     # metrics are collected in worker_attempt's scoped registry instead
     obs.disable_metrics()
     obs.disable_tracing()
+    # a fork also inherits the daemon's flight recorder (role and ring);
+    # re-enable fresh so this member's black box carries its own story
+    if flight.enabled():
+        rec = flight.recorder()
+        flight.enable(rec.directory, role=f"fleet-worker-{worker_id}")
+    try:
+        _worker_loop(worker_id, spec, jobs, out)
+    except BaseException as exc:
+        # the black box is the only record a crashed member leaves —
+        # the message plane just sees a dead carrier
+        flight.record("worker-crash", worker=worker_id, error=f"{type(exc).__name__}: {exc}")
+        flight.dump("worker-crash")
+        raise
+
+
+def _worker_loop(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
     plan = FaultPlan.from_json(spec.plan_json) if spec.plan_json else FaultPlan.from_env()
     source = RangeSource(spec.stream, max_streams=spec.max_streams)
     out.put(Message("register", worker_id))
@@ -79,6 +96,7 @@ def fleet_worker_main(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
         if job is None:
             out.put(Message("bye", worker_id, detail="drained"))
             return
+        flight.record("job-start", worker=worker_id, job=job.job_id, offset=job.offset)
 
         def produce(job: ChunkJob = job) -> bytes:
             data = source.read_range(job.offset, job.length)
@@ -88,8 +106,15 @@ def fleet_worker_main(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
 
         # crash faults raise out of here and kill the process — the
         # controller must discover a dead carrier, not read an excuse
-        payload, crc, metrics = worker_attempt(
-            worker_id, job_index, spec.plan_json, spec.verify_crc, produce
+        payload, crc, metrics, spans = worker_attempt(
+            worker_id,
+            job_index,
+            spec.plan_json,
+            spec.verify_crc,
+            produce,
+            trace=job.trace,
+            span_name="fleet.worker_chunk",
+            process_name=f"fleet-worker-{worker_id}",
         )
         if plan is not None:
             payload = plan.bleed(worker_id, job_index, payload)
@@ -101,6 +126,7 @@ def fleet_worker_main(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
                 payload=payload,
                 crc=crc,
                 metrics=metrics,
+                spans=spans,
             )
         )
         job_index += 1

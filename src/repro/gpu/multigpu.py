@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ModelError, SpecificationError
+from repro.obs import context as trace_context
 from repro.obs.tracing import span
 from repro.robust.faults import FaultPlan
 from repro.robust.supervisor import (
@@ -233,11 +234,12 @@ def _merge_worker_metrics(report: SupervisorReport) -> None:
         obs.registry().merge(snap, extra_labels={"partition": pid})
 
 
-def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
+def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict, dict | None]:
     """Generate one partition (runs in a worker process = one 'GPU').
 
-    The ``(payload, crc, metrics)`` tuple shell — fault-plan hooks, the
-    scoped worker registry, CRC-before-corruption — is the shared
+    The ``(payload, crc, metrics, spans)`` tuple shell — fault-plan
+    hooks, the scoped worker registry, CRC-before-corruption, span
+    collection under the caller's trace context — is the shared
     :func:`~repro.robust.supervisor.worker_attempt`; this function only
     contributes the counter-space generation body.
     """
@@ -253,7 +255,8 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
         plan_json,
         fused,
         clocks_per_call,
-    ) = job
+    ) = job[:11]
+    trace = job[11] if len(job) > 11 else None
     from repro.core.generator import BSRNG
 
     def produce() -> bytes:
@@ -272,7 +275,16 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
         obs.inc("repro_device_attempts_total", 1, device=device_id)
         return data
 
-    return worker_attempt(device_id, attempt, plan_json, verify_crc, produce)
+    return worker_attempt(
+        device_id,
+        attempt,
+        plan_json,
+        verify_crc,
+        produce,
+        trace=trace,
+        span_name="device.partition",
+        process_name=f"device-worker-{device_id}",
+    )
 
 
 class MultiDeviceGenerator:
@@ -343,6 +355,9 @@ class MultiDeviceGenerator:
     def _jobs(self, total_blocks: int) -> dict[int, tuple]:
         plan_json = self.fault_plan.to_json() if self.fault_plan is not None else None
         parts = partition_counter_space(total_blocks, self.n_devices)
+        # contextvars do not cross the pool boundary: the trace context
+        # rides the job tuple explicitly (None while tracing is off)
+        wire = trace_context.current_wire() if obs.active_tracer() else None
         return {
             p.device_id: (
                 p.device_id,
@@ -356,6 +371,7 @@ class MultiDeviceGenerator:
                 plan_json,
                 self.fused,
                 self.clocks_per_call,
+                wire,
             )
             for p in parts
             if p.n_blocks > 0
@@ -410,7 +426,7 @@ class MultiDeviceGenerator:
         return rng.random_bytes(total_blocks * self.block_bytes)
 
 
-def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
+def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict, dict | None]:
     """Run one device's lane window (a worker process = one 'GPU').
 
     Same shared :func:`~repro.robust.supervisor.worker_attempt` shell as
@@ -428,7 +444,8 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
         plan_json,
         fused,
         clocks_per_call,
-    ) = job
+    ) = job[:10]
+    trace = job[10] if len(job) > 10 else None
     from repro.core.engine import BitslicedEngine
 
     module_name, cls_name = cls_path.rsplit(".", 1)
@@ -445,7 +462,16 @@ def _lane_worker(job, attempt: int = 0) -> tuple[np.ndarray, int | None, dict]:
         obs.inc("repro_device_attempts_total", 1, device=device_id)
         return out
 
-    return worker_attempt(device_id, attempt, plan_json, verify_crc, produce)
+    return worker_attempt(
+        device_id,
+        attempt,
+        plan_json,
+        verify_crc,
+        produce,
+        trace=trace,
+        span_name="device.lanes",
+        process_name=f"lane-worker-{device_id}",
+    )
 
 
 class LanePartitionedGenerator:
@@ -514,6 +540,7 @@ class LanePartitionedGenerator:
     def generate_lanes(self, n_bits: int, parallel: bool = True) -> np.ndarray:
         """Per-lane keystreams, ``(total_lanes, n_bits)`` uint8."""
         plan_json = self.fault_plan.to_json() if self.fault_plan is not None else None
+        wire = trace_context.current_wire() if obs.active_tracer() else None
         jobs = {
             p.device_id: (
                 p.device_id,
@@ -526,6 +553,7 @@ class LanePartitionedGenerator:
                 plan_json,
                 self.fused,
                 self.clocks_per_call,
+                wire,
             )
             for p in self.device_partitions()
         }
@@ -550,7 +578,7 @@ class LanePartitionedGenerator:
 
     def sequential_reference(self, n_bits: int) -> np.ndarray:
         """One big bank on a single device — the equivalence target."""
-        out, _, _ = _lane_worker(
+        out, _, _, _ = _lane_worker(
             (
                 0,
                 _LANE_BANKS[self.algorithm],

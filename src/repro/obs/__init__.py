@@ -44,7 +44,9 @@ from repro.obs.export import (
     write_snapshot,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_bucket
-from repro.obs.tracing import SpanRecord, Tracer, span
+from repro.obs.context import TraceContext
+from repro.obs.tracing import SpanCollector, SpanRecord, Tracer, span
+from repro.obs import flight
 
 __all__ = [
     "Counter",
@@ -53,7 +55,10 @@ __all__ = [
     "MetricsRegistry",
     "log2_bucket",
     "SpanRecord",
+    "SpanCollector",
+    "TraceContext",
     "Tracer",
+    "flight",
     "span",
     "dump",
     "load_snapshot",

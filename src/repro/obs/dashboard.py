@@ -1,0 +1,278 @@
+"""``repro top`` — a live ANSI dashboard over ``/metrics`` + ``/v1/status``.
+
+No curses dependency (the container bakes in the scientific stack only):
+the screen is redrawn with plain ANSI clear/home escapes, which works in
+any terminal and degrades to sequential frames when piped.  Each frame
+polls the daemon's Prometheus exposition and status document, diffs
+against the previous sample, and renders:
+
+* service header — uptime, health verdict, drain state, fleet target;
+* rates — requests/s and bytes/s from counter deltas between frames;
+* request latency — p50/p99 estimated from the cumulative log2-bucket
+  ``repro_serve_request_seconds`` histogram (quantiles interpolated
+  within the bucket, the standard Prometheus ``histogram_quantile``
+  approach);
+* lease ledger — active / released / orphaned counts and high water;
+* chunk dispatch counters — ok / retries / degraded / rejects;
+* per-worker fleet table — state, silence, jobs, inflight, per-worker
+  byte rates (from the ``worker``-labelled counters the controller
+  merges on every accepted result) and eviction reasons.
+
+Everything below :func:`run_top` is pure (text in, text out) so tests
+drive the renderer without a terminal or a live daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.request
+
+__all__ = [
+    "parse_prometheus",
+    "counter_total",
+    "gauge_value",
+    "histogram_quantiles",
+    "render",
+    "run_top",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_prometheus(text: str) -> list[tuple[str, dict, float]]:
+    """Parse a text exposition into ``(name, labels, value)`` samples."""
+    samples: list[tuple[str, dict, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        labels = dict(_LABEL_RE.findall(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        samples.append((m.group("name"), labels, value))
+    return samples
+
+
+def _matches(labels: dict, match: dict) -> bool:
+    return all(labels.get(k) == v for k, v in match.items())
+
+
+def counter_total(samples, name: str, **match) -> float:
+    """Sum of every sample of *name* whose labels include *match*."""
+    return sum(v for n, labels, v in samples if n == name and _matches(labels, match))
+
+
+def gauge_value(samples, name: str, default: float = 0.0, **match) -> float:
+    """First sample of *name* matching *match* (gauges have one value)."""
+    for n, labels, v in samples:
+        if n == name and _matches(labels, match):
+            return v
+    return default
+
+
+def histogram_quantiles(samples, name: str, quantiles=(0.5, 0.99)) -> dict[float, float]:
+    """Estimate quantiles from cumulative ``<name>_bucket`` samples.
+
+    Buckets across all label sets are aggregated (the service-wide
+    latency view), then each quantile is linearly interpolated inside
+    the first bucket whose cumulative count reaches its rank — the same
+    estimate PromQL's ``histogram_quantile`` computes.
+    """
+    by_le: dict[float, float] = {}
+    for n, labels, v in samples:
+        if n != f"{name}_bucket":
+            continue
+        le = labels.get("le", "")
+        bound = float("inf") if le == "+Inf" else float(le)
+        by_le[bound] = by_le.get(bound, 0.0) + v
+    if not by_le:
+        return {}
+    bounds = sorted(by_le)
+    total = by_le[bounds[-1]]
+    if total <= 0:
+        return {}
+    out: dict[float, float] = {}
+    for q in quantiles:
+        rank = q * total
+        prev_bound, prev_count = 0.0, 0.0
+        for bound in bounds:
+            count = by_le[bound]
+            if count >= rank:
+                if bound == float("inf"):
+                    out[q] = prev_bound  # open-ended: report the last edge
+                elif count == prev_count:
+                    out[q] = bound
+                else:
+                    frac = (rank - prev_count) / (count - prev_count)
+                    out[q] = prev_bound + frac * (bound - prev_bound)
+                break
+            prev_bound, prev_count = bound, count
+    return out
+
+
+def _rate(curr_samples, prev_samples, dt: float, name: str, **match) -> float | None:
+    if prev_samples is None or dt <= 0:
+        return None
+    delta = counter_total(curr_samples, name, **match) - counter_total(
+        prev_samples, name, **match
+    )
+    return max(delta, 0.0) / dt
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:,.1f} {unit}"
+        n /= 1024
+    return f"{n:,.1f} TiB"  # pragma: no cover - loop always returns
+
+
+def render(
+    status: dict,
+    samples,
+    prev_samples=None,
+    dt: float = 0.0,
+) -> str:
+    """One dashboard frame (pure: status JSON + metric samples -> text)."""
+    server = status.get("server", {})
+    engine = status.get("engine", {})
+    leases = status.get("leases", {})
+    health = engine.get("health", {})
+    stream = engine.get("stream", {})
+    fleet = engine.get("fleet")
+    lines: list[str] = []
+    verdict = "HEALTHY" if health.get("healthy", True) else "UNHEALTHY"
+    if server.get("draining"):
+        verdict += " (draining)"
+    lines.append(
+        f"repro top — {stream.get('algorithm', '?')} seed={stream.get('seed', '?')} "
+        f"lanes={stream.get('lanes', '?')} | up {server.get('uptime_s', 0.0):,.1f}s "
+        f"| {verdict}"
+    )
+    req_rate = _rate(samples, prev_samples, dt, "repro_serve_requests_total")
+    byte_rate = _rate(samples, prev_samples, dt, "repro_serve_bytes_total")
+    lines.append(
+        f"requests {server.get('requests_total', 0):,} "
+        f"({'—' if req_rate is None else f'{req_rate:,.1f}/s'}) | "
+        f"served {_fmt_bytes(server.get('bytes_served', 0))} "
+        f"({'—' if byte_rate is None else _fmt_bytes(byte_rate) + '/s'}) | "
+        f"streams {server.get('active_streams', 0)}"
+    )
+    q = histogram_quantiles(samples, "repro_serve_request_seconds")
+    if q:
+        lines.append(
+            "request latency  p50 "
+            f"{q.get(0.5, 0.0) * 1e3:,.2f} ms   p99 {q.get(0.99, 0.0) * 1e3:,.2f} ms"
+        )
+    lines.append(
+        f"leases  active {leases.get('active', 0)}  released {leases.get('released', 0)}  "
+        f"orphaned {leases.get('orphaned', 0)}  "
+        f"high-water {_fmt_bytes(leases.get('high_water_bytes', 0))}"
+    )
+    chunks = engine.get("chunks", {})
+    lines.append(
+        f"chunks  ok {chunks.get('chunks_ok', 0):,}  retries {chunks.get('retries', 0)}  "
+        f"degraded {chunks.get('degraded', 0)}  crc-rejects {chunks.get('crc_rejects', 0)}  "
+        f"screen-rejects {chunks.get('screen_rejects', 0)}"
+    )
+    if fleet:
+        counters = fleet.get("counters", {})
+        lines.append(
+            f"fleet  target {fleet.get('target', 0)}  "
+            f"evictions {counters.get('evictions', 0)}  "
+            f"reassigned {counters.get('reassignments', 0)}  "
+            f"stale {counters.get('stale_results', 0)}  "
+            f"pending {fleet.get('pending_jobs', 0)}  "
+            f"inflight {fleet.get('inflight_jobs', 0)}"
+        )
+        lines.append(
+            f"{'id':>4} {'state':<10} {'silent':>8} {'jobs':>7} {'infl':>5} "
+            f"{'rate':>12}  reason"
+        )
+        for worker in fleet.get("workers", []):
+            wid = worker.get("worker_id", -1)
+            rate = _rate(
+                samples,
+                prev_samples,
+                dt,
+                "repro_fleet_worker_bytes_total",
+                worker=str(wid),
+            )
+            lines.append(
+                f"{wid:>4} {worker.get('state', '?'):<10} "
+                f"{worker.get('silent_s', 0.0):>7.1f}s "
+                f"{worker.get('jobs_done', 0):>7,} {worker.get('inflight', 0):>5} "
+                f"{'—' if rate is None else _fmt_bytes(rate) + '/s':>12}  "
+                f"{worker.get('evicted_reason', '') or '-'}"
+            )
+    return "\n".join(lines)
+
+
+def _fetch(host: str, port: int, path: str, timeout: float = 10.0) -> bytes:
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.read()
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8797,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll the daemon and redraw until interrupted (or *iterations*).
+
+    Returns 0 on a clean exit (including Ctrl-C), 1 when the daemon
+    could never be reached.
+    """
+    import sys
+
+    out = out or sys.stdout
+    prev_samples = None
+    prev_t = None
+    seen_ok = False
+    frame = 0
+    while iterations is None or frame < iterations:
+        frame += 1
+        try:
+            status = json.loads(_fetch(host, port, "/v1/status"))
+            samples = parse_prometheus(_fetch(host, port, "/metrics").decode())
+        except KeyboardInterrupt:
+            return 0
+        except OSError as exc:
+            if not seen_ok:
+                print(f"repro top: cannot reach {host}:{port}: {exc}", file=out)
+                return 1
+            print(f"repro top: poll failed ({exc}); daemon gone?", file=out)
+            return 0
+        now = time.monotonic()
+        dt = 0.0 if prev_t is None else now - prev_t
+        text = render(status, samples, prev_samples, dt)
+        if clear:
+            out.write("\x1b[2J\x1b[H")
+        out.write(text + "\n")
+        out.flush()
+        seen_ok = True
+        prev_samples, prev_t = samples, now
+        if iterations is not None and frame >= iterations:
+            break
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+    return 0

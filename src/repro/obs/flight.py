@@ -1,0 +1,204 @@
+"""Crash/eviction flight recorder: a bounded in-memory black box.
+
+Every participating process keeps a small ring buffer of recent
+activity — structured events (health verdicts, CRC strikes, evictions,
+job lifecycle), completed spans, whatever the instrumentation feeds it —
+and on a *trigger* (health-test failure, CRC strike, eviction, worker
+crash, SIGTERM) dumps the buffer plus a metrics snapshot to a JSON file
+under ``REPRO_FLIGHT_DIR``.  The chaos drills in
+``tools/fleet_chaos.py`` then have a post-mortem record of the seconds
+*before* the fault fired, which is exactly the part ``/metrics`` cannot
+show after the process is gone.
+
+Like the rest of :mod:`repro.obs`, the disabled path is a true no-op:
+:func:`record` and :func:`dump` cost one module-flag check when no
+recorder is installed.  Enablement is either explicit
+(:func:`enable`) or by environment — the first call through the
+module-level helpers checks ``REPRO_FLIGHT_DIR`` once and installs a
+recorder pointed there, which is how spawn'd fleet workers with no
+inherited state pick it up.
+
+Dump files are named ``flight-<pid>-<seq>-<reason>.json`` so repeated
+triggers in one process never clobber each other and a directory of
+dumps reads chronologically per process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "FlightRecorder",
+    "FLIGHT_DIR_ENV",
+    "enable",
+    "disable",
+    "enabled",
+    "set_role",
+    "record",
+    "dump",
+    "recorder",
+]
+
+#: Environment variable naming the dump directory (enables recording).
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+
+#: Dump file schema version.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Default ring capacity (events + spans share the budget).
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring of recent events/spans with triggered JSON dumps."""
+
+    def __init__(
+        self, directory: str, capacity: int = DEFAULT_CAPACITY, role: str = ""
+    ) -> None:
+        self.directory = directory
+        self.role = role
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=max(capacity, 1))
+        self._seq = 0
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one structured event to the ring."""
+        entry = {"t": time.time(), "kind": kind}
+        entry.update(fields)
+        with self._lock:
+            self._ring.append(entry)
+
+    def note_span(self, span_record) -> None:
+        """Append one completed span (wired in by the tracer)."""
+        entry = {
+            "t": time.time(),
+            "kind": "span",
+            "name": span_record.name,
+            "dur_us": round(span_record.dur_us, 1),
+            "trace_id": span_record.trace_id,
+            "span_id": span_record.span_id,
+            "parent_id": span_record.parent_id,
+        }
+        if span_record.args:
+            entry["args"] = dict(span_record.args)
+        with self._lock:
+            self._ring.append(entry)
+
+    def dump(self, reason: str) -> str | None:
+        """Write the ring to ``flight-<pid>-<seq>-<reason>.json``.
+
+        Returns the path, or ``None`` if the directory is unwritable —
+        a flight recorder must never take down the process it is
+        documenting.
+        """
+        from repro import obs
+
+        with self._lock:
+            entries = list(self._ring)
+            self._seq += 1
+            seq = self._seq
+        safe_reason = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+        payload = {
+            "schema": FLIGHT_SCHEMA_VERSION,
+            "reason": reason,
+            "pid": os.getpid(),
+            "role": self.role,
+            "time": time.time(),
+            "entries": entries,
+            "metrics": obs.registry().snapshot() if obs.metrics_enabled() else None,
+        }
+        path = os.path.join(
+            self.directory, f"flight-{os.getpid()}-{seq:03d}-{safe_reason}.json"
+        )
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+        except OSError:
+            return None
+        obs.inc("repro_flight_dumps_total", reason=safe_reason)
+        return path
+
+
+_recorder: FlightRecorder | None = None
+_env_checked = False
+
+
+def _wire_tracer(rec: FlightRecorder | None) -> None:
+    from repro.obs import tracing
+
+    tracing._span_sink = None if rec is None else rec.note_span
+
+
+def enable(
+    directory: str, capacity: int = DEFAULT_CAPACITY, role: str = ""
+) -> FlightRecorder:
+    """Install (and return) a process-wide flight recorder."""
+    global _recorder, _env_checked
+    _env_checked = True
+    _recorder = FlightRecorder(directory, capacity=capacity, role=role)
+    _wire_tracer(_recorder)
+    return _recorder
+
+
+def disable() -> None:
+    """Remove the recorder; subsequent record/dump calls are no-ops.
+
+    Also stops the once-per-process environment check from re-enabling,
+    so tests can turn the recorder off deterministically.
+    """
+    global _recorder, _env_checked
+    _recorder = None
+    _env_checked = True
+    _wire_tracer(None)
+
+
+def _from_env() -> None:
+    global _env_checked
+    _env_checked = True
+    directory = os.environ.get(FLIGHT_DIR_ENV)
+    if directory:
+        enable(directory)
+
+
+def enabled() -> bool:
+    """Whether a recorder is installed (checking the env on first call)."""
+    if not _env_checked:
+        _from_env()
+    return _recorder is not None
+
+
+def recorder() -> FlightRecorder | None:
+    """The installed recorder, if any (checking the env on first call)."""
+    if not _env_checked:
+        _from_env()
+    return _recorder
+
+
+def set_role(role: str) -> None:
+    """Tag this process's dumps (``daemon``, ``fleet-worker-3``, ...)."""
+    rec = recorder()
+    if rec is not None:
+        rec.role = role
+
+
+def record(kind: str, **fields) -> None:
+    """Append one event to the process recorder (no-op while disabled)."""
+    if not _env_checked:
+        _from_env()
+    if _recorder is not None:
+        _recorder.record(kind, **fields)
+
+
+def dump(reason: str) -> str | None:
+    """Trigger a dump (no-op while disabled); returns the path or None."""
+    if not _env_checked:
+        _from_env()
+    if _recorder is None:
+        return None
+    return _recorder.dump(reason)

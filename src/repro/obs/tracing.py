@@ -6,6 +6,17 @@ many ``refill`` spans), carry arbitrary key/value attributes, and record
 both wall time and CPU time, so a span that waited on a worker pool is
 distinguishable from one that burned the local core.
 
+Every live span also carries distributed-tracing identity from
+:mod:`repro.obs.context`: a ``trace_id`` naming the request/battery/job
+it belongs to, its own ``span_id``, and the ``parent_id`` of the
+enclosing span — in this process or, via the wire tuples the serve and
+fleet layers propagate, in another one.  Worker processes record into a
+local tracer, :meth:`Tracer.snapshot` the result (timestamps carry a
+wall-clock epoch so they can be rebased), ship the plain dict home with
+the metrics tuple, and the parent :meth:`Tracer.merge` s it — one
+Chrome-trace JSON then shows daemon → controller → worker → kernel
+refill on a single timeline.
+
 The exporter writes the Chrome trace-event JSON format (``ph: "X"``
 complete events, microsecond timestamps), which loads directly in
 Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` — drop the
@@ -26,7 +37,17 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["SpanRecord", "Tracer", "span"]
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext
+
+__all__ = ["SpanRecord", "Tracer", "SpanCollector", "span"]
+
+#: Snapshot schema version (bump on breaking layout changes).
+TRACE_SNAPSHOT_VERSION = 1
+
+# A flight recorder (repro.obs.flight) installs its span sink here so the
+# tracer can feed it without a circular import; ``None`` costs one check.
+_span_sink = None
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,10 @@ class SpanRecord:
     tid: int
     depth: int  # nesting depth within its thread (0 = outermost)
     args: dict = field(default_factory=dict)
+    # distributed identity; None on spans recorded before PR 8 snapshots
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
 
 class _ThreadState(threading.local):
@@ -54,7 +79,11 @@ class Tracer:
         self._lock = threading.Lock()
         self._records: list[SpanRecord] = []
         self._epoch = time.perf_counter()
+        # wall-clock twin of the perf_counter epoch: lets a parent rebase
+        # a child process's timestamps onto its own timeline on merge
+        self._epoch_unix = time.time()
         self._tls = _ThreadState()
+        self._process_names: dict[int, str] = {}
 
     # -- recording ---------------------------------------------------------------
     def now_us(self) -> float:
@@ -65,6 +94,13 @@ class Tracer:
         """Append one completed span."""
         with self._lock:
             self._records.append(record)
+        if _span_sink is not None:
+            _span_sink(record)
+
+    def set_process_name(self, name: str, pid: int | None = None) -> None:
+        """Label a pid's lane in the trace viewer (``process_name`` metadata)."""
+        with self._lock:
+            self._process_names[pid if pid is not None else os.getpid()] = name
 
     @property
     def records(self) -> list[SpanRecord]:
@@ -77,20 +113,114 @@ class Tracer:
         with self._lock:
             self._records.clear()
             self._epoch = time.perf_counter()
+            self._epoch_unix = time.time()
+
+    # -- cross-process merge -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable dump of this tracer for shipping to a parent process.
+
+        Timestamps stay in this tracer's epoch; ``epoch_unix`` lets the
+        receiving :meth:`merge` rebase them onto its own timeline.
+        """
+        with self._lock:
+            records = list(self._records)
+            names = dict(self._process_names)
+            epoch_unix = self._epoch_unix
+        return {
+            "version": TRACE_SNAPSHOT_VERSION,
+            "epoch_unix": epoch_unix,
+            "pid": os.getpid(),
+            "process_names": {str(pid): name for pid, name in names.items()},
+            "spans": [
+                {
+                    "name": r.name,
+                    "ts_us": r.ts_us,
+                    "dur_us": r.dur_us,
+                    "cpu_us": r.cpu_us,
+                    "pid": r.pid,
+                    "tid": r.tid,
+                    "depth": r.depth,
+                    "args": dict(r.args),
+                    "trace_id": r.trace_id,
+                    "span_id": r.span_id,
+                    "parent_id": r.parent_id,
+                }
+                for r in records
+            ],
+        }
+
+    def merge(self, snap: dict | None, extra_args: dict | None = None) -> int:
+        """Fold a :meth:`snapshot` from another process into this tracer.
+
+        Child timestamps are rebased via the wall-clock epoch delta so
+        the merged spans land at the right place on this tracer's
+        timeline (wall clocks across local processes agree to far better
+        than span granularity).  Returns the number of spans merged.
+        """
+        if not snap:
+            return 0
+        version = snap.get("version")
+        if version != TRACE_SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported trace snapshot version: {version!r}")
+        shift_us = (snap["epoch_unix"] - self._epoch_unix) * 1e6
+        merged = 0
+        for entry in snap.get("spans", ()):
+            args = dict(entry.get("args") or {})
+            if extra_args:
+                args.update(extra_args)
+            self.add(
+                SpanRecord(
+                    name=entry["name"],
+                    ts_us=entry["ts_us"] + shift_us,
+                    dur_us=entry["dur_us"],
+                    cpu_us=entry["cpu_us"],
+                    pid=entry["pid"],
+                    tid=entry["tid"],
+                    depth=entry["depth"],
+                    args=args,
+                    trace_id=entry.get("trace_id"),
+                    span_id=entry.get("span_id"),
+                    parent_id=entry.get("parent_id"),
+                )
+            )
+            merged += 1
+        for pid, name in (snap.get("process_names") or {}).items():
+            self.set_process_name(name, pid=int(pid))
+        return merged
 
     # -- export ------------------------------------------------------------------
     def to_chrome_trace(self) -> dict:
         """Chrome trace-event JSON object (Perfetto-loadable).
 
-        Each span becomes one complete event (``ph: "X"``); CPU time and
-        nesting depth ride along in ``args`` where the trace viewer shows
-        them in the selection panel.
+        Each span becomes one complete event (``ph: "X"``); CPU time,
+        nesting depth and the distributed-trace ids ride along in
+        ``args`` where the trace viewer shows them in the selection
+        panel.  Named processes get ``process_name`` metadata events so
+        the daemon/controller/worker lanes are labelled.
         """
         events = []
+        with self._lock:
+            process_names = dict(self._process_names)
+        for pid, name in sorted(process_names.items()):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
         for r in self.records:
             args = dict(r.args)
             args["cpu_us"] = round(r.cpu_us, 1)
             args["depth"] = r.depth
+            if r.trace_id is not None:
+                args["trace_id"] = r.trace_id
+            if r.span_id is not None:
+                args["span_id"] = r.span_id
+            if r.parent_id is not None:
+                args["parent_id"] = r.parent_id
             events.append(
                 {
                     "name": r.name,
@@ -115,7 +245,18 @@ class Tracer:
 class _Span:
     """Live span context manager (only constructed when tracing is on)."""
 
-    __slots__ = ("_tracer", "_name", "_args", "_t0", "_c0", "_ts", "_depth")
+    __slots__ = (
+        "_tracer",
+        "_name",
+        "_args",
+        "_t0",
+        "_c0",
+        "_ts",
+        "_depth",
+        "_ctx",
+        "_parent_id",
+        "_token",
+    )
 
     def __init__(self, tracer: Tracer, name: str, args: dict) -> None:
         self._tracer = tracer
@@ -126,15 +267,29 @@ class _Span:
         tls = self._tracer._tls
         self._depth = tls.depth
         tls.depth += 1
+        parent = trace_context.current()
+        if parent is None:
+            self._parent_id = None
+            self._ctx = TraceContext.mint()
+        else:
+            self._parent_id = parent.span_id
+            self._ctx = parent.child()
+        self._token = trace_context._set(self._ctx)
         self._ts = self._tracer.now_us()
         self._t0 = time.perf_counter()
         self._c0 = time.process_time()
         return self
 
+    @property
+    def context(self) -> TraceContext:
+        """This span's trace context (propagate it to children/headers)."""
+        return self._ctx
+
     def __exit__(self, *exc) -> None:
         dur = (time.perf_counter() - self._t0) * 1e6
         cpu = (time.process_time() - self._c0) * 1e6
         self._tracer._tls.depth -= 1
+        trace_context._reset(self._token)
         self._tracer.add(
             SpanRecord(
                 name=self._name,
@@ -145,6 +300,9 @@ class _Span:
                 tid=threading.get_ident(),
                 depth=self._depth,
                 args=self._args,
+                trace_id=self._ctx.trace_id,
+                span_id=self._ctx.span_id,
+                parent_id=self._parent_id,
             )
         )
 
@@ -176,3 +334,77 @@ def span(name: str, **args):
     if tracer is None:
         return _NOOP
     return _Span(tracer, name, args)
+
+
+class SpanCollector:
+    """Record a worker's spans under a propagated trace context.
+
+    The worker-side half of cross-process tracing: wrap the unit of work
+    in ``with SpanCollector(wire, "worker.job", worker=3) as col:`` and
+    every ``span(...)`` inside lands under the caller's trace.  Three
+    modes, decided at entry:
+
+    * ``wire is None`` (tracing off at the call site) — pure no-op,
+      ``snapshot`` stays ``None``;
+    * a tracer is already active in *this* process (inline/degraded
+      execution inside the parent) — record straight into it under the
+      activated context and ship nothing (``snapshot`` is ``None``; the
+      spans are already home);
+    * otherwise (a real worker process) — install a fresh local
+      :class:`Tracer`, record into it, and expose its :meth:`Tracer
+      .snapshot` as ``.snapshot`` after exit for shipping with the
+      result tuple.
+    """
+
+    __slots__ = (
+        "_wire",
+        "_name",
+        "_args",
+        "_mode",
+        "_tracer",
+        "_cm",
+        "_exits",
+        "snapshot",
+        "_process_name",
+    )
+
+    def __init__(self, wire, name: str, process_name: str | None = None, **args):
+        self._wire = wire
+        self._name = name
+        self._args = args
+        self.snapshot = None
+        self._mode = "off" if wire is None else "pending"
+        self._process_name = process_name
+
+    def __enter__(self) -> "SpanCollector":
+        self._exits = []
+        if self._mode == "off":
+            return self
+        from repro import obs
+
+        existing = obs.active_tracer()
+        if existing is not None:
+            self._mode = "inline"
+            self._tracer = existing
+        else:
+            self._mode = "ship"
+            self._tracer = Tracer()
+            if self._process_name:
+                self._tracer.set_process_name(self._process_name)
+            obs.enable_tracing(self._tracer)
+            self._exits.append(obs.disable_tracing)
+        ctx = TraceContext.from_wire(self._wire)
+        token = trace_context._set(ctx)
+        self._exits.append(lambda: trace_context._reset(token))
+        self._cm = _Span(self._tracer, self._name, self._args)
+        self._cm.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._mode == "off":
+            return
+        self._cm.__exit__(*exc)
+        for undo in reversed(self._exits):
+            undo()
+        if self._mode == "ship":
+            self.snapshot = self._tracer.snapshot()

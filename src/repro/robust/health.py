@@ -37,6 +37,7 @@ from repro import obs
 from repro.core.generator import BSRNG
 from repro.errors import HealthTestError, SpecificationError
 from repro.nist.fips140 import BLOCK_BITS, Fips140Report, fips140_battery
+from repro.obs import flight
 from repro.obs.tracing import span
 
 logger = logging.getLogger(__name__)
@@ -353,6 +354,14 @@ class HealthMonitoredBSRNG:
                     self.algorithm,
                     event.detail,
                 )
+                flight.record(
+                    "health-failure",
+                    algorithm=self.algorithm,
+                    test=event.test,
+                    position=event.position,
+                    detail=event.detail,
+                )
+                flight.dump("health")
                 raise HealthTestError(
                     f"{event.test} failed at byte {event.position}: {event.detail}"
                     + (

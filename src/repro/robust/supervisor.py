@@ -38,7 +38,8 @@ import numpy as np
 from repro import obs
 from repro.crc import CRC32_IEEE, table_crc_bytes
 from repro.errors import DeviceFailureError, PartitionCorruptionError, SpecificationError
-from repro.obs.tracing import span
+from repro.obs import flight
+from repro.obs.tracing import SpanCollector, span
 
 logger = logging.getLogger(__name__)
 
@@ -70,8 +71,11 @@ def worker_attempt(
     plan_json: str | None,
     verify_crc: bool,
     produce: Callable[[], Any],
-) -> tuple[Any, int | None, dict]:
-    """One instrumented worker attempt → the ``(result, crc, metrics)`` tuple.
+    trace=None,
+    span_name: str = "worker.attempt",
+    process_name: str | None = None,
+) -> tuple[Any, int | None, dict, dict | None]:
+    """One instrumented worker attempt → ``(result, crc, metrics, spans)``.
 
     The shared shell every worker entry point follows (device workers,
     lane workers, fleet workers):
@@ -80,7 +84,11 @@ def worker_attempt(
        env fallback) and apply its *pre*-generation faults;
     2. run ``produce()`` inside a fresh :func:`repro.obs.scoped` registry
        (spawn-safe: established here, in the worker, never inherited)
-       and snapshot what it recorded;
+       and snapshot what it recorded; when *trace* carries a
+       ``(trace_id, span_id)`` wire pair the attempt also runs under a
+       :class:`~repro.obs.tracing.SpanCollector`, so its spans join the
+       caller's distributed trace — shipped home as the fourth tuple
+       element (``None`` when untraced or recorded in-process);
     3. CRC the payload *before* post-generation faults mutate it, so
        injected corruption models a damaged transfer and is visible to
        the receiving side's verification hook;
@@ -97,7 +105,14 @@ def worker_attempt(
     if plan is not None:
         plan.pre_generate(partition, attempt)
     with obs.scoped() as reg:
-        payload = produce()
+        with SpanCollector(
+            trace,
+            span_name,
+            process_name=process_name,
+            partition=partition,
+            attempt=attempt,
+        ) as collector:
+            payload = produce()
         metrics = reg.snapshot()
     crc = payload_crc(payload) if verify_crc else None
     if plan is not None:
@@ -106,21 +121,26 @@ def worker_attempt(
             payload = np.frombuffer(mutated, dtype=payload.dtype).reshape(payload.shape)
         else:
             payload = plan.post_generate(partition, attempt, payload)
-    return payload, crc, metrics
+    return payload, crc, metrics, collector.snapshot
 
 
-def unpack_worker_result(ret: Any) -> tuple[Any, int | None, dict | None]:
-    """Normalise a worker return value to ``(result, crc, metrics)``.
+def unpack_worker_result(ret: Any) -> tuple[Any, int | None, dict | None, dict | None]:
+    """Normalise a worker return to ``(result, crc, metrics, spans)``.
 
-    Workers return ``(result, crc)`` or, when instrumented,
-    ``(result, crc, metrics_snapshot)`` — the third element is a
-    plain-dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` that
-    rides back through the (picklable) pool result or fleet transport.
+    Workers return ``(result, crc)``, ``(result, crc, metrics)`` or —
+    when tracing propagates across the process boundary —
+    ``(result, crc, metrics, span_snapshot)``.  The metrics element is a
+    plain-dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, the
+    spans element a :meth:`~repro.obs.tracing.Tracer.snapshot`; both
+    ride back through the (picklable) pool result or fleet transport.
     """
-    if isinstance(ret, tuple) and len(ret) == 3:
+    if isinstance(ret, tuple) and len(ret) == 4:
         return ret
+    if isinstance(ret, tuple) and len(ret) == 3:
+        result, crc, metrics = ret
+        return result, crc, metrics, None
     result, crc = ret
-    return result, crc, None
+    return result, crc, None, None
 
 
 @dataclass(frozen=True)
@@ -236,12 +256,18 @@ class PartitionSupervisor:
     #: lives in :func:`unpack_worker_result`.
     _unpack = staticmethod(unpack_worker_result)
 
-    def _accepted(self, pid: int, metrics: dict | None) -> None:
+    def _accepted(
+        self, pid: int, metrics: dict | None, spans: dict | None = None
+    ) -> None:
         """Book-keeping for one accepted partition result."""
         wall = time.monotonic() - self._job_t0
         self.report.partition_wall[pid] = wall
         if metrics is not None:
             self.report.worker_metrics[pid] = metrics
+        if spans is not None:
+            tracer = obs.active_tracer()
+            if tracer is not None:
+                tracer.merge(spans, extra_args={"partition": pid})
         obs.observe("repro_supervisor_partition_seconds", wall)
 
     def _failed(self, pid: int, event: PartitionEvent) -> None:
@@ -254,6 +280,13 @@ class PartitionSupervisor:
         """
         self.report.record(event)
         self.report.partition_wall[pid] = time.monotonic() - self._job_t0
+        flight.record(
+            "partition-failure",
+            partition=pid,
+            attempt=event.attempt,
+            failure=event.kind,
+            detail=event.detail,
+        )
 
     def _accept(self, pid: int, result: Any, crc: int | None, attempt: int) -> bool:
         """Verify one returned payload; record a corrupt event on mismatch."""
@@ -304,7 +337,7 @@ class PartitionSupervisor:
                 if deadline is not None:
                     wait = max(0.0, deadline - time.monotonic())
                 try:
-                    result, crc, metrics = self._unpack(handle.get(wait))
+                    result, crc, metrics, spans = self._unpack(handle.get(wait))
                 except mp.TimeoutError:
                     self._failed(
                         pid,
@@ -319,7 +352,7 @@ class PartitionSupervisor:
                     continue
                 if self._accept(pid, result, crc, attempt):
                     results[pid] = result
-                    self._accepted(pid, metrics)
+                    self._accepted(pid, metrics, spans)
             for pid in results:
                 pending.pop(pid, None)
         finally:
@@ -349,14 +382,14 @@ class PartitionSupervisor:
                 if attempt > first_attempt:
                     time.sleep(cfg.backoff(attempt - first_attempt))
                 try:
-                    result, crc, metrics = self._unpack(self.worker(pending[pid], attempt))
+                    result, crc, metrics, spans = self._unpack(self.worker(pending[pid], attempt))
                 except Exception as exc:
                     last = PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
                     self._failed(pid, last)
                     continue
                 if self._accept(pid, result, crc, attempt):
                     results[pid] = result
-                    self._accepted(pid, metrics)
+                    self._accepted(pid, metrics, spans)
                     break
                 last = self.report.events[-1]
             else:

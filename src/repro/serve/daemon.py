@@ -55,7 +55,11 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro import obs
 from repro.errors import DeviceFailureError, SpecificationError
+from repro.obs import context as trace_context
+from repro.obs import flight
+from repro.obs.context import TraceContext
 from repro.obs.export import render_prometheus
+from repro.obs.tracing import span
 from repro.serve.engine import ServeEngine, StreamConfig
 from repro.serve.leases import LeaseManager
 
@@ -96,9 +100,9 @@ class DaemonConfig:
 
 
 class _Request:
-    """One parsed HTTP request (method, path, query, headers)."""
+    """One parsed HTTP request (method, path, query, headers, trace)."""
 
-    __slots__ = ("method", "path", "query", "headers")
+    __slots__ = ("method", "path", "query", "headers", "trace")
 
     def __init__(self, method: str, target: str, headers: dict[str, str]) -> None:
         self.method = method
@@ -106,6 +110,9 @@ class _Request:
         self.path = parts.path
         self.query = dict(parse_qsl(parts.query))
         self.headers = headers
+        # the TraceContext this request runs under (set by _dispatch:
+        # adopted from X-Repro-Trace-* headers or minted fresh)
+        self.trace: TraceContext | None = None
 
 
 class ServeDaemon:
@@ -139,6 +146,13 @@ class ServeDaemon:
         """Begin a graceful drain (signal handlers land here)."""
         if self._stop_event is not None and not self._stop_event.is_set():
             logger.info("shutdown requested; draining")
+            flight.record(
+                "shutdown",
+                requests_total=self._requests_total,
+                bytes_served=self._bytes_served,
+                active_streams=self._active_streams,
+            )
+            flight.dump("sigterm")
             self._stop_event.set()
 
     def shutdown_threadsafe(self) -> None:
@@ -159,6 +173,10 @@ class ServeDaemon:
         """
         self.engine.start()  # pool forks before any request thread exists
         obs.enable_metrics()
+        flight.set_role("daemon")
+        tracer = obs.active_tracer()
+        if tracer is not None:
+            tracer.set_process_name("repro-serve daemon")
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         if install_signal_handlers:
@@ -310,23 +328,18 @@ class ServeDaemon:
         t0 = time.perf_counter()
         endpoint = request.path
         try:
-            if request.method != "GET":
-                return await self._send_simple(
-                    writer, 405, self._json({"error": "GET only"})
-                )
-            if request.path == "/v1/bytes":
-                return await self._serve_bytes(request, writer)
-            if request.path == "/v1/stream":
-                return await self._serve_stream(request, writer)
-            if request.path == "/healthz":
-                return await self._serve_healthz(writer)
-            if request.path == "/metrics":
-                return await self._serve_metrics(writer)
-            if request.path == "/v1/status":
-                return await self._send_simple(writer, 200, self._json(self.status()))
-            return await self._send_simple(
-                writer, 404, self._json({"error": f"no route {request.path}"})
-            )
+            ctx_in = TraceContext.from_headers(request.headers)
+            if obs.active_tracer() is None:
+                # no recording, but still mint/adopt an identity so the
+                # response headers let clients correlate across services
+                request.trace = ctx_in.child() if ctx_in is not None else TraceContext.mint()
+                return await self._route(request, writer)
+            with trace_context.activate(ctx_in):
+                with span(
+                    "serve.request", endpoint=endpoint, method=request.method
+                ) as request_span:
+                    request.trace = request_span.context
+                    return await self._route(request, writer)
         except SpecificationError as exc:
             return await self._send_simple(writer, 400, self._json({"error": str(exc)}))
         except DeviceFailureError as exc:
@@ -346,11 +359,46 @@ class ServeDaemon:
                 endpoint=endpoint,
             )
 
+    async def _route(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        if request.method != "GET":
+            return await self._send_simple(
+                writer, 405, self._json({"error": "GET only"})
+            )
+        if request.path == "/v1/bytes":
+            return await self._serve_bytes(request, writer)
+        if request.path == "/v1/stream":
+            return await self._serve_stream(request, writer)
+        if request.path == "/healthz":
+            return await self._serve_healthz(writer)
+        if request.path == "/metrics":
+            return await self._serve_metrics(writer)
+        if request.path == "/v1/status":
+            return await self._send_simple(writer, 200, self._json(self.status()))
+        return await self._send_simple(
+            writer, 404, self._json({"error": f"no route {request.path}"})
+        )
+
+    @staticmethod
+    def _trace_headers(request: _Request) -> dict[str, str]:
+        """Response headers echoing the request's trace identity."""
+        if request.trace is None:
+            return {}
+        return {
+            trace_context.TRACE_ID_HEADER: request.trace.trace_id,
+            "X-Repro-Span-Id": request.trace.span_id,
+        }
+
     # -- data endpoints ----------------------------------------------------------
     def _generate_async(self, offset: int, n: int):
-        """Run one supervised chunk generation off the event loop."""
+        """Run one supervised chunk generation off the event loop.
+
+        The trace context is captured *here*, on the loop, and passed as
+        an explicit argument: contextvars do not propagate into
+        ``run_in_executor`` threads.
+        """
+        wire = trace_context.current_wire()
         return self._loop.run_in_executor(
-            None, self.engine.generate_range, offset, n, next(self._chunk_seq)
+            None, self.engine.generate_range, offset, n, next(self._chunk_seq), wire
         )
 
     async def _serve_bytes(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
@@ -368,6 +416,7 @@ class ServeDaemon:
             "X-Repro-Lease-Offset": str(lease.offset),
             "X-Repro-Lease-Length": str(lease.length),
             "X-Repro-Algorithm": self.engine.config.algorithm,
+            **self._trace_headers(request),
         }
         content_length = 2 * n + 1 if fmt == "hex" else n
         content_type = "text/plain" if fmt == "hex" else "application/octet-stream"
@@ -400,7 +449,10 @@ class ServeDaemon:
         if chunk <= 0:
             raise SpecificationError("chunk must be positive")
         peer = str(writer.get_extra_info("peername"))
-        extra = {"X-Repro-Algorithm": self.engine.config.algorithm}
+        extra = {
+            "X-Repro-Algorithm": self.engine.config.algorithm,
+            **self._trace_headers(request),
+        }
         bounded = total is not None
         if bounded:
             lease = self.leases.acquire(total, client=peer)

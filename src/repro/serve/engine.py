@@ -37,6 +37,7 @@ clock-and-discard, which the chunk metrics make visible.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import multiprocessing.pool
 import threading
@@ -48,7 +49,9 @@ import numpy as np
 from repro import obs
 from repro.core.generator import BSRNG
 from repro.errors import DeviceFailureError, SpecificationError
-from repro.obs.tracing import span
+from repro.obs import context as trace_context
+from repro.obs import flight
+from repro.obs.tracing import SpanCollector, span
 from repro.robust.faults import FaultPlan
 from repro.robust.health import AdaptiveProportionTest, RepetitionCountTest
 from repro.robust.supervisor import SupervisorConfig, payload_crc
@@ -165,25 +168,37 @@ def _worker_init() -> None:
     obs.disable_tracing()
 
 
-def _serve_chunk(job: tuple, attempt: int = 0) -> tuple[bytes, int | None]:
+def _serve_chunk(job: tuple, attempt: int = 0) -> tuple[bytes, int | None, dict | None]:
     """Generate one chunk in a pool worker.
 
-    ``job`` is ``(chunk_id, config, offset, n, verify_crc)``.  The CRC is
+    ``job`` is ``(chunk_id, config, offset, n, verify_crc)`` with an
+    optional sixth ``(trace_id, span_id)`` wire pair; when present the
+    chunk runs under a :class:`~repro.obs.tracing.SpanCollector` and the
+    worker's spans ship home as the third tuple element.  The CRC is
     computed before fault injection mutates the payload, so an injected
     corruption looks exactly like a damaged transfer to the dispatcher.
     """
-    chunk_id, config, offset, n, verify_crc = job
+    chunk_id, config, offset, n, verify_crc = job[:5]
+    trace = job[5] if len(job) > 5 else None
     plan = FaultPlan.from_env()
     if plan is not None:
         plan.pre_generate(chunk_id, attempt)
     source = _WORKER_SOURCES.get(config)
     if source is None:
         source = _WORKER_SOURCES[config] = RangeSource(config)
-    data = source.read_range(offset, n)
+    with SpanCollector(
+        trace,
+        "serve.worker_chunk",
+        process_name="serve-pool-worker",
+        chunk=chunk_id,
+        offset=offset,
+        n=n,
+    ) as collector:
+        data = source.read_range(offset, n)
     crc = payload_crc(data) if verify_crc else None
     if plan is not None:
         data = plan.post_generate(chunk_id, attempt, data)
-    return data, crc
+    return data, crc, collector.snapshot
 
 
 # -- health gating ---------------------------------------------------------------
@@ -227,13 +242,14 @@ class HealthState:
                 self.bytes_screened += len(data)
                 return None
             self.healthy = False
-            self.events.append(
-                {"test": failed, "position": self.bytes_screened + int(at), "time": time.time()}
-            )
+            position = self.bytes_screened + int(at)
+            self.events.append({"test": failed, "position": position, "time": time.time()})
             obs.inc("repro_serve_health_failures_total", 1, test=failed)
             obs.set_gauge("repro_serve_healthy", 0)
             self.rct.reset()
             self.apt.reset()
+            flight.record("health-failure", test=failed, position=position)
+            flight.dump("health")
             return failed
 
     def reset(self) -> None:
@@ -373,7 +389,7 @@ class ServeEngine:
                 setattr(self.stats, name, getattr(self.stats, name) + d)
 
     # -- dispatch ----------------------------------------------------------------
-    def generate_range(self, offset: int, n: int, chunk_id: int = 0) -> bytes:
+    def generate_range(self, offset: int, n: int, chunk_id: int = 0, trace=None) -> bytes:
         """The stream bytes ``[offset, offset + n)``, supervised.
 
         Attempts the chunk through the pool (timeout, retry with backoff,
@@ -383,12 +399,21 @@ class ServeEngine:
         when every path failed.  Safe to call from many threads — the
         persistent pool multiplexes, and the inline fallback serialises
         on the generator lock.
+
+        *trace* re-activates a caller's ``(trace_id, span_id)`` wire pair
+        — the daemon captures it on the event loop and passes it here
+        because contextvars do not follow ``run_in_executor``.
         """
         if n == 0:
             return b""
         cfg = self.supervision
-        job = (chunk_id, self.config, offset, n, cfg.verify_crc)
-        with span("serve.chunk", chunk=chunk_id, offset=offset, n=n):
+        if trace is not None:
+            entry = trace_context.activate(trace_context.TraceContext.from_wire(trace))
+        else:
+            entry = contextlib.nullcontext()
+        with entry, span("serve.chunk", chunk=chunk_id, offset=offset, n=n):
+            wire = trace_context.current_wire() if obs.active_tracer() else None
+            job = (chunk_id, self.config, offset, n, cfg.verify_crc, wire)
             if self._fleet is not None:
                 try:
                     data = self._fleet.read_range(offset, n)
@@ -436,10 +461,10 @@ class ServeEngine:
 
     def _attempt_pool(self, job: tuple, attempt: int, cfg: SupervisorConfig) -> bytes | None:
         """One pool attempt; ``None`` means retry (reason counted)."""
-        chunk_id, _, offset, n, verify = job
+        chunk_id, _, offset, n, verify = job[:5]
         handle = self._pool.apply_async(_serve_chunk, (job, attempt))
         try:
-            data, crc = handle.get(cfg.timeout)
+            data, crc, spans = handle.get(cfg.timeout)
         except mp.TimeoutError:
             self._count(timeouts=1)
             obs.inc("repro_serve_chunk_failures_total", 1, kind="timeout")
@@ -449,9 +474,15 @@ class ServeEngine:
             obs.inc("repro_serve_chunk_failures_total", 1, kind="error")
             obs.inc("repro_serve_worker_exceptions_total", 1, exception=type(exc).__name__)
             return None
+        if spans is not None:
+            tracer = obs.active_tracer()
+            if tracer is not None:
+                tracer.merge(spans)
         if verify and (crc is None or payload_crc(data) != crc):
             self._count(crc_rejects=1)
             obs.inc("repro_serve_chunk_failures_total", 1, kind="corrupt")
+            flight.record("crc-reject", chunk=chunk_id, offset=offset, n=n)
+            flight.dump("crc")
             return None
         if self.screen and self.health.screen(data) is not None:
             self._count(screen_rejects=1)

@@ -147,3 +147,37 @@ class TestSilenceEviction:
             for w in status["workers"]
             if w["state"] == "evicted"
         )
+
+
+class TestFleetTracing:
+    def test_worker_spans_merge_under_one_trace(self):
+        """≥2 worker processes' spans stitch into the controller's trace."""
+        import os
+
+        from repro import obs
+
+        tracer = obs.enable_tracing()
+        try:
+            with FleetController(STREAM, make_config(workers=2)) as ctrl:
+                # enough chunks that both members serve at least one
+                data = ctrl.read_range(0, 65536, timeout=120)
+            records = tracer.records
+        finally:
+            obs.disable_tracing()
+        assert data == reference(65536)
+        root = next(r for r in records if r.name == "fleet.read_range")
+        chunks = [r for r in records if r.name == "fleet.worker_chunk"]
+        worker_pids = {r.pid for r in chunks}
+        assert len(worker_pids) >= 2, "expected spans from at least two workers"
+        assert os.getpid() not in worker_pids
+        # single trace end to end, every parent link resolvable
+        in_trace = [r for r in records if r.trace_id == root.trace_id]
+        assert root in in_trace and all(c in in_trace for c in chunks)
+        span_ids = {r.span_id for r in in_trace}
+        assert len(span_ids) == len(in_trace)  # unique across processes
+        for rec in in_trace:
+            assert rec.parent_id is None or rec.parent_id in span_ids
+        for chunk in chunks:
+            assert chunk.parent_id == root.span_id
+        # the controller labelled each merged span with its worker id
+        assert {c.args.get("worker") for c in chunks} >= {0, 1}

@@ -1,0 +1,128 @@
+"""Flight recorder: ring semantics, triggered dumps, env/config wiring."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import flight
+from repro.obs.tracing import span
+
+
+@pytest.fixture
+def rec(tmp_path):
+    r = flight.enable(str(tmp_path), capacity=8, role="test")
+    yield r
+    flight.disable()
+
+
+def test_disabled_path_is_inert(tmp_path, monkeypatch):
+    monkeypatch.delenv(flight.FLIGHT_DIR_ENV, raising=False)
+    flight.disable()
+    flight.record("noise", detail="x")
+    assert flight.dump("never") is None
+    assert not flight.enabled()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_env_var_installs_recorder(tmp_path, monkeypatch):
+    monkeypatch.setenv(flight.FLIGHT_DIR_ENV, str(tmp_path))
+    flight.disable()  # reset any prior state...
+    flight._env_checked = False  # ...and force a fresh env check
+    try:
+        flight.record("boot", worker=1)
+        assert flight.enabled()
+        path = flight.dump("env-test")
+        assert path is not None and os.path.dirname(path) == str(tmp_path)
+        payload = json.loads(open(path).read())
+        assert payload["entries"][-1]["kind"] == "boot"
+    finally:
+        flight.disable()
+
+
+def test_ring_is_bounded_and_chronological(rec, tmp_path):
+    for i in range(20):
+        flight.record("tick", i=i)
+    path = flight.dump("overflow")
+    payload = json.loads(open(path).read())
+    entries = payload["entries"]
+    assert len(entries) == 8  # capacity, oldest evicted
+    assert [e["i"] for e in entries] == list(range(12, 20))
+    assert all(
+        a["t"] <= b["t"] for a, b in zip(entries, entries[1:])
+    )  # chronological
+
+
+def test_dump_payload_shape_and_sequencing(rec, tmp_path):
+    flight.record("health-failure", test="rct", position=5)
+    p1 = flight.dump("health")
+    p2 = flight.dump("health")
+    assert p1 != p2  # per-process sequence number, never clobbered
+    payload = json.loads(open(p1).read())
+    assert payload["schema"] == flight.FLIGHT_SCHEMA_VERSION
+    assert payload["reason"] == "health"
+    assert payload["pid"] == os.getpid()
+    assert payload["role"] == "test"
+    assert payload["metrics"] is None  # metrics were not enabled
+    assert payload["entries"][0]["kind"] == "health-failure"
+
+
+def test_dump_reason_is_sanitised_for_filenames(rec):
+    path = flight.dump("weird/../reason !")
+    assert path is not None
+    assert "/.." not in os.path.basename(path)
+    assert os.path.exists(path)
+
+
+def test_unwritable_directory_never_raises(tmp_path):
+    flight.enable(str(tmp_path / "file-not-dir" / "nested"), role="t")
+    try:
+        # make the parent a *file* so makedirs fails
+        (tmp_path / "file-not-dir").write_text("occupied")
+        flight.record("ev")
+        assert flight.dump("doomed") is None  # swallowed, not raised
+    finally:
+        flight.disable()
+
+
+def test_tracer_spans_feed_the_ring(rec):
+    tracer = obs.enable_tracing()
+    try:
+        with span("refill", algo="trivium"):
+            pass
+    finally:
+        obs.disable_tracing()
+    path = flight.dump("spans")
+    payload = json.loads(open(path).read())
+    span_entries = [e for e in payload["entries"] if e["kind"] == "span"]
+    assert len(span_entries) == 1
+    entry = span_entries[0]
+    assert entry["name"] == "refill" and entry["args"] == {"algo": "trivium"}
+    assert entry["trace_id"] is not None and entry["span_id"] is not None
+
+
+def test_dump_includes_metrics_snapshot_when_enabled(rec):
+    with obs.scoped():
+        obs.inc("repro_test_counter", 3)
+        flight.dump("with-metrics")
+        # the dump counter lands after the first snapshot: check the second
+        path = flight.dump("with-metrics")
+        payload = json.loads(open(path).read())
+    names = {m["name"] for m in payload["metrics"]["metrics"]}
+    assert "repro_test_counter" in names
+    assert "repro_flight_dumps_total" in names
+
+
+def test_health_failure_triggers_flight_dump(rec, tmp_path):
+    from repro.robust.health import HealthMonitoredBSRNG, HealthTestError
+
+    rng = HealthMonitoredBSRNG("xorwow", lanes=64, startup_test=False)
+    rng.inner.random_bytes = lambda n: b"\x00" * n  # stuck-at-zero source
+    with pytest.raises(HealthTestError):
+        rng.random_bytes(4096)
+    dumps = [p for p in os.listdir(tmp_path) if "health" in p]
+    assert dumps, "health failure must leave a flight dump"
+    payload = json.loads(open(os.path.join(tmp_path, dumps[0])).read())
+    kinds = {e["kind"] for e in payload["entries"]}
+    assert "health-failure" in kinds

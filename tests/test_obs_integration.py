@@ -305,3 +305,37 @@ def test_disabled_telemetry_overhead_under_two_percent():
     assert overhead < 0.02 * wall, (
         f"disabled telemetry overhead {overhead * 1e6:.1f}us vs wall {wall * 1e6:.1f}us"
     )
+
+
+def test_multidevice_span_merge_under_spawn_context():
+    """Worker spans cross the spawn boundary and stitch into one trace."""
+    import os
+
+    tracer = obs.enable_tracing()
+    try:
+        gen = MultiDeviceGenerator(
+            "xorwow",
+            seed=5,
+            lanes=128,
+            n_devices=2,
+            block_bytes=2048,
+            mp_context="spawn",
+        )
+        gen.generate(2)
+        records = tracer.records
+    finally:
+        obs.disable_tracing()
+    attempts = [r for r in records if r.name == "device.partition"]
+    worker_pids = {r.pid for r in attempts}
+    assert len(worker_pids) == 2 and os.getpid() not in worker_pids
+    # one trace end to end: the generate root minted it, workers adopted it
+    root = next(r for r in records if r.name == "multidevice.generate")
+    assert {r.trace_id for r in records} == {root.trace_id}
+    # parent links resolve: worker roots hang off the generate span
+    span_ids = {r.span_id for r in records}
+    for rec in attempts:
+        assert rec.parent_id == root.span_id
+    for rec in records:
+        assert rec.parent_id is None or rec.parent_id in span_ids
+    # ids survived two processes without collision
+    assert len(span_ids) == len(records)

@@ -120,3 +120,162 @@ def test_enable_tracing_accepts_existing_tracer():
     finally:
         obs.disable_tracing()
     assert obs.active_tracer() is None
+
+
+# -- distributed identity: context, parent links, concurrency, merge -------------
+
+
+def test_nested_spans_share_trace_and_link_parents(tracer):
+    with span("outer") as outer:
+        outer_ctx = outer.context
+        with span("inner"):
+            pass
+    by_name = {r.name: r for r in tracer.records}
+    inner, outer_rec = by_name["inner"], by_name["outer"]
+    assert outer_rec.trace_id == inner.trace_id == outer_ctx.trace_id
+    assert outer_rec.parent_id is None  # root minted the trace
+    assert inner.parent_id == outer_rec.span_id
+    assert inner.span_id != outer_rec.span_id
+
+
+def test_span_ids_unique_under_concurrent_threads(tracer):
+    n_threads, per_thread = 8, 50
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait()
+        with span("thread-root"):
+            for i in range(per_thread):
+                with span("work", i=i):
+                    pass
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    records = tracer.records
+    assert len(records) == n_threads * (per_thread + 1)
+    span_ids = [r.span_id for r in records]
+    assert len(set(span_ids)) == len(span_ids)  # no collisions
+    # each thread's root minted one trace; its work spans all inherit it
+    assert len({r.trace_id for r in records}) == n_threads
+    roots = {r.span_id: r for r in records if r.name == "thread-root"}
+    for rec in records:
+        if rec.name == "work":
+            assert rec.parent_id in roots
+            assert rec.trace_id == roots[rec.parent_id].trace_id
+
+
+def test_activated_context_adopts_incoming_trace(tracer):
+    from repro.obs.context import TraceContext, activate
+
+    incoming = TraceContext.mint()
+    with activate(incoming):
+        with span("handled"):
+            pass
+    (rec,) = tracer.records
+    assert rec.trace_id == incoming.trace_id
+    assert rec.parent_id == incoming.span_id  # linked to the caller's span
+
+
+def test_merge_rebases_timestamps_and_keeps_ids(tracer):
+    child = Tracer()
+    child._epoch_unix = tracer._epoch_unix + 1.5  # child started 1.5s later
+    child.set_process_name("pretend-worker", pid=99999)
+    rec = child.records  # touch the lock path
+    child.add(
+        __import__("repro.obs.tracing", fromlist=["SpanRecord"]).SpanRecord(
+            name="child-span",
+            ts_us=100.0,
+            dur_us=50.0,
+            cpu_us=10.0,
+            pid=99999,
+            tid=1,
+            depth=0,
+            args={"k": "v"},
+            trace_id="ab" * 16,
+            span_id="cd" * 8,
+            parent_id="ef" * 8,
+        )
+    )
+    merged = tracer.merge(child.snapshot(), extra_args={"worker": 3})
+    assert merged == 1
+    (got,) = tracer.records
+    assert got.ts_us == pytest.approx(100.0 + 1.5e6)
+    assert got.trace_id == "ab" * 16 and got.parent_id == "ef" * 8
+    assert got.args == {"k": "v", "worker": 3}
+    trace = tracer.to_chrome_trace()
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {"pid": 99999, "name": "pretend-worker"} == {
+        "pid": meta[0]["pid"],
+        "name": meta[0]["args"]["name"],
+    }
+
+
+def test_merge_rejects_unknown_snapshot_version(tracer):
+    with pytest.raises(ValueError):
+        tracer.merge({"version": 999, "epoch_unix": 0.0, "spans": []})
+    assert tracer.merge(None) == 0  # absent snapshots are a quiet no-op
+
+
+def test_span_collector_off_mode_is_inert():
+    from repro.obs.tracing import SpanCollector
+
+    with SpanCollector(None, "job") as col:
+        with span("inside"):  # tracing is off: shared no-op
+            pass
+    assert col.snapshot is None
+    assert obs.active_tracer() is None
+
+
+def test_span_collector_ship_mode_snapshots_under_wire_context():
+    from repro.obs.context import TraceContext
+    from repro.obs.tracing import SpanCollector
+
+    ctx = TraceContext.mint()
+    assert obs.active_tracer() is None
+    with SpanCollector(ctx.to_wire(), "job", process_name="w-0", part=1) as col:
+        with span("refill"):
+            pass
+    assert obs.active_tracer() is None  # local tracer uninstalled on exit
+    snap = col.snapshot
+    assert snap is not None and [s["name"] for s in snap["spans"]] == ["refill", "job"]
+    by_name = {s["name"]: s for s in snap["spans"]}
+    assert by_name["job"]["trace_id"] == ctx.trace_id
+    assert by_name["job"]["parent_id"] == ctx.span_id
+    assert by_name["refill"]["parent_id"] == by_name["job"]["span_id"]
+    assert snap["process_names"] == {str(by_name["job"]["pid"]): "w-0"}
+
+
+def test_span_collector_inline_mode_records_into_active_tracer(tracer):
+    from repro.obs.context import TraceContext
+    from repro.obs.tracing import SpanCollector
+
+    ctx = TraceContext.mint()
+    with SpanCollector(ctx.to_wire(), "job") as col:
+        with span("refill"):
+            pass
+    assert col.snapshot is None  # spans are already home
+    names = [r.name for r in tracer.records]
+    assert names == ["refill", "job"]
+    assert tracer.records[1].trace_id == ctx.trace_id
+
+
+def test_headers_round_trip_and_reject_malformed():
+    from repro.obs.context import TraceContext
+
+    ctx = TraceContext.mint()
+    back = TraceContext.from_headers(ctx.to_headers())
+    assert back is not None and back.trace_id == ctx.trace_id
+    assert back.span_id == ctx.span_id
+    # case-insensitive lookup
+    lowered = {k.lower(): v for k, v in ctx.to_headers().items()}
+    assert TraceContext.from_headers(lowered).trace_id == ctx.trace_id
+    assert TraceContext.from_headers({}) is None
+    assert TraceContext.from_headers({"X-Repro-Trace-Id": "nope"}) is None
+    # malformed parent degrades to a fresh span id, not a rejection
+    got = TraceContext.from_headers(
+        {"X-Repro-Trace-Id": "ab" * 16, "X-Repro-Parent-Span": "zz"}
+    )
+    assert got is not None and got.trace_id == "ab" * 16

@@ -340,3 +340,115 @@ class TestGracefulDrain:
                 fetch_bytes("127.0.0.1", daemon.bound_port, 1500)
             )
             assert payload == offline_bytes(offset, 1500)
+
+
+class TestTraceHeaders:
+    def test_every_response_carries_trace_identity(self, daemon):
+        _, base = daemon
+        _, headers, _ = get(f"{base}/v1/bytes?n=256")
+        trace_id = headers.get("X-Repro-Trace-Id")
+        span_id = headers.get("X-Repro-Span-Id")
+        assert trace_id and len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert span_id and len(span_id) == 16 and int(span_id, 16) >= 0
+        # a second request is a different trace
+        _, headers2, _ = get(f"{base}/v1/bytes?n=256")
+        assert headers2["X-Repro-Trace-Id"] != trace_id
+
+    def test_incoming_trace_context_is_adopted_and_echoed(self, daemon):
+        from repro.obs.context import TraceContext
+
+        _, base = daemon
+        ctx = TraceContext.mint()
+        req = urllib.request.Request(
+            f"{base}/v1/bytes?n=256", headers=ctx.to_headers()
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            headers = dict(resp.headers)
+            resp.read()
+        assert headers["X-Repro-Trace-Id"] == ctx.trace_id  # joined, not minted
+        assert headers["X-Repro-Span-Id"] != ctx.span_id  # its own span
+
+    def test_traced_request_stitches_daemon_and_worker_spans(self):
+        from repro.obs.context import TraceContext
+
+        tracer = obs.enable_tracing()
+        try:
+            with running_daemon(workers=1) as (daemon, base):
+                ctx = TraceContext.mint()
+                req = urllib.request.Request(
+                    f"{base}/v1/bytes?n=4096", headers=ctx.to_headers()
+                )
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    resp.read()
+                # the serve.request span closes just after the response is
+                # flushed; give the event loop a beat to record it
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    records = [
+                        r for r in tracer.records if r.trace_id == ctx.trace_id
+                    ]
+                    if any(r.name == "serve.request" for r in records):
+                        break
+                    time.sleep(0.01)
+        finally:
+            obs.disable_tracing()
+        names = {r.name for r in records}
+        assert "serve.request" in names  # daemon-side span
+        assert "serve.worker_chunk" in names  # pool-worker span, merged home
+        import os
+
+        worker = next(r for r in records if r.name == "serve.worker_chunk")
+        assert worker.pid != os.getpid()
+        # parent links resolve within the collected trace
+        span_ids = {r.span_id for r in records}
+        for rec in records:
+            assert rec.parent_id == ctx.span_id or rec.parent_id in span_ids
+
+
+class TestDashboard:
+    def test_render_from_live_daemon(self):
+        from repro.obs import dashboard
+
+        # own daemon: the module-shared one may have had its metrics
+        # registry cleared by another test's teardown
+        with running_daemon() as (_, base):
+            get(f"{base}/v1/bytes?n=2048")  # ensure some traffic exists
+            status = json.loads(get(f"{base}/v1/status")[2])
+            samples = dashboard.parse_prometheus(get(f"{base}/metrics")[2].decode())
+        frame = dashboard.render(status, samples)
+        assert "repro top" in frame and "trivium" in frame
+        assert "requests" in frame and "leases" in frame
+        assert "request latency" in frame  # histogram was populated
+
+    def test_run_top_finite_iterations(self, daemon):
+        import io
+
+        from repro.obs.dashboard import run_top
+
+        daemon_obj, base = daemon
+        out = io.StringIO()
+        rc = run_top(
+            host="127.0.0.1",
+            port=daemon_obj.bound_port,
+            interval=0.05,
+            iterations=2,
+            clear=False,
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert text.count("repro top") == 2  # two frames, no ANSI clears
+        assert "\x1b[2J" not in text
+
+    def test_run_top_unreachable_daemon_exits_nonzero(self):
+        import io
+
+        from repro.obs.dashboard import run_top
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        out = io.StringIO()
+        assert run_top(port=port, iterations=1, out=out) == 1
+        assert "cannot reach" in out.getvalue()

@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Append fresh ``BENCH_*.json`` records to a trend history and diff them.
+
+Where :mod:`tools.check_bench_regression` gates a single record against
+its committed baseline, this tool builds the *time series*: every run of
+the CI perf jobs appends one line per benchmark to
+``benchmarks/results/history.jsonl`` — a JSONL ledger keyed by benchmark
+name and git SHA — and prints the delta of every numeric metric against
+the previous entry of the same benchmark.  Because the history carries
+the SHA, a throughput cliff can be bisected to the PR that introduced it
+without re-running old commits.
+
+Each history line::
+
+    {"name": "fleet_elastic", "sha": "1d1fa97...", "date": "...",
+     "timestamp": 1786171904.3, "gbps": 0.096, "wall_s": null,
+     "metrics": {"geomean_speedup": 0.55, "speedup": {...}, ...},
+     "params": {...}}
+
+Usage::
+
+    python tools/bench_trend.py [--results-dir benchmarks/results]
+        [--history PATH] [--threshold 0.25] [--dry-run]
+
+``--threshold R`` turns the tool into a soft gate: exit 1 when any
+``speedup``/``geomean_speedup`` ratio dropped by more than R relative to
+the previous entry (absolute Gbit/s deltas are reported but never gate —
+they are hardware-dependent, same stance as check_bench_regression).
+Exit status 0 = appended (or nothing to do), 1 = threshold breach,
+2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def git_sha(repo_dir: str) -> str:
+    """Current commit SHA, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def load_record(path: str) -> dict:
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported bench schema {record.get('schema')!r}")
+    if not record.get("name"):
+        raise ValueError(f"{path}: bench record has no name")
+    return record
+
+
+def history_entry(record: dict, sha: str) -> dict:
+    return {
+        "name": record["name"],
+        "sha": sha,
+        "date": record.get("date"),
+        "timestamp": record.get("timestamp"),
+        "gbps": record.get("gbps"),
+        "wall_s": record.get("wall_s"),
+        "metrics": record.get("metrics", {}),
+        "params": record.get("params", {}),
+    }
+
+
+def read_history(path: str) -> list[dict]:
+    entries: list[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as fh:
+        for i, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"warning: {path}:{i}: unparseable line skipped", file=sys.stderr)
+    return entries
+
+
+def _flatten(prefix: str, value, out: dict) -> None:
+    if isinstance(value, dict):
+        for k, v in sorted(value.items()):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[prefix] = float(value)
+
+
+def numeric_metrics(entry: dict) -> dict:
+    """Flattened ``{dotted.key: float}`` view of an entry's numbers."""
+    out: dict = {}
+    _flatten("gbps", entry.get("gbps"), out)
+    _flatten("wall_s", entry.get("wall_s"), out)
+    _flatten("", entry.get("metrics", {}), out)
+    return out
+
+
+def diff_entries(prev: dict, curr: dict) -> list[tuple[str, float | None, float, float | None]]:
+    """``(key, prev, curr, rel_change)`` rows for every current number."""
+    prev_nums = numeric_metrics(prev)
+    rows = []
+    for key, value in sorted(numeric_metrics(curr).items()):
+        before = prev_nums.get(key)
+        rel = None
+        if before is not None and before != 0:
+            rel = (value - before) / abs(before)
+        rows.append((key, before, value, rel))
+    return rows
+
+
+def _is_ratio(key: str) -> bool:
+    return key.startswith("speedup.") or key.endswith("geomean_speedup")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory scanned for BENCH_*.json (default benchmarks/results)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="history ledger path (default <results-dir>/history.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit 1 if any speedup ratio fell by more than R vs the "
+        "previous entry (e.g. 0.25 = 25%%); absolute numbers never gate",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print deltas without appending to the history",
+    )
+    args = parser.parse_args(argv)
+    history_path = args.history or os.path.join(args.results_dir, "history.jsonl")
+
+    paths = sorted(glob.glob(os.path.join(args.results_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"no BENCH_*.json under {args.results_dir}; nothing to do")
+        return 0
+    try:
+        records = [load_record(p) for p in paths]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sha = git_sha(args.results_dir)
+    history = read_history(history_path)
+    previous = {}
+    for entry in history:  # last entry per name wins
+        previous[entry.get("name")] = entry
+
+    breaches = []
+    new_entries = []
+    for record in records:
+        entry = history_entry(record, sha)
+        new_entries.append(entry)
+        prev = previous.get(entry["name"])
+        print(f"== {entry['name']} @ {sha[:12]}")
+        if prev is None:
+            print("   first entry — no previous run to diff against")
+            continue
+        print(f"   vs {str(prev.get('sha', 'unknown'))[:12]} ({prev.get('date')})")
+        for key, before, value, rel in diff_entries(prev, entry):
+            if before is None:
+                print(f"   {key:<28} {value:>12.6g}  (new)")
+                continue
+            arrow = "" if rel is None else f"  {rel:+.1%}"
+            print(f"   {key:<28} {before:>12.6g} -> {value:<12.6g}{arrow}")
+            if (
+                args.threshold is not None
+                and _is_ratio(key)
+                and rel is not None
+                and rel < -args.threshold
+            ):
+                breaches.append(f"{entry['name']}: {key} fell {rel:.1%}")
+
+    if not args.dry_run:
+        os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
+        with open(history_path, "a") as fh:
+            for entry in new_entries:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"appended {len(new_entries)} entries to {history_path}")
+
+    if breaches:
+        print("THRESHOLD BREACH:", file=sys.stderr)
+        for b in breaches:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

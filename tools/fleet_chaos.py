@@ -16,7 +16,18 @@ from the start — then proves the service absorbed the losses:
 5. require ``/v1/status`` to show the evictions and
    ``/metrics`` to carry ``repro_fleet_evictions_total`` /
    ``repro_fleet_workers`` reflecting them, lint-clean;
-6. send SIGTERM and require a graceful drain with exit status 0.
+6. require the evictions to have left readable flight-recorder dumps
+   under ``REPRO_FLIGHT_DIR`` (the controller's black box, plus the
+   crashed member's own ``worker-crash`` dump);
+7. send SIGTERM and require a graceful drain with exit status 0;
+8. load the ``--trace-out`` Chrome trace the daemon wrote on exit and
+   require one traced request to stitch the daemon's ``serve.request``
+   span, the controller's ``fleet.read_range`` span and chunk spans
+   from >= 2 distinct worker *processes* under a single trace id with
+   every parent link resolvable.
+
+Artifacts (flight dumps, trace JSON, metrics snapshot) are left under
+``--artifacts-dir`` for CI upload.
 
 Exit status: 0 = all green, 1 = any check failed.
 
@@ -63,7 +74,18 @@ def main(argv=None) -> int:
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=8)
     parser.add_argument("--n-bytes", type=int, default=32768)
+    parser.add_argument(
+        "--artifacts-dir", default="chaos-artifacts",
+        help="flight dumps, trace JSON and metrics snapshot land here "
+        "(default ./chaos-artifacts)",
+    )
     args = parser.parse_args(argv)
+
+    artifacts = pathlib.Path(args.artifacts_dir)
+    flight_dir = artifacts / "flight"
+    trace_path = artifacts / "trace.json"
+    metrics_path = artifacts / "metrics.json"
+    flight_dir.mkdir(parents=True, exist_ok=True)
 
     plan = FaultPlan(
         faults=(
@@ -80,6 +102,7 @@ def main(argv=None) -> int:
         p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
     )
     env["REPRO_FAULT_PLAN"] = plan.to_json()
+    env["REPRO_FLIGHT_DIR"] = str(flight_dir)
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
@@ -88,7 +111,13 @@ def main(argv=None) -> int:
             "--fleet", str(args.fleet),
             "--heartbeat-interval", "0.2",
             "--heartbeat-timeout", "2.0",
-            "--chunk-bytes", "16384",
+            # stream in 64 KiB chunks but lease 16 KiB to the fleet: one
+            # generation call fans four concurrent jobs over the members,
+            # which is what lets a single request's trace span >= 2 workers
+            "--chunk-bytes", "65536",
+            "--fleet-chunk-bytes", "16384",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -188,11 +217,73 @@ def main(argv=None) -> int:
             fail("membership gauge missing from /metrics")
         print("fleet_chaos: /metrics lint clean, eviction + membership series present")
 
+        # the evictions must have left readable flight dumps (the black
+        # box written by the controller at eviction time)
+        dumps = sorted(flight_dir.glob("flight-*.json"))
+        if not dumps:
+            fail(f"no flight dumps under {flight_dir} despite {evictions_seen} evictions")
+        eviction_dumps = []
+        for dump_path in dumps:
+            try:
+                payload = json.loads(dump_path.read_text())
+            except json.JSONDecodeError as exc:
+                fail(f"unreadable flight dump {dump_path}: {exc}")
+            if payload.get("reason") == "eviction" and any(
+                e.get("kind") == "eviction" for e in payload.get("entries", [])
+            ):
+                eviction_dumps.append(dump_path)
+        if not eviction_dumps:
+            fail(f"none of {len(dumps)} flight dumps records an eviction")
+        print(
+            f"fleet_chaos: {len(dumps)} flight dumps, "
+            f"{len(eviction_dumps)} recording evictions"
+        )
+
+        # one focused multi-chunk request whose trace we verify post-exit
+        # (4 chunks spread over the live members by least-loaded dispatch)
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/bytes?n=65536", timeout=60
+        ) as resp:
+            focus_trace_id = resp.headers["X-Repro-Trace-Id"]
+            resp.read()
+        print(f"fleet_chaos: focused traced request, trace_id {focus_trace_id}")
+
         proc.send_signal(signal.SIGTERM)
         rc = proc.wait(timeout=60)
         if rc != 0:
             fail(f"daemon exited {rc} after SIGTERM (expected graceful 0)")
         print("fleet_chaos: graceful drain, exit 0")
+
+        # the daemon wrote its Chrome trace on the way out: one request's
+        # spans must stitch daemon + controller + >= 2 worker processes
+        if not trace_path.exists():
+            fail(f"daemon left no trace file at {trace_path}")
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        focus = [e for e in spans if e["args"].get("trace_id") == focus_trace_id]
+        if not focus:
+            fail(f"trace file has no spans for trace_id {focus_trace_id}")
+        names = {e["name"] for e in focus}
+        for required in ("serve.request", "fleet.read_range", "fleet.worker_chunk"):
+            if required not in names:
+                fail(f"focused trace is missing a {required} span (has {sorted(names)})")
+        daemon_pids = {
+            e["pid"] for e in focus if e["name"] in ("serve.request", "fleet.read_range")
+        }
+        worker_pids = {e["pid"] for e in focus if e["name"] == "fleet.worker_chunk"}
+        if len(worker_pids) < 2:
+            fail(f"focused trace spans only {len(worker_pids)} worker process(es)")
+        if worker_pids & daemon_pids:
+            fail("worker chunk spans claim the daemon's pid — merge mislabelled")
+        span_ids = {e["args"].get("span_id") for e in focus}
+        for e in focus:
+            parent = e["args"].get("parent_id")
+            if parent is not None and parent not in span_ids:
+                fail(f"span {e['name']} has unresolvable parent {parent}")
+        print(
+            f"fleet_chaos: trace stitched — daemon pid {sorted(daemon_pids)}, "
+            f"{len(worker_pids)} worker pids, {len(focus)} spans, parent links OK"
+        )
         print("fleet_chaos: OK")
         return 0
     finally:
