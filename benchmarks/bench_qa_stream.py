@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Streaming-QA overhead benchmark: generation with and without the monitor.
+
+Generates one BSRNG stream twice — plain, and through a
+:class:`~repro.qa.streaming.StreamingEvaluator` running the default
+streaming plugin set — and reports both throughputs plus the per-window
+plugin cost breakdown from the ``repro_qa_plugin_seconds`` histogram.
+
+The regression-gated ratio is **retained throughput**:
+``speedup.qa_vs_plain`` = end-to-end MB/s (generate + monitor) over
+plain generation MB/s.  Both legs run the same bitsliced kernels on the
+same machine, so the ratio is a property of the plugin set's cost
+relative to generation — not of the runner's absolute speed — and
+transfers across machines the way the fused-kernel speedups do.  The
+default ``--sample 8`` models the serving sidecar's sampled mode;
+inline full-rate evaluation (``--sample 1``) is the worst case.  A
+plugin that silently becomes quadratic, or an evaluator that starts
+copying windows, drags the ratio down and trips the trend gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_qa_stream.py
+    python tools/bench_trend.py --results-dir benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _emit import emit_bench  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core.generator import BSRNG  # noqa: E402
+from repro.qa import StreamingEvaluator  # noqa: E402
+
+
+def time_generate(args) -> tuple[float, list[bytes]]:
+    """Baseline leg: plain generation, chunk by chunk (the serve shape)."""
+    rng = BSRNG(args.algorithm, seed=11, lanes=args.lanes)
+    chunks = []
+    t0 = time.perf_counter()
+    for _ in range(args.chunks):
+        chunks.append(rng.random_bytes(args.chunk_bytes))
+    return time.perf_counter() - t0, chunks
+
+
+def time_qa(chunks: list[bytes], window_bytes: int, sample: int):
+    evaluator = StreamingEvaluator(window_bytes=window_bytes, sample=sample)
+    t0 = time.perf_counter()
+    for chunk in chunks:
+        evaluator.feed(chunk)
+    return time.perf_counter() - t0, evaluator
+
+
+def plugin_seconds(reg) -> dict:
+    """Per-plugin evaluation cost from the obs histogram, seconds."""
+    out: dict = {}
+    for entry in reg.snapshot()["metrics"]:
+        if entry["name"] == "repro_qa_plugin_seconds":
+            out[entry["labels"]["plugin"]] = round(entry["sum"], 6)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--algorithm", default="trivium")
+    parser.add_argument("--lanes", type=int, default=256)
+    parser.add_argument("--chunks", type=int, default=64)
+    parser.add_argument("--chunk-bytes", type=int, default=1 << 16)
+    parser.add_argument("--window-bytes", type=int, default=1 << 14)
+    parser.add_argument("--sample", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    total_mb = args.chunks * args.chunk_bytes / 1e6
+
+    gen_s, chunks = time_generate(args)
+    with obs.scoped() as reg:
+        eval_s, evaluator = time_qa(chunks, args.window_bytes, args.sample)
+        per_plugin = plugin_seconds(reg)
+
+    status = evaluator.status()
+    plain_mbps = total_mb / gen_s
+    qa_mbps = total_mb / (gen_s + eval_s)
+    retained = qa_mbps / plain_mbps
+
+    print(f"stream: {args.algorithm}, {total_mb:.1f} MB in {args.chunks} chunks")
+    print(f"generate  : {gen_s * 1e3:8.1f} ms  ({plain_mbps:9.1f} MB/s)")
+    print(
+        f"+ QA      : {eval_s * 1e3:8.1f} ms eval  ({qa_mbps:9.1f} MB/s end-to-end)"
+        f"  [{len(status['plugins'])} plugins, {status['windows_seen']} windows, "
+        f"sample={args.sample}]"
+    )
+    print(f"retained  : {retained:.4f}x of plain throughput")
+    worst = sorted(per_plugin.items(), key=lambda kv: -kv[1])[:5]
+    for name, seconds in worst:
+        print(f"  {name:<28s} {seconds * 1e3:8.1f} ms total")
+    if not status["healthy"]:
+        print(f"WARNING: latched on reference stream: {status['latched']}")
+        return 1
+
+    path = emit_bench(
+        "qa_stream",
+        params={
+            "algorithm": args.algorithm,
+            "lanes": args.lanes,
+            "chunks": args.chunks,
+            "chunk_bytes": args.chunk_bytes,
+            "window_bytes": args.window_bytes,
+            "sample": args.sample,
+            "plugins": len(status["plugins"]),
+        },
+        gbps=qa_mbps * 8 / 1e3,
+        wall_s=gen_s + eval_s,
+        metrics={
+            "plain_mbps": plain_mbps,
+            "qa_mbps": qa_mbps,
+            "speedup": {"qa_vs_plain": retained},
+            "windows": status["windows_seen"],
+            "plugin_seconds": per_plugin,
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""A third-party QA plugin, the zero-packaging way.
+
+Drop this file (or your own copy) somewhere on ``PYTHONPATH`` and tell
+the QA framework to load it:
+
+.. code-block:: console
+
+   $ export PYTHONPATH=examples
+   $ export REPRO_QA_PLUGINS=qa_plugin
+   $ repro qa list                       # ByteHistogram appears
+   $ repro qa stream -a trivium -n 4194304
+
+A module contributes plugins by exposing either ``register(registry)``
+(full control: ``replace=True`` overrides, parameterised variants) or a
+plain ``QA_PLUGINS`` iterable.  This example shows the ``register`` hook
+because it is the one you will outgrow the other for.
+
+Installed distributions can skip the environment variable entirely by
+advertising the same hook as a ``repro.qa_plugins`` entry point:
+
+.. code-block:: toml
+
+   [project.entry-points."repro.qa_plugins"]
+   byte_histogram = "qa_plugin"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist._utils import check_bits, igamc
+from repro.nist.result import TestResult
+from repro.qa import QAPlugin
+
+
+def byte_histogram_test(bits, bins: int = 256) -> TestResult:
+    """χ² of the byte-value histogram against the uniform null.
+
+    Coarser than the SP 800-22 frequency family but sensitive to
+    byte-granular skew (a masked lane, a truncated range) in one look.
+    """
+    # 5 expected counts per bin keeps the chi-square approximation honest
+    arr = check_bits(bits, 5 * bins * 8, "byte_histogram")
+    data = np.packbits(arr[: (arr.size // 8) * 8].astype(np.uint8), bitorder="little")
+    counts = np.bincount(data, minlength=bins)
+    expected = data.size / bins
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    p = igamc((bins - 1) / 2.0, chi2 / 2.0)
+    return TestResult("byte_histogram", [p], {"chi2": chi2, "n_bytes": int(data.size)})
+
+
+def register(registry) -> None:
+    """The discovery hook (``REPRO_QA_PLUGINS`` / entry points)."""
+    registry.register(
+        QAPlugin(
+            name="ByteHistogram",
+            fn=byte_histogram_test,
+            family="example",
+            min_bits=5 * 256 * 8,
+            alpha=1e-6,
+            # a clean chi-square null is uniform under H0, so the battery
+            # may aggregate it; it is cheap enough to stream as well
+            battery=True,
+            streaming=True,
+            cost=0.5,
+            source="example",
+            description="chi-square of the byte-value histogram",
+        )
+    )

@@ -12,6 +12,11 @@ Commands
     (``--timeout``/``--retries`` set the per-shard recovery policy).
 ``fips``
     Run the FIPS 140-2 power-up battery (fast accept/reject gate).
+``qa``
+    The randomness-QA plugin registry: ``qa list`` (discovered
+    plugins), ``qa run`` (battery-capable plugins with NIST
+    aggregation), ``qa stream`` (streaming evaluation with latched
+    verdicts over a generator or file stream; see DESIGN.md §15).
 ``selftest``
     Run the startup self-test plus the SP 800-90B continuous health
     tests (Repetition Count / Adaptive Proportion) over a stream.
@@ -157,6 +162,64 @@ def build_parser() -> argparse.ArgumentParser:
     fips.add_argument("-s", "--seed", type=int, default=0)
     fips.add_argument("-l", "--lanes", type=int, default=4096)
 
+    qa = sub.add_parser(
+        "qa", help="randomness-QA plugin registry: list, battery run, streaming eval"
+    )
+    qa_sub = qa.add_subparsers(dest="qa_action", required=True)
+    qa_list = qa_sub.add_parser(
+        "list", help="list every discovered QA plugin (builtins, entry points, env)"
+    )
+    qa_list.add_argument("--json", action="store_true", help="machine-readable output")
+    qa_run = qa_sub.add_parser(
+        "run", help="run battery-capable plugins with NIST-style aggregation"
+    )
+    qa_run.add_argument("-a", "--algorithm", default="mickey2")
+    qa_run.add_argument("-s", "--seed", type=int, default=0)
+    qa_run.add_argument("-l", "--lanes", type=int, default=4096)
+    qa_run.add_argument("--sequences", type=int, default=24)
+    qa_run.add_argument("--bits", type=int, default=100_000)
+    qa_run.add_argument(
+        "--plugins", default=None, metavar="NAME,NAME",
+        help="battery plugin names (default: every battery-capable plugin, "
+        "SP 800-22 Table-3 order first)",
+    )
+    add_fused_flags(qa_run)
+    add_telemetry_flags(qa_run)
+    qa_stream = qa_sub.add_parser(
+        "stream", help="streaming evaluation over a generator or file stream"
+    )
+    qa_stream.add_argument("-a", "--algorithm", default="mickey2")
+    qa_stream.add_argument("-s", "--seed", type=int, default=0)
+    qa_stream.add_argument("-l", "--lanes", type=int, default=4096)
+    qa_stream.add_argument(
+        "-n", "--bytes", type=int, default=1 << 22, dest="n_bytes",
+        help="stream length to evaluate (default 4 MiB)",
+    )
+    qa_stream.add_argument("--input", default=None, help="read the stream from a file")
+    qa_stream.add_argument(
+        "--window-bytes", type=int, default=1 << 14,
+        help="evaluation window (default 16 KiB)",
+    )
+    qa_stream.add_argument(
+        "--chunk-bytes", type=int, default=1 << 16,
+        help="feed granularity (results are chunk-split invariant)",
+    )
+    qa_stream.add_argument(
+        "--fail-alpha", type=float, default=None,
+        help="per-window failure threshold for all plugins "
+        "(default: each plugin's own alpha)",
+    )
+    qa_stream.add_argument(
+        "--sample", type=int, default=1, help="evaluate every K-th window"
+    )
+    qa_stream.add_argument(
+        "--plugins", default=None, metavar="NAME,NAME",
+        help="plugin names (default: every streaming-capable plugin)",
+    )
+    qa_stream.add_argument("--json", action="store_true", help="emit the full status JSON")
+    add_fused_flags(qa_stream)
+    add_telemetry_flags(qa_stream)
+
     st = sub.add_parser(
         "selftest", help="startup self-test + SP 800-90B continuous health tests"
     )
@@ -273,6 +336,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--alpha", type=float, default=2.0**-20,
         help="health-screen false-positive rate (default 2^-20)",
+    )
+    serve.add_argument(
+        "--qa", action="store_true",
+        help="mount the continuous-QA sidecar: streaming plugin evaluation "
+        "over every accepted chunk, latching /healthz on a failed verdict",
+    )
+    serve.add_argument(
+        "--qa-window-bytes", type=int, default=1 << 14, metavar="N",
+        help="QA evaluation window (default 16 KiB)",
+    )
+    serve.add_argument(
+        "--qa-alpha", type=float, default=1e-9, metavar="A",
+        help="per-window QA failure threshold (default 1e-9 — a served "
+        "stream evaluates millions of windows, so the offline alphas "
+        "would false-latch)",
+    )
+    serve.add_argument(
+        "--qa-sample", type=int, default=1, metavar="K",
+        help="evaluate every K-th QA window (default 1 = all)",
+    )
+    serve.add_argument(
+        "--qa-plugins", default=None, metavar="NAME,NAME",
+        help="QA plugin names (default: every streaming-capable plugin)",
     )
     add_fused_flags(serve)
     add_telemetry_flags(serve)
@@ -638,6 +724,109 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_qa(args) -> int:
+    import json
+
+    from repro.qa import default_registry
+
+    registry = default_registry()
+    if args.qa_action == "list":
+        rows = registry.describe()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        print(
+            f"{'Name':<26}{'Family':<11}{'Min bits':>9}{'Cost':>7}"
+            f"  {'Battery':<8}{'Stream':<7}Source"
+        )
+        print("-" * 78)
+        for row in rows:
+            print(
+                f"{row['name']:<26}{row['family']:<11}{row['min_bits']:>9}"
+                f"{row['cost']:>7.1f}  {str(row['battery']):<8}"
+                f"{str(row['streaming']):<7}{row['source']}"
+            )
+        return 0
+
+    if args.qa_action == "run":
+        from repro.core.generator import BSRNG
+        from repro.qa import run_battery
+        from repro.qa.registry import battery_order, resolve_battery_plugin
+
+        names = (
+            [n.strip() for n in args.plugins.split(",") if n.strip()]
+            if args.plugins
+            else battery_order()
+        )
+        plugins = [resolve_battery_plugin(n) for n in names]
+        print(
+            f"QA battery: {args.sequences} sequences x {args.bits:,} bits "
+            f"({args.algorithm}), {len(plugins)} plugins"
+        )
+        with _telemetry(args):
+            rng = BSRNG(
+                args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args)
+            )
+            report = run_battery(
+                lambda i: rng.random_bits(args.bits), args.sequences, plugins
+            )
+        print(report.to_table())
+        print(f"\nall passed: {report.all_passed}")
+        return 0 if report.all_passed else 1
+
+    # qa stream
+    from repro.qa import StreamingEvaluator
+
+    if args.plugins:
+        plugins = [registry.get(n.strip()) for n in args.plugins.split(",") if n.strip()]
+    else:
+        plugins = registry.select(streaming=True)
+    evaluator = StreamingEvaluator(
+        plugins,
+        window_bytes=args.window_bytes,
+        fail_alpha=args.fail_alpha,
+        sample=args.sample,
+    )
+    with _telemetry(args):
+        if args.input:
+            with open(args.input, "rb") as fh:
+                while True:
+                    chunk = fh.read(args.chunk_bytes)
+                    if not chunk:
+                        break
+                    evaluator.feed(chunk)
+        else:
+            from repro.core.generator import BSRNG
+
+            rng = BSRNG(
+                args.algorithm, seed=args.seed, lanes=args.lanes, **_fused_kwargs(args)
+            )
+            remaining = args.n_bytes
+            while remaining > 0:
+                take = min(args.chunk_bytes, remaining)
+                evaluator.feed(rng.read(take))
+                remaining -= take
+    status = evaluator.status()
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        print(
+            f"QA stream: {status['bytes_seen']:,} bytes, "
+            f"{status['windows_seen']} windows of {status['window_bytes']:,} bytes"
+        )
+        print(f"{'Plugin':<26}{'Windows':>8}{'Skips':>7}{'Fails':>7}{'Min p':>12}  Verdict")
+        print("-" * 70)
+        for name, row in status["plugins"].items():
+            min_p = "-" if row["min_p"] is None else f"{row['min_p']:.2e}"
+            verdict = "LATCHED" if row["latched"] else ("ok" if row["eligible"] else "skipped")
+            print(
+                f"{name:<26}{row['windows']:>8}{row['skips']:>7}"
+                f"{row['failures']:>7}{min_p:>12}  {verdict}"
+            )
+    print(f"\nhealthy: {evaluator.healthy}")
+    return 0 if evaluator.healthy else 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import logging
@@ -669,6 +858,25 @@ def _cmd_serve(args) -> int:
             screen=not args.no_screen,
             alpha=args.alpha,
         )
+    qa_sidecar = None
+    if args.qa:
+        from repro.qa import QASidecar, StreamingEvaluator, default_registry
+
+        registry = default_registry()
+        if args.qa_plugins:
+            qa_plugins = [
+                registry.get(n.strip()) for n in args.qa_plugins.split(",") if n.strip()
+            ]
+        else:
+            qa_plugins = registry.select(streaming=True)
+        qa_sidecar = QASidecar(
+            StreamingEvaluator(
+                qa_plugins,
+                window_bytes=args.qa_window_bytes,
+                fail_alpha=args.qa_alpha,
+                sample=args.qa_sample,
+            )
+        )
     engine = ServeEngine(
         stream,
         workers=args.workers,
@@ -676,6 +884,7 @@ def _cmd_serve(args) -> int:
         screen=not args.no_screen,
         alpha=args.alpha,
         fleet=fleet_config,
+        qa=qa_sidecar,
     )
     daemon = ServeDaemon(
         engine,
@@ -821,6 +1030,7 @@ _COMMANDS = {
     "gen": _cmd_gen,
     "nist": _cmd_nist,
     "fips": _cmd_fips,
+    "qa": _cmd_qa,
     "selftest": _cmd_selftest,
     "throughput": _cmd_throughput,
     "stats": _cmd_stats,

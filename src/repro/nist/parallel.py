@@ -50,7 +50,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import PartitionCorruptionError, SpecificationError
-from repro.nist.suite import ALL_TESTS, SuiteReport, run_suite, summarize_pvalues
+from repro.nist.suite import ALL_TESTS, SuiteReport, summarize_pvalues
 from repro.obs.tracing import span
 from repro.robust.supervisor import PartitionSupervisor, SupervisorConfig, payload_crc
 
@@ -97,17 +97,31 @@ class Shard:
 
 
 def _resolve_names(tests) -> list[str]:
-    """Validate a test selection down to ALL_TESTS names, battery order."""
-    names = list(ALL_TESTS) if tests is None else list(tests)
-    unknown = [n for n in names if n not in ALL_TESTS]
-    if unknown:
-        raise SpecificationError(
-            f"unknown tests {unknown}; parallel batteries run ALL_TESTS members "
-            f"(picklable by name): {sorted(ALL_TESTS)}"
-        )
+    """Validate a test selection down to names, battery column order.
+
+    ``None`` keeps the historical default — exactly the
+    :data:`~repro.nist.suite.ALL_TESTS` members — so default batteries
+    are unaffected by whatever plugins the environment discovers.  An
+    explicit selection may additionally name any battery-capable plugin
+    from the QA registry (:func:`repro.qa.registry.battery_order`);
+    shards resolve those names through
+    :func:`repro.qa.registry.resolve_battery_plugin` worker-side.
+    """
+    if tests is None:
+        return list(ALL_TESTS)
+    names = list(tests)
     if not names:
         raise SpecificationError("no tests selected")
-    return [n for n in ALL_TESTS if n in set(names)]
+    from repro.qa.registry import battery_order
+
+    order = battery_order()
+    unknown = [n for n in names if n not in order]
+    if unknown:
+        raise SpecificationError(
+            f"unknown tests {unknown}; parallel batteries run battery-capable "
+            f"plugins (picklable by name): {sorted(order)}"
+        )
+    return [n for n in order if n in set(names)]
 
 
 def plan_shards(
@@ -190,13 +204,16 @@ def _shard_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
         plan_json,
     ) = job
     from repro.core.generator import BSRNG
-    from repro.errors import InsufficientDataError
+    from repro.qa.registry import resolve_battery_plugin
     from repro.robust.faults import FaultPlan
 
     plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan.from_env()
     if plan is not None:
         plan.pre_generate(shard_id, attempt)
-    tests = {name: ALL_TESTS[name] for name in test_names}
+    # name -> plugin via the registry; ALL_TESTS stays the live primitive
+    # (a runtime-patched entry resolves to the patched callable, exactly
+    # as the historical dict lookup did)
+    plugins = [resolve_battery_plugin(name) for name in test_names]
     out: dict[str, dict] = {
         name: {"p_values": [], "dropped": 0, "reason": ""} for name in test_names
     }
@@ -214,21 +231,23 @@ def _shard_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict]:
             rng.skip_bytes(seq_start * seq_bytes)
         for _ in range(n_seqs):
             bits = rng.random_bits(n_bits)
-            for name, fn in tests.items():
+            for plugin in plugins:
                 t0 = time.perf_counter()
                 try:
-                    result = fn(bits)
-                except InsufficientDataError as exc:
-                    rec = out[name]
-                    rec["dropped"] += 1
-                    if not rec["reason"]:
-                        rec["reason"] = str(exc)
-                    continue
+                    result = plugin.run(bits)
                 finally:
                     obs.observe(
-                        "repro_nist_test_seconds", time.perf_counter() - t0, test=name
+                        "repro_nist_test_seconds",
+                        time.perf_counter() - t0,
+                        test=plugin.name,
                     )
-                out[name]["p_values"].extend(result.p_values)
+                rec = out[plugin.name]
+                if not result.ok:
+                    rec["dropped"] += 1
+                    if not rec["reason"]:
+                        rec["reason"] = result.reason
+                    continue
+                rec["p_values"].extend(result.p_values)
         obs.inc("repro_nist_shard_sequences_total", n_seqs, shard=shard_id)
         metrics = reg.snapshot()
     # canonical byte form: json round-trips Python floats exactly
@@ -259,16 +278,18 @@ def run_suite_sequential(
     speedup benchmark's denominator.
     """
     from repro.core.generator import BSRNG
+    from repro.qa.battery import run_battery
+    from repro.qa.registry import resolve_battery_plugin
 
     names = _resolve_names(tests)
     rng = BSRNG(
         algorithm, seed=seed, lanes=lanes, dtype=dtype,
         fused=fused, clocks_per_call=clocks_per_call,
     )
-    return run_suite(
+    return run_battery(
         lambda i: rng.random_bits(n_bits),
         n_sequences,
-        tests={n: ALL_TESTS[n] for n in names},
+        [resolve_battery_plugin(n) for n in names],
     )
 
 

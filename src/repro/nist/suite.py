@@ -14,14 +14,12 @@ battery can stream gigabit workloads without holding them all in memory.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 import numpy as np
 
-from repro import obs
-from repro.errors import InsufficientDataError, SpecificationError
+from repro.errors import InsufficientDataError
 from repro.nist._utils import igamc
 from repro.nist.complexity import linear_complexity_test
 from repro.nist.cusum import cumulative_sums_test
@@ -29,7 +27,7 @@ from repro.nist.entropy import approximate_entropy_test
 from repro.nist.excursions import random_excursions_test, random_excursions_variant_test
 from repro.nist.frequency import block_frequency_test, frequency_test
 from repro.nist.rank import binary_matrix_rank_test
-from repro.nist.result import ALPHA, TestResult
+from repro.nist.result import ALPHA
 from repro.nist.runs import longest_run_test, runs_test
 from repro.nist.serial import serial_test
 from repro.nist.spectral import dft_test
@@ -181,54 +179,22 @@ def run_suite(
     length is a single number (Table 3's "n") and a mixed-length sample
     set would silently change what the aggregation means; a mismatch
     raises :class:`~repro.errors.SpecificationError`.
+
+    Since the QA framework landed this is a thin consumer of the plugin
+    layer: the loop itself lives in :func:`repro.qa.battery.run_battery`
+    (sts semantics preserved exactly — every sub-test p-value enters the
+    aggregation as its own sample, skips record the first reason, and
+    the plugin-driven battery reproduces the historical report
+    bit-for-bit; ``tests/test_qa_conformance.py``).
     """
-    tests = dict(tests) if tests is not None else dict(ALL_TESTS)
-    if callable(sequence_source):
-        getter = sequence_source
+    # deferred import: repro.qa builds on this module's ALL_TESTS
+    from repro.qa.battery import run_battery
+    from repro.qa.registry import resolve_battery_plugin
+
+    if tests is None:
+        plugins = [resolve_battery_plugin(name) for name in ALL_TESTS]
     else:
-        seqs = list(sequence_source)
-        getter = lambda i: seqs[i]  # noqa: E731
+        from repro.qa.plugin_api import as_battery_plugin
 
-    collected: dict[str, list[float]] = {name: [] for name in tests}
-    reasons: dict[str, str] = {}
-    dropped: dict[str, int] = {name: 0 for name in tests}
-    timed = obs.metrics_enabled()
-    n_bits = 0
-    for i in range(n_sequences):
-        bits = np.asarray(getter(i))
-        if i == 0:
-            n_bits = bits.size
-        elif bits.size != n_bits:
-            raise SpecificationError(
-                f"sequence {i} has {bits.size} bits, expected {n_bits} — "
-                "a battery aggregates equal-length sequences only"
-            )
-        for name, fn in tests.items():
-            t0 = time.perf_counter() if timed else 0.0
-            try:
-                result: TestResult = fn(bits)
-            except InsufficientDataError as exc:
-                dropped[name] += 1
-                reasons.setdefault(name, str(exc))
-                continue
-            finally:
-                if timed:
-                    obs.observe(
-                        "repro_nist_test_seconds", time.perf_counter() - t0, test=name
-                    )
-            # sts semantics: every sub-test p-value (each excursion state,
-            # each serial psi, forward and backward cusum) enters the
-            # aggregation as its own sample; aggregating the per-sequence
-            # minimum would inflate the effective significance level of
-            # multi-valued tests (~18x for the excursions variant).
-            collected[name].extend(result.p_values)
-
-    report = SuiteReport(n_sequences=n_sequences, n_bits=n_bits)
-    for name in tests:
-        if collected[name]:
-            report.per_test[name] = summarize_pvalues(collected[name])
-        else:
-            report.skipped[name] = reasons.get(name, "no data")
-        if dropped[name]:
-            report.errors[name] = dropped[name]
-    return report
+        plugins = [as_battery_plugin(name, fn) for name, fn in dict(tests).items()]
+    return run_battery(sequence_source, n_sequences, plugins)

@@ -1,0 +1,56 @@
+"""Plugin-based randomness QA: discoverable test registry + streaming eval.
+
+The SP 800-22 battery (:mod:`repro.nist`) and the analysis checks
+(:mod:`repro.analysis`) validate generator output *offline*; this
+package turns every one of those call sites into a **discoverable
+plugin** and adds the two capabilities a hardcoded battery cannot have:
+
+* **extensibility** — a test is a :class:`~repro.qa.plugin_api.QAPlugin`
+  with a declared name, data requirement in bits, params and first-class
+  skip semantics (``status: "skipped"``).  Plugins register into a
+  :class:`~repro.qa.registry.PluginRegistry`; third-party test families
+  load through entry points (group ``repro.qa_plugins``) or the
+  ``REPRO_QA_PLUGINS`` environment variable without touching this repo.
+* **online evaluation** — the
+  :class:`~repro.qa.streaming.StreamingEvaluator` runs window-eligible
+  plugins continuously over an unbounded byte stream with bounded
+  memory and latched verdicts, and
+  :class:`~repro.qa.sidecar.QASidecar` mounts that evaluator into the
+  serving engine (``repro serve --qa``) as a continuous-QA sidecar that
+  latches ``/healthz``.
+
+The battery drivers (:func:`repro.nist.run_suite`,
+:func:`repro.nist.run_suite_parallel`) are thin consumers of this
+registry: the plugin-driven battery reproduces the legacy
+:class:`~repro.nist.suite.SuiteReport` bit-identically (enforced by
+``tests/test_qa_conformance.py``).
+
+See DESIGN.md §15 for the plugin contract, discovery order, streaming
+window model and skip semantics.
+"""
+
+from repro.qa.battery import run_battery
+from repro.qa.plugin_api import PluginResult, QAPlugin, as_battery_plugin
+from repro.qa.registry import (
+    PluginRegistry,
+    battery_order,
+    default_registry,
+    reset_default_registry,
+    resolve_battery_plugin,
+)
+from repro.qa.sidecar import QASidecar
+from repro.qa.streaming import StreamingEvaluator
+
+__all__ = [
+    "PluginResult",
+    "QAPlugin",
+    "as_battery_plugin",
+    "PluginRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "resolve_battery_plugin",
+    "battery_order",
+    "run_battery",
+    "StreamingEvaluator",
+    "QASidecar",
+]

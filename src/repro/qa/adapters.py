@@ -1,0 +1,266 @@
+"""Builtin plugin adapters: SP 800-22, analysis checks, new families.
+
+Everything the repo already knows how to measure becomes a plugin here:
+
+* the 15 SP 800-22 tests (:data:`repro.nist.suite.ALL_TESTS`), wrapped
+  by :func:`nist_adapter` with their per-test hard data floors and the
+  relative costs from :data:`repro.nist.parallel.TEST_COST`;
+* the :mod:`repro.analysis` checks, recast as pass/fail or Bonferroni
+  detectors (``battery=False`` — their p-values are conservative, not
+  uniform under H0);
+* the dieharder-inspired families (:mod:`repro.qa.dieharder`) and the
+  structure detectors (:mod:`repro.qa.structure`).
+
+:func:`register_builtins` installs them in that order, which fixes the
+default registry's battery column order (SP 800-22 Table-3 prefix
+first — the conformance guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.analysis import (
+    autocorrelation,
+    min_entropy_estimate,
+    periodic_bias,
+    shannon_entropy_estimate,
+)
+from repro.errors import SpecificationError
+from repro.nist.parallel import TEST_COST
+from repro.nist.suite import ALL_TESTS
+from repro.qa.dieharder import birthday_spacings_test, permutations_test
+from repro.qa.plugin_api import PluginResult, QAPlugin
+from repro.qa.structure import ecb_structure_test, repeating_xor_test
+
+__all__ = ["nist_adapter", "register_builtins", "NIST_MIN_BITS"]
+
+#: Hard data floors of the SP 800-22 tests with their default parameters
+#: (from each test's own ``check_bits`` call; content-dependent
+#: requirements beyond the floor still surface as runtime skips).
+NIST_MIN_BITS: dict[str, int] = {
+    "Frequency": 100,
+    "BlockFrequency": 128,
+    "CumulativeSums": 100,
+    "Runs": 100,
+    "LongestRun": 128,
+    "Rank": 38 * 32 * 32,
+    "FFT": 1000,
+    "NonOverlappingTemplate": 8 * 8 * 9,
+    "OverlappingTemplate": 1032,
+    "Universal": 2000,
+    "ApproximateEntropy": 128,
+    "RandomExcursions": 1000,
+    "RandomExcursionsVariant": 1000,
+    "Serial": 128,
+    "LinearComplexity": 20 * 500,
+}
+
+#: Tests too heavy to run per window online (cost on the
+#: :data:`~repro.nist.parallel.TEST_COST` scale above this stay offline).
+_STREAMING_COST_CEILING = 16.0
+
+
+def nist_adapter(name: str, fn: Callable) -> QAPlugin:
+    """Wrap one SP 800-22 test callable as a battery-capable plugin.
+
+    The adapter is intentionally thin — ``fn(bits)`` already returns a
+    :class:`~repro.nist.result.TestResult` and raises
+    :class:`~repro.errors.InsufficientDataError`, which
+    :meth:`~repro.qa.plugin_api.QAPlugin.run` converts to a skip — so a
+    runtime-patched ``ALL_TESTS`` entry behaves identically to the
+    original (the live-primitive property the battery relies on).
+    """
+    cost = float(TEST_COST.get(name, 1.0))
+    return QAPlugin(
+        name=name,
+        fn=fn,
+        family="nist",
+        min_bits=NIST_MIN_BITS.get(name, 1),
+        alpha=1e-6,
+        battery=True,
+        streaming=cost <= _STREAMING_COST_CEILING,
+        cost=cost,
+        source="builtin",
+        description=f"SP 800-22 {name} test",
+    )
+
+
+def _autocorrelation_plugin(bits, max_lag: int = 64) -> PluginResult:
+    """Serial autocorrelation, Bonferroni over lags 1..max_lag.
+
+    Each lag's coefficient is ~N(0, 1/n) under H0; the worst two-sided
+    normal p across lags is multiplied by ``max_lag``.  A constant
+    sequence (zero variance) is maximally non-random: p = 0.
+    """
+    arr = np.asarray(bits)
+    try:
+        r = autocorrelation(arr, max_lag=max_lag)
+    except SpecificationError as exc:
+        if "constant" in str(exc):
+            return PluginResult(
+                status="ok", p_values=(0.0,), statistics={"constant": True}
+            )
+        raise
+    z = np.abs(r) * math.sqrt(arr.size)
+    worst = int(np.argmax(z))
+    p_each = erfc(z / math.sqrt(2.0))
+    p = min(1.0, max_lag * float(p_each.min()))
+    return PluginResult(
+        status="ok",
+        p_values=(p,),
+        statistics={"worst_lag": worst + 1, "worst_z": float(z[worst])},
+    )
+
+
+def _periodic_bias_plugin(bits, period: int = 64) -> PluginResult:
+    """Per-phase bias at a conjectured lane period, Bonferroni over phases."""
+    report = periodic_bias(bits, period=period)
+    z = float(report["z_score"])
+    p = min(1.0, period * float(erfc(z / math.sqrt(2.0))))
+    return PluginResult(
+        status="ok",
+        p_values=(p,),
+        statistics={
+            "period": period,
+            "worst_phase": int(report["worst_phase"]),
+            "max_deviation": float(report["max_deviation"]),
+            "z_score": z,
+        },
+    )
+
+
+def _entropy_gate_plugin(
+    bits, estimator: str = "shannon", block_size: int = 8, threshold: float = 0.95
+) -> PluginResult:
+    """Threshold gate on a plug-in entropy estimate (pass=1.0 / fail=0.0).
+
+    The thresholds leave generous head-room for estimator bias at the
+    declared minimum window, so the false-fire rate on true randomness
+    is negligible (far below any alpha) — degenerate p-values, hence
+    ``battery=False`` on the registered plugins.
+    """
+    if estimator == "shannon":
+        h = shannon_entropy_estimate(bits, block_size=block_size)
+    elif estimator == "min":
+        h = min_entropy_estimate(bits, block_size=block_size)
+    else:
+        raise SpecificationError(f"unknown entropy estimator {estimator!r}")
+    return PluginResult(
+        status="ok",
+        p_values=(1.0 if h >= threshold else 0.0,),
+        statistics={"entropy_per_bit": h, "threshold": threshold},
+    )
+
+
+def register_builtins(registry) -> None:
+    """Install every builtin plugin, fixed order (see module docstring)."""
+    for name, fn in ALL_TESTS.items():
+        registry.register(nist_adapter(name, fn))
+    registry.register_all(
+        [
+            QAPlugin(
+                name="Autocorrelation",
+                fn=_autocorrelation_plugin,
+                family="analysis",
+                min_bits=4096,
+                params={"max_lag": 64},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=2.0,
+                description="serial autocorrelation, Bonferroni over lags",
+            ),
+            QAPlugin(
+                name="PeriodicBias",
+                fn=_periodic_bias_plugin,
+                family="analysis",
+                min_bits=32768,
+                params={"period": 64},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=1.0,
+                description="per-phase bias at the lane-interleave period",
+            ),
+            QAPlugin(
+                name="ShannonEntropy",
+                fn=_entropy_gate_plugin,
+                family="analysis",
+                min_bits=16384,
+                params={"estimator": "shannon", "block_size": 8, "threshold": 0.95},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=0.5,
+                description="plug-in Shannon entropy gate (per-bit threshold)",
+            ),
+            QAPlugin(
+                name="MinEntropy",
+                fn=_entropy_gate_plugin,
+                family="analysis",
+                min_bits=16384,
+                params={"estimator": "min", "block_size": 8, "threshold": 0.75},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=0.5,
+                description="plug-in min-entropy gate (per-bit threshold)",
+            ),
+            QAPlugin(
+                name="BirthdaySpacings",
+                fn=birthday_spacings_test,
+                family="dieharder",
+                min_bits=8 * 256 * 20,
+                params={"n_birthdays": 256, "bits_per_birthday": 20, "trials": 8},
+                alpha=1e-6,
+                # the duplicate count is discrete, so its p-value is not
+                # uniform under H0 — NIST's uniformity chi^2 would reject a
+                # *good* generator given enough sequences; tail-only use.
+                battery=False,
+                streaming=True,
+                cost=2.0,
+                description="Marsaglia birthday spacings (duplicate-spacing Poisson)",
+            ),
+            QAPlugin(
+                name="OverlappingPermutations",
+                fn=permutations_test,
+                family="dieharder",
+                min_bits=(5 * 120 + 4) * 32,
+                params={"order": 5, "word_bits": 32, "overlap": True},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=3.0,
+                description="overlapping 5-word orderings (conservative chi^2)",
+            ),
+            QAPlugin(
+                name="EcbStructure",
+                fn=ecb_structure_test,
+                family="structure",
+                min_bits=4096,
+                params={"block_bytes": 16},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=0.5,
+                description="duplicate 16-byte blocks vs the birthday bound",
+            ),
+            QAPlugin(
+                name="RepeatingXor",
+                fn=repeating_xor_test,
+                family="structure",
+                min_bits=8 * (64 + 128),
+                params={"max_key_bytes": 64, "min_overlap_bytes": 128},
+                alpha=1e-6,
+                battery=False,
+                streaming=True,
+                cost=2.0,
+                description="repeating-key XOR via shifted Hamming distance",
+            ),
+        ]
+    )

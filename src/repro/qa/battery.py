@@ -1,0 +1,106 @@
+"""The battery core: run ordered plugins over sequences, NIST-aggregate.
+
+This is the single loop behind :func:`repro.nist.run_suite` (and, per
+shard, :func:`repro.nist.run_suite_parallel`): it replicates the legacy
+driver exactly — same sequence/test iteration order, same equal-length
+validation, same skip/drop bookkeeping, same per-test timing metric —
+so a plugin-driven battery reproduces the historical
+:class:`~repro.nist.suite.SuiteReport` bit-for-bit
+(``tests/test_qa_conformance.py`` holds it to that).
+
+Semantics preserved from the legacy loop:
+
+* every sub-test p-value enters the aggregation as its own sample;
+* a plugin that skips a sequence increments its drop count and records
+  the *first* skip reason;
+* a plugin that skipped every sequence lands in ``skipped``; partial
+  drops aggregate the surviving samples and land in ``errors``;
+* mixed-length sequence sets raise
+  :class:`~repro.errors.SpecificationError` before any test runs on the
+  offending sequence;
+* per-test wall time lands in ``repro_nist_test_seconds{test=...}``
+  when metrics are enabled (skips included — observed cost is cost).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SpecificationError
+from repro.nist.suite import SuiteReport, summarize_pvalues
+from repro.qa.plugin_api import QAPlugin
+
+__all__ = ["run_battery"]
+
+
+def run_battery(
+    sequence_source: Callable[[int], np.ndarray] | Iterable[np.ndarray],
+    n_sequences: int,
+    plugins: Sequence[QAPlugin],
+) -> SuiteReport:
+    """Run *plugins* (in order) over *n_sequences* sequences and aggregate.
+
+    Parameters
+    ----------
+    sequence_source:
+        Either ``f(i) -> bits`` or an iterable of bit arrays.
+    n_sequences:
+        How many sequences to draw.
+    plugins:
+        Ordered, uniquely named battery plugins; their order is the
+        report's column order.
+    """
+    plugins = list(plugins)
+    names = [p.name for p in plugins]
+    if len(set(names)) != len(names):
+        raise SpecificationError(f"duplicate plugin names in battery: {names}")
+    if callable(sequence_source):
+        getter = sequence_source
+    else:
+        seqs = list(sequence_source)
+        getter = lambda i: seqs[i]  # noqa: E731
+
+    collected: dict[str, list[float]] = {name: [] for name in names}
+    reasons: dict[str, str] = {}
+    dropped: dict[str, int] = {name: 0 for name in names}
+    timed = obs.metrics_enabled()
+    n_bits = 0
+    for i in range(n_sequences):
+        bits = np.asarray(getter(i))
+        if i == 0:
+            n_bits = bits.size
+        elif bits.size != n_bits:
+            raise SpecificationError(
+                f"sequence {i} has {bits.size} bits, expected {n_bits} — "
+                "a battery aggregates equal-length sequences only"
+            )
+        for plugin in plugins:
+            t0 = time.perf_counter() if timed else 0.0
+            try:
+                result = plugin.run(bits)
+            finally:
+                if timed:
+                    obs.observe(
+                        "repro_nist_test_seconds",
+                        time.perf_counter() - t0,
+                        test=plugin.name,
+                    )
+            if not result.ok:
+                dropped[plugin.name] += 1
+                reasons.setdefault(plugin.name, result.reason)
+                continue
+            collected[plugin.name].extend(result.p_values)
+
+    report = SuiteReport(n_sequences=n_sequences, n_bits=n_bits)
+    for name in names:
+        if collected[name]:
+            report.per_test[name] = summarize_pvalues(collected[name])
+        else:
+            report.skipped[name] = reasons.get(name, "no data")
+        if dropped[name]:
+            report.errors[name] = dropped[name]
+    return report

@@ -1,0 +1,154 @@
+"""Dieharder-inspired test families: birthday spacings, permutations.
+
+Two classics from Marsaglia's Diehard battery (as curated by dieharder)
+that the SP 800-22 set does not cover — both sensitive to *arithmetic*
+structure (lattice artefacts, ordering bias) that bit-counting tests
+miss entirely; LCGs famously ace Frequency/Runs and fail both of these.
+
+* :func:`birthday_spacings_test` — draw ``n`` "birthdays" of ``m`` bits,
+  sort, and count duplicate values among the spacings.  Under H0 the
+  duplicate count is asymptotically Poisson with mean ``n³/(4·2^m)``;
+  we sum the count over ``trials`` independent draws (Poisson means
+  add) and report a two-sided exact Poisson p-value.  The statistic is
+  discrete, so the p-value is *not* uniform under H0 (NIST's uniformity
+  χ² would eventually reject a good generator) — registered with
+  ``battery=False``, like every family below.
+* :func:`permutations_test` — the relative ordering of ``order``
+  consecutive words is equidistributed over ``order!`` permutations; a
+  χ² over the observed permutation counts catches ordering bias.  With
+  ``overlap=True`` (the dieharder OPERM flavour) windows advance one
+  word at a time; overlapping windows are positively correlated, and
+  the exact covariance correction is notoriously error-prone (dieharder
+  shipped a broken operm5 for years), so we deflate the χ² by the
+  overlap factor instead — a *conservative* correction, enforced
+  empirically by the calibration suite.  ``overlap=False`` uses
+  disjoint windows and a clean χ² null (battery-aggregatable).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import gammainc
+
+from repro.errors import InsufficientDataError, SpecificationError
+from repro.nist._utils import check_bits, igamc
+from repro.nist.result import TestResult
+
+__all__ = ["birthday_spacings_test", "permutations_test"]
+
+
+def _pack_words(arr: np.ndarray, word_bits: int, n_words: int) -> np.ndarray:
+    """First ``n_words`` little-bit-order words of ``word_bits`` bits."""
+    trimmed = arr[: n_words * word_bits].reshape(n_words, word_bits)
+    weights = (1 << np.arange(word_bits, dtype=np.int64)).astype(np.int64)
+    return trimmed.astype(np.int64) @ weights
+
+
+def birthday_spacings_test(
+    bits,
+    n_birthdays: int = 256,
+    bits_per_birthday: int = 20,
+    trials: int = 8,
+) -> TestResult:
+    """Marsaglia's birthday-spacings test (dieharder ``diehard_birthdays``).
+
+    Total duplicate-spacing count over *trials* draws vs its exact
+    Poisson null (two-sided).  Defaults give a per-trial mean of
+    ``256³/2²² = 4`` and a total mean of 32 from 40,960 bits.
+    """
+    if n_birthdays < 8 or not 8 <= bits_per_birthday <= 48:
+        raise SpecificationError("need n_birthdays >= 8 and 8 <= bits_per_birthday <= 48")
+    if trials < 1:
+        raise SpecificationError("trials must be positive")
+    need = trials * n_birthdays * bits_per_birthday
+    arr = check_bits(bits, need, "birthday_spacings")
+    days = _pack_words(arr, bits_per_birthday, trials * n_birthdays).reshape(
+        trials, n_birthdays
+    )
+    days.sort(axis=1)
+    spacings = np.diff(days, axis=1)
+    # duplicates among the spacings of each trial (Marsaglia's statistic)
+    duplicates = 0
+    for row in spacings:
+        duplicates += row.size - np.unique(row).size
+    mu = trials * (n_birthdays**3) / (4.0 * 2.0**bits_per_birthday)
+    # Poisson tails via regularized incomplete gammas (exact, no loops):
+    # P(X <= k) = Q(k+1, mu), P(X >= k) = P(k, mu) for k >= 1.
+    lower = igamc(duplicates + 1, mu)
+    upper = float(gammainc(duplicates, mu)) if duplicates >= 1 else 1.0
+    p = min(1.0, 2.0 * min(lower, upper))
+    return TestResult(
+        "birthday_spacings",
+        [p],
+        {
+            "duplicates": int(duplicates),
+            "expected": mu,
+            "trials": trials,
+            "n_birthdays": n_birthdays,
+            "bits_per_birthday": bits_per_birthday,
+        },
+    )
+
+
+def _permutation_index(windows: np.ndarray) -> np.ndarray:
+    """Lehmer index in ``[0, order!)`` of each row's ordering pattern."""
+    count, order = windows.shape
+    index = np.zeros(count, dtype=np.int64)
+    for i in range(order - 1):
+        smaller_later = (windows[:, i + 1 :] < windows[:, i : i + 1]).sum(axis=1)
+        index = index * (order - i) + smaller_later
+    return index
+
+
+def permutations_test(
+    bits,
+    order: int = 5,
+    word_bits: int = 32,
+    overlap: bool = True,
+    min_expected: float = 5.0,
+) -> TestResult:
+    """Ordering of consecutive words vs the uniform permutation null.
+
+    χ² over ``order!`` permutation categories; overlapping windows
+    deflate the statistic by ``order`` (see module docstring).  Requires
+    enough windows for ``min_expected`` counts per category.
+    """
+    if not 2 <= order <= 7:
+        raise SpecificationError("order must be in [2, 7] (order! categories)")
+    if word_bits < 8 or word_bits > 64:
+        raise SpecificationError("word_bits must be in [8, 64]")
+    perms = math.factorial(order)
+    min_windows = int(math.ceil(min_expected * perms))
+    if overlap:
+        need_words = min_windows + order - 1
+    else:
+        need_words = min_windows * order
+    arr = check_bits(bits, need_words * word_bits, "permutations")
+    n_words = arr.size // word_bits
+    words = _pack_words(arr, word_bits, n_words)
+    if overlap:
+        windows = np.lib.stride_tricks.sliding_window_view(words, order)
+    else:
+        windows = words[: (n_words // order) * order].reshape(-1, order)
+    if windows.shape[0] < min_windows:
+        raise InsufficientDataError(
+            f"permutations needs {min_windows} windows, got {windows.shape[0]}"
+        )
+    counts = np.bincount(_permutation_index(windows), minlength=perms)
+    expected = windows.shape[0] / perms
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    deflation = float(order) if overlap else 1.0
+    p = igamc((perms - 1) / 2.0, chi2 / deflation / 2.0)
+    return TestResult(
+        "permutations",
+        [p],
+        {
+            "chi2": chi2,
+            "windows": int(windows.shape[0]),
+            "categories": perms,
+            "overlap": overlap,
+            "deflation": deflation,
+        },
+    )

@@ -1,0 +1,125 @@
+"""Plugin discovery: builtins, entry points, environment modules.
+
+Discovery populates a :class:`~repro.qa.registry.PluginRegistry` from
+three sources in a fixed, documented order (DESIGN.md §15):
+
+1. **Builtins** — :func:`repro.qa.adapters.register_builtins`: the
+   SP 800-22 adapters in Table-3 order, then the analysis adapters,
+   then the dieharder-inspired tests, then the structure detectors.
+2. **Entry points** — installed distributions advertising the group
+   ``repro.qa_plugins``, loaded in sorted entry-point-name order.
+3. **Environment** — ``REPRO_QA_PLUGINS``, a comma- (or
+   ``os.pathsep``-) separated list of importable module paths, loaded
+   in listed order.  This is the zero-packaging path: drop a module on
+   ``PYTHONPATH`` and export its name (``examples/qa_plugin.py``).
+
+An entry point or module contributes plugins by exposing either a
+``register(registry)`` callable or a ``QA_PLUGINS`` iterable of
+:class:`~repro.qa.plugin_api.QAPlugin`.  Within one source order is the
+provider's; across sources it is the numbered order above, so the same
+environment always yields the same registry — the determinism the
+differential conformance tests rely on.
+
+Name collisions raise: a third-party plugin may not silently shadow a
+builtin (call ``registry.register(..., replace=True)`` from a
+``register`` hook to override deliberately).  A source that fails to
+import raises :class:`~repro.errors.SpecificationError` naming the
+offender rather than half-loading.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+from repro.errors import SpecificationError
+from repro.qa.plugin_api import QAPlugin
+from repro.qa.registry import PluginRegistry
+
+__all__ = ["discover", "load_module_plugins", "ENTRY_POINT_GROUP", "PLUGINS_ENV"]
+
+#: Packaging entry-point group third-party distributions advertise.
+ENTRY_POINT_GROUP = "repro.qa_plugins"
+
+#: Environment variable naming extra plugin modules (comma-separated).
+PLUGINS_ENV = "REPRO_QA_PLUGINS"
+
+
+def _adopt(registry: PluginRegistry, provider, source: str) -> int:
+    """Let one provider (module or entry-point object) contribute."""
+    n0 = len(registry)
+    register = getattr(provider, "register", None)
+    if callable(register):
+        register(registry)
+        return len(registry) - n0
+    plugins = getattr(provider, "QA_PLUGINS", None)
+    if plugins is None and callable(provider):
+        # an entry point may target the register callable directly
+        provider(registry)
+        return len(registry) - n0
+    if plugins is None:
+        raise SpecificationError(
+            f"QA plugin source {source!r} exposes neither register(registry) "
+            "nor a QA_PLUGINS iterable"
+        )
+    for plugin in plugins:
+        if not isinstance(plugin, QAPlugin):
+            raise SpecificationError(
+                f"QA plugin source {source!r}: QA_PLUGINS must contain "
+                f"QAPlugin instances, got {type(plugin).__name__}"
+            )
+        registry.register(
+            plugin if plugin.source != "builtin" else _stamp(plugin, source)
+        )
+    return len(registry) - n0
+
+
+def _stamp(plugin: QAPlugin, source: str) -> QAPlugin:
+    from dataclasses import replace
+
+    return replace(plugin, source=source)
+
+
+def load_module_plugins(registry: PluginRegistry, module_path: str) -> int:
+    """Import one module and adopt its plugins; returns how many."""
+    try:
+        module = importlib.import_module(module_path)
+    except ImportError as exc:
+        raise SpecificationError(
+            f"cannot import QA plugin module {module_path!r}: {exc}"
+        ) from exc
+    return _adopt(registry, module, f"module:{module_path}")
+
+
+def _entry_points():
+    """The ``repro.qa_plugins`` entry points, sorted by name."""
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py3.10+ always has it
+        return []
+    try:
+        eps = entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 selection API
+        eps = entry_points().get(ENTRY_POINT_GROUP, [])
+    return sorted(eps, key=lambda ep: ep.name)
+
+
+def discover(registry: PluginRegistry) -> PluginRegistry:
+    """Populate *registry* from all three sources, documented order."""
+    from repro.qa.adapters import register_builtins
+
+    register_builtins(registry)
+    for ep in _entry_points():
+        try:
+            provider = ep.load()
+        except Exception as exc:
+            raise SpecificationError(
+                f"QA plugin entry point {ep.name!r} failed to load: {exc}"
+            ) from exc
+        _adopt(registry, provider, f"entry-point:{ep.name}")
+    env = os.environ.get(PLUGINS_ENV, "")
+    for module_path in env.replace(os.pathsep, ",").split(","):
+        module_path = module_path.strip()
+        if module_path:
+            load_module_plugins(registry, module_path)
+    return registry

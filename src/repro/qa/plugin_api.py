@@ -1,0 +1,214 @@
+"""The QA plugin contract: what a randomness test must declare.
+
+A plugin is a named, self-describing statistical test over a bit
+sequence.  The contract (DESIGN.md §15) is deliberately small:
+
+* ``name`` — unique registry key (also the battery column name).
+* ``min_bits`` — the declared data requirement.  A caller that cannot
+  supply ``min_bits`` bits must not invoke the plugin; the streaming
+  evaluator uses this to decide window eligibility, and the battery
+  relies on the plugin itself raising/returning a skip when a sequence
+  is still too short for its *content-dependent* requirements.
+* ``run(bits)`` — returns a :class:`PluginResult`.  Skips are
+  first-class: a test given insufficient data answers
+  ``status="skipped"`` with a reason, never a pass and never a crash
+  (:class:`~repro.errors.InsufficientDataError` raised by a wrapped
+  callable is converted).  Any other exception is a real bug and
+  propagates.
+* capability flags — ``battery`` (p-values are uniform under H0, so the
+  NIST-style aggregation of :class:`~repro.nist.suite.SuiteReport` is
+  meaningful) and ``streaming`` (cheap enough to run per window online).
+  Detectors with conservative/Bonferroni p-values set ``battery=False``;
+  they still stream, where only the failure tail matters.
+
+``alpha`` is the per-invocation failure threshold the *streaming*
+evaluator compares ``min(p_values)`` against (the battery applies NIST's
+aggregate criteria instead and ignores it).  Calibration tests
+(``tests/test_qa_calibration.py``) hold every builtin plugin to it: the
+false-positive rate on reference randomness must be statistically
+consistent with ``alpha``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.errors import InsufficientDataError, SpecificationError
+
+__all__ = ["PluginResult", "QAPlugin", "as_battery_plugin"]
+
+
+@dataclass(frozen=True)
+class PluginResult:
+    """One plugin invocation's outcome.
+
+    ``status`` is ``"ok"`` (``p_values`` populated) or ``"skipped"``
+    (``reason`` populated, no p-values — the declared or content-derived
+    data requirement was unmet).  ``statistics`` carries any named
+    numbers worth reporting (test statistic, counts, estimates).
+    """
+
+    status: str
+    p_values: tuple[float, ...] = ()
+    statistics: dict = field(default_factory=dict)
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "skipped"):
+            raise SpecificationError("status must be 'ok' or 'skipped'")
+        if self.status == "ok" and not self.p_values:
+            raise SpecificationError("an 'ok' result needs at least one p-value")
+        if self.status == "skipped" and self.p_values:
+            raise SpecificationError("a skipped result carries no p-values")
+        object.__setattr__(
+            self, "p_values", tuple(float(np.clip(p, 0.0, 1.0)) for p in self.p_values)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when the plugin actually ran (not a skip)."""
+        return self.status == "ok"
+
+    @property
+    def p_value(self) -> float:
+        """Minimum p-value (the conservative scalar); skips have none."""
+        if not self.p_values:
+            raise SpecificationError("skipped result has no p-value")
+        return min(self.p_values)
+
+    @classmethod
+    def skipped(cls, reason: str) -> "PluginResult":
+        """The canonical skip result."""
+        return cls(status="skipped", reason=reason)
+
+
+@dataclass(frozen=True)
+class QAPlugin:
+    """One registered randomness test (see module docstring for the contract).
+
+    ``fn`` is the underlying callable ``fn(bits, **params) ->
+    TestResult | PluginResult | iterable-of-p-values``; :meth:`run`
+    normalises all three return styles and converts
+    :class:`~repro.errors.InsufficientDataError` into a skip.  ``cost``
+    is the relative wall-cost on a ~100k-bit input (Frequency = 1), the
+    same scale as :data:`repro.nist.parallel.TEST_COST` — the streaming
+    evaluator's default plugin set excludes outliers.
+    """
+
+    name: str
+    fn: Callable
+    family: str = "custom"
+    min_bits: int = 1
+    params: dict = field(default_factory=dict)
+    alpha: float = 1e-6
+    battery: bool = True
+    streaming: bool = True
+    cost: float = 1.0
+    source: str = "builtin"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("plugin name must be non-empty")
+        if self.min_bits < 1:
+            raise SpecificationError("min_bits must be positive")
+        if not 0.0 < self.alpha < 1.0:
+            raise SpecificationError("alpha must be in (0, 1)")
+        if not callable(self.fn):
+            raise SpecificationError(f"plugin {self.name}: fn must be callable")
+
+    def run(self, bits) -> PluginResult:
+        """Execute the test; skips (never raises) on insufficient data.
+
+        The callable's own :class:`~repro.errors.InsufficientDataError`
+        is authoritative — its message becomes the skip reason, so a
+        wrapped SP 800-22 test skips with *exactly* the reason the
+        legacy battery recorded.  The declared ``min_bits`` floor is a
+        safety net: a callable that blows up some other way on an input
+        below its declared floor skips too (third-party plugins need not
+        implement their own length checks), while anything it raises on
+        *sufficient* data is a real bug and propagates.
+        """
+        arr = np.asarray(bits)
+        try:
+            raw = self.fn(arr, **self.params)
+        except InsufficientDataError as exc:
+            return PluginResult.skipped(str(exc))
+        except Exception:
+            if arr.size < self.min_bits:
+                return PluginResult.skipped(
+                    f"{self.name} requires at least {self.min_bits} bits, "
+                    f"got {arr.size}"
+                )
+            raise
+        return self._coerce(raw)
+
+    def timed_run(self, bits) -> PluginResult:
+        """:meth:`run` instrumented into ``repro_qa_plugin_seconds``."""
+        t0 = time.perf_counter()
+        try:
+            return self.run(bits)
+        finally:
+            obs.observe(
+                "repro_qa_plugin_seconds", time.perf_counter() - t0, plugin=self.name
+            )
+
+    def _coerce(self, raw) -> PluginResult:
+        if isinstance(raw, PluginResult):
+            return raw
+        # TestResult duck-type: the SP 800-22 result container
+        p_values = getattr(raw, "p_values", None)
+        if p_values is not None:
+            return PluginResult(
+                status="ok",
+                p_values=tuple(p_values),
+                statistics=dict(getattr(raw, "statistics", {}) or {}),
+            )
+        if isinstance(raw, (int, float)):
+            return PluginResult(status="ok", p_values=(float(raw),))
+        try:
+            return PluginResult(status="ok", p_values=tuple(raw))
+        except TypeError:
+            raise SpecificationError(
+                f"plugin {self.name}: fn returned {type(raw).__name__}, expected "
+                "PluginResult, TestResult, a p-value or an iterable of p-values"
+            ) from None
+
+    def with_params(self, **params) -> "QAPlugin":
+        """A copy with updated params (calibration harness knob)."""
+        return replace(self, params={**self.params, **params})
+
+    def with_alpha(self, alpha: float) -> "QAPlugin":
+        """A copy with a different streaming failure threshold."""
+        return replace(self, alpha=alpha)
+
+    def describe(self) -> dict:
+        """JSON-able metadata row (``repro qa list``, ``/v1/status``)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "min_bits": self.min_bits,
+            "alpha": self.alpha,
+            "battery": self.battery,
+            "streaming": self.streaming,
+            "cost": self.cost,
+            "source": self.source,
+            "params": dict(self.params),
+            "description": self.description,
+        }
+
+
+def as_battery_plugin(name: str, fn: Callable) -> QAPlugin:
+    """Wrap a bare battery callable (``fn(bits) -> TestResult``).
+
+    This is how the legacy ``run_suite(tests={name: fn})`` call style
+    enters the plugin world: no declared floor (``min_bits=1`` — the
+    callable raises its own :class:`~repro.errors.InsufficientDataError`
+    exactly as it always did), battery-capable, no params.
+    """
+    return QAPlugin(name=name, fn=fn, family="adhoc", min_bits=1, source="caller")

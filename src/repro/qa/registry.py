@@ -1,0 +1,176 @@
+"""The plugin registry: ordered, validated, lazily discovered.
+
+One process-global default registry serves the battery drivers, the
+streaming evaluator, the CLI and the serving sidecar.  It is built
+lazily on first use by :func:`repro.qa.discovery.discover` (builtins →
+entry points → ``REPRO_QA_PLUGINS``, in that documented order) and can
+be rebuilt with :func:`reset_default_registry` (tests, or after
+changing the environment).
+
+Ordering is **registration order** — deterministic because discovery
+order is — and the SP 800-22 adapters register first, in
+:data:`~repro.nist.suite.ALL_TESTS` (Table-3) order.  That prefix
+property is what lets the plugin-driven battery reproduce the legacy
+report column-for-column.
+
+Name resolution for the battery (:func:`resolve_battery_plugin`) treats
+``ALL_TESTS`` as the live primitive: an entry present there always wins
+and is wrapped fresh, so a runtime-patched battery dict (the historical
+extension point, still used by tests) keeps working even though the
+registry snapshot was built earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SpecificationError
+from repro.qa.plugin_api import QAPlugin
+
+__all__ = [
+    "PluginRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "resolve_battery_plugin",
+    "battery_order",
+]
+
+
+class PluginRegistry:
+    """An insertion-ordered collection of uniquely named plugins."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, QAPlugin] = {}
+
+    def register(self, plugin: QAPlugin, *, replace: bool = False) -> QAPlugin:
+        """Add one plugin; duplicate names raise unless ``replace``.
+
+        Replacing keeps the original's position (the battery column
+        order must not depend on when an override happened).
+        """
+        if not isinstance(plugin, QAPlugin):
+            raise SpecificationError(
+                f"expected a QAPlugin, got {type(plugin).__name__}"
+            )
+        if plugin.name in self._plugins and not replace:
+            raise SpecificationError(
+                f"plugin {plugin.name!r} is already registered "
+                f"(source {self._plugins[plugin.name].source!r}); "
+                "pass replace=True to override deliberately"
+            )
+        self._plugins[plugin.name] = plugin
+        return plugin
+
+    def register_all(self, plugins: Iterable[QAPlugin]) -> None:
+        """Register several plugins in order."""
+        for plugin in plugins:
+            self.register(plugin)
+
+    def get(self, name: str) -> QAPlugin:
+        """The named plugin; unknown names raise with the known set."""
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise SpecificationError(
+                f"unknown QA plugin {name!r}; registered: {sorted(self._plugins)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._plugins
+
+    def __len__(self) -> int:
+        return len(self._plugins)
+
+    def __iter__(self):
+        return iter(self._plugins.values())
+
+    def names(self) -> list[str]:
+        """All plugin names, registration order."""
+        return list(self._plugins)
+
+    def select(
+        self,
+        *,
+        battery: bool | None = None,
+        streaming: bool | None = None,
+        family: str | None = None,
+        max_cost: float | None = None,
+    ) -> list[QAPlugin]:
+        """Filtered plugin list, registration order."""
+        out = []
+        for p in self._plugins.values():
+            if battery is not None and p.battery != battery:
+                continue
+            if streaming is not None and p.streaming != streaming:
+                continue
+            if family is not None and p.family != family:
+                continue
+            if max_cost is not None and p.cost > max_cost:
+                continue
+            out.append(p)
+        return out
+
+    def battery_names(self) -> list[str]:
+        """Names of aggregation-capable plugins, battery column order."""
+        return [p.name for p in self.select(battery=True)]
+
+    def describe(self) -> list[dict]:
+        """JSON-able rows for every plugin (CLI / status endpoints)."""
+        return [p.describe() for p in self._plugins.values()]
+
+
+_DEFAULT: PluginRegistry | None = None
+
+
+def default_registry() -> PluginRegistry:
+    """The process-global registry, discovery run on first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.qa.discovery import discover
+
+        registry = PluginRegistry()
+        discover(registry)
+        _DEFAULT = registry
+    return _DEFAULT
+
+
+def reset_default_registry() -> None:
+    """Drop the global registry so the next use re-discovers."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def resolve_battery_plugin(name: str) -> QAPlugin:
+    """Battery name → plugin, with ``ALL_TESTS`` as the live primitive.
+
+    A name present in :data:`~repro.nist.suite.ALL_TESTS` resolves to a
+    fresh adapter around the *current* dict entry (runtime patches win);
+    anything else resolves through the default registry — which is how
+    the parallel battery shards dieharder/third-party plugins by name.
+    """
+    from repro.nist.suite import ALL_TESTS
+    from repro.qa.adapters import nist_adapter
+
+    if name in ALL_TESTS:
+        return nist_adapter(name, ALL_TESTS[name])
+    plugin = default_registry().get(name)
+    if not plugin.battery:
+        raise SpecificationError(
+            f"plugin {name!r} is not battery-capable (its p-values are not "
+            "uniform under H0); it runs under the streaming evaluator only"
+        )
+    return plugin
+
+
+def battery_order() -> list[str]:
+    """Canonical battery column order: ``ALL_TESTS`` first, then every
+    other battery-capable registered plugin in registration order."""
+    from repro.nist.suite import ALL_TESTS
+
+    names = list(ALL_TESTS)
+    seen = set(names)
+    for name in default_registry().battery_names():
+        if name not in seen:
+            names.append(name)
+            seen.add(name)
+    return names

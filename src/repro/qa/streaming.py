@@ -1,0 +1,251 @@
+"""Streaming QA: run window-eligible plugins over an unbounded stream.
+
+The :class:`StreamingEvaluator` turns the offline battery into an
+*online* monitor: bytes are fed in arbitrary chunks, assembled into
+non-overlapping fixed-size windows, and every eligible plugin runs on
+each (sampled) window.  Three properties define the design:
+
+* **bounded memory** — at most one window of bytes is buffered plus
+  O(plugins) of per-plugin state, regardless of stream length;
+* **chunk-split invariance** — the window sequence is a pure function
+  of the byte stream, so feeding the same bytes one byte at a time or
+  in one giant chunk yields identical state
+  (``tests/test_qa_streaming.py`` proves this with Hypothesis);
+* **latched verdicts** — a plugin whose per-window p-value ever falls
+  below its failure threshold latches permanently (the SP 800-90B
+  health-test convention: an RNG that failed once is suspect until an
+  operator intervenes), with the triggering window recorded.
+
+Eligibility is declared data requirement vs window size: a plugin whose
+``min_bits`` exceeds the window never runs and accrues skips instead —
+skips are first-class observable state, never silent.  Per-window
+failure thresholds default to each plugin's ``alpha``; ``fail_alpha``
+overrides globally (the serving sidecar uses a far smaller value than
+offline batteries because it evaluates millions of windows).
+
+Metrics (when :func:`repro.obs.metrics_enabled`):
+``repro_qa_windows_total{plugin=}``, ``repro_qa_failures_total{plugin=}``,
+``repro_qa_skips_total{plugin=}``, ``repro_qa_latched{plugin=}`` and the
+per-run ``repro_qa_plugin_seconds{plugin=}`` histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SpecificationError
+from repro.qa.plugin_api import QAPlugin
+
+__all__ = ["PluginState", "StreamingEvaluator"]
+
+
+@dataclass
+class PluginState:
+    """Mutable per-plugin monitor state (one per registered plugin)."""
+
+    windows: int = 0
+    failures: int = 0
+    skips: int = 0
+    latched: bool = False
+    min_p: float | None = None
+    last_p: float | None = None
+    skip_reason: str = ""
+    first_failure: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "windows": self.windows,
+            "failures": self.failures,
+            "skips": self.skips,
+            "latched": self.latched,
+            "min_p": self.min_p,
+            "last_p": self.last_p,
+            "skip_reason": self.skip_reason,
+            "first_failure": self.first_failure,
+        }
+
+
+@dataclass(frozen=True)
+class _Lane:
+    plugin: QAPlugin
+    threshold: float
+    eligible: bool
+    state: PluginState = field(default_factory=PluginState)
+
+
+class StreamingEvaluator:
+    """Online randomness QA over non-overlapping fixed-size windows."""
+
+    def __init__(
+        self,
+        plugins: Sequence[QAPlugin] | None = None,
+        *,
+        window_bytes: int = 1 << 14,
+        registry=None,
+        fail_alpha: float | None = None,
+        sample: int = 1,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        plugins:
+            Plugins to run.  Default: every streaming-capable plugin of
+            *registry* (default: the process-global registry).
+        window_bytes:
+            Window size; each full window is evaluated independently.
+        fail_alpha:
+            Global per-window failure threshold; ``None`` means each
+            plugin's own ``alpha``.
+        sample:
+            Evaluate every *sample*-th window (1 = all).  Skipped
+            windows still advance the window index deterministically.
+        """
+        if window_bytes < 1:
+            raise SpecificationError("window_bytes must be positive")
+        if sample < 1:
+            raise SpecificationError("sample must be >= 1")
+        if fail_alpha is not None and not 0.0 < fail_alpha < 1.0:
+            raise SpecificationError("fail_alpha must be in (0, 1)")
+        if plugins is None:
+            if registry is None:
+                from repro.qa.registry import default_registry
+
+                registry = default_registry()
+            plugins = registry.select(streaming=True)
+        plugins = list(plugins)
+        names = [p.name for p in plugins]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate plugin names: {names}")
+        self.window_bytes = int(window_bytes)
+        self.window_bits = self.window_bytes * 8
+        self.sample = int(sample)
+        self.fail_alpha = fail_alpha
+        self._lanes = [
+            _Lane(
+                plugin=p,
+                threshold=fail_alpha if fail_alpha is not None else p.alpha,
+                eligible=p.min_bits <= self.window_bits,
+            )
+            for p in plugins
+        ]
+        for lane in self._lanes:
+            if not lane.eligible:
+                lane.state.skip_reason = (
+                    f"{lane.plugin.name} needs {lane.plugin.min_bits} bits; "
+                    f"window has {self.window_bits}"
+                )
+        self._buffer = bytearray()
+        self._window_index = 0
+        self._bytes_seen = 0
+        self._latch_listeners: list[Callable[[str, dict], None]] = []
+
+    # ------------------------------------------------------------------
+    # feeding
+
+    def feed(self, data: bytes | bytearray | memoryview) -> None:
+        """Append *data* to the stream; evaluates any completed windows."""
+        self._bytes_seen += len(data)
+        self._buffer.extend(data)
+        w = self.window_bytes
+        while len(self._buffer) >= w:
+            window = bytes(self._buffer[:w])
+            del self._buffer[:w]
+            index = self._window_index
+            self._window_index += 1
+            if index % self.sample == 0:
+                self._evaluate(window, index)
+
+    def _evaluate(self, window: bytes, index: int) -> None:
+        bits = np.unpackbits(
+            np.frombuffer(window, dtype=np.uint8), bitorder="little"
+        )
+        for lane in self._lanes:
+            st = lane.state
+            if not lane.eligible:
+                st.skips += 1
+                obs.inc("repro_qa_skips_total", plugin=lane.plugin.name)
+                continue
+            result = lane.plugin.timed_run(bits)
+            if not result.ok:
+                st.skips += 1
+                st.skip_reason = result.reason
+                obs.inc("repro_qa_skips_total", plugin=lane.plugin.name)
+                continue
+            st.windows += 1
+            obs.inc("repro_qa_windows_total", plugin=lane.plugin.name)
+            p = result.p_value
+            st.last_p = p
+            st.min_p = p if st.min_p is None else min(st.min_p, p)
+            if p < lane.threshold:
+                st.failures += 1
+                obs.inc("repro_qa_failures_total", plugin=lane.plugin.name)
+                if not st.latched:
+                    st.latched = True
+                    st.first_failure = {
+                        "window": index,
+                        "p_value": p,
+                        "threshold": lane.threshold,
+                        "statistics": dict(result.statistics),
+                    }
+                    obs.set_gauge(
+                        "repro_qa_latched", 1, plugin=lane.plugin.name
+                    )
+                    self._notify_latch(lane.plugin.name, st.first_failure)
+
+    # ------------------------------------------------------------------
+    # verdicts / introspection
+
+    def add_latch_listener(self, fn: Callable[[str, dict], None]) -> None:
+        """Call ``fn(plugin_name, first_failure)`` on each new latch."""
+        self._latch_listeners.append(fn)
+
+    def _notify_latch(self, name: str, info: dict) -> None:
+        for fn in self._latch_listeners:
+            fn(name, info)
+
+    @property
+    def latched(self) -> list[str]:
+        """Names of plugins that have latched a failure, plugin order."""
+        return [l.plugin.name for l in self._lanes if l.state.latched]
+
+    @property
+    def healthy(self) -> bool:
+        """True while no plugin has latched."""
+        return not any(l.state.latched for l in self._lanes)
+
+    @property
+    def windows_seen(self) -> int:
+        """Completed windows so far (evaluated or sampled past)."""
+        return self._window_index
+
+    @property
+    def bytes_seen(self) -> int:
+        return self._bytes_seen
+
+    def plugin_names(self) -> list[str]:
+        return [l.plugin.name for l in self._lanes]
+
+    def status(self) -> dict:
+        """JSON-able snapshot of the whole monitor."""
+        return {
+            "window_bytes": self.window_bytes,
+            "sample": self.sample,
+            "fail_alpha": self.fail_alpha,
+            "bytes_seen": self._bytes_seen,
+            "windows_seen": self._window_index,
+            "buffered_bytes": len(self._buffer),
+            "healthy": self.healthy,
+            "latched": self.latched,
+            "plugins": {
+                l.plugin.name: {
+                    "eligible": l.eligible,
+                    "threshold": l.threshold,
+                    **l.state.to_dict(),
+                }
+                for l in self._lanes
+            },
+        }

@@ -31,6 +31,14 @@ because a silent or bleeding worker stays that way until evicted:
   ``corrupt_bytes`` seeded bytes flipped after the CRC is computed (a
   slowly failing transfer/DMA path; accumulates receipt strikes until
   the worker is evicted).
+* ``bias``        — persistent like the fleet kinds, but applied
+  **before** the CRC is computed: every payload from the scheduled
+  partition onward is AND-masked with ``bias_mask`` (default
+  ``0xFE`` — the low bit of every byte forced to zero).  This models a
+  *defective generator*, not a damaged transfer: the bytes verify
+  clean, retries reproduce them, and only statistical QA (the
+  ``repro serve --qa`` sidecar, or the RCT/APT screen for gross masks)
+  can catch them.
 
 Plans are consulted inside the worker entry points
 (:mod:`repro.gpu.multigpu`, :mod:`repro.fleet.worker`), activated either
@@ -66,7 +74,7 @@ __all__ = [
 #: Environment variable carrying a JSON fault plan into worker processes.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_KINDS = ("crash", "delay", "corrupt", "stuck", "hb_silence", "slow_bleed")
+_KINDS = ("crash", "delay", "corrupt", "stuck", "hb_silence", "slow_bleed", "bias")
 
 
 class InjectedCrash(RuntimeError):
@@ -83,6 +91,7 @@ class Fault:
     delay: float = 0.0
     corrupt_bytes: int = 1
     stuck_byte: int = 0
+    bias_mask: int = 0xFE
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -95,6 +104,10 @@ class Fault:
             raise SpecificationError("corrupt/slow_bleed faults need corrupt_bytes > 0")
         if not 0 <= self.stuck_byte <= 255:
             raise SpecificationError("stuck_byte must be a byte value")
+        if not 0 <= self.bias_mask <= 255:
+            raise SpecificationError("bias_mask must be a byte value")
+        if self.kind == "bias" and self.bias_mask == 0xFF:
+            raise SpecificationError("a bias fault with mask 0xFF changes nothing")
 
 
 @dataclass(frozen=True)
@@ -143,6 +156,21 @@ class FaultPlan:
                 k = min(f.corrupt_bytes, data.size)
                 pos = rng.choice(data.size, size=k, replace=False)
                 data[pos] ^= rng.integers(1, 256, size=k, dtype=np.uint8)
+                payload = data.tobytes()
+        return payload
+
+    def apply_bias(self, partition: int, payload: bytes) -> bytes:
+        """Apply any active ``bias`` fault to one payload.
+
+        Persistent from the scheduled attempt onward for its partition
+        and for every later partition (a degrading generator does not
+        heal between chunks).  Call *before* the CRC is computed: the
+        bias models the generator itself emitting skewed bytes, so the
+        receipt must verify clean and retries must reproduce the skew.
+        """
+        for f in self.faults:
+            if f.kind == "bias" and partition >= f.partition and payload:
+                data = np.frombuffer(payload, dtype=np.uint8) & np.uint8(f.bias_mask)
                 payload = data.tobytes()
         return payload
 

@@ -195,6 +195,11 @@ def _serve_chunk(job: tuple, attempt: int = 0) -> tuple[bytes, int | None, dict 
         n=n,
     ) as collector:
         data = source.read_range(offset, n)
+    if plan is not None:
+        # a bias fault models a *defective generator*, not a damaged
+        # transfer: it mutates the payload before the CRC receipt, so the
+        # bytes verify clean and only statistical QA can catch them
+        data = plan.apply_bias(chunk_id, data)
     crc = payload_crc(data) if verify_crc else None
     if plan is not None:
         data = plan.post_generate(chunk_id, attempt, data)
@@ -251,6 +256,24 @@ class HealthState:
             flight.record("health-failure", test=failed, position=position)
             flight.dump("health")
             return failed
+
+    def latch(self, test: str, detail: dict | None = None) -> None:
+        """Latch unhealthy on an external monitor's verdict.
+
+        The continuous-QA sidecar calls this with ``test="qa:<plugin>"``
+        and the triggering window's particulars — same sticky operator
+        contract as an RCT/APT screen failure, one layer up.
+        """
+        with self._lock:
+            self.healthy = False
+            event: dict = {"test": test, "time": time.time()}
+            if detail:
+                event["detail"] = detail
+            self.events.append(event)
+            obs.inc("repro_serve_health_failures_total", 1, test=test)
+            obs.set_gauge("repro_serve_healthy", 0)
+            flight.record("health-failure", test=test)
+            flight.dump("health")
 
     def reset(self) -> None:
         """Operator action: clear the latch (events are kept)."""
@@ -313,6 +336,11 @@ class ServeEngine:
         ignored — membership is the fleet's business — and worker loss is
         absorbed below this engine: chunks are regenerated by healthy
         peers or inline, never surfaced to clients as errors.
+    qa:
+        Mount a :class:`~repro.qa.sidecar.QASidecar` as a continuous-QA
+        monitor: every accepted chunk is (non-blockingly) observed by
+        the sidecar's streaming evaluator, and a plugin latch flips
+        :attr:`health` unhealthy with a ``qa:<plugin>`` event.
     """
 
     def __init__(
@@ -324,6 +352,7 @@ class ServeEngine:
         alpha: float = 2.0**-20,
         mp_context: str | None = None,
         fleet=None,
+        qa=None,
     ) -> None:
         if workers < 0:
             raise SpecificationError("workers must be non-negative")
@@ -339,6 +368,9 @@ class ServeEngine:
         self.mp_context = mp_context
         self.fleet_config = fleet  # FleetConfig | None (lazy import below)
         self._fleet = None  # FleetController once started
+        self.qa = qa  # QASidecar | None
+        if qa is not None:
+            qa.bind(self.health)
         self._pool: multiprocessing.pool.Pool | None = None
         self._inline: RangeSource | None = None
         self._started = False
@@ -354,6 +386,8 @@ class ServeEngine:
             return
         self._started = True
         obs.set_gauge("repro_serve_healthy", 1)
+        if self.qa is not None:
+            self.qa.start()
         if self.fleet_config is not None:
             # deferred import: repro.fleet builds on this module
             from repro.fleet.controller import FleetController
@@ -369,6 +403,8 @@ class ServeEngine:
 
     def close(self) -> None:
         """Terminate the pool/fleet (hung workers must die with the daemon)."""
+        if self.qa is not None:
+            self.qa.close()
         if self._fleet is not None:
             self._fleet.close()
             self._fleet = None
@@ -430,6 +466,7 @@ class ServeEngine:
                 if self.screen and self.health.screen(data) is not None:
                     self._count(screen_rejects=1)
                 self._count(chunks_ok=1)
+                self._observe_qa(data)
                 return data
             if self._pool is not None:
                 for attempt in range(cfg.max_retries + 1):
@@ -440,6 +477,7 @@ class ServeEngine:
                     data = self._attempt_pool(job, attempt, cfg)
                     if data is not None:
                         self._count(chunks_ok=1)
+                        self._observe_qa(data)
                         return data
                 if not cfg.degrade_sequential:
                     raise DeviceFailureError(
@@ -457,7 +495,13 @@ class ServeEngine:
             if self.screen and self.health.screen(data) is not None:
                 self._count(screen_rejects=1)
             self._count(chunks_ok=1)
+            self._observe_qa(data)
             return data
+
+    def _observe_qa(self, data: bytes) -> None:
+        """Hand an accepted chunk to the QA sidecar (non-blocking)."""
+        if self.qa is not None:
+            self.qa.observe(data)
 
     def _attempt_pool(self, job: tuple, attempt: int, cfg: SupervisorConfig) -> bytes | None:
         """One pool attempt; ``None`` means retry (reason counted)."""
@@ -508,4 +552,5 @@ class ServeEngine:
             "screen": self.screen,
             "chunks": stats,
             "health": self.health.to_dict(),
+            "qa": self.qa.status() if self.qa is not None else None,
         }

@@ -1,0 +1,157 @@
+"""Calibration: every detector is quiet on randomness, loud on defects.
+
+Two halves, both on fixed seeds (no flakiness budget):
+
+* **False-positive rate** — each streaming plugin runs over many windows
+  of reference AES-CTR output; the number of sub-alpha p-values must be
+  consistent with (or below — the detectors are deliberately
+  conservative) the binomial expectation at a generous test alpha.
+* **Planted defects** — each detector family gets a stream with exactly
+  the defect it exists for (doubled ECB blocks, repeating-key XOR,
+  constant output, tiled values, sorted words, single-phase bias) and
+  must latch it decisively, not marginally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import BSRNG
+from repro.qa import StreamingEvaluator, default_registry
+
+WINDOW_BYTES = 1 << 13  # 8 KiB = 65,536 bits: every builtin detector eligible
+N_WINDOWS = 200
+FPR_ALPHA = 0.01
+# Binomial(200, 0.01) has mean 2; P(X > 9) < 6e-5.  Conservative
+# detectors (Bonferroni / discrete tails) land well under the mean.
+FPR_UPPER = 9
+
+DETECTORS = [
+    "Autocorrelation",
+    "PeriodicBias",
+    "ShannonEntropy",
+    "MinEntropy",
+    "BirthdaySpacings",
+    "OverlappingPermutations",
+    "EcbStructure",
+    "RepeatingXor",
+]
+
+
+@pytest.fixture(scope="module")
+def reference_stream():
+    """One fixed reference stream, shared by every FPR check."""
+    rng = BSRNG("aes128ctr", seed=0xA11CE, lanes=256)
+    return rng.random_bytes(WINDOW_BYTES * N_WINDOWS)
+
+
+def _evaluate(plugin_names, data, *, fail_alpha=FPR_ALPHA, window_bytes=WINDOW_BYTES):
+    reg = default_registry()
+    ev = StreamingEvaluator(
+        [reg.get(n) for n in plugin_names],
+        window_bytes=window_bytes,
+        fail_alpha=fail_alpha,
+    )
+    ev.feed(data)
+    return ev
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", DETECTORS)
+def test_false_positive_rate_on_reference_randomness(name, reference_stream):
+    ev = _evaluate([name], reference_stream)
+    state = ev.status()["plugins"][name]
+    assert state["windows"] == N_WINDOWS, state["skip_reason"]
+    assert state["failures"] <= FPR_UPPER, (
+        f"{name}: {state['failures']}/{N_WINDOWS} windows below "
+        f"alpha={FPR_ALPHA} (min_p={state['min_p']:.3g})"
+    )
+
+
+@pytest.mark.slow
+def test_nist_streaming_plugins_quiet_on_reference(reference_stream):
+    """The SP 800-22 lanes at the serving threshold: zero latches."""
+    ev = StreamingEvaluator(
+        default_registry().select(family="nist", streaming=True),
+        window_bytes=WINDOW_BYTES,
+        fail_alpha=1e-9,  # the `repro serve --qa` default
+    )
+    ev.feed(reference_stream)
+    assert ev.healthy, ev.latched
+
+
+class TestPlantedDefects:
+    """Each defect stream must latch its detector at the *serving*
+    threshold (1e-9) — decisive detections, not borderline ones."""
+
+    def _assert_latches(self, name, data, window_bytes=WINDOW_BYTES):
+        ev = _evaluate([name], data, fail_alpha=1e-9, window_bytes=window_bytes)
+        state = ev.status()["plugins"][name]
+        assert not ev.healthy, (
+            f"{name} missed its planted defect "
+            f"(min_p={state['min_p']}, windows={state['windows']})"
+        )
+        return state
+
+    def test_ecb_doubled_blocks(self, reference_stream):
+        # every 16-byte block emitted twice: the classic ECB tell
+        blocks = np.frombuffer(
+            reference_stream[:WINDOW_BYTES], np.uint8
+        ).reshape(-1, 16)
+        doubled = np.repeat(blocks, 2, axis=0).tobytes()
+        state = self._assert_latches("EcbStructure", doubled)
+        assert state["first_failure"]["statistics"]["duplicates"] >= 100
+
+    def test_repeating_xor_keystream(self):
+        # low-entropy "plaintext" under a short repeating key — the
+        # failure mode RepeatingXor exists for (key reuse / ECB-of-CTR)
+        plaintext = bytes(WINDOW_BYTES)  # worst case: all zeros
+        key = bytes([0x3A, 0x91, 0x5C, 0x22, 0xE7, 0x10, 0x84])
+        data = bytes(c ^ key[i % len(key)] for i, c in enumerate(plaintext))
+        state = self._assert_latches("RepeatingXor", data)
+        assert state["first_failure"]["p_value"] == 0.0
+
+    def test_constant_output(self):
+        # a wedged generator: constant bytes trip several families at once
+        data = b"\x42" * WINDOW_BYTES
+        for name in ("RepeatingXor", "Autocorrelation", "ShannonEntropy", "MinEntropy"):
+            self._assert_latches(name, data)
+
+    def test_birthday_spacings_tiled_values(self):
+        # a tiny tiled alphabet: spacings collide constantly (the
+        # lattice defect LCGs show, in cartoon form)
+        tile = bytes(range(37)) * (WINDOW_BYTES // 37 + 1)
+        state = self._assert_latches("BirthdaySpacings", tile[:WINDOW_BYTES])
+        stats = state["first_failure"]["statistics"]
+        assert stats["duplicates"] > 10 * stats["expected"]
+
+    def test_permutations_sorted_words(self):
+        # monotone counter read back as words: one ordering pattern
+        # dominates all 120
+        words = np.arange(WINDOW_BYTES // 4, dtype="<u4")
+        self._assert_latches("OverlappingPermutations", words.tobytes())
+
+    def test_periodic_bias_single_phase(self):
+        # one lane of a 64-bit interleave stuck high: exactly the defect
+        # PeriodicBias scans for (period=64 phases)
+        rng = BSRNG("trivium", seed=3, lanes=256)
+        bits = np.unpackbits(
+            np.frombuffer(rng.random_bytes(WINDOW_BYTES), np.uint8),
+            bitorder="little",
+        ).copy()
+        bits[::64] = 1
+        data = np.packbits(bits, bitorder="little").tobytes()
+        state = self._assert_latches("PeriodicBias", data)
+        assert state["first_failure"]["statistics"]["worst_phase"] == 0
+
+    def test_biased_low_bit_trips_frequency(self):
+        # the serve-drill fault: AND 0xFE forces every byte's low bit to
+        # zero — Frequency must see the 1/8 deficit instantly
+        rng = BSRNG("mickey2", seed=5, lanes=256)
+        data = (np.frombuffer(rng.random_bytes(WINDOW_BYTES), np.uint8) & 0xFE).tobytes()
+        ev = StreamingEvaluator(
+            [default_registry().get("Frequency")],
+            window_bytes=WINDOW_BYTES,
+            fail_alpha=1e-9,
+        )
+        ev.feed(data)
+        assert not ev.healthy

@@ -1,0 +1,154 @@
+"""Differential conformance: plugin-driven battery ≡ legacy battery.
+
+The registry-backed :func:`repro.nist.suite.run_suite` must reproduce
+the pre-plugin driver *byte for byte* — same ``per_test`` aggregates,
+same ``skipped`` reasons (down to the exception message), same
+``errors`` counts — across every cipher.  The legacy loop below is a
+frozen verbatim copy of the pre-refactor implementation; it is the
+oracle, never to be "fixed" to match new behaviour.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.generator import BSRNG
+from repro.errors import InsufficientDataError, SpecificationError
+from repro.nist.parallel import run_suite_parallel, run_suite_sequential
+from repro.nist.suite import ALL_TESTS, SuiteReport, run_suite, summarize_pvalues
+
+CIPHERS = ["mickey2", "grain", "trivium", "aes128ctr"]
+
+# Small enough to run the full battery fast, large enough to exercise all
+# three report sections: per_test (most tests), skipped (Rank needs 38912
+# bits, Universal 387840, LinearComplexity 1e6), errors (the excursions
+# pair drops sequences whose random walks have too few cycles).
+N_SEQUENCES = 6
+N_BITS = 4000
+
+
+def _legacy_run_suite(sequence_source, n_sequences, tests=None) -> SuiteReport:
+    """Frozen copy of the pre-plugin ``run_suite`` loop (the oracle)."""
+    tests = dict(tests) if tests is not None else dict(ALL_TESTS)
+    if callable(sequence_source):
+        getter = sequence_source
+    else:
+        seqs = list(sequence_source)
+        getter = lambda i: seqs[i]  # noqa: E731
+
+    collected = {name: [] for name in tests}
+    reasons = {}
+    dropped = {name: 0 for name in tests}
+    timed = obs.metrics_enabled()
+    n_bits = 0
+    for i in range(n_sequences):
+        bits = np.asarray(getter(i))
+        if i == 0:
+            n_bits = bits.size
+        elif bits.size != n_bits:
+            raise SpecificationError(
+                f"sequence {i} has {bits.size} bits, expected {n_bits} — "
+                "a battery aggregates equal-length sequences only"
+            )
+        for name, fn in tests.items():
+            t0 = time.perf_counter() if timed else 0.0
+            try:
+                result = fn(bits)
+            except InsufficientDataError as exc:
+                dropped[name] += 1
+                reasons.setdefault(name, str(exc))
+                continue
+            finally:
+                if timed:
+                    obs.observe(
+                        "repro_nist_test_seconds", time.perf_counter() - t0, test=name
+                    )
+            collected[name].extend(result.p_values)
+
+    report = SuiteReport(n_sequences=n_sequences, n_bits=n_bits)
+    for name in tests:
+        if collected[name]:
+            report.per_test[name] = summarize_pvalues(collected[name])
+        else:
+            report.skipped[name] = reasons.get(name, "no data")
+        if dropped[name]:
+            report.errors[name] = dropped[name]
+    return report
+
+
+def _sequences(algorithm: str, n_sequences=N_SEQUENCES, n_bits=N_BITS):
+    """Deterministic per-cipher sequence set (same bits for every run)."""
+    rng = BSRNG(algorithm, seed=0xC0FFEE, lanes=256)
+    return [rng.random_bits(n_bits) for _ in range(n_sequences)]
+
+
+def assert_reports_identical(new: SuiteReport, legacy: SuiteReport) -> None:
+    """Field-by-field exact equality (no tolerance: same floats or bust)."""
+    assert new.n_sequences == legacy.n_sequences
+    assert new.n_bits == legacy.n_bits
+    assert new.skipped == legacy.skipped  # includes exact reason strings
+    assert new.errors == legacy.errors
+    assert list(new.per_test) == list(legacy.per_test)  # column order too
+    for name, summary in legacy.per_test.items():
+        assert new.per_test[name] == summary, name
+
+
+@pytest.mark.parametrize("algorithm", CIPHERS)
+def test_run_suite_matches_legacy(algorithm):
+    seqs = _sequences(algorithm)
+    new = run_suite(lambda i: seqs[i], N_SEQUENCES)
+    legacy = _legacy_run_suite(lambda i: seqs[i], N_SEQUENCES)
+    assert_reports_identical(new, legacy)
+    # sanity: the fixed sizes really exercise all three report sections
+    assert new.per_test and new.skipped and new.errors
+
+
+def test_run_suite_matches_legacy_with_explicit_tests():
+    seqs = _sequences("mickey2", n_sequences=4, n_bits=2048)
+    subset = {k: ALL_TESTS[k] for k in ("Frequency", "Runs", "Serial", "Rank")}
+    new = run_suite(lambda i: seqs[i], 4, tests=subset)
+    legacy = _legacy_run_suite(lambda i: seqs[i], 4, tests=subset)
+    assert_reports_identical(new, legacy)
+    assert "Rank" in new.skipped  # needs 38912 bits
+
+
+def test_run_suite_matches_legacy_mixed_length_error():
+    seqs = [np.zeros(128, np.uint8), np.zeros(256, np.uint8)]
+    with pytest.raises(SpecificationError, match="equal-length"):
+        run_suite(seqs, 2)
+    with pytest.raises(SpecificationError, match="equal-length"):
+        _legacy_run_suite(seqs, 2)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [1, 4])
+def test_run_suite_parallel_matches_legacy(workers):
+    """Sharded battery ≡ legacy oracle on the same BSRNG stream, for any
+    worker count (counter-space addressing makes sharding invisible)."""
+    algorithm, seed, lanes = "trivium", 7, 256
+    rng = BSRNG(algorithm, seed=seed, lanes=lanes)
+    seqs = [rng.random_bits(N_BITS) for _ in range(N_SEQUENCES)]
+    legacy = _legacy_run_suite(lambda i: seqs[i], N_SEQUENCES)
+    parallel = run_suite_parallel(
+        algorithm,
+        seed,
+        lanes,
+        n_sequences=N_SEQUENCES,
+        n_bits=N_BITS,
+        workers=workers,
+    )
+    assert_reports_identical(parallel, legacy)
+
+
+@pytest.mark.slow
+def test_run_suite_sequential_matches_legacy():
+    algorithm, seed, lanes = "grain", 11, 256
+    rng = BSRNG(algorithm, seed=seed, lanes=lanes)
+    seqs = [rng.random_bits(N_BITS) for _ in range(N_SEQUENCES)]
+    legacy = _legacy_run_suite(lambda i: seqs[i], N_SEQUENCES)
+    sequential = run_suite_sequential(
+        algorithm, seed, lanes, n_sequences=N_SEQUENCES, n_bits=N_BITS
+    )
+    assert_reports_identical(sequential, legacy)

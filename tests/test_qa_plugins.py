@@ -1,0 +1,317 @@
+"""Plugin API, registry, discovery, and the new builtin test families."""
+
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError, SpecificationError
+from repro.nist.result import TestResult
+from repro.nist.suite import ALL_TESTS
+from repro.qa import (
+    PluginRegistry,
+    PluginResult,
+    QAPlugin,
+    as_battery_plugin,
+    battery_order,
+    default_registry,
+    reset_default_registry,
+    resolve_battery_plugin,
+)
+from repro.qa.adapters import NIST_MIN_BITS, nist_adapter
+from repro.qa.dieharder import birthday_spacings_test, permutations_test
+from repro.qa.discovery import PLUGINS_ENV, load_module_plugins
+from repro.qa.structure import ecb_structure_test, repeating_xor_test
+
+
+@pytest.fixture
+def reference_bits():
+    return np.random.default_rng(0xD1CE).integers(0, 2, 1 << 17, dtype=np.uint8)
+
+
+class TestPluginResult:
+    def test_ok_requires_pvalues(self):
+        with pytest.raises(SpecificationError):
+            PluginResult(status="ok")
+
+    def test_skipped_carries_no_pvalues(self):
+        with pytest.raises(SpecificationError):
+            PluginResult(status="skipped", p_values=(0.5,))
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(SpecificationError):
+            PluginResult(status="failed", p_values=(0.5,))
+
+    def test_pvalues_clipped(self):
+        r = PluginResult(status="ok", p_values=(-0.5, 1.5, 0.25))
+        assert r.p_values == (0.0, 1.0, 0.25)
+        assert r.p_value == 0.0  # the conservative scalar is the minimum
+
+    def test_skip_has_no_scalar(self):
+        r = PluginResult.skipped("why")
+        assert not r.ok and r.reason == "why"
+        with pytest.raises(SpecificationError):
+            _ = r.p_value
+
+
+class TestQAPluginRun:
+    def test_coerces_test_result(self):
+        plugin = QAPlugin("t", lambda bits: TestResult("t", [0.5], {"x": 1}))
+        r = plugin.run(np.zeros(8, np.uint8))
+        assert r.ok and r.p_values == (0.5,) and r.statistics == {"x": 1}
+
+    def test_coerces_scalar_and_iterable(self):
+        assert QAPlugin("s", lambda b: 0.7).run(np.zeros(8, np.uint8)).p_values == (0.7,)
+        assert QAPlugin("i", lambda b: [0.1, 0.2]).run(
+            np.zeros(8, np.uint8)
+        ).p_values == (0.1, 0.2)
+
+    def test_coerces_plugin_result_passthrough(self):
+        res = PluginResult(status="ok", p_values=(0.3,))
+        assert QAPlugin("p", lambda b: res).run(np.zeros(8, np.uint8)) is res
+
+    def test_bad_return_type_raises(self):
+        with pytest.raises(SpecificationError, match="expected"):
+            QAPlugin("b", lambda b: object()).run(np.zeros(8, np.uint8))
+
+    def test_insufficient_data_becomes_skip_with_fn_reason(self):
+        def fn(bits):
+            raise InsufficientDataError("needs more")
+
+        r = QAPlugin("t", fn, min_bits=4).run(np.zeros(8, np.uint8))
+        assert r.status == "skipped" and r.reason == "needs more"
+
+    def test_crash_below_declared_floor_becomes_skip(self):
+        def fn(bits):
+            raise IndexError("boom")
+
+        r = QAPlugin("t", fn, min_bits=100).run(np.zeros(8, np.uint8))
+        assert r.status == "skipped" and "requires at least 100 bits" in r.reason
+
+    def test_crash_above_declared_floor_propagates(self):
+        def fn(bits):
+            raise IndexError("boom")
+
+        with pytest.raises(IndexError):
+            QAPlugin("t", fn, min_bits=4).run(np.zeros(8, np.uint8))
+
+    def test_params_forwarded_and_with_params(self):
+        plugin = QAPlugin("t", lambda b, k=1: float(k) / 10, params={"k": 3})
+        assert plugin.run(np.zeros(8, np.uint8)).p_values == (0.3,)
+        assert plugin.with_params(k=5).run(np.zeros(8, np.uint8)).p_values == (0.5,)
+        assert plugin.params == {"k": 3}  # original untouched (frozen)
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            QAPlugin("", lambda b: 0.5)
+        with pytest.raises(SpecificationError):
+            QAPlugin("t", lambda b: 0.5, min_bits=0)
+        with pytest.raises(SpecificationError):
+            QAPlugin("t", lambda b: 0.5, alpha=0.0)
+        with pytest.raises(SpecificationError):
+            QAPlugin("t", "not-callable")
+
+    def test_as_battery_plugin(self):
+        plugin = as_battery_plugin("Custom", lambda bits: TestResult("c", [0.9]))
+        assert plugin.battery and plugin.min_bits == 1 and plugin.source == "caller"
+
+
+class TestRegistry:
+    def test_duplicate_names_raise(self):
+        reg = PluginRegistry()
+        reg.register(QAPlugin("a", lambda b: 0.5))
+        with pytest.raises(SpecificationError, match="already registered"):
+            reg.register(QAPlugin("a", lambda b: 0.5))
+
+    def test_replace_keeps_position(self):
+        reg = PluginRegistry()
+        reg.register_all([QAPlugin("a", lambda b: 0.5), QAPlugin("b", lambda b: 0.5)])
+        reg.register(QAPlugin("a", lambda b: 0.1, family="patched"), replace=True)
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").family == "patched"
+
+    def test_unknown_name_raises_with_known_set(self):
+        reg = PluginRegistry()
+        reg.register(QAPlugin("a", lambda b: 0.5))
+        with pytest.raises(SpecificationError, match="registered: \\['a'\\]"):
+            reg.get("zzz")
+
+    def test_select_filters(self):
+        reg = PluginRegistry()
+        reg.register_all(
+            [
+                QAPlugin("a", lambda b: 0.5, battery=True, streaming=False, cost=10),
+                QAPlugin("b", lambda b: 0.5, battery=False, streaming=True, family="x"),
+            ]
+        )
+        assert [p.name for p in reg.select(battery=True)] == ["a"]
+        assert [p.name for p in reg.select(streaming=True)] == ["b"]
+        assert [p.name for p in reg.select(family="x")] == ["b"]
+        assert [p.name for p in reg.select(max_cost=5)] == ["b"]
+        assert reg.battery_names() == ["a"]
+
+
+class TestDefaultRegistryAndBuiltins:
+    def test_sp80022_prefix_in_table3_order(self):
+        names = default_registry().names()
+        assert names[: len(ALL_TESTS)] == list(ALL_TESTS)
+
+    def test_all_builtin_families_present(self):
+        reg = default_registry()
+        for name in (
+            "Autocorrelation",
+            "PeriodicBias",
+            "ShannonEntropy",
+            "MinEntropy",
+            "BirthdaySpacings",
+            "OverlappingPermutations",
+            "EcbStructure",
+            "RepeatingXor",
+        ):
+            assert name in reg
+
+    def test_new_families_are_streaming_not_battery(self):
+        reg = default_registry()
+        for name in ("BirthdaySpacings", "OverlappingPermutations", "EcbStructure", "RepeatingXor"):
+            plugin = reg.get(name)
+            assert plugin.streaming and not plugin.battery
+
+    def test_nist_adapter_metadata(self):
+        plugin = nist_adapter("LinearComplexity", ALL_TESTS["LinearComplexity"])
+        assert plugin.cost == 480
+        assert not plugin.streaming  # too heavy for per-window evaluation
+        assert plugin.min_bits == NIST_MIN_BITS["LinearComplexity"]
+        assert nist_adapter("Frequency", ALL_TESTS["Frequency"]).streaming
+
+    def test_battery_order_is_all_tests_by_default(self):
+        assert battery_order() == list(ALL_TESTS)
+
+    def test_resolve_battery_plugin_tracks_live_all_tests(self, monkeypatch):
+        monkeypatch.setitem(ALL_TESTS, "Frequency", lambda bits: TestResult("f", [0.123]))
+        plugin = resolve_battery_plugin("Frequency")
+        assert plugin.run(np.zeros(256, np.uint8)).p_values == (0.123,)
+
+    def test_resolve_rejects_non_battery_plugins(self):
+        with pytest.raises(SpecificationError, match="not battery-capable"):
+            resolve_battery_plugin("EcbStructure")
+
+    def test_describe_rows_are_jsonable(self):
+        import json
+
+        json.dumps(default_registry().describe())
+
+
+class TestDiscovery:
+    def _write_module(self, tmp_path, name, body):
+        (tmp_path / f"{name}.py").write_text(textwrap.dedent(body))
+
+    def test_env_module_with_register_hook(self, tmp_path, monkeypatch):
+        self._write_module(
+            tmp_path,
+            "qa_ext_reg",
+            """
+            from repro.qa import QAPlugin
+
+            def register(registry):
+                registry.register(QAPlugin("ExtA", lambda bits: 0.5, source="ext"))
+            """,
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv(PLUGINS_ENV, "qa_ext_reg")
+        reset_default_registry()
+        try:
+            reg = default_registry()
+            assert "ExtA" in reg and reg.get("ExtA").source == "ext"
+            # discovery order: builtins first, env extras after
+            assert reg.names().index("ExtA") >= len(ALL_TESTS)
+        finally:
+            reset_default_registry()
+
+    def test_env_module_with_qa_plugins_iterable(self, tmp_path, monkeypatch):
+        self._write_module(
+            tmp_path,
+            "qa_ext_iter",
+            """
+            from repro.qa import QAPlugin
+
+            QA_PLUGINS = [QAPlugin("ExtB", lambda bits: 0.5)]
+            """,
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        reg = PluginRegistry()
+        assert load_module_plugins(reg, "qa_ext_iter") == 1
+        # builtin-default source is stamped with the providing module
+        assert reg.get("ExtB").source == "module:qa_ext_iter"
+
+    def test_missing_module_raises(self):
+        with pytest.raises(SpecificationError, match="cannot import"):
+            load_module_plugins(PluginRegistry(), "no_such_module_xyz")
+
+    def test_module_without_hooks_raises(self, tmp_path, monkeypatch):
+        self._write_module(tmp_path, "qa_ext_empty", "X = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        with pytest.raises(SpecificationError, match="neither register"):
+            load_module_plugins(PluginRegistry(), "qa_ext_empty")
+
+    def test_example_plugin_module_loads(self, monkeypatch):
+        # the shipped third-party example must stay loadable as documented
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parents[1] / "examples"
+        monkeypatch.syspath_prepend(str(examples))
+        sys.modules.pop("qa_plugin", None)
+        reg = PluginRegistry()
+        assert load_module_plugins(reg, "qa_plugin") >= 1
+
+
+class TestNewFamilies:
+    def test_birthday_spacings_on_reference(self, reference_bits):
+        r = birthday_spacings_test(reference_bits)
+        assert 0.0 <= r.p_values[0] <= 1.0
+        assert r.statistics["expected"] == 32.0
+
+    def test_birthday_spacings_needs_data(self):
+        with pytest.raises(InsufficientDataError):
+            birthday_spacings_test(np.zeros(100, np.uint8))
+
+    def test_permutations_on_reference(self, reference_bits):
+        r = permutations_test(reference_bits)
+        assert 0.0 <= r.p_values[0] <= 1.0
+        assert r.statistics["categories"] == 120
+
+    def test_permutations_non_overlap_window_count(self, reference_bits):
+        r = permutations_test(reference_bits, overlap=False)
+        assert r.statistics["windows"] == (reference_bits.size // 32) // 5
+        assert r.statistics["deflation"] == 1.0
+
+    def test_permutations_validates_params(self, reference_bits):
+        with pytest.raises(SpecificationError):
+            permutations_test(reference_bits, order=1)
+
+    def test_ecb_structure_clean_on_reference(self, reference_bits):
+        r = ecb_structure_test(reference_bits)
+        assert r.p_values[0] == 1.0 and r.statistics["duplicates"] == 0
+
+    def test_ecb_structure_flags_duplicate_blocks(self, reference_bits):
+        data = np.packbits(reference_bits[: 256 * 8], bitorder="little").tobytes()
+        doubled = b"".join(data[i : i + 16] * 2 for i in range(0, len(data), 16))
+        bits = np.unpackbits(np.frombuffer(doubled, np.uint8), bitorder="little")
+        r = ecb_structure_test(bits)
+        assert r.statistics["duplicates"] >= 16
+        assert r.p_values[0] < 1e-30
+
+    def test_repeating_xor_clean_on_reference(self, reference_bits):
+        assert repeating_xor_test(reference_bits).p_values[0] > 1e-6
+
+    def test_repeating_xor_flags_keystream_reuse(self):
+        plaintext = (b"attack at dawn, then regroup at the river crossing. " * 40)[:2048]
+        key = bytes(range(1, 12))
+        cipher = bytes(
+            c ^ key[i % len(key)] for i, c in enumerate(plaintext)
+        )
+        bits = np.unpackbits(np.frombuffer(cipher, np.uint8), bitorder="little")
+        r = repeating_xor_test(bits)
+        assert r.p_values[0] < 1e-12
+        assert r.statistics["best_z"] < 0  # bit deficit, not surplus
+        assert 1 <= r.statistics["best_key_len"] <= 64

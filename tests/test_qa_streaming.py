@@ -1,0 +1,209 @@
+"""Streaming evaluator invariants: chunk-splitting, skips, latching.
+
+The load-bearing property is **chunk-split invariance** — the monitor's
+state is a pure function of the byte stream, however it was chunked —
+proved here with Hypothesis over arbitrary cut points, plus the two
+adversarial extremes (one byte at a time; one giant chunk).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import SpecificationError
+from repro.nist.result import TestResult
+from repro.qa import QAPlugin, StreamingEvaluator
+from repro.qa.plugin_api import PluginResult
+
+
+def _mean_plugin(alpha=1e-6, min_bits=1, name="Mean"):
+    """A deterministic toy test: p = 2·min(mean, 1-mean) of the bits."""
+
+    def fn(bits):
+        m = float(np.mean(bits)) if bits.size else 0.0
+        return TestResult(name, [2.0 * min(m, 1.0 - m)], {"mean": m})
+
+    return QAPlugin(name, fn, family="toy", min_bits=min_bits, alpha=alpha)
+
+
+def _evaluator(**kw):
+    kw.setdefault("plugins", [_mean_plugin()])
+    kw.setdefault("window_bytes", 8)
+    return StreamingEvaluator(**kw)
+
+
+def _feed_chunked(evaluator, data: bytes, cuts):
+    last = 0
+    for cut in sorted(set(cuts)):
+        cut = min(cut, len(data))
+        evaluator.feed(data[last:cut])
+        last = cut
+    evaluator.feed(data[last:])
+    return evaluator
+
+
+class TestChunkSplitInvariance:
+    @given(
+        data=st.binary(min_size=0, max_size=257),
+        cuts=st.lists(st.integers(min_value=0, max_value=257), max_size=8),
+    )
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_arbitrary_cuts_match_one_shot(self, data, cuts):
+        whole = _evaluator()
+        whole.feed(data)
+        split = _feed_chunked(_evaluator(), data, cuts)
+        assert split.status() == whole.status()
+
+    def test_byte_at_a_time_matches_one_shot_with_metrics(self, rng):
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        with obs.scoped() as reg_whole:
+            whole = _evaluator(window_bytes=64)
+            whole.feed(data)
+            snap_whole = reg_whole.snapshot()
+        with obs.scoped() as reg_split:
+            split = _evaluator(window_bytes=64)
+            for i in range(len(data)):
+                split.feed(data[i : i + 1])
+            snap_split = reg_split.snapshot()
+        assert split.status() == whole.status()
+
+        # the counter/gauge metric surface is identical too (histograms
+        # carry wall-clock timings, so only their sample counts compare)
+        def comparable(snap):
+            out = []
+            for m in snap["metrics"]:
+                if m["type"] == "histogram":
+                    out.append((m["name"], tuple(sorted(m["labels"].items())), m["count"]))
+                else:
+                    out.append(
+                        (m["name"], tuple(sorted(m["labels"].items())), m["value"])
+                    )
+            return sorted(out, key=lambda t: (t[0], t[1]))
+
+        assert comparable(snap_split) == comparable(snap_whole)
+
+    def test_trailing_partial_window_is_buffered_not_evaluated(self):
+        ev = _evaluator(window_bytes=8)
+        ev.feed(b"\xaa" * 11)
+        assert ev.windows_seen == 1
+        assert ev.bytes_seen == 11
+        assert ev.status()["buffered_bytes"] == 3
+
+
+class TestSkipSemantics:
+    @given(window_bytes=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_declared_floor_skips_exactly_when_window_too_small(self, window_bytes):
+        """min_bits > window_bits ⇒ never runs, every window a skip —
+        and the converse: min_bits ≤ window_bits ⇒ never floor-skips."""
+        floor_bits = 256
+        ev = StreamingEvaluator(
+            [_mean_plugin(min_bits=floor_bits)], window_bytes=window_bytes
+        )
+        ev.feed(b"\x5c" * (window_bytes * 5))
+        state = ev.status()["plugins"]["Mean"]
+        if floor_bits > window_bytes * 8:
+            assert state["windows"] == 0
+            assert state["skips"] == 5
+            assert "needs 256 bits" in state["skip_reason"]
+        else:
+            assert state["windows"] == 5
+            assert state["skips"] == 0
+        assert ev.healthy  # skips never latch
+
+    def test_content_dependent_skip_counts_with_plugin_reason(self):
+        calls = {"n": 0}
+
+        def fn(bits):
+            calls["n"] += 1
+            from repro.errors import InsufficientDataError
+
+            raise InsufficientDataError("walk too short")
+
+        ev = StreamingEvaluator(
+            [QAPlugin("Walk", fn, min_bits=1)], window_bytes=8
+        )
+        ev.feed(b"\x00" * 24)
+        state = ev.status()["plugins"]["Walk"]
+        assert calls["n"] == 3  # it *was* invoked (eligible), then skipped
+        assert state["windows"] == 0 and state["skips"] == 3
+        assert state["skip_reason"] == "walk too short"
+
+
+class TestLatching:
+    def _failing_then_fine(self):
+        """p=0 on the all-zero window, p=1 otherwise."""
+
+        def fn(bits):
+            return PluginResult(
+                status="ok", p_values=(0.0 if not bits.any() else 1.0,)
+            )
+
+        return QAPlugin("ZeroTrap", fn, min_bits=1, alpha=1e-6)
+
+    def test_latch_is_permanent_and_records_first_window(self):
+        ev = StreamingEvaluator([self._failing_then_fine()], window_bytes=4)
+        ev.feed(b"\xff" * 8)  # windows 0,1: fine
+        assert ev.healthy
+        ev.feed(b"\x00" * 4)  # window 2: latches
+        ev.feed(b"\xff" * 40)  # recovery does not unlatch
+        assert not ev.healthy
+        assert ev.latched == ["ZeroTrap"]
+        state = ev.status()["plugins"]["ZeroTrap"]
+        assert state["latched"] and state["failures"] == 1
+        assert state["first_failure"]["window"] == 2
+        assert state["first_failure"]["p_value"] == 0.0
+
+    def test_listener_fires_once_per_plugin(self):
+        events = []
+        ev = StreamingEvaluator([self._failing_then_fine()], window_bytes=4)
+        ev.add_latch_listener(lambda name, info: events.append((name, info["window"])))
+        ev.feed(b"\x00" * 12)  # three failing windows
+        assert events == [("ZeroTrap", 0)]
+        assert ev.status()["plugins"]["ZeroTrap"]["failures"] == 3
+
+    def test_fail_alpha_overrides_plugin_alpha(self):
+        # p = 0.25 on this pattern: mean 1/8 per byte 0x01 → p = 0.25
+        plugin = _mean_plugin(alpha=0.5)  # would latch at its own alpha
+        ev = StreamingEvaluator([plugin], window_bytes=8, fail_alpha=1e-9)
+        ev.feed(b"\x01" * 8)
+        assert ev.healthy  # global override rescued it
+        strict = StreamingEvaluator([plugin], window_bytes=8)
+        strict.feed(b"\x01" * 8)
+        assert not strict.healthy
+
+
+class TestSampling:
+    def test_sample_evaluates_every_nth_window_deterministically(self):
+        ev = _evaluator(window_bytes=4, sample=3)
+        ev.feed(b"\xaa" * 40)  # 10 complete windows
+        assert ev.windows_seen == 10
+        state = ev.status()["plugins"]["Mean"]
+        assert state["windows"] == 4  # windows 0, 3, 6, 9
+
+    def test_sampling_is_chunk_split_invariant_too(self):
+        data = bytes(range(256)) * 3
+        whole = _evaluator(window_bytes=16, sample=2)
+        whole.feed(data)
+        split = _feed_chunked(_evaluator(window_bytes=16, sample=2), data, [7, 100, 101, 500])
+        assert split.status() == whole.status()
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        with pytest.raises(SpecificationError):
+            _evaluator(window_bytes=0)
+        with pytest.raises(SpecificationError):
+            _evaluator(sample=0)
+        with pytest.raises(SpecificationError):
+            _evaluator(fail_alpha=0.0)
+        with pytest.raises(SpecificationError, match="duplicate"):
+            StreamingEvaluator([_mean_plugin(), _mean_plugin()])
+
+    def test_default_plugin_set_is_streaming_capable_registry(self):
+        ev = StreamingEvaluator(window_bytes=1 << 14)
+        names = ev.plugin_names()
+        assert "Frequency" in names and "BirthdaySpacings" in names
+        assert "LinearComplexity" not in names  # cost-excluded from streaming

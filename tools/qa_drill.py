@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI drill for the continuous-QA serving path (``repro serve --qa``).
+
+The scenario is the one the QA sidecar exists for: a **defective
+generator** — every served byte AND-masked with ``0xFE`` via an injected
+``bias`` fault — whose output CRC-verifies clean and reproduces
+identically on retry, so no transfer-level defense can fire.  The drill
+asserts the QA layer is the one that catches it, end to end through the
+real CLI entry point:
+
+1. boot ``repro serve --qa`` in a subprocess with a ``REPRO_FAULT_PLAN``
+   bias plan and the SP 800-90B screen disabled (QA must not be rescued
+   by the coarser screen);
+2. wait for the parseable readiness line, fetch enough bytes to fill QA
+   windows, and confirm the served payload really is biased (low bit of
+   every byte zero) — the defect reached the client;
+3. poll ``/healthz`` until it flips 503 with a ``qa:<plugin>`` event
+   naming the detecting plugin and triggering window;
+4. lint the live ``/metrics`` exposition and require the ``repro_qa_*``
+   series to be present and promlint-clean;
+5. SIGTERM and require a graceful drain with exit status 0.
+
+Exit status: 0 = all green, 1 = any check failed.
+
+Usage::
+
+    PYTHONPATH=src python tools/qa_drill.py [--algorithm trivium]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.promlint import lint  # noqa: E402
+from repro.robust.faults import FAULT_PLAN_ENV, Fault, FaultPlan  # noqa: E402
+
+READY_RE = re.compile(r"^repro-serve listening on ([\d.]+):(\d+)\s*$")
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - documentation type only
+    print(f"qa_drill: FAIL — {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--algorithm", default="trivium")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--lanes", type=int, default=1024)
+    parser.add_argument("--window-bytes", type=int, default=4096)
+    parser.add_argument("--fetch-bytes", type=int, default=8192)
+    parser.add_argument("--fetches", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    root = pathlib.Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
+    )
+    plan = FaultPlan(faults=(Fault(kind="bias", partition=0, bias_mask=0xFE),))
+    env[FAULT_PLAN_ENV] = plan.to_json()
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "-a", args.algorithm, "-s", str(args.seed), "-l", str(args.lanes),
+            "--workers", "1",
+            "--no-screen",
+            "--qa",
+            "--qa-window-bytes", str(args.window_bytes),
+            "--qa-plugins", "Frequency,Runs,RepeatingXor",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        host = port = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line and proc.poll() is not None:
+                fail(f"daemon exited early with {proc.returncode}")
+            m = READY_RE.match(line.strip())
+            if m:
+                host, port = m.group(1), int(m.group(2))
+                break
+        if port is None:
+            fail("no readiness line within 60s")
+        print(f"qa_drill: daemon ready on {host}:{port} (bias fault armed)")
+
+        base = f"http://{host}:{port}"
+        for _ in range(args.fetches):
+            with urllib.request.urlopen(
+                f"{base}/v1/bytes?n={args.fetch_bytes}", timeout=30
+            ) as resp:
+                body = resp.read()
+            if len(body) != args.fetch_bytes:
+                fail(f"short read: {len(body)}/{args.fetch_bytes}")
+            if any(b & 0x01 for b in body):
+                fail("served bytes are not biased — fault plan did not inject")
+        print(
+            f"qa_drill: {args.fetches} fetches of {args.fetch_bytes} B served, "
+            "all biased (CRC-clean defect reached the client)"
+        )
+
+        doc = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            try:
+                with urllib.request.urlopen(f"{base}/healthz", timeout=30) as resp:
+                    time.sleep(0.2)  # still 200: sidecar hasn't latched yet
+            except urllib.error.HTTPError as err:
+                if err.code != 503:
+                    fail(f"/healthz returned {err.code}, expected 503")
+                doc = json.loads(err.read())
+                break
+        if doc is None:
+            fail("/healthz never flipped 503 — QA sidecar missed the bias")
+        if doc.get("healthy") is not False:
+            fail(f"503 body claims healthy: {doc}")
+        qa_events = [e for e in doc.get("events", []) if e["test"].startswith("qa:")]
+        if not qa_events:
+            fail(f"no qa:* event in /healthz: {doc.get('events')}")
+        event = qa_events[0]
+        detail = event.get("detail") or {}
+        print(
+            f"qa_drill: /healthz 503 with {event['test']} "
+            f"(window {detail.get('window')}, p={detail.get('p_value')})"
+        )
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as resp:
+            exposition = resp.read().decode()
+        problems = lint(exposition)
+        if problems:
+            fail(f"/metrics lint problems: {problems}")
+        for series in (
+            "repro_qa_windows_total",
+            "repro_qa_failures_total",
+            "repro_qa_latched",
+            "repro_qa_plugin_seconds",
+        ):
+            if series not in exposition:
+                fail(f"/metrics is missing {series}")
+        print("qa_drill: /metrics lint clean, repro_qa_* series present")
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            fail(f"daemon exited {rc} after SIGTERM (expected graceful 0)")
+        print("qa_drill: graceful drain, exit 0")
+        print("qa_drill: OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
