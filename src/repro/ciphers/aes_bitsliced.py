@@ -86,6 +86,9 @@ class BitslicedAESCTR:
     key_bits = 128
     iv_bits = 64
     state_bits = 128
+    #: Keystream rows come in whole CTR batches of 128 planes; callers
+    #: that preallocate output (the threaded lane bank) round up to this.
+    rows_granularity = 128
 
     def __init__(self, engine: BitslicedEngine | None = None) -> None:
         self.engine = engine if engine is not None else BitslicedEngine()
@@ -94,6 +97,7 @@ class BitslicedAESCTR:
         self._key_loaded = False
         self._nonce = np.uint64(0)
         self._counter_base = np.uint64(0)
+        self._counter_stride = np.uint64(self.engine.n_lanes)
         self._blocks_done = 0
 
     # -- loading ------------------------------------------------------------
@@ -108,17 +112,43 @@ class BitslicedAESCTR:
         ]
         self._nonce = np.uint64(nonce & 0xFFFFFFFFFFFFFFFF)
         self._counter_base = np.uint64(counter_start & 0xFFFFFFFFFFFFFFFF)
+        self._counter_stride = np.uint64(self.engine.n_lanes)
         self._blocks_done = 0
         self._key_loaded = True
         # Fused-kernel contexts embed the round-key flip indices, which
         # just changed — drop them so the next fused call rebuilds.
         self._fused_ctx = {}
 
-    def seed(self, seed: int) -> "BitslicedAESCTR":
-        """Derive key and nonce from one integer seed."""
+    def seed(
+        self,
+        seed: int,
+        *,
+        shared_key: bool = True,
+        lane_offset: int = 0,
+        counter_stride: int | None = None,
+    ) -> "BitslicedAESCTR":
+        """Derive key and nonce from one integer seed.
+
+        All lanes always share the key (CTR security rests on distinct
+        counters; ``shared_key`` exists for interface parity with the
+        LFSR banks).  ``lane_offset`` shifts this bank's counter window
+        so lane ``i`` equals lane ``lane_offset + i`` of a wider bank,
+        and ``counter_stride`` sets the counter advance per batch — a
+        column-split sub-bank passes the *full* bank's lane count so its
+        batches interleave exactly like the full bank's (§5.4's counter
+        partitioning applied inside one process).
+        """
+        if not shared_key:
+            raise SpecificationError("AES-CTR lanes always share the key")
+        if lane_offset < 0:
+            raise SpecificationError("lane_offset must be non-negative")
         words = expand_seed_words(seed, 3, stream=3)
         key_bytes = words[:2].view(np.uint8).copy()
-        self.load(key_bytes, nonce=int(words[2]))
+        self.load(key_bytes, nonce=int(words[2]), counter_start=lane_offset)
+        if counter_stride is not None:
+            if counter_stride < self.engine.n_lanes:
+                raise SpecificationError("counter_stride must cover this bank's lanes")
+            self._counter_stride = np.uint64(counter_stride)
         return self
 
     # -- the round function on (16, 8, n_words) plane stacks --------------------
@@ -167,7 +197,7 @@ class BitslicedAESCTR:
         n = self.engine.n_lanes
         ctr = (
             self._counter_base
-            + np.uint64(batch_index) * np.uint64(n)
+            + np.uint64(batch_index) * self._counter_stride
             + np.arange(n, dtype=np.uint64)
         )
         blocks = np.empty((n, 16), dtype=np.uint8)
@@ -211,24 +241,40 @@ class BitslicedAESCTR:
         self.engine.counter.add("or_", n_batches * 10 * 16 * self._sbox_gates["or"])
         self.engine.counter.add("not_", n_batches * 10 * 16 * self._sbox_gates["not"])
 
-    def next_planes(self, n_rows: int) -> np.ndarray:
+    def next_planes(
+        self, n_rows: int, *, out: np.ndarray | None = None, epilogue=None
+    ) -> np.ndarray:
         """Emit ``(n_rows, n_words)`` keystream planes (multiples of 128
         are generated; the tail batch is truncated).
 
         With ``engine.fused`` the batches come from the compiled kernel
-        (in-place S-box circuit, view-based rounds) — bit-identical.
+        (in-place S-box circuit, view-based rounds) — bit-identical.  An
+        explicit *out* must hold the whole-batch row count (``n_rows``
+        rounded up to :attr:`rows_granularity`).  *epilogue* (the
+        single-touch hook) sees exactly the emitted ``out[:n_rows]``
+        view — rows generated beyond a truncated tail batch are never
+        part of the stream, so they are not accounted either.
         """
         self._require_loaded()
         batches = -(-n_rows // 128)
-        out = np.empty((batches * 128, self.engine.n_words), dtype=self.engine.dtype)
+        if out is None:
+            out = np.empty((batches * 128, self.engine.n_words), dtype=self.engine.dtype)
+        elif out.shape[0] < batches * 128:
+            raise SpecificationError(
+                f"out must hold {batches * 128} rows (whole CTR batches), got {out.shape[0]}"
+            )
         if getattr(self.engine, "fused", False):
             from repro.codegen.fused import fused_generate
 
             fused_generate(self, "aes128ctr", batches, out)
             self._count_batch_gates(batches)
+            if epilogue is not None:
+                epilogue(out[:n_rows])
             return out[:n_rows]
         for i in range(batches):
             out[128 * i : 128 * (i + 1)] = self.next_block_planes()
+        if epilogue is not None:
+            epilogue(out[:n_rows])
         return out[:n_rows]
 
     def keystream_bytes_per_lane(self, n_blocks: int) -> np.ndarray:

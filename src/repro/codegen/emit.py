@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from repro.codegen.circuit import Circuit
 
-__all__ = ["emit_numpy", "emit_numpy_inplace", "compile_inplace", "emit_cuda"]
+__all__ = [
+    "emit_numpy",
+    "emit_numpy_inplace",
+    "compile_inplace",
+    "emit_cuda",
+    "emit_cuda_epilogue",
+]
 
 
 def _toposorted_gates(circuit: Circuit):
@@ -189,3 +195,69 @@ def emit_cuda(circuit: Circuit, func_name: str = "kernel", word_type: str = "uin
         lines.append(f"    *out_{name} = {names[node.id]};")
     lines.append("}")
     return "\n".join(lines) + "\n"
+
+
+def emit_cuda_epilogue(func_name: str = "touch", word_type: str = "uint32_t") -> str:
+    """Emit the device-side single-touch epilogue (store + CRC + census).
+
+    The CUDA twin of :class:`repro.core.touch.StreamTouch`: a
+    ``{func_name}_word`` fold that accounts one just-computed word while
+    it is still in registers, and a ``{func_name}_store`` loop that
+    writes a block to global memory and folds every word in the same
+    pass — so the output path reads each byte exactly once, the same
+    discipline the host-side fused kernels follow.
+
+    The receipt is bit-identical to ``StreamTouch``/``payload_crc``: an
+    MSB-first CRC-32-IEEE with init ``0xFFFFFFFF`` and no final xor,
+    folding bytes in memory order — least-significant byte first, since
+    the bitsliced planes are little-endian words on every supported
+    host.  The caller seeds ``*crc = 0xFFFFFFFFu`` once per stream and
+    may span multiple blocks with the same running register, mirroring
+    ``StreamTouch.update``'s chunked accumulation.
+    """
+    if word_type not in ("uint32_t", "uint64_t"):
+        raise ValueError(f"unsupported word_type {word_type!r}")
+    word_bytes = 4 if word_type == "uint32_t" else 8
+    popc = "__popc" if word_type == "uint32_t" else "__popcll"
+    guard = func_name.upper()
+    return f"""\
+/* Generated by repro.codegen.emit (single-touch output epilogue). */
+#include <stdint.h>
+
+#define {guard}_CRC32_POLY 0x04C11DB7u
+
+/* Fold one word into the running receipt while it is hot: popcount for
+ * the SP 800-90B monobit census plus an MSB-first CRC-32-IEEE over the
+ * word's bytes in little-endian memory order.  Bit-identical to the
+ * host's StreamTouch accounting. */
+__device__ __forceinline__ void {func_name}_word(
+    {word_type} word, uint32_t *crc, uint64_t *ones) {{
+    *ones += (uint64_t){popc}(word);
+    uint32_t c = *crc;
+#pragma unroll
+    for (int b = 0; b < {word_bytes}; ++b) {{
+        c ^= (uint32_t)((word >> (8 * b)) & 0xFFu) << 24;
+#pragma unroll
+        for (int k = 0; k < 8; ++k)
+            c = (c << 1) ^ ((c >> 31) ? {guard}_CRC32_POLY : 0u);
+    }}
+    *crc = c;
+}}
+
+/* Single-touch store: copy a block to global output and account every
+ * word in the same pass.  Seed *crc = 0xFFFFFFFFu at stream start; the
+ * running register carries across consecutive blocks. */
+__device__ void {func_name}_store(
+    const {word_type} *__restrict__ src, {word_type} *__restrict__ dst,
+    int n_words, uint32_t *crc, uint64_t *ones) {{
+    uint32_t c = *crc;
+    uint64_t pop = *ones;
+    for (int i = 0; i < n_words; ++i) {{
+        const {word_type} w = src[i];
+        dst[i] = w;
+        {func_name}_word(w, &c, &pop);
+    }}
+    *crc = c;
+    *ones = pop;
+}}
+"""

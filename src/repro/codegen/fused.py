@@ -57,7 +57,7 @@ __all__ = [
 KERNEL_CACHE_VERSION = 1
 
 #: Per-cipher circuit versions; bump one to invalidate only its kernels.
-CIRCUIT_VERSIONS = {"mickey2": 1, "grain": 1, "trivium": 1, "aes128ctr": 1}
+CIRCUIT_VERSIONS = {"mickey2": 3, "grain": 1, "trivium": 2, "aes128ctr": 1}
 
 #: Default clock batch per fused call (CLI/BSRNG override per instance).
 DEFAULT_CLOCKS_PER_CALL = 32
@@ -177,13 +177,22 @@ def _context_for(bank, kernel: FusedKernel) -> dict:
     return entry[1]
 
 
-def fused_generate(bank, cipher: str, n_clocks: int, out: np.ndarray, base: int = 0) -> None:
+def fused_generate(
+    bank, cipher: str, n_clocks: int, out: np.ndarray, base: int = 0, epilogue=None
+) -> None:
     """Advance *bank* by ``n_clocks`` clocks through fused kernels.
 
     Splits the request into full ``engine.clocks_per_call`` batches plus
     one tail kernel, so any row count is served without overshooting the
     cipher state.  Writes ``n_clocks * rows_per_clock`` rows into *out*
     starting at row *base*.
+
+    *epilogue*, when given, is called after every kernel call with the
+    just-written row block (a contiguous 2D view of *out*) — the
+    single-touch hook: CRC receipts and bit censuses fold in while the
+    block is still cache-hot instead of re-reading it cold later
+    (:class:`repro.core.touch.StreamTouch`).  Blocks arrive in stream
+    order, so chunked accounting equals whole-stream accounting.
     """
     engine = bank.engine
     K = max(1, int(getattr(engine, "clocks_per_call", DEFAULT_CLOCKS_PER_CALL)))
@@ -196,6 +205,8 @@ def fused_generate(bank, cipher: str, n_clocks: int, out: np.ndarray, base: int 
         rows_per_clock = kernel.rows_per_clock
         ctx = _context_for(bank, kernel)
         kernel.fn(bank, out, base + done * rows_per_clock, ctx)
+        if epilogue is not None:
+            epilogue(out[base + done * rows_per_clock : base + (done + k) * rows_per_clock])
         done += k
         calls += 1
     if obs.metrics_enabled():
@@ -215,8 +226,19 @@ def _compile(source: str, func_name: str, namespace: dict | None = None) -> Call
 
 
 # ---------------------------------------------------------------------------
-# Trivium: three shift registers -> three sliding windows.
+# Trivium: three shift registers -> forward history arrays with
+# block-batched feedback.  In oldest-bit-first order the deepest read
+# offset across all three registers is 45 (register C's s243 tap) and
+# the shallowest register is B (84 cells, deepest offset 15), so up to
+# ``min(93-27, 84-15, 111-45) = 64`` consecutive clocks of feedback bits
+# depend only on already-materialized history rows — one (64, nw) slice
+# op replaces 64 single-row ops.  The output filter never feeds back, so
+# z for all K clocks is computed in bulk at the end, straight into the
+# caller's output rows (same trick as the Grain kernel below).
 # ---------------------------------------------------------------------------
+_TRIVIUM_BLOCK = 64
+
+
 def _build_trivium(K: int, dtype: np.dtype) -> FusedKernel:
     from repro.ciphers.trivium import (
         STATE_BITS,
@@ -234,61 +256,66 @@ def _build_trivium(K: int, dtype: np.dtype) -> FusedKernel:
     )
 
     LA, LB, LC = _B_HEAD, _C_HEAD - _B_HEAD, STATE_BITS - _C_HEAD
+    lens = {"fa": LA, "fb": LB, "fc": LC}
+
+    def hist(g: int) -> tuple[str, int]:
+        """Map a global newest-first state index to (array, oldest-first offset)."""
+        if g < _B_HEAD:
+            return "fa", LA - 1 - g
+        if g < _C_HEAD:
+            return "fb", LB - 1 - (g - _B_HEAD)
+        return "fc", LC - 1 - (g - _C_HEAD)
+
     L = [
-        f"def _fused_trivium(bank, out, base, c):",
-        f'    """Generated fused Trivium kernel: {K} clocks per call."""',
+        "def _fused_trivium(bank, out, base, c):",
+        f'    """Generated fused Trivium kernel: {K} clocks per call (block-batched)."""',
         "    s = bank.s",
-        "    ea = c['ea']; eb = c['eb']; ec = c['ec']",
-        "    w0 = c['w0']; w1 = c['w1']; w2 = c['w2']; w3 = c['w3']",
-        # window load: logical s[i] at clock t lives at E*[K - t + local(i)]
-        f"    ea[{K}:] = s[0:{_B_HEAD}]",
-        f"    eb[{K}:] = s[{_B_HEAD}:{_C_HEAD}]",
-        f"    ec[{K}:] = s[{_C_HEAD}:{STATE_BITS}]",
+        "    fa = c['fa']; fb = c['fb']; fc = c['fc']; W = c['w']",
+        # history load: oldest bit first, so taps become forward slices
+        f"    fa[0:{LA}] = s[{LA - 1}::-1]",
+        f"    fb[0:{LB}] = s[{_C_HEAD - 1}:{_B_HEAD - 1}:-1]",
+        f"    fc[0:{LC}] = s[{STATE_BITS - 1}:{_C_HEAD - 1}:-1]",
     ]
 
-    def emit_clock(t: int) -> None:
-        o = K - t
+    def emit_feedback(t0: int, B: int, taps, ands, fwd, dst: str) -> None:
+        def sl(g: int) -> str:
+            arr, j = hist(g)
+            return f"{arr}[{t0 + j}:{t0 + j + B}]"
 
-        def ref(g: int) -> str:
-            if g < _B_HEAD:
-                return f"ea[{o + g}]"
-            if g < _C_HEAD:
-                return f"eb[{o + g - _B_HEAD}]"
-            return f"ec[{o + g - _C_HEAD}]"
+        head = lens[dst]
+        L.append(f"    Wv = W[0:{B}]")
+        L.append(f"    np.bitwise_and({sl(ands[0])}, {sl(ands[1])}, out=Wv)")
+        L.append(f"    np.bitwise_xor(Wv, {sl(taps[0])}, out=Wv)")
+        L.append(f"    np.bitwise_xor(Wv, {sl(taps[1])}, out=Wv)")
+        L.append(f"    np.bitwise_xor(Wv, {sl(fwd)}, out={dst}[{t0 + head}:{t0 + head + B}])")
 
-        L.append(f"    np.bitwise_xor({ref(_T1_TAPS[0])}, {ref(_T1_TAPS[1])}, out=w1)")
-        L.append(f"    np.bitwise_xor({ref(_T2_TAPS[0])}, {ref(_T2_TAPS[1])}, out=w2)")
-        L.append(f"    np.bitwise_xor({ref(_T3_TAPS[0])}, {ref(_T3_TAPS[1])}, out=w3)")
-        L.append("    np.bitwise_xor(w1, w2, out=w0)")
-        L.append(f"    np.bitwise_xor(w0, w3, out=out[base + {t}])")
-        L.append(f"    np.bitwise_and({ref(_T1_AND[0])}, {ref(_T1_AND[1])}, out=w0)")
-        L.append("    np.bitwise_xor(w1, w0, out=w1)")
-        L.append(f"    np.bitwise_xor(w1, {ref(_T1_FWD)}, out=eb[{o - 1}])")
-        L.append(f"    np.bitwise_and({ref(_T2_AND[0])}, {ref(_T2_AND[1])}, out=w0)")
-        L.append("    np.bitwise_xor(w2, w0, out=w2)")
-        L.append(f"    np.bitwise_xor(w2, {ref(_T2_FWD)}, out=ec[{o - 1}])")
-        L.append(f"    np.bitwise_and({ref(_T3_AND[0])}, {ref(_T3_AND[1])}, out=w0)")
-        L.append("    np.bitwise_xor(w3, w0, out=w3)")
-        L.append(f"    np.bitwise_xor(w3, {ref(_T3_FWD)}, out=ea[{o - 1}])")
-
-    for t in range(K):
-        emit_clock(t)
-    # window rebase: one copy per K clocks instead of one per clock
-    L.append(f"    s[0:{_B_HEAD}] = ea[0:{LA}]")
-    L.append(f"    s[{_B_HEAD}:{_C_HEAD}] = eb[0:{LB}]")
-    L.append(f"    s[{_C_HEAD}:{STATE_BITS}] = ec[0:{LC}]")
+    t0 = 0
+    while t0 < K:
+        B = min(_TRIVIUM_BLOCK, K - t0)
+        emit_feedback(t0, B, _T1_TAPS, _T1_AND, _T1_FWD, "fb")  # t1 -> register B
+        emit_feedback(t0, B, _T2_TAPS, _T2_AND, _T2_FWD, "fc")  # t2 -> register C
+        emit_feedback(t0, B, _T3_TAPS, _T3_AND, _T3_FWD, "fa")  # t3 -> register A
+        t0 += B
+    # bulk keystream: z_t for every clock at once, into the output rows
+    L.append(f"    Z = out[base:base + {K}]")
+    zt = [hist(g) for g in (*_T1_TAPS, *_T2_TAPS, *_T3_TAPS)]
+    (a0, j0), (a1, j1) = zt[0], zt[1]
+    L.append(f"    np.bitwise_xor({a0}[{j0}:{j0 + K}], {a1}[{j1}:{j1 + K}], out=Z)")
+    for arr, j in zt[2:]:
+        L.append(f"    np.bitwise_xor(Z, {arr}[{j}:{j + K}], out=Z)")
+    # history writeback: newest bit first again
+    L.append(f"    s[0:{_B_HEAD}] = fa[{K + LA - 1}:{K - 1}:-1]")
+    L.append(f"    s[{_B_HEAD}:{_C_HEAD}] = fb[{K + LB - 1}:{K - 1}:-1]")
+    L.append(f"    s[{_C_HEAD}:{STATE_BITS}] = fc[{K + LC - 1}:{K - 1}:-1]")
     source = "\n".join(L) + "\n"
 
     def make_context(bank) -> dict:
         nw, dt = bank.engine.n_words, bank.engine.dtype
         return {
-            "ea": np.empty((K + LA, nw), dt),
-            "eb": np.empty((K + LB, nw), dt),
-            "ec": np.empty((K + LC, nw), dt),
-            "w0": np.empty(nw, dt),
-            "w1": np.empty(nw, dt),
-            "w2": np.empty(nw, dt),
-            "w3": np.empty(nw, dt),
+            "fa": np.empty((K + LA, nw), dt),
+            "fb": np.empty((K + LB, nw), dt),
+            "fc": np.empty((K + LC, nw), dt),
+            "w": np.empty((min(_TRIVIUM_BLOCK, K), nw), dt),
         }
 
     return FusedKernel(
@@ -420,15 +447,44 @@ def _build_mickey2(K: int, dtype: np.dtype) -> FusedKernel:
 
     fb0 = FB0_BITS.astype(bool)
     fb1 = FB1_BITS.astype(bool)
-    # The spec's "feedback & (ctrl ? FB1 : FB0)" per-row select collapses
-    # into three constant index sets: rows in both masks always take the
-    # feedback, FB1-only rows take it when ctrl_s is set, FB0-only when
-    # clear.  The fancy-index RMW replaces two (100, nw) mask products.
+    # The kernel runs with S stored in a *complemented domain*: S' = S ^ C0,
+    # where C0 is COMP0 extended with zero rows at 0 and 99.  In that domain
+    # the spec's "S[i] ^ COMP0[i]" operand of the nonlinear AND is a plain
+    # view of S' — one full-width pass and a 196 KB constant plane vanish
+    # from every clock, and the working set drops under L2.  The price is
+    # constant bookkeeping, all folded at build time:
+    #   * the AND's other operand becomes S'[i+1] ^ D with
+    #     D[i] = C0[i+1] ^ COMP1[i] (one constant replacing comp1),
+    #   * control taps S[34]/S[67] and the shifted S'[98] pick up a
+    #     compile-time complement when their C0 bit is set,
+    #   * the per-row feedback select "fb & (ctrl ? FB1 : FB0)" lands via a
+    #     single table gather: every row takes one of eight values
+    #     {0, 1, s99, ~s99, w, ~w, w0, ~w0} (w = cs & s99, w0 = ~cs & s99),
+    #     complemented per-row by C0[r] ^ C0[r-1] (the Sn' definition plus
+    #     the S' shift term the chain adds).  np.take(V, _FAM, mode='clip')
+    #     writes all 100 rows of Sn in one pass — mode='clip' skips the
+    #     bounds-checked buffered path (indices are all in range).
+    c0ext = COMP0_BITS.astype(bool).copy()
+    c0ext[0] = False
+    c0ext[STATE_BITS - 1] = False
+    split = np.zeros(STATE_BITS, bool)
+    split[1:99] = c0ext[1:99] ^ c0ext[0:98]
+    fam = np.zeros(STATE_BITS, np.intp)
+    for mask, base_idx in (
+        (~fb0 & ~fb1, 0),
+        (fb0 & fb1, 2),
+        (fb1 & ~fb0, 4),
+        (fb0 & ~fb1, 6),
+    ):
+        idx = np.flatnonzero(mask)
+        fam[idx] = base_idx + split[idx]
+    d_bits = c0ext[2:100] ^ COMP1_BITS[1:99].astype(bool)
+    flip_cr = bool(c0ext[34])
+    flip_cs = bool(c0ext[67])
+    flip_s98 = bool(c0ext[98])
     ns = {
         "_RT": np.flatnonzero(R_TAPS_BITS),
-        "_IB": np.flatnonzero(fb0 & fb1),
-        "_I1": np.flatnonzero(fb1 & ~fb0),
-        "_I0": np.flatnonzero(fb0 & ~fb1),
+        "_FAM": fam,
     }
     SB_ = STATE_BITS  # 100
     L = [
@@ -436,62 +492,89 @@ def _build_mickey2(K: int, dtype: np.dtype) -> FusedKernel:
         f'    """Generated fused MICKEY 2.0 keystream kernel: {K} clocks per call."""',
         "    R0 = bank.R; S0 = bank.S",
         "    RB = c['RB']; SB = c['SB']",
-        "    T = c['T']; M = c['M']; M2 = c['M2']",
-        "    cr = c['cr']; cs = c['cs']; w = c['w']",
-        "    comp0 = c['comp0']; comp1 = c['comp1']",
+        "    M = c['M']; D = c['D']; C0 = c['C0col']; V = c['V']",
+        "    cr = c['cr']; cs = c['cs']; ones = c['ones']",
+        # ~18 ufunc calls per clock: pre-bound locals, positional out and
+        # hoisted slice views shave per-call dispatch overhead, which is
+        # measurable at this density.
+        "    XOR = np.bitwise_xor; AND = np.bitwise_and; NOT = np.bitwise_not",
+        "    V2 = V[2]; V3 = V[3]; V4 = V[4]; V5 = V[5]; V6 = V[6]; V7 = V[7]",
+        "    XOR(S0, C0, S0)",
     ]
+    # hoisted views for both ping-pong parities (a: R0/S0 live, b: swapped)
+    for p, (R, S, Rn, Sn) in (("a", ("R0", "S0", "RB", "SB")), ("b", ("RB", "SB", "R0", "S0"))):
+        L += [
+            f"    R{p}1 = {R}[1:{SB_}]; R{p}099 = {R}[0:{SB_ - 1}]; Rn{p}1 = {Rn}[1:{SB_}]",
+            f"    S{p}1 = {S}[1:99]; S{p}2 = {S}[2:{SB_}]; S{p}098 = {S}[0:98]; Sn{p}1 = {Sn}[1:99]",
+        ]
     for t in range(K):
         # keystream clocking: input plane is zero, so fb_r = R[99],
         # fb_s = S[99] — the mixing=False specialization baked in.
+        p = "a" if t % 2 == 0 else "b"
         R, S = ("R0", "S0") if t % 2 == 0 else ("RB", "SB")
         Rn, Sn = ("RB", "SB") if t % 2 == 0 else ("R0", "S0")
         L += [
-            f"    np.bitwise_xor({R}[0], {S}[0], out=out[base + {t}])",
-            f"    np.bitwise_xor({S}[34], {R}[67], out=cr)",
-            f"    np.bitwise_xor({S}[67], {R}[33], out=cs)",
-            # Rn[i] = R[i-1] ^ (R[i] & cr): the register shift folds into
-            # the control mix, so no standalone 100-row copy per clock.
-            f"    np.bitwise_and({R}, cr, out=T)",
-            f"    np.bitwise_xor(T[1:{SB_}], {R}[0:{SB_ - 1}], out={Rn}[1:{SB_}])",
-            f"    {Rn}[0] = T[0]",
-            f"    {Rn}[_RT] ^= {R}[99]",
-            f"    np.bitwise_xor({S}[1:99], comp0, out=M)",
-            f"    np.bitwise_xor({S}[2:{SB_}], comp1, out=M2)",
-            "    np.bitwise_and(M, M2, out=M)",
-            f"    np.bitwise_xor({S}[0:98], M, out={Sn}[1:99])",
-            f"    {Sn}[0] = 0",
-            f"    {Sn}[99] = {S}[98]",
+            f"    XOR({R}[0], {S}[0], out[base + {t}])",
+            f"    XOR({S}[34], {R}[67], cr)",
         ]
-        if ns["_IB"].size:
-            L.append(f"    {Sn}[_IB] ^= {S}[99]")
-        if ns["_I1"].size:
-            L.append(f"    np.bitwise_and(cs, {S}[99], out=w)")
-            L.append(f"    {Sn}[_I1] ^= w")
-        if ns["_I0"].size:
-            L.append("    np.bitwise_not(cs, out=cs)")
-            L.append(f"    np.bitwise_and(cs, {S}[99], out=w)")
-            L.append(f"    {Sn}[_I0] ^= w")
+        if flip_cr:  # pragma: no cover - depends on the COMP0 table
+            L.append("    NOT(cr, cr)")
+        L.append(f"    XOR({S}[67], {R}[33], cs)")
+        if flip_cs:
+            L.append("    NOT(cs, cs)")
+        L += [
+            # Rn[i] = R[i-1] ^ (R[i] & cr): the register shift folds into
+            # the control mix; chaining in place through Rn keeps the
+            # working set at four state planes + one temp (fits L2) where
+            # a dedicated 100-row temp used to spill it.
+            f"    AND(R{p}1, cr, Rn{p}1)",
+            f"    XOR(Rn{p}1, R{p}099, Rn{p}1)",
+            f"    AND({R}[0], cr, {Rn}[0])",
+            f"    {Rn}[_RT] ^= {R}[99]",
+            # feedback value table, then the one-pass gather into Sn
+            f"    np.copyto(V2, {S}[99])",
+            f"    NOT({S}[99], V3)",
+            f"    AND(cs, {S}[99], V4)",
+            "    NOT(V4, V5)",
+            f"    XOR({S}[99], V4, V6)",
+            "    XOR(V3, V4, V7)",
+            f"    np.take(V, _FAM, 0, {Sn}, mode='clip')",
+            # Sn'[i] ^= S'[i-1] ^ (S'[i] & (S'[i+1] ^ D)); comp0 is absorbed
+            # by the domain, comp1 by D.  Row 0 keeps only its feedback term
+            # and row 99 picks up the shifted S[98].
+            f"    XOR(S{p}2, D, M)",
+            f"    AND(S{p}1, M, M)",
+            f"    XOR(Sn{p}1, M, Sn{p}1)",
+            f"    XOR(Sn{p}1, S{p}098, Sn{p}1)",
+            f"    XOR({Sn}[99], {S}[98], {Sn}[99])",
+        ]
+        if flip_s98:
+            L.append(f"    XOR({Sn}[99], ones, {Sn}[99])")
     if K % 2 == 1:
         # odd clock count: the final state landed in the scratch pair
         L.append("    R0[...] = RB")
         L.append("    S0[...] = SB")
+    # leave the complemented domain before returning control
+    L.append("    XOR(S0, C0, S0)")
     source = "\n".join(L) + "\n"
 
     def make_context(bank) -> dict:
         from repro.ciphers.mickey_bitsliced import _const_column
 
         nw, dt = bank.engine.n_words, bank.engine.dtype
+        fill = np.iinfo(dt).max
+        V = np.zeros((8, nw), dt)
+        V[1] = fill
         return {
             "RB": np.empty((SB_, nw), dt),
             "SB": np.empty((SB_, nw), dt),
-            "T": np.empty((SB_, nw), dt),
             "M": np.empty((SB_ - 2, nw), dt),
-            "M2": np.empty((SB_ - 2, nw), dt),
+            "D": _const_column(d_bits, nw, dt),
+            "C0col": np.where(c0ext, fill, 0).astype(dt).reshape(SB_, 1),
+            "V": V,
+            "ones": np.full(nw, fill, dt),
             "cr": np.empty(nw, dt),
             "cs": np.empty(nw, dt),
-            "w": np.empty(nw, dt),
-            "comp0": _const_column(COMP0_BITS[1:99], nw, dt),
-            "comp1": _const_column(COMP1_BITS[1:99], nw, dt),
         }
 
     return FusedKernel(

@@ -61,6 +61,23 @@ class GateCounter:
         self.xor = self.and_ = self.or_ = self.not_ = self.shift = 0
         self.counts_by_label.clear()
 
+    def merge(self, other: "GateCounter") -> None:
+        """Fold another counter's tallies into this one.
+
+        The threaded lane bank gives each worker thread its own counter
+        (:meth:`add` is a read-modify-write, so sharing one across
+        threads would drop counts) and merges them on demand.
+        """
+        self.xor += other.xor
+        self.and_ += other.and_
+        self.or_ += other.or_
+        self.not_ += other.not_
+        self.shift += other.shift
+        for label, bucket in other.counts_by_label.items():
+            mine = self.counts_by_label.setdefault(label, {})
+            for kind, n in bucket.items():
+                mine[kind] = mine.get(kind, 0) + n
+
     def label(self, name: str | None) -> "GateCounter":
         """Set the attribution label for subsequent gates (None to clear)."""
         self._label = name

@@ -32,10 +32,25 @@ __all__ = ["BSRNG", "available_algorithms"]
 
 
 def _make_bitsliced(cls_path: str) -> Callable:
-    def factory(seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int) -> "_PlaneSource":
+    def factory(
+        seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int, threads: int = 1
+    ) -> "_PlaneSource":
         module_name, cls_name = cls_path.rsplit(".", 1)
         module = __import__(module_name, fromlist=[cls_name])
         cls = getattr(module, cls_name)
+        if threads > 1:
+            from repro.core.lanebank import ThreadedLaneBank
+
+            bank = ThreadedLaneBank(
+                cls,
+                seed,
+                lanes=lanes,
+                dtype=dtype,
+                threads=threads,
+                fused=fused,
+                clocks_per_call=clocks_per_call,
+            )
+            return _PlaneSource(bank)
         engine = BitslicedEngine(
             n_lanes=lanes, dtype=dtype, fused=fused, clocks_per_call=clocks_per_call
         )
@@ -45,7 +60,11 @@ def _make_bitsliced(cls_path: str) -> Callable:
 
 
 def _make_baseline(cls_path: str) -> Callable:
-    def factory(seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int) -> "_WordSource":
+    def factory(
+        seed: int, lanes: int, dtype, fused: bool, clocks_per_call: int, threads: int = 1
+    ) -> "_WordSource":
+        if threads > 1:
+            raise SpecificationError("threads > 1 requires a bitsliced algorithm")
         module_name, cls_name = cls_path.rsplit(".", 1)
         module = __import__(module_name, fromlist=[cls_name])
         cls = getattr(module, cls_name)
@@ -184,6 +203,9 @@ class _PlaneSource:
 
     def __init__(self, bank) -> None:
         self.bank = bank
+        #: Single-touch hook: called with every emitted plane block while
+        #: it is still cache-hot (per K-clock block on the fused path).
+        self.epilogue = None
         self._rows_per_refill = max(64, bank.engine.stage_rows)
         # keep refills 8-byte aligned so the uint64 view below is exact
         itemsize = bank.engine.dtype.itemsize
@@ -192,7 +214,7 @@ class _PlaneSource:
 
     def next_words(self) -> np.ndarray:
         """The next refill of the word stream."""
-        planes = self.bank.next_planes(self._rows_per_refill)
+        planes = self.bank.next_planes(self._rows_per_refill, epilogue=self.epilogue)
         flat = np.ascontiguousarray(planes).view(np.uint8).ravel()
         return flat.view(np.uint64)
 
@@ -222,6 +244,10 @@ class _WordSource:
 
     def __init__(self, bank) -> None:
         self.bank = bank
+        #: Single-touch hook: called with each refill right after it is
+        #: produced (baseline banks have no kernel epilogue to ride, so
+        #: the refill itself is the hot window).
+        self.epilogue = None
         self._words_per_refill = 4096
         # counter-based banks (Philox, ChaCha20) expose block-granular
         # skipahead; refills round up to whole blocks, so the effective
@@ -244,10 +270,14 @@ class _WordSource:
         raw = self.bank.next_words(self._words_per_refill)
         raw = np.ascontiguousarray(raw)
         if raw.dtype == np.uint64:
-            return raw.ravel()
-        flat = raw.view(np.uint8).ravel()
-        usable = flat.size - flat.size % 8
-        return flat[:usable].view(np.uint64)
+            words = raw.ravel()
+        else:
+            flat = raw.view(np.uint8).ravel()
+            usable = flat.size - flat.size % 8
+            words = flat[:usable].view(np.uint64)
+        if self.epilogue is not None:
+            self.epilogue(words)
+        return words
 
     def gates_per_output_bit(self) -> float:
         """Logic cost per emitted bit (NaN when not modelled)."""
@@ -282,6 +312,12 @@ class BSRNG:
         Double-buffer refills: a background worker produces buffer N+1
         while buffer N drains.  Kicks in from the second refill, so
         one-shot draws pay nothing.
+    threads:
+        Split the lane columns across a persistent thread pool
+        (:class:`~repro.core.lanebank.ThreadedLaneBank`; bitsliced
+        algorithms only).  The stream is bit-identical to ``threads=1``;
+        NumPy releases the GIL inside the kernels, so on multi-core
+        hosts refills genuinely overlap.
 
     Thread safety
     -------------
@@ -312,6 +348,7 @@ class BSRNG:
         fused: bool | None = None,
         clocks_per_call: int = 32,
         prefetch: bool = True,
+        threads: int = 1,
     ) -> None:
         try:
             factory, kind, _ = _REGISTRY[algorithm]
@@ -319,6 +356,8 @@ class BSRNG:
             raise SpecificationError(
                 f"unknown algorithm {algorithm!r}; available: {sorted(_REGISTRY)}"
             ) from None
+        if threads <= 0:
+            raise SpecificationError("threads must be positive")
         self.algorithm = algorithm
         self.kind = kind
         self.seed = int(seed)
@@ -327,8 +366,12 @@ class BSRNG:
         self.fused = (kind == "bitsliced") if fused is None else bool(fused)
         self.clocks_per_call = int(clocks_per_call)
         self.prefetch = bool(prefetch)
+        self.threads = int(threads)
         self._reseed_count = 0
-        self._source = factory(self.seed, self.lanes, dtype, self.fused, self.clocks_per_call)
+        self._tap = None  # generation-time single-touch hook (see attach_generation_tap)
+        self._source = factory(
+            self.seed, self.lanes, dtype, self.fused, self.clocks_per_call, self.threads
+        )
         self._buf = np.zeros(0, dtype=np.uint8)
         self._pos = 0
         self._pending = None  # in-flight prefetched refill (Future)
@@ -358,8 +401,9 @@ class BSRNG:
             factory, _, _ = _REGISTRY[self.algorithm]
             self.seed = int(seed)
             self._source = factory(
-                self.seed, self.lanes, self._dtype, self.fused, self.clocks_per_call
+                self.seed, self.lanes, self._dtype, self.fused, self.clocks_per_call, self.threads
             )
+            self._source.epilogue = self._tap  # the tap outlives the bank it watched
             self._buf = np.zeros(0, dtype=np.uint8)
             self._pos = 0
             self._refills = 0
@@ -369,10 +413,22 @@ class BSRNG:
     # The internal buffer is byte-granular so partial draws never discard
     # generated output: random_bytes(1) twice equals random_bytes(2).
     def _discard_pending(self) -> None:
-        """Wait out and drop any in-flight prefetched refill."""
-        if self._pending is not None:
-            self._pending.result()
-            self._pending = None
+        """Wait out and drop any in-flight prefetched refill.
+
+        A refill that *failed* is dropped the same way: the future is
+        detached before its result is inspected, so a transient worker
+        error can never wedge the generator — previously a raising
+        future stayed parked in ``_pending`` and every later draw,
+        seek *and reseed* (the designated recovery action) re-raised
+        the same stale exception forever.
+        """
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        try:
+            pending.result()
+        except Exception:
+            obs.inc("repro_generator_refill_errors_total", 1, algorithm=self.algorithm)
 
     def _next_buffer(self) -> np.ndarray:
         """Produce the next refill, double-buffered when ``prefetch``.
@@ -387,8 +443,11 @@ class BSRNG:
             return self._source.next_words().view(np.uint8)
         t0 = time.perf_counter()
         if self._pending is not None:
-            buf = self._pending.result().view(np.uint8)
-            self._pending = None
+            # detach before .result(): if the refill failed, the error
+            # propagates to this caller once and the next draw retries
+            # synchronously instead of replaying a poisoned future
+            pending, self._pending = self._pending, None
+            buf = pending.result().view(np.uint8)
             obs.inc("repro_generator_prefetch_hits_total", 1, algorithm=self.algorithm)
         else:
             buf = self._source.next_words().view(np.uint8)
@@ -403,7 +462,7 @@ class BSRNG:
             )
         return buf
 
-    def _take_bytes(self, n: int) -> np.ndarray:
+    def _take_bytes(self, n: int, touch=None) -> np.ndarray:
         with self.lock:
             out = np.empty(n, dtype=np.uint8)
             filled = 0
@@ -422,6 +481,11 @@ class BSRNG:
                         obs.observe("repro_generator_refill_bytes", avail, algorithm=self.algorithm)
                 take = min(avail, n - filled)
                 out[filled : filled + take] = self._buf[self._pos : self._pos + take]
+                if touch is not None:
+                    # single-touch: account the chunk right after the copy,
+                    # while it is still hot, instead of re-reading the whole
+                    # draw cold afterwards
+                    touch.update(out[filled : filled + take])
                 self._pos += take
                 filled += take
             self._position += n
@@ -452,8 +516,8 @@ class BSRNG:
             # it must be consumed (as skipped output) before any native seek,
             # or the generator state would double-produce those bytes
             if n and self._pending is not None:
-                self._buf = self._pending.result().view(np.uint8)
-                self._pending = None
+                pending, self._pending = self._pending, None
+                self._buf = pending.result().view(np.uint8)
                 self._pos = min(n, self._buf.size)
                 n -= self._pos
             refill = getattr(self._source, "refill_bytes", 0)
@@ -497,6 +561,57 @@ class BSRNG:
         if n < 0:
             raise SpecificationError("n must be non-negative")
         return self._take_bytes(n).tobytes()
+
+    def random_uint8(self, n: int) -> np.ndarray:
+        """*n* uniform bytes as a uint8 array (no ``bytes`` round-trip).
+
+        The array-consuming callers (health screening, the statistical
+        batteries) previously went ``random_bytes`` → ``np.frombuffer``,
+        paying a ``tobytes`` copy just to wrap the result again; this is
+        the same draw without the detour.
+        """
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        return self._take_bytes(n)
+
+    def read_with_receipt(self, n: int, touch=None):
+        """*n* stream bytes plus their single-touch accounting.
+
+        Returns ``(data, receipt)`` where *receipt* is a
+        :class:`repro.core.touch.Receipt` whose ``crc`` equals
+        ``payload_crc(data)`` — computed chunk-by-chunk during the draw
+        copy itself, so the bytes are never re-read cold for the
+        checksum.  Workers that ship chunks with integrity receipts
+        (fleet, multi-device) draw through this instead of pairing
+        :meth:`read` with a separate CRC pass.  Pass an existing
+        :class:`~repro.core.touch.StreamTouch` as *touch* to accumulate
+        across calls; its running state is folded in (the receipt then
+        covers everything the touch has seen).
+        """
+        from repro.core.touch import StreamTouch
+
+        if n < 0:
+            raise SpecificationError("n must be non-negative")
+        if touch is None:
+            touch = StreamTouch()
+        data = self._take_bytes(n, touch=touch)
+        return data.tobytes(), touch.receipt()
+
+    def attach_generation_tap(self, fn) -> None:
+        """Install *fn* as the source's single-touch epilogue (None detaches).
+
+        *fn* is called with every refill block as it is generated — on
+        the fused paths per compiled K-clock kernel call, while the
+        block is cache-hot — before the bytes ever reach the draw
+        buffer.  The health layer uses this for its continuous bit
+        census of raw source output.  A refill already in flight on the
+        prefetch worker keeps the hook it was started with; taps cover
+        refills that *begin* after attachment.  The tap survives
+        :meth:`reseed`.
+        """
+        with self.lock:
+            self._tap = fn
+            self._source.epilogue = fn
 
     def random_bits(self, n: int) -> np.ndarray:
         """*n* bits as a uint8 0/1 array (little bit order of the stream)."""
@@ -554,6 +669,7 @@ class BSRNG:
                 fused=self.fused,
                 clocks_per_call=self.clocks_per_call,
                 prefetch=self.prefetch,
+                threads=self.threads,
             )
             for s in child_seeds
         ]

@@ -1,0 +1,189 @@
+"""Zero-copy output ring: shared-memory slots instead of pickled payloads.
+
+The parallel result paths — :class:`~repro.gpu.multigpu.MultiDeviceGenerator`
+pool workers, fleet members — used to ship every generated chunk back to
+the parent as message *payload bytes*: pickled into a pipe, copied into
+the queue buffer, copied back out, unpickled.  For multi-megabyte chunks
+the serialisation round-trip costs more than generating the bytes did.
+
+:class:`SharedMemoryRing` replaces that with fixed-size slots in one
+``multiprocessing.shared_memory`` segment.  The controller creates the
+ring and hands each dispatched job a slot index; the worker attaches by
+name (cached per process), writes its payload straight into the slot,
+and returns a :class:`RingSlotRef` — three small ints and a string —
+through the existing message plane.  The controller reads the bytes back
+out of its own mapping.  Payload bytes cross the process boundary
+**zero** times through the pickle machinery.
+
+Integrity under concurrency is delegated to the receipt layer rather
+than locks: slot ownership follows job assignment (one writer per slot
+at a time in the happy path), and if an evicted-but-unkilled worker ever
+races a reassigned slot, the torn bytes fail the existing CRC receipt
+check and the chunk is retried — the same path a corrupted pickled
+payload would take.  The fault drills in ``tests/test_ring.py`` exercise
+exactly that.
+
+Lifecycle: the creating process owns the segment and unlinks it on
+:meth:`close` (also covered by ``with``).  If the owner dies without
+closing — SIGTERM, SIGKILL, a crash — Python's ``resource_tracker``
+(a separate watchdog process) unlinks the segment, so rings cannot leak
+past the owning process's lifetime.  Attachers only ever ``close`` their
+mapping; they never unlink.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from repro import obs
+from repro.errors import SpecificationError
+
+__all__ = ["RingSlotRef", "SharedMemoryRing", "attach_ring"]
+
+
+@dataclass(frozen=True)
+class RingSlotRef:
+    """A picklable pointer to payload bytes parked in a ring slot."""
+
+    ring: str  #: shared-memory segment name
+    slot: int
+    length: int
+
+
+class SharedMemoryRing:
+    """Fixed-slot shared-memory buffer for cross-process result passing.
+
+    Parameters
+    ----------
+    slot_bytes / slots:
+        Slot capacity and count.  Size the pool to the maximum number of
+        in-flight results (the controller enforces single-writer slots
+        by tying a slot to a job for the job's lifetime).
+    name:
+        Attach to an existing segment instead of creating one.  The
+        creator owns (and eventually unlinks) the segment; attachers
+        share the mapping read-write but never unlink.
+    """
+
+    def __init__(self, slot_bytes: int, slots: int, *, name: str | None = None) -> None:
+        if slot_bytes <= 0 or slots <= 0:
+            raise SpecificationError("slot_bytes and slots must be positive")
+        self.slot_bytes = int(slot_bytes)
+        self.slots = int(slots)
+        self.owner = name is None
+        if self.owner:
+            self.shm = shared_memory.SharedMemory(create=True, size=self.slot_bytes * self.slots)
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+            if self.shm.size < self.slot_bytes * self.slots:
+                self.shm.close()
+                raise SpecificationError(
+                    f"segment {name} holds {self.shm.size}B, ring needs "
+                    f"{self.slot_bytes * self.slots}B"
+                )
+        self._closed = False
+
+    @classmethod
+    def try_create(cls, slot_bytes: int, slots: int) -> "SharedMemoryRing | None":
+        """Create a ring, or ``None`` where shared memory is unavailable
+        (callers then fall back to pickled payloads)."""
+        try:
+            return cls(slot_bytes, slots)
+        except (OSError, ValueError):  # pragma: no cover - platform-dependent
+            return None
+
+    @property
+    def name(self) -> str:
+        """Segment name — the attach key workers receive in their spec."""
+        return self.shm.name
+
+    @property
+    def spec(self) -> tuple[str, int, int]:
+        """Picklable ``(name, slot_bytes, slots)`` for job/worker specs."""
+        return (self.name, self.slot_bytes, self.slots)
+
+    def _check_slot(self, slot: int, length: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise SpecificationError(f"slot {slot} outside ring of {self.slots}")
+        if not 0 <= length <= self.slot_bytes:
+            raise SpecificationError(f"{length}B exceeds slot capacity {self.slot_bytes}B")
+
+    def write(self, slot: int, data: bytes) -> RingSlotRef:
+        """Park *data* in *slot*; returns the ref to send instead.
+
+        Accounting happens on the receiving side (:meth:`resolve`), not
+        here: writes run in worker processes after the scoped worker
+        registry has already been snapshotted, so counts incremented
+        here would never reach the parent.
+        """
+        self._check_slot(slot, len(data))
+        start = slot * self.slot_bytes
+        self.shm.buf[start : start + len(data)] = data
+        return RingSlotRef(ring=self.name, slot=slot, length=len(data))
+
+    def read(self, ref: RingSlotRef) -> bytes:
+        """Copy a parked payload back out of the mapping."""
+        if ref.ring != self.name:
+            raise SpecificationError(f"ref names ring {ref.ring!r}, this is {self.name!r}")
+        self._check_slot(ref.slot, ref.length)
+        start = ref.slot * self.slot_bytes
+        return bytes(self.shm.buf[start : start + ref.length])
+
+    def resolve(self, obj):
+        """Payload resolver hook: refs become bytes, all else passes through.
+
+        Installed on :class:`~repro.robust.supervisor.PartitionSupervisor`
+        so returned payloads are materialised *before* CRC verification —
+        a torn or stale slot write is then indistinguishable from a
+        corrupted transfer and handled by the same retry policy.  Counts
+        how many payload bytes travelled through the ring versus through
+        the pickled fallback, which is what the zero-copy regression
+        tests assert on.
+        """
+        if isinstance(obj, RingSlotRef):
+            if obs.metrics_enabled():
+                obs.inc("repro_ring_slot_writes_total", 1)
+                obs.inc("repro_ring_payload_bytes_total", obj.length)
+            return self.read(obj)
+        if isinstance(obj, (bytes, bytearray)) and obs.metrics_enabled():
+            obs.inc("repro_result_pickled_payload_bytes_total", len(obj))
+        return obj
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shm.close()
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+
+    def __enter__(self) -> "SharedMemoryRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self.owner else "attached"
+        return f"SharedMemoryRing({self.name}, {self.slots}x{self.slot_bytes}B, {role})"
+
+
+#: Per-process attach cache: a worker serving many jobs maps each ring
+#: once, not once per job.  Keyed by PID so fork children re-attach.
+_ATTACHED: dict[tuple[int, str], SharedMemoryRing] = {}
+
+
+def attach_ring(name: str, slot_bytes: int, slots: int) -> SharedMemoryRing:
+    """Worker-side cached attach (one mapping per process per ring)."""
+    key = (os.getpid(), name)
+    ring = _ATTACHED.get(key)
+    if ring is None or ring._closed:
+        ring = SharedMemoryRing(slot_bytes, slots, name=name)
+        _ATTACHED[key] = ring
+    return ring

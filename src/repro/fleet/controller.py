@@ -52,11 +52,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro import obs
+from repro.core.ring import SharedMemoryRing
 from repro.errors import DeviceFailureError, SpecificationError
 from repro.obs import context as trace_context
 from repro.obs import flight
@@ -123,6 +124,11 @@ class FleetConfig:
     degrade_inline: bool = True
     max_streams: int = 8  # worker-side RangeSource front cache
     mp_context: str | None = None
+    #: Return chunk payloads through a shared-memory ring (one leased
+    #: slot per dispatched job) instead of pickling them through the
+    #: message plane.  Only takes effect with the default local
+    #: transport; injected transports ship payload bytes.
+    use_ring: bool = True
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -232,13 +238,23 @@ class FleetController:
         self.stream = stream if stream is not None else StreamConfig()
         self.config = fleet if fleet is not None else FleetConfig()
         self.clock = clock
+        self._ring: SharedMemoryRing | None = None
         if transport is None:
+            if self.config.use_ring:
+                # a slot is leased per *dispatched* job, so the pool only
+                # needs to cover the maximum in-flight depth; overflow
+                # jobs simply dispatch slotless and pickle their payload
+                self._ring = SharedMemoryRing.try_create(
+                    self.config.chunk_bytes,
+                    self.config.max_workers * self.config.max_inflight_per_worker,
+                )
             spec = WorkerSpec(
                 stream=self.stream,
                 heartbeat_interval=self.config.heartbeat_interval,
                 verify_crc=self.config.verify_crc,
                 plan_json=fault_plan.to_json() if fault_plan is not None else None,
                 max_streams=self.config.max_streams,
+                ring=self._ring.spec if self._ring is not None else None,
             )
             transport = LocalProcessTransport(spec, mp_context=self.config.mp_context)
         self.transport = transport
@@ -256,6 +272,13 @@ class FleetController:
         self._done: set[int] = set()  # job ids accepted (at most once each)
         self._screens: dict[int, tuple[RepetitionCountTest, AdaptiveProportionTest]] = {}
         self._inline: RangeSource | None = None  # degraded-mode generator
+        # ring slot pool: a slot belongs to a job from dispatch until its
+        # result is accepted or the assignment is torn down (requeue,
+        # eviction, inline takeover) — and teardown only ever happens
+        # after the writer is done (result received) or dead (killed)
+        slots = self._ring.slots if self._ring is not None else 0
+        self._free_slots: deque[int] = deque(range(slots))
+        self._job_slots: dict[int, int] = {}
 
         self._next_worker_id = 0
         self._idle_since: float | None = None
@@ -320,6 +343,10 @@ class FleetController:
             self._closed = True
             self._cond.notify_all()
         self.transport.close()
+        # unlink only after every worker carrier is gone: an attacher
+        # outliving the segment would fault on its next slot write
+        if self._ring is not None:
+            self._ring.close()
 
     def __enter__(self) -> "FleetController":
         self.start()
@@ -414,22 +441,37 @@ class FleetController:
             )
             return
         job, _, dispatched_at = entry
-        if len(msg.payload) != job.length:
-            self._strike(member, job, now, f"short payload ({len(msg.payload)}B)")
+        # materialise a ring-parked payload *before* the length/CRC/
+        # screen checks: a torn or stale slot write then takes exactly
+        # the retry path a corrupted pickled transfer would
+        payload = msg.payload
+        if msg.ref is not None and self._ring is not None:
+            try:
+                payload = self._ring.read(msg.ref)
+            except SpecificationError:
+                payload = b""  # nonsense ref: fails the length check below
+            if obs.metrics_enabled():
+                obs.inc("repro_ring_slot_writes_total", 1)
+                obs.inc("repro_ring_payload_bytes_total", len(payload))
+        elif payload and obs.metrics_enabled():
+            obs.inc("repro_result_pickled_payload_bytes_total", len(payload))
+        if len(payload) != job.length:
+            self._strike(member, job, now, f"short payload ({len(payload)}B)")
             return
         if self.config.verify_crc and msg.crc is not None:
-            if payload_crc(msg.payload) != msg.crc:
+            if payload_crc(payload) != msg.crc:
                 self._strike(member, job, now, "crc mismatch")
                 return
-        if self.config.screen and not self._screen_ok(member.worker_id, msg.payload):
+        if self.config.screen and not self._screen_ok(member.worker_id, payload):
             # suspect output: do not accept, requeue, evict the member
             self._requeue(job)
             self._evict(member, "health", now)
             return
         # accept: exactly once per lease, then the lease is done forever
         self._done.add(job.job_id)
-        self._results[job.job_id] = msg.payload
+        self._results[job.job_id] = payload
         self._assigned.pop(job.job_id, None)
+        self._release_slot(job.job_id)
         member.inflight.discard(job.job_id)
         member.jobs_done += 1
         member.strikes = 0  # a clean receipt clears the slate
@@ -479,6 +521,7 @@ class FleetController:
             owner_info = self.members.get(owner)
             if owner_info is not None:
                 owner_info.inflight.discard(job.job_id)
+        self._release_slot(job.job_id)
         self._pending.appendleft(job)
 
     # -- liveness and eviction ----------------------------------------------------
@@ -521,6 +564,9 @@ class FleetController:
             if entry is None:
                 continue
             job, _, dispatched_at = entry
+            # safe to recycle: the carrier is killed below, before any
+            # reassignment can hand this slot to a new writer
+            self._release_slot(job_id)
             self._pending.appendleft(job)
             self.reassignments += 1
             obs.inc("repro_fleet_lease_reassignments_total")
@@ -603,6 +649,30 @@ class FleetController:
             self.events.append(FleetEvent("evict", worker_id, f"launch failed: {exc}", now))
         self._publish_membership()
 
+    def _lease_slot(self, job: ChunkJob) -> ChunkJob:
+        """Attach a ring slot for the job's result (``None`` when the
+        ring is off or the pool is momentarily dry — the worker then
+        ships payload bytes).  Re-dispatch always re-leases, so a
+        requeued job never carries a slot it no longer owns."""
+        slot = self._free_slots.popleft() if self._ring is not None and self._free_slots else None
+        if slot is not None:
+            self._job_slots[job.job_id] = slot
+        if job.ring_slot == slot:
+            return job
+        return replace(job, ring_slot=slot)
+
+    def _release_slot(self, job_id: int) -> None:
+        """Return a job's slot to the pool (idempotent per lease).
+
+        Only called once the slot's writer is done (its result arrived)
+        or dead (eviction kills the carrier before any reassignment), so
+        a recycled slot never has two concurrent writers; a torn write
+        from a kill mid-write is caught by the CRC receipt.
+        """
+        slot = self._job_slots.pop(job_id, None)
+        if slot is not None:
+            self._free_slots.append(slot)
+
     def _assign(self, now: float) -> None:
         while self._pending:
             candidates = [
@@ -613,10 +683,11 @@ class FleetController:
             if not candidates:
                 return
             member = min(candidates, key=lambda m: (len(m.inflight), m.worker_id))
-            job = self._pending.popleft()
+            job = self._lease_slot(self._pending.popleft())
             try:
                 self.transport.send_job(member.worker_id, job)
             except Exception:
+                self._release_slot(job.job_id)
                 self._pending.appendleft(job)
                 self._evict(member, "crash", now)
                 continue
@@ -743,6 +814,7 @@ class FleetController:
             owner_info = self.members.get(owner)
             if owner_info is not None:
                 owner_info.inflight.discard(job.job_id)
+        self._release_slot(job.job_id)
 
     def generate(self, n: int, offset: int = 0) -> bytes:
         """Convenience: one fleet-merged range (CLI / benchmarks)."""

@@ -26,6 +26,7 @@ import queue as queue_mod
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro.core.ring import RingSlotRef
 from repro.errors import SpecificationError
 from repro.serve.engine import StreamConfig
 
@@ -56,6 +57,10 @@ class ChunkJob:
     #: Optional ``(trace_id, span_id)`` wire pair — the controller's
     #: trace context at submission, so worker spans join its trace.
     trace: tuple | None = None
+    #: Shared-memory ring slot leased to this job for its result (see
+    #: :mod:`repro.core.ring`); ``None`` = ship the payload as message
+    #: bytes.  The controller owns the slot ↔ job mapping.
+    ring_slot: int | None = None
 
     def __post_init__(self) -> None:
         if self.offset < 0 or self.length <= 0:
@@ -74,6 +79,10 @@ class Message:
     metrics: dict | None = None  # result messages: worker registry snapshot
     spans: dict | None = None  # result messages: worker tracer snapshot
     detail: str = ""  # free-form (bye reason, error text)
+    #: Result parked in a shared-memory ring slot instead of ``payload``
+    #: (``payload`` is then empty; the controller materialises the ref
+    #: before its length/CRC/screen checks).
+    ref: RingSlotRef | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in MESSAGE_KINDS:
@@ -94,6 +103,9 @@ class WorkerSpec:
     verify_crc: bool = True
     plan_json: str | None = None
     max_streams: int = 8  # RangeSource front cache per worker
+    #: Shared-memory result ring ``(name, slot_bytes, slots)`` to attach,
+    #: or ``None`` to ship payloads as message bytes (remote transports).
+    ring: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:

@@ -32,6 +32,7 @@ import signal
 import time
 
 from repro import obs
+from repro.core.ring import attach_ring
 from repro.obs import flight
 from repro.robust.faults import FaultPlan
 from repro.robust.supervisor import worker_attempt
@@ -118,6 +119,18 @@ def _worker_loop(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
         )
         if plan is not None:
             payload = plan.bleed(worker_id, job_index, payload)
+        # park the payload (post-bleed, so drilled corruption reaches the
+        # controller's receipt check like a damaged transfer) in this
+        # job's leased ring slot and send just the ref; jobs dispatched
+        # without a slot — ring off, or slot pool exhausted — fall back
+        # to shipping payload bytes through the message plane
+        ref = None
+        if spec.ring is not None and job.ring_slot is not None:
+            ring_name, slot_bytes, slots = spec.ring
+            if len(payload) <= slot_bytes:
+                ring = attach_ring(ring_name, slot_bytes, slots)
+                ref = ring.write(job.ring_slot, payload)
+                payload = b""
         out.put(
             Message(
                 "result",
@@ -127,6 +140,7 @@ def _worker_loop(worker_id: int, spec: WorkerSpec, jobs, out) -> None:
                 crc=crc,
                 metrics=metrics,
                 spans=spans,
+                ref=ref,
             )
         )
         job_index += 1

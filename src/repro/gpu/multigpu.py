@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.core.ring import SharedMemoryRing, attach_ring
+from repro.core.touch import TouchedPayload
 from repro.errors import ModelError, SpecificationError
 from repro.obs import context as trace_context
 from repro.obs.tracing import span
@@ -257,9 +259,10 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict, dict
         clocks_per_call,
     ) = job[:11]
     trace = job[11] if len(job) > 11 else None
+    ring_spec = job[12] if len(job) > 12 else None
     from repro.core.generator import BSRNG
 
-    def produce() -> bytes:
+    def produce():
         t0 = time.perf_counter()
         rng = BSRNG(
             algorithm, seed=seed, lanes=lanes, fused=fused, clocks_per_call=clocks_per_call
@@ -269,13 +272,20 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict, dict
         # and discard, which caps their multi-device speedup — exactly why the
         # paper partitions *counter space* rather than a serial stream.
         rng.skip_bytes(start_block * block_bytes)
-        data = rng.random_bytes(n_blocks * block_bytes)
+        n = n_blocks * block_bytes
+        if verify_crc:
+            # single-touch: the receipt CRC folds into the draw copy
+            # instead of worker_attempt re-reading the payload cold
+            data, receipt = rng.read_with_receipt(n)
+            out = TouchedPayload(data, receipt.crc)
+        else:
+            out = data = rng.random_bytes(n)
         rng.publish_metrics()
         obs.set_gauge("repro_device_wall_seconds", time.perf_counter() - t0, device=device_id)
         obs.inc("repro_device_attempts_total", 1, device=device_id)
-        return data
+        return out
 
-    return worker_attempt(
+    payload, crc, metrics, spans = worker_attempt(
         device_id,
         attempt,
         plan_json,
@@ -285,6 +295,15 @@ def _device_worker(job, attempt: int = 0) -> tuple[bytes, int | None, dict, dict
         span_name="device.partition",
         process_name=f"device-worker-{device_id}",
     )
+    if ring_spec is not None:
+        # park the payload (post-fault-injection, so drilled corruption
+        # reaches the verifying side exactly like a damaged transfer) in
+        # this partition's shared-memory slot and ship only the ref —
+        # zero payload bytes through the pickle machinery
+        ring_name, slot_bytes, slots, slot = ring_spec
+        if len(payload) <= slot_bytes:
+            payload = attach_ring(ring_name, slot_bytes, slots).write(slot, payload)
+    return payload, crc, metrics, spans
 
 
 class MultiDeviceGenerator:
@@ -310,6 +329,12 @@ class MultiDeviceGenerator:
         :class:`~repro.core.generator.BSRNG` (``None`` = the BSRNG
         default: fused for bitsliced algorithms).  Workers also inherit
         BSRNG's double-buffered refill pipeline.
+    use_ring:
+        Return partition payloads through a per-job
+        :class:`~repro.core.ring.SharedMemoryRing` (one slot per
+        partition) instead of pickling them through the pool pipe.
+        Falls back to pickled payloads automatically where shared
+        memory is unavailable.
     """
 
     def __init__(
@@ -327,6 +352,7 @@ class MultiDeviceGenerator:
         fault_plan: FaultPlan | None = None,
         fused: bool | None = None,
         clocks_per_call: int = 32,
+        use_ring: bool = True,
     ) -> None:
         if n_devices <= 0:
             raise SpecificationError("n_devices must be positive")
@@ -337,6 +363,7 @@ class MultiDeviceGenerator:
         self.block_bytes = block_bytes
         self.fused = fused
         self.clocks_per_call = int(clocks_per_call)
+        self.use_ring = bool(use_ring)
         # fork avoids re-importing the stack in every worker (a fixed
         # ~second per device that would swamp small jobs); platforms
         # without fork fall back to spawn.
@@ -352,7 +379,7 @@ class MultiDeviceGenerator:
         self.fault_plan = fault_plan
         self.last_report = None
 
-    def _jobs(self, total_blocks: int) -> dict[int, tuple]:
+    def _jobs(self, total_blocks: int, ring: SharedMemoryRing | None = None) -> dict[int, tuple]:
         plan_json = self.fault_plan.to_json() if self.fault_plan is not None else None
         parts = partition_counter_space(total_blocks, self.n_devices)
         # contextvars do not cross the pool boundary: the trace context
@@ -373,6 +400,7 @@ class MultiDeviceGenerator:
                 self.clocks_per_call,
                 wire,
             )
+            + (((*ring.spec, p.device_id),) if ring is not None else ())
             for p in parts
             if p.n_blocks > 0
         }
@@ -394,10 +422,25 @@ class MultiDeviceGenerator:
             # explicit empty-job fast path: no pool, no workers, no report
             return b""
         supervisor = PartitionSupervisor(_device_worker, self.mp_context, self.config)
+        ring = None
+        if self.use_ring and parallel:
+            # one slot per partition, sized for the largest one; a slot is
+            # owned by its partition for the whole job, so retries simply
+            # overwrite and torn writes are caught by the CRC receipt
+            parts = [p for p in partition_counter_space(total_blocks, self.n_devices)
+                     if p.n_blocks > 0]
+            slot_bytes = max(p.n_blocks for p in parts) * self.block_bytes
+            ring = SharedMemoryRing.try_create(slot_bytes, len(parts))
+            if ring is not None:
+                supervisor.resolve = ring.resolve
         t0 = time.perf_counter()
-        with span("multidevice.generate", algo=self.algorithm, devices=self.n_devices,
-                  blocks=total_blocks):
-            results = supervisor.run(self._jobs(total_blocks), parallel=parallel)
+        try:
+            with span("multidevice.generate", algo=self.algorithm, devices=self.n_devices,
+                      blocks=total_blocks):
+                results = supervisor.run(self._jobs(total_blocks, ring=ring), parallel=parallel)
+        finally:
+            if ring is not None:
+                ring.close()
         wall = time.perf_counter() - t0
         _merge_worker_metrics(supervisor.report)
         self.last_report = GenerationReport.build(

@@ -89,13 +89,26 @@ def histogram_quantiles(samples, name: str, quantiles=(0.5, 0.99)) -> dict[float
     latency view), then each quantile is linearly interpolated inside
     the first bucket whose cumulative count reaches its rank — the same
     estimate PromQL's ``histogram_quantile`` computes.
+
+    Degenerate histograms answer honestly instead of reporting a
+    confident ``0.0``: NaN and unparsable bucket samples are dropped, a
+    quantile whose rank lands in the ``+Inf`` bucket is clamped to the
+    largest finite edge, and when *no* finite bucket exists (all mass is
+    open-ended) the quantile is omitted — the renderer shows ``n/a``.
+    Interpolation is clamped inside the bucket, so merge artifacts in a
+    non-monotone cumulative series cannot extrapolate past an edge.
     """
     by_le: dict[float, float] = {}
     for n, labels, v in samples:
-        if n != f"{name}_bucket":
+        if n != f"{name}_bucket" or v != v:  # NaN never counts
             continue
         le = labels.get("le", "")
-        bound = float("inf") if le == "+Inf" else float(le)
+        try:
+            bound = float("inf") if le == "+Inf" else float(le)
+        except ValueError:
+            continue
+        if bound != bound:  # le="NaN" is not a bucket edge
+            continue
         by_le[bound] = by_le.get(bound, 0.0) + v
     if not by_le:
         return {}
@@ -103,6 +116,7 @@ def histogram_quantiles(samples, name: str, quantiles=(0.5, 0.99)) -> dict[float
     total = by_le[bounds[-1]]
     if total <= 0:
         return {}
+    has_finite = bounds[0] != float("inf")
     out: dict[float, float] = {}
     for q in quantiles:
         rank = q * total
@@ -111,11 +125,14 @@ def histogram_quantiles(samples, name: str, quantiles=(0.5, 0.99)) -> dict[float
             count = by_le[bound]
             if count >= rank:
                 if bound == float("inf"):
-                    out[q] = prev_bound  # open-ended: report the last edge
+                    if not has_finite:
+                        break  # unresolvable: every observation is open-ended
+                    out[q] = prev_bound  # clamp to the last finite edge
                 elif count == prev_count:
                     out[q] = bound
                 else:
                     frac = (rank - prev_count) / (count - prev_count)
+                    frac = min(max(frac, 0.0), 1.0)
                     out[q] = prev_bound + frac * (bound - prev_bound)
                 break
             prev_bound, prev_count = bound, count
@@ -170,12 +187,16 @@ def render(
         f"({'—' if byte_rate is None else _fmt_bytes(byte_rate) + '/s'}) | "
         f"streams {server.get('active_streams', 0)}"
     )
-    q = histogram_quantiles(samples, "repro_serve_request_seconds")
-    if q:
-        lines.append(
-            "request latency  p50 "
-            f"{q.get(0.5, 0.0) * 1e3:,.2f} ms   p99 {q.get(0.99, 0.0) * 1e3:,.2f} ms"
-        )
+    if any(n == "repro_serve_request_seconds_bucket" for n, _, _ in samples):
+        q = histogram_quantiles(samples, "repro_serve_request_seconds")
+
+        def _fmt_q(quantile: float) -> str:
+            # an unresolvable quantile (empty or all-open-ended histogram)
+            # must read as unknown, not as a flattering "0.00 ms"
+            value = q.get(quantile)
+            return "n/a" if value is None else f"{value * 1e3:,.2f} ms"
+
+        lines.append(f"request latency  p50 {_fmt_q(0.5)}   p99 {_fmt_q(0.99)}")
     lines.append(
         f"leases  active {leases.get('active', 0)}  released {leases.get('released', 0)}  "
         f"orphaned {leases.get('orphaned', 0)}  "

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.generator import BSRNG
+from repro.core.touch import StreamTouch
 from repro.errors import HealthTestError, SpecificationError
 from repro.nist.fips140 import BLOCK_BITS, Fips140Report, fips140_battery
 from repro.obs import flight
@@ -301,6 +302,14 @@ class HealthMonitoredBSRNG:
         self.rct = RepetitionCountTest(alpha, entropy_per_sample)
         self.apt = AdaptiveProportionTest(alpha, entropy_per_sample)
         self.log = HealthLog()
+        #: Continuous SP 800-90B-style bit census of the *raw source
+        #: output*, folded into the generation path's single-touch
+        #: epilogue — the kernels account each block while it is still
+        #: cache-hot, so this monitor adds no extra pass over the data.
+        #: Covers every generated byte (including ones later skipped),
+        #: which is the correct population for a noise-source monitor.
+        self.source_touch = StreamTouch()
+        self.inner.attach_generation_tap(self.source_touch.update)
         self.startup_report: Fips140Report | None = None
         if startup_test:
             self.startup_report = startup_self_test(self.inner)
@@ -331,7 +340,7 @@ class HealthMonitoredBSRNG:
         if n == 0:
             return np.empty(0, dtype=np.uint8)
         for attempt in range(self.max_reseeds + 1):
-            data = np.frombuffer(self.inner.random_bytes(n), dtype=np.uint8)
+            data = self.inner.random_uint8(n)  # no bytes round-trip copy
             with span("health.screen", algo=self.algorithm, n=n):
                 event = self._screen(data)
             if event is None:
@@ -417,6 +426,13 @@ class HealthMonitoredBSRNG:
     def algorithm(self) -> str:
         """The wrapped generator's algorithm name."""
         return self.inner.algorithm
+
+    @property
+    def source_ones_fraction(self) -> float:
+        """Running set-bit fraction of raw source output (0.5 when
+        unbiased; NaN before the first refill) — the free by-product of
+        the single-touch generation tap."""
+        return self.source_touch.ones_fraction
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -97,8 +97,14 @@ def worker_attempt(
 
     ``produce`` returns the payload (``bytes`` or ``np.ndarray``); it
     runs with metrics enabled and should publish whatever the parent
-    wants merged back.
+    wants merged back.  A producer that already knows its checksum —
+    because it drew through the single-touch path
+    (:meth:`~repro.core.generator.BSRNG.read_with_receipt`) — returns a
+    :class:`~repro.core.touch.TouchedPayload` instead; the shell then
+    reuses that receipt rather than re-reading the (by now cold)
+    payload for a second CRC pass.
     """
+    from repro.core.touch import TouchedPayload
     from repro.robust.faults import FaultPlan
 
     plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan.from_env()
@@ -113,8 +119,12 @@ def worker_attempt(
             attempt=attempt,
         ) as collector:
             payload = produce()
+        pre_crc = None
+        if isinstance(payload, TouchedPayload):
+            payload, pre_crc = payload.data, payload.crc
+            obs.inc("repro_touch_receipts_reused_total", 1)
         metrics = reg.snapshot()
-    crc = payload_crc(payload) if verify_crc else None
+    crc = (pre_crc if pre_crc is not None else payload_crc(payload)) if verify_crc else None
     if plan is not None:
         if isinstance(payload, np.ndarray):
             mutated = plan.post_generate(partition, attempt, payload.tobytes())
@@ -250,6 +260,16 @@ class PartitionSupervisor:
         self.config = config or SupervisorConfig()
         self.report = SupervisorReport()
         self._job_t0 = time.monotonic()
+        #: Optional payload materialiser, applied to every worker result
+        #: before CRC verification.  Ring-aware callers install
+        #: :meth:`repro.core.ring.SharedMemoryRing.resolve` here so
+        #: shared-memory slot refs become bytes exactly once, in the
+        #: parent — and a torn slot write fails verification the same
+        #: way a corrupted pickled payload would.
+        self.resolve: Callable[[Any], Any] | None = None
+
+    def _materialise(self, result: Any) -> Any:
+        return result if self.resolve is None else self.resolve(result)
 
     # -- attempt bookkeeping -----------------------------------------------------
     #: Kept as a static method for existing callers; the shared parse
@@ -338,6 +358,7 @@ class PartitionSupervisor:
                     wait = max(0.0, deadline - time.monotonic())
                 try:
                     result, crc, metrics, spans = self._unpack(handle.get(wait))
+                    result = self._materialise(result)
                 except mp.TimeoutError:
                     self._failed(
                         pid,
@@ -383,6 +404,7 @@ class PartitionSupervisor:
                     time.sleep(cfg.backoff(attempt - first_attempt))
                 try:
                     result, crc, metrics, spans = self._unpack(self.worker(pending[pid], attempt))
+                    result = self._materialise(result)
                 except Exception as exc:
                     last = PartitionEvent(pid, attempt, "error", f"{type(exc).__name__}: {exc}")
                     self._failed(pid, last)

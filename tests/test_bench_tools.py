@@ -1,0 +1,167 @@
+"""The perf-gate tools must fail loudly, by metric name, on schema drift.
+
+``check_bench_regression.py`` and ``bench_trend.py`` gate CI on speedup
+ratios.  Both used to have silent holes: a baseline without
+``geomean_speedup`` died with a bare ``KeyError``, a metric new in the
+current run was never compared at all, and the trend gate skipped
+ratios that appeared or disappeared between entries.  These tests pin
+the fixed behaviour: every asymmetry is reported with the metric's name
+and the affected run fails the gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"))
+
+import bench_trend  # noqa: E402
+import check_bench_regression as cbr  # noqa: E402
+
+
+def bench_record(speedup: dict, geomean: float | None = None, name: str = "figure10_fused"):
+    metrics: dict = {"speedup": dict(speedup)}
+    if geomean is not None:
+        metrics["geomean_speedup"] = geomean
+    return {"schema": 1, "name": name, "metrics": metrics}
+
+
+def write_json(path, record) -> str:
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestLoadSpeedups:
+    def test_loads_map_and_geomean(self, tmp_path):
+        path = write_json(tmp_path / "b.json", bench_record({"trivium": 3.0}, geomean=3.0))
+        assert cbr.load_speedups(path) == {"trivium": 3.0, "__geomean__": 3.0}
+
+    def test_missing_geomean_loads_without_synthetic_key(self, tmp_path):
+        # single-ratio benches (e.g. qa_stream) carry no geomean; the
+        # loader must not die — any asymmetry is compare()'s job to name
+        path = write_json(tmp_path / "b.json", bench_record({"qa_vs_plain": 0.4}))
+        assert cbr.load_speedups(path) == {"qa_vs_plain": 0.4}
+
+    def test_non_numeric_geomean_is_a_named_error(self, tmp_path):
+        path = write_json(
+            tmp_path / "b.json", bench_record({"trivium": 3.0}, geomean="fast")
+        )
+        with pytest.raises(ValueError, match="geomean_speedup is 'fast'"):
+            cbr.load_speedups(path)
+
+    def test_missing_speedup_map_is_a_named_error(self, tmp_path):
+        path = write_json(tmp_path / "b.json", {"schema": 1, "metrics": {}})
+        with pytest.raises(ValueError, match="no metrics.speedup map"):
+            cbr.load_speedups(path)
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        assert cbr.compare({"a": 2.9}, {"a": 3.0}, tolerance=0.15) == []
+
+    def test_regression_names_the_metric(self):
+        problems = cbr.compare({"a": 1.0}, {"a": 3.0}, tolerance=0.15)
+        assert len(problems) == 1 and problems[0].startswith("a: speedup 1.00x")
+
+    def test_metric_missing_from_current_fails_by_name(self):
+        problems = cbr.compare({}, {"mickey2": 2.5}, tolerance=0.15)
+        assert problems == ["mickey2: missing from current run (baseline 2.50x)"]
+
+    def test_metric_new_in_current_fails_by_name(self):
+        problems = cbr.compare({"a": 3.0, "b": 9.0}, {"a": 3.0}, tolerance=0.15)
+        assert len(problems) == 1
+        assert "b: new metric absent from baseline" in problems[0]
+        assert "9.00x" in problems[0]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        cur = write_json(
+            tmp_path / "cur.json", bench_record({"a": 3.0, "b": 9.0}, geomean=5.2)
+        )
+        base = write_json(tmp_path / "base.json", bench_record({"a": 3.0}, geomean=3.0))
+        assert cbr.main([cur, base]) == 1  # new metric b fails the gate
+        assert "b: new metric absent from baseline" in capsys.readouterr().err
+        ok = write_json(tmp_path / "ok.json", bench_record({"a": 3.0}, geomean=3.0))
+        assert cbr.main([ok, base]) == 0
+        # a run that lost its geomean fails by name, not with a KeyError
+        bad = write_json(tmp_path / "bad.json", bench_record({"a": 3.0}))
+        assert cbr.main([bad, base]) == 1
+        assert "__geomean__: missing from current run" in capsys.readouterr().err
+        nonnum = write_json(tmp_path / "nn.json", bench_record({"a": 3.0}, geomean="x"))
+        assert cbr.main([nonnum, base]) == 2  # named input error, not a traceback
+        assert "geomean_speedup is 'x'" in capsys.readouterr().err
+
+
+class TestBenchTrendGate:
+    def _run(self, tmp_path, record, history_entries, threshold=0.25):
+        results = tmp_path / "results"
+        results.mkdir(exist_ok=True)
+        write_json(results / "BENCH_x.json", record)
+        history = tmp_path / "history.jsonl"
+        history.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in history_entries)
+        )
+        return bench_trend.main(
+            [
+                "--results-dir",
+                str(results),
+                "--history",
+                str(history),
+                "--threshold",
+                str(threshold),
+                "--dry-run",
+            ]
+        )
+
+    def _hist(self, speedup: dict, geomean: float) -> dict:
+        return {
+            "name": "x",
+            "sha": "aaaa",
+            "metrics": {"speedup": dict(speedup), "geomean_speedup": geomean},
+        }
+
+    def test_stable_ratios_pass(self, tmp_path):
+        record = bench_record({"a": 3.0}, geomean=3.0, name="x")
+        assert self._run(tmp_path, record, [self._hist({"a": 3.0}, 3.0)]) == 0
+
+    def test_ratio_drop_breaches(self, tmp_path, capsys):
+        record = bench_record({"a": 1.0}, geomean=1.0, name="x")
+        assert self._run(tmp_path, record, [self._hist({"a": 3.0}, 3.0)]) == 1
+        err = capsys.readouterr().err
+        assert "speedup.a fell" in err
+
+    def test_dropped_ratio_breaches_by_name(self, tmp_path, capsys):
+        record = bench_record({"a": 3.0}, geomean=3.0, name="x")
+        history = [self._hist({"a": 3.0, "gone": 2.0}, 3.0)]
+        assert self._run(tmp_path, record, history) == 1
+        err = capsys.readouterr().err
+        assert "speedup.gone missing from current run" in err
+
+    def test_new_ratio_breaches_by_name(self, tmp_path, capsys):
+        record = bench_record({"a": 3.0, "fresh": 5.0}, geomean=3.9, name="x")
+        assert self._run(tmp_path, record, [self._hist({"a": 3.0}, 3.0)]) == 1
+        err = capsys.readouterr().err
+        assert "speedup.fresh is new" in err
+
+    def test_absolute_numbers_never_gate(self, tmp_path):
+        record = bench_record({"a": 3.0}, geomean=3.0, name="x")
+        record["gbps"] = 0.001  # collapsed, but hardware-dependent
+        history = [dict(self._hist({"a": 3.0}, 3.0), gbps=10.0)]
+        assert self._run(tmp_path, record, history) == 0
+
+    def test_first_entry_passes_without_gating(self, tmp_path):
+        record = bench_record({"a": 3.0}, geomean=3.0, name="x")
+        assert self._run(tmp_path, record, []) == 0
+
+    def test_no_threshold_reports_without_gating(self, tmp_path):
+        record = bench_record({"a": 3.0, "fresh": 5.0}, geomean=3.9, name="x")
+        results = tmp_path / "results"
+        results.mkdir()
+        write_json(results / "BENCH_x.json", record)
+        history = tmp_path / "history.jsonl"
+        history.write_text(json.dumps(self._hist({"a": 9.0, "gone": 2.0}, 9.0)) + "\n")
+        code = bench_trend.main(
+            ["--results-dir", str(results), "--history", str(history), "--dry-run"]
+        )
+        assert code == 0

@@ -135,8 +135,21 @@ class TestServeEngineFleet:
 
 class TestSilenceEviction:
     def test_silent_worker_evicted_during_long_run(self):
-        """Give the run enough wall time for the silence deadline to fire."""
-        plan = FaultPlan(faults=(Fault("hb_silence", partition=0, attempt=0),), seed=9)
+        """Give the run enough wall time for the silence deadline to fire.
+
+        Generation speed can't be relied on for that (the fused kernels
+        got fast enough to finish the whole range inside the deadline),
+        so the *silent* worker is paced with per-job delays summing past
+        its own liveness deadline: its in-flight jobs keep the run open
+        until the deadline fires, then get reassigned to the healthy
+        peer — making the eviction window deterministic.
+        """
+        pacing = tuple(
+            Fault("delay", partition=0, attempt=k, delay=0.7) for k in range(4)
+        )
+        plan = FaultPlan(
+            faults=(Fault("hb_silence", partition=0, attempt=0),) + pacing, seed=9
+        )
         config = make_config(workers=2, heartbeat_interval=0.1, heartbeat_timeout=1.0)
         with FleetController(STREAM, config, fault_plan=plan) as ctrl:
             data = ctrl.read_range(0, 393216, timeout=240)

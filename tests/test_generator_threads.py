@@ -11,6 +11,7 @@ double-served buffer shows up as a CRC mismatch or a coverage gap.
 
 from __future__ import annotations
 
+import random
 import threading
 import zlib
 
@@ -148,3 +149,109 @@ class TestPositionTracking:
         # fast path; spot-check it against the documented register form
         data = BSRNG(ALGO, seed=6, lanes=LANES).read(4096)
         assert payload_crc(data) == payload_crc(bytearray(data))
+
+
+class TestInterleavedOpsReplay:
+    def test_interleaved_read_skip_reseed_replays_on_unprefetched_twin(self):
+        """Hammer read/skip_bytes/reseed from many threads against a
+        prefetch-enabled generator, logging the exact op order under
+        ``rng.lock``; replaying that log on a prefetch-disabled twin must
+        agree byte-for-byte and position-for-position.  Any interaction
+        between an in-flight prefetched refill and a seek or reseed —
+        double-served buffers, native seeks past unconsumed refills —
+        shows up as a data or ``tell()`` divergence."""
+        threads = 6
+        rng = BSRNG(ALGO, seed=21, lanes=LANES, prefetch=True)
+        ops: list[tuple[str, int, bytes | None, int]] = []
+        start = threading.Barrier(threads)
+
+        def worker(tid: int) -> None:
+            dice = random.Random(tid)  # deterministic per-thread op mix
+            start.wait()
+            for _ in range(15):
+                pick = dice.random()
+                with rng.lock:  # one op + its log entry are atomic
+                    if pick < 0.6:
+                        n = dice.choice([64, 1024, 3000])
+                        ops.append(("read", n, rng.read(n), rng.tell()))
+                    elif pick < 0.9:
+                        n = dice.choice([1, 512, 8192])
+                        rng.skip_bytes(n)
+                        ops.append(("skip", n, None, rng.tell()))
+                    else:
+                        s = dice.randrange(1000)
+                        rng.reseed(s)
+                        ops.append(("reseed", s, None, rng.tell()))
+
+        workers = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(ops) == threads * 15
+
+        twin = BSRNG(ALGO, seed=21, lanes=LANES, prefetch=False)
+        replayed = hammered = b""
+        for kind, arg, data, pos in ops:
+            if kind == "read":
+                chunk = twin.read(arg)
+                replayed += chunk
+                hammered += data
+            elif kind == "skip":
+                twin.skip_bytes(arg)
+            else:
+                twin.reseed(arg)
+            assert twin.tell() == pos
+        assert zlib.crc32(replayed) == zlib.crc32(hammered)
+        assert replayed == hammered
+
+
+class TestFailedRefillRecovery:
+    def test_failed_prefetch_refill_raises_once_then_recovers(self):
+        """A refill that fails on the prefetch worker must surface to
+        exactly one draw and then clear: the poisoned future used to stay
+        parked in ``_pending``, so every later draw, seek and — fatally —
+        ``reseed()`` (the designated recovery action) re-raised the same
+        stale exception forever."""
+        rng = BSRNG(ALGO, seed=5, lanes=LANES, prefetch=True)
+        ref = BSRNG(ALGO, seed=5, lanes=LANES, prefetch=False)
+        chunk = rng._source.refill_bytes
+        real = rng._source.next_words
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 3:  # the first *prefetched* refill
+                raise RuntimeError("injected refill failure")
+            return real()
+
+        rng._source.next_words = flaky
+        got = [rng.read(chunk), rng.read(chunk)]
+        with pytest.raises(RuntimeError, match="injected refill failure"):
+            rng.read(chunk)  # consumes the poisoned background refill
+        # the failure raised before the source advanced, so the retry
+        # regenerates the identical refill: the stream has no gap
+        got.append(rng.read(chunk))
+        got.append(rng.read(chunk))
+        assert b"".join(got) == ref.read(4 * chunk)
+        assert rng.tell() == 4 * chunk
+        # recovery action works and yields a fresh, correct stream
+        rng.reseed(5)
+        assert rng.tell() == 0
+        assert rng.read(chunk) == BSRNG(ALGO, seed=5, lanes=LANES).read(chunk)
+
+    def test_failed_synchronous_refill_raises_once_then_recovers(self):
+        rng = BSRNG(ALGO, seed=8, lanes=LANES, prefetch=False)
+        real = rng._source.next_words
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected refill failure")
+            return real()
+
+        rng._source.next_words = flaky
+        with pytest.raises(RuntimeError, match="injected refill failure"):
+            rng.read(64)
+        assert rng.read(64) == BSRNG(ALGO, seed=8, lanes=LANES).read(64)

@@ -1,0 +1,164 @@
+"""Thread-parallel lane banks: bit-identity, seeking, and plumbing.
+
+The contract under test (``repro.core.lanebank``): splitting a bank's
+word columns across a thread pool must be invisible in the emitted
+stream.  Every test compares against the single-bank paths that the
+differential conformance layer already pins down, so a threaded
+divergence cannot hide behind a matching-but-wrong reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ciphers.aes_bitsliced import BitslicedAESCTR
+from repro.ciphers.grain_bitsliced import BitslicedGrain
+from repro.ciphers.mickey_bitsliced import BitslicedMickey2
+from repro.ciphers.trivium_bitsliced import BitslicedTrivium
+from repro.core.generator import BSRNG
+from repro.core.lanebank import ThreadedLaneBank, split_word_columns
+from repro.errors import SpecificationError
+
+BITSLICED = ["trivium", "grain", "mickey2", "aes128ctr"]
+BANKS = {
+    "trivium": BitslicedTrivium,
+    "grain": BitslicedGrain,
+    "mickey2": BitslicedMickey2,
+    "aes128ctr": BitslicedAESCTR,
+}
+
+
+# -- column splitting ---------------------------------------------------------
+
+
+def test_split_word_columns_covers_and_balances():
+    for n_words in (1, 2, 3, 7, 16, 64):
+        for threads in range(1, n_words + 1):
+            ranges = split_word_columns(n_words, threads)
+            assert len(ranges) == threads
+            assert ranges[0][0] == 0 and ranges[-1][1] == n_words
+            widths = []
+            for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+                assert a1 == b0, "ranges must tile contiguously"
+            for w0, w1 in ranges:
+                assert w1 > w0, "every thread must own at least one word"
+                widths.append(w1 - w0)
+            assert max(widths) - min(widths) <= 1, "split must be balanced"
+
+
+def test_split_word_columns_rejects_bad_shapes():
+    with pytest.raises(SpecificationError):
+        split_word_columns(0, 1)
+    with pytest.raises(SpecificationError):
+        split_word_columns(4, 0)
+    with pytest.raises(SpecificationError):
+        split_word_columns(2, 3)
+
+
+# -- bit-identity against the single-bank paths -------------------------------
+
+
+@pytest.mark.parametrize("algorithm", BITSLICED)
+@pytest.mark.parametrize("threads", [2, 3])
+def test_threaded_stream_bit_identical(algorithm, threads):
+    """threads=N matches both the fused and interpreter single-bank streams."""
+    n = 16384
+    ref = BSRNG(algorithm, seed=7, lanes=256, prefetch=False).read(n)
+    interp = BSRNG(algorithm, seed=7, lanes=256, prefetch=False, fused=False).read(n)
+    assert ref == interp  # the existing conformance anchor
+    threaded = BSRNG(algorithm, seed=7, lanes=256, prefetch=False, threads=threads).read(n)
+    assert threaded == ref
+    threaded_interp = BSRNG(
+        algorithm, seed=7, lanes=256, prefetch=False, fused=False, threads=threads
+    ).read(n)
+    assert threaded_interp == ref
+
+
+@pytest.mark.parametrize("algorithm", ["trivium", "aes128ctr"])
+def test_threaded_padding_lanes_match(algorithm):
+    """A non-word-multiple lane count leaves padding bits in the last word.
+
+    The sub-bank owning that word must reproduce the exact same padding
+    (real lanes seeded, tail lanes zero), or the flattened byte stream
+    shifts.  130 lanes / 3 words puts 2 real lanes in the final word.
+    """
+    n = 8192
+    ref = BSRNG(algorithm, seed=11, lanes=130, prefetch=False).read(n)
+    threaded = BSRNG(algorithm, seed=11, lanes=130, prefetch=False, threads=3).read(n)
+    assert threaded == ref
+
+
+@pytest.mark.parametrize("algorithm", BITSLICED)
+def test_threaded_skip_bytes_matches_unskipped(algorithm):
+    """Seeks route through the threaded bank (native for CTR, drain else)."""
+    skip, n = 12345, 4096
+    ref = BSRNG(algorithm, seed=3, lanes=128, prefetch=False).read(skip + n)[skip:]
+    rng = BSRNG(algorithm, seed=3, lanes=128, prefetch=False, threads=2)
+    rng.skip_bytes(skip)
+    assert rng.read(n) == ref
+    assert rng.tell() == skip + n
+
+
+def test_threaded_resume_across_reads():
+    """Split reads concatenate to the same stream as one big read."""
+    rng = BSRNG("trivium", seed=5, lanes=192, prefetch=False, threads=2)
+    got = b"".join(rng.read(k) for k in (1, 63, 64, 1000, 4096))
+    ref = BSRNG("trivium", seed=5, lanes=192, prefetch=False).read(len(got))
+    assert got == ref
+
+
+# -- direct bank API ----------------------------------------------------------
+
+
+def test_lanebank_threads_clamped_to_words():
+    bank = ThreadedLaneBank(BitslicedTrivium, 1, lanes=64, threads=8)
+    assert bank.threads == 1  # 64 lanes = 1 word: nothing to split
+    assert bank.ranges == [(0, 1)]
+
+
+def test_lanebank_keystream_bits_matches_single_bank():
+    from repro.core.engine import BitslicedEngine
+
+    single = BitslicedTrivium(BitslicedEngine(n_lanes=128, fused=True)).seed(9)
+    threaded = ThreadedLaneBank(BitslicedTrivium, 9, lanes=128, threads=2)
+    np.testing.assert_array_equal(threaded.keystream_bits(512), single.keystream_bits(512))
+
+
+def test_lanebank_gate_report_merges_sub_banks():
+    bank = ThreadedLaneBank(BitslicedTrivium, 1, lanes=128, threads=2)
+    bank.next_planes(64)
+    report = bank.gate_report()
+    assert report["n_lanes"] == 128
+    assert report["total"] > 0
+    # each sub-bank issues its own instruction stream over its columns
+    assert report["xor"] == sum(b.engine.counter.xor for b in bank.banks)
+    assert bank.gates_per_output_bit() > 0
+
+
+def test_lanebank_rejects_nonpositive_threads():
+    with pytest.raises(SpecificationError):
+        ThreadedLaneBank(BitslicedTrivium, 1, lanes=128, threads=0)
+
+
+# -- generator plumbing -------------------------------------------------------
+
+
+def test_baseline_algorithms_reject_threads():
+    with pytest.raises(SpecificationError):
+        BSRNG("philox", seed=1, threads=2)
+
+
+def test_bsrng_rejects_nonpositive_threads():
+    with pytest.raises(SpecificationError):
+        BSRNG("trivium", seed=1, threads=0)
+
+
+def test_reseed_and_spawn_preserve_threads():
+    rng = BSRNG("trivium", seed=21, lanes=128, prefetch=False, threads=2)
+    rng.read(100)
+    rng.reseed(22)
+    assert rng.threads == 2
+    assert rng.read(1000) == BSRNG("trivium", seed=22, lanes=128, prefetch=False).read(1000)
+    child = rng.spawn(1)[0]
+    assert child.threads == 2

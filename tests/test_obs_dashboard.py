@@ -1,0 +1,94 @@
+"""``repro top`` renderer math, especially degenerate-histogram honesty.
+
+The dashboard's latency line estimates p50/p99 from cumulative
+Prometheus buckets.  A histogram whose observations all fell in the
+``+Inf`` bucket — or whose samples carry NaN — used to interpolate to a
+confident ``0.00 ms``; these tests pin the fixed behaviour: drop NaN,
+clamp into the bucket, omit unresolvable quantiles, and render ``n/a``.
+"""
+
+import pytest
+
+from repro.obs import dashboard
+
+
+def bucket(le: str, value: float, name: str = "repro_serve_request_seconds_bucket"):
+    return (name, {"le": le}, value)
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_within_bucket(self):
+        samples = [bucket("0.1", 0.0), bucket("0.2", 10.0), bucket("+Inf", 10.0)]
+        q = dashboard.histogram_quantiles(samples, "repro_serve_request_seconds")
+        assert q[0.5] == pytest.approx(0.15)
+        assert q[0.99] == pytest.approx(0.199)
+
+    def test_aggregates_across_label_sets(self):
+        samples = [
+            ("repro_serve_request_seconds_bucket", {"le": "1", "path": "a"}, 4.0),
+            ("repro_serve_request_seconds_bucket", {"le": "+Inf", "path": "a"}, 4.0),
+            ("repro_serve_request_seconds_bucket", {"le": "1", "path": "b"}, 4.0),
+            ("repro_serve_request_seconds_bucket", {"le": "+Inf", "path": "b"}, 4.0),
+        ]
+        q = dashboard.histogram_quantiles(samples, "repro_serve_request_seconds")
+        assert 0 < q[0.5] <= 1.0
+
+    def test_empty_histogram_yields_no_quantiles(self):
+        assert dashboard.histogram_quantiles([], "repro_serve_request_seconds") == {}
+
+    def test_zero_count_histogram_yields_no_quantiles(self):
+        samples = [bucket("0.1", 0.0), bucket("+Inf", 0.0)]
+        assert dashboard.histogram_quantiles(samples, "repro_serve_request_seconds") == {}
+
+    def test_all_mass_in_inf_with_no_finite_bucket_is_unresolvable(self):
+        # the degenerate case that used to read as a confident 0.0
+        samples = [bucket("+Inf", 7.0)]
+        assert dashboard.histogram_quantiles(samples, "repro_serve_request_seconds") == {}
+
+    def test_rank_in_inf_bucket_clamps_to_last_finite_edge(self):
+        samples = [bucket("0.25", 1.0), bucket("+Inf", 100.0)]
+        q = dashboard.histogram_quantiles(samples, "repro_serve_request_seconds")
+        assert q[0.5] == pytest.approx(0.25)
+        assert q[0.99] == pytest.approx(0.25)
+
+    def test_nan_samples_are_dropped(self):
+        nan = float("nan")
+        samples = [bucket("0.1", nan), bucket("0.2", 10.0), bucket("+Inf", 10.0)]
+        q = dashboard.histogram_quantiles(samples, "repro_serve_request_seconds")
+        assert 0.0 < q[0.5] <= 0.2
+        # a histogram of only NaN mass resolves to nothing, not to NaN
+        only_nan = [bucket("0.1", nan), bucket("+Inf", nan)]
+        assert dashboard.histogram_quantiles(only_nan, "repro_serve_request_seconds") == {}
+
+    def test_unparsable_le_is_dropped(self):
+        samples = [bucket("oops", 5.0), bucket("NaN", 5.0), bucket("+Inf", 5.0)]
+        assert dashboard.histogram_quantiles(samples, "repro_serve_request_seconds") == {}
+
+    def test_interpolation_clamped_on_nonmonotone_counts(self):
+        # merge artifacts can make the cumulative series dip; the
+        # estimate must stay inside the bucket, never extrapolate
+        samples = [bucket("0.1", 8.0), bucket("0.2", 6.0), bucket("+Inf", 6.0)]
+        q = dashboard.histogram_quantiles(samples, "repro_serve_request_seconds")
+        assert 0.0 <= q[0.5] <= 0.2
+        assert 0.0 <= q[0.99] <= 0.2
+
+
+class TestRenderLatencyLine:
+    def _frame(self, samples) -> str:
+        return dashboard.render({}, samples)
+
+    def test_resolvable_quantiles_render_in_ms(self):
+        frame = self._frame(
+            [bucket("0.1", 0.0), bucket("0.2", 10.0), bucket("+Inf", 10.0)]
+        )
+        assert "request latency" in frame
+        assert "p50 150.00 ms" in frame
+        assert "n/a" not in frame
+
+    def test_degenerate_histogram_renders_na_not_zero(self):
+        frame = self._frame([bucket("+Inf", 7.0)])
+        assert "request latency  p50 n/a   p99 n/a" in frame
+        assert "0.00 ms" not in frame
+
+    def test_no_histogram_renders_no_latency_line(self):
+        assert "request latency" not in self._frame([])

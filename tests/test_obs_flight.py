@@ -117,8 +117,11 @@ def test_dump_includes_metrics_snapshot_when_enabled(rec):
 def test_health_failure_triggers_flight_dump(rec, tmp_path):
     from repro.robust.health import HealthMonitoredBSRNG, HealthTestError
 
+    import numpy as np
+
     rng = HealthMonitoredBSRNG("xorwow", lanes=64, startup_test=False)
-    rng.inner.random_bytes = lambda n: b"\x00" * n  # stuck-at-zero source
+    # stuck-at-zero source, stubbed on the screen's actual draw path
+    rng.inner.random_uint8 = lambda n: np.zeros(n, dtype=np.uint8)
     with pytest.raises(HealthTestError):
         rng.random_bytes(4096)
     dumps = [p for p in os.listdir(tmp_path) if "health" in p]

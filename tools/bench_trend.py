@@ -187,6 +187,13 @@ def main(argv=None) -> int:
         for key, before, value, rel in diff_entries(prev, entry):
             if before is None:
                 print(f"   {key:<28} {value:>12.6g}  (new)")
+                # an ungated ratio is a silent hole in the gate: fail by
+                # name until the history has an entry to diff against
+                if args.threshold is not None and _is_ratio(key):
+                    breaches.append(
+                        f"{entry['name']}: {key} is new ({value:.6g}) — "
+                        f"no previous entry to gate against"
+                    )
                 continue
             arrow = "" if rel is None else f"  {rel:+.1%}"
             print(f"   {key:<28} {before:>12.6g} -> {value:<12.6g}{arrow}")
@@ -197,6 +204,15 @@ def main(argv=None) -> int:
                 and rel < -args.threshold
             ):
                 breaches.append(f"{entry['name']}: {key} fell {rel:.1%}")
+        prev_nums = numeric_metrics(prev)
+        curr_keys = set(numeric_metrics(entry))
+        for key in sorted(set(prev_nums) - curr_keys):
+            print(f"   {key:<28} {prev_nums[key]:>12.6g} -> (gone)")
+            if args.threshold is not None and _is_ratio(key):
+                breaches.append(
+                    f"{entry['name']}: {key} missing from current run "
+                    f"(was {prev_nums[key]:.6g})"
+                )
 
     if not args.dry_run:
         os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)

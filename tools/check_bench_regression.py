@@ -34,12 +34,28 @@ def load_speedups(path: str) -> dict:
     speedups = dict(metrics.get("speedup", {}))
     if not speedups:
         raise ValueError(f"{path}: no metrics.speedup map — not a speedup bench record?")
-    speedups["__geomean__"] = float(metrics["geomean_speedup"])
+    # single-ratio benches legitimately have no geomean; when one side
+    # has it and the other does not, compare() fails that *by name*
+    # instead of the bare KeyError this used to die with
+    if "geomean_speedup" in metrics:
+        try:
+            speedups["__geomean__"] = float(metrics["geomean_speedup"])
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{path}: metrics.geomean_speedup is "
+                f"{metrics['geomean_speedup']!r}, not a number"
+            ) from None
     return speedups
 
 
 def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Regression messages (empty = pass)."""
+    """Regression messages (empty = pass).
+
+    Asymmetric key sets fail *by name* in both directions: a metric the
+    baseline expects but the run lost, and a metric the run produced but
+    the baseline has never seen (an ungated number is a silent hole in
+    the gate — refresh the baseline to admit it).
+    """
     problems = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
@@ -52,6 +68,11 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"{name}: speedup {cur:.2f}x < {floor:.2f}x "
                 f"(baseline {base:.2f}x - {tolerance:.0%})"
             )
+    for name in sorted(set(current) - set(baseline)):
+        problems.append(
+            f"{name}: new metric absent from baseline (current {current[name]:.2f}x) "
+            f"— refresh the committed baseline to gate it"
+        )
     return problems
 
 
